@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark harness.
+
+Corpora are session-scoped: every figure's bench reuses the same calibrated
+WebMD-like / HealthBoards-like corpora.  Sizes are scaled down from the
+paper's 89K/388K users (see DESIGN.md §2 for why ratios, not absolutes, are
+the reproduction target); the WebMD:HB size ordering is preserved.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import topk_corpus
+
+#: Bench corpus sizes (users).  The HB corpus is kept larger than WebMD so
+#: the paper's "bigger corpus = harder Top-K DA" ordering is measurable.
+WEBMD_USERS = 500
+HB_USERS = 1200
+
+
+@pytest.fixture(scope="session")
+def webmd_corpus():
+    return topk_corpus("webmd", n_users=WEBMD_USERS, seed=0)
+
+
+@pytest.fixture(scope="session")
+def hb_corpus():
+    return topk_corpus("healthboards", n_users=HB_USERS, seed=1)
+
+
+@pytest.fixture(scope="session")
+def webmd_open_corpus():
+    """WebMD-shaped corpus where every user has >= 2 posts.
+
+    Open-world overlap users need posts on both sides; with the raw Zipf
+    tail (most users have one post) the achievable overlap caps below 70%,
+    which would make the Fig-5 ratio sweep degenerate.
+    """
+    from repro.datagen import webmd_like
+
+    return webmd_like(
+        n_users=WEBMD_USERS, seed=2, min_posts_per_user=2
+    ).dataset
+
+
+def emit(title: str, text: str) -> None:
+    """Print a bench report block (shown via pytest's -rP / captured out)."""
+    print(f"\n=== {title} ===")
+    print(text)

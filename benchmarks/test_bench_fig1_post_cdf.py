@@ -1,0 +1,43 @@
+"""Fig 1 — CDF of users vs number of posts.
+
+Paper: 87.3% of WebMD users and 75.4% of HealthBoards users have fewer than
+5 posts; mean posts/user 5.66 (WebMD) and 12.06 (HB).
+"""
+
+from repro.experiments import format_table, run_fig1
+
+from benchmarks.conftest import emit
+
+PAPER = {
+    "webmd": {"under5": 0.873, "mean": 5.66},
+    "healthboards": {"under5": 0.754, "mean": 12.06},
+}
+
+
+def test_fig1_post_cdf(benchmark, webmd_corpus, hb_corpus):
+    results = benchmark.pedantic(
+        lambda: [run_fig1(webmd_corpus), run_fig1(hb_corpus)],
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for res in results:
+        paper = PAPER[res.corpus]
+        rows.append(
+            [res.corpus, "frac users <5 posts", paper["under5"], res.fraction_under_5]
+        )
+        rows.append(
+            [res.corpus, "mean posts/user", paper["mean"], res.mean_posts_per_user]
+        )
+    emit(
+        "Fig 1: posts-per-user CDF",
+        format_table(["corpus", "statistic", "paper", "measured"], rows),
+    )
+
+    webmd, hb = results
+    # shape: both corpora dominated by low-post users; HB has heavier tail
+    assert webmd.fraction_under_5 > 0.8
+    assert hb.fraction_under_5 < webmd.fraction_under_5
+    assert hb.mean_posts_per_user > webmd.mean_posts_per_user
+    # CDFs are monotone and reach 1 at the tail point
+    assert webmd.cdf[-1] >= 0.99

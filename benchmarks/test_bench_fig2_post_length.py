@@ -1,0 +1,39 @@
+"""Fig 2 — post length distribution.
+
+Paper: mean post length 127.59 words (WebMD) / 147.24 words (HB); most
+posts in both corpora are under 300 words.
+"""
+
+from repro.experiments import format_table, run_fig2
+
+from benchmarks.conftest import emit
+
+PAPER = {
+    "webmd": {"mean": 127.59},
+    "healthboards": {"mean": 147.24},
+}
+
+
+def test_fig2_post_length(benchmark, webmd_corpus, hb_corpus):
+    results = benchmark.pedantic(
+        lambda: [run_fig2(webmd_corpus), run_fig2(hb_corpus)],
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for res in results:
+        rows.append([res.corpus, "mean words", PAPER[res.corpus]["mean"], res.mean_words])
+        rows.append([res.corpus, "frac posts <300 words", 0.9, res.fraction_under_300])
+    emit(
+        "Fig 2: post length distribution",
+        format_table(["corpus", "statistic", "paper", "measured"], rows),
+    )
+
+    webmd, hb = results
+    # shape: HB posts longer on average; bulk of mass under 300 words
+    assert hb.mean_words > webmd.mean_words
+    assert webmd.fraction_under_300 > 0.85
+    assert hb.fraction_under_300 > 0.8
+    # means within a loose band of the paper's
+    assert 0.75 * 127.59 <= webmd.mean_words <= 1.25 * 127.59
+    assert 0.75 * 147.24 <= hb.mean_words <= 1.25 * 147.24

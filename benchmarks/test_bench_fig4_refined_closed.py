@@ -1,0 +1,56 @@
+"""Fig 4 — closed-world refined DA accuracy.
+
+Paper shapes: De-Health beats the no-Top-K Stylometry baseline; smaller K
+does at least as well as larger K when training data are scarce (the Top-K
+phase dominates); the paper's headline: SMO-20 De-Health(K=5) = 70% vs
+Stylometry = 8%.
+
+Deviation recorded in EXPERIMENTS.md: our synthetic authors stay more
+separable at 50 classes than real WebMD authors, so the Stylometry baseline
+lands higher than 8% — the orderings, not the gap magnitude, are the
+reproduction target.
+"""
+
+from repro.experiments import format_table
+from repro.experiments.closed_world import run_fig4
+
+from benchmarks.conftest import emit
+
+K_VALUES = (5, 10, 20)
+
+
+def test_fig4_refined_closed_world(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_fig4(
+            n_users=50,
+            posts_settings=(20, 40),
+            classifiers=("knn", "smo"),
+            k_values=K_VALUES,
+            seed=4,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for (classifier, train_posts), cells in results.items():
+        for cell in cells:
+            label = "Stylometry" if cell.method == "stylometry" else f"De-Health K={cell.k}"
+            rows.append(
+                [f"{classifier}-{train_posts}", label, cell.accuracy]
+            )
+    emit(
+        "Fig 4: refined DA accuracy (closed world)",
+        format_table(["setting", "method", "accuracy"], rows),
+    )
+
+    for (classifier, train_posts), cells in results.items():
+        baseline = cells[0]
+        dehealth = {c.k: c for c in cells[1:]}
+        best_dh = max(c.accuracy for c in cells[1:])
+        # shape: De-Health's best K beats the Stylometry baseline
+        assert best_dh >= baseline.accuracy - 0.02, (classifier, train_posts)
+        # shape: small K at least as good as the largest K (scarce data)
+        assert dehealth[min(K_VALUES)].accuracy >= dehealth[max(K_VALUES)].accuracy - 0.1
+        # well above the 1/50 random baseline
+        assert best_dh > 5 * (1.0 / 50.0)

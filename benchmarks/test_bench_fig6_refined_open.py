@@ -1,0 +1,66 @@
+"""Fig 6 — open-world refined DA accuracy and false-positive rate.
+
+Paper shapes: De-Health (with mean-verification, r=0.25) beats Stylometry
+on accuracy while slashing the FP rate — the baseline cannot reject, so
+every non-overlapping user it maps is a false positive (paper: FP 52% for
+Stylometry vs 4% for De-Health K=5 at 50%-SMO).
+"""
+
+from repro.experiments import format_table
+from repro.experiments.open_world import run_fig6
+
+from benchmarks.conftest import emit
+
+RATIOS = (0.5, 0.7, 0.9)
+K_VALUES = (5, 10)
+
+
+def test_fig6_refined_open_world(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_fig6(
+            overlap_ratios=RATIOS,
+            classifiers=("knn", "smo"),
+            k_values=K_VALUES,
+            n_users=60,
+            posts_per_user=20,
+            seed=6,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for (ratio, classifier), cells in results.items():
+        for cell in cells:
+            label = "Stylometry" if cell.method == "stylometry" else f"De-Health K={cell.k}"
+            rows.append(
+                [
+                    f"{int(ratio * 100)}%-{classifier}",
+                    label,
+                    cell.accuracy,
+                    cell.false_positive_rate,
+                ]
+            )
+    emit(
+        "Fig 6: open-world refined DA",
+        format_table(["setting", "method", "accuracy", "FP rate"], rows),
+    )
+
+    for (ratio, classifier), cells in results.items():
+        baseline = cells[0]
+        dehealth_cells = cells[1:]
+        # the baseline cannot reject: it maps every no-truth user to someone
+        assert baseline.false_positive_rate == 1.0
+        # mean-verification slashes the FP rate (paper: 52% -> 4%);
+        # at 90% overlap only ~6 no-mapping users exist, so the FP
+        # denominator is tiny — assert the strong form where it is
+        # statistically meaningful
+        best_fp = min(c.false_positive_rate for c in dehealth_cells)
+        assert best_fp <= baseline.false_positive_rate - 0.15, (ratio, classifier)
+        if ratio <= 0.5:
+            assert best_fp <= 0.6, (ratio, classifier)
+        # and De-Health's accuracy stays competitive with the baseline
+        # despite rejecting (paper: it wins outright; our synthetic baseline
+        # is stronger — EXPERIMENTS.md records the deviation)
+        best_acc = max(c.accuracy for c in dehealth_cells)
+        assert best_acc >= baseline.accuracy - 0.25, (ratio, classifier)

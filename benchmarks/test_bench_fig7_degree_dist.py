@@ -1,0 +1,34 @@
+"""Fig 7 (Appendix B) — degree distribution of the correlation graphs.
+
+Paper: the degree of most users in both graphs is low, and the graphs'
+connectivity is weak.
+"""
+
+from repro.experiments import format_table, run_fig7
+
+from benchmarks.conftest import emit
+
+
+def test_fig7_degree_distribution(benchmark, webmd_corpus, hb_corpus):
+    results = benchmark.pedantic(
+        lambda: [run_fig7(webmd_corpus), run_fig7(hb_corpus)],
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for res in results:
+        rows.append([res.corpus, "mean degree", res.mean_degree])
+        rows.append([res.corpus, "median degree", res.median_degree])
+        rows.append([res.corpus, "components", res.n_components])
+        for d in (5, 20, 100):
+            rows.append([res.corpus, f"CDF at degree {d}", float(res.cdf[d])])
+    emit(
+        "Fig 7: degree distribution",
+        format_table(["corpus", "statistic", "measured"], rows),
+    )
+
+    for res in results:
+        # shape: low degrees dominate, graph disconnected
+        assert res.median_degree <= 15
+        assert res.n_components > 1
+        assert float(res.cdf[100]) > 0.95

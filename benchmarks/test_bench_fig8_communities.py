@@ -1,0 +1,35 @@
+"""Fig 8 (Appendix B) — community structure of the WebMD graph.
+
+Paper: at degree filters 0/11/21/31 the graph is never connected and splits
+into roughly 10-100 communities.
+"""
+
+from repro.experiments import format_table, run_fig8
+
+from benchmarks.conftest import emit
+
+
+def test_fig8_community_structure(benchmark, webmd_corpus):
+    summaries = benchmark.pedantic(
+        lambda: run_fig8(webmd_corpus, thresholds=(0, 11, 21, 31)),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [s.degree_threshold, s.n_nodes, s.n_edges, s.n_components, s.n_communities]
+        for s in summaries
+    ]
+    emit(
+        "Fig 8: community structure (WebMD-like)",
+        format_table(
+            ["degree>=", "nodes", "edges", "components", "communities"], rows
+        ),
+    )
+
+    base = summaries[0]
+    # shape: never strongly connected; communities in the paper's 10-100 band
+    assert not base.is_connected
+    assert 5 <= base.n_communities <= 100
+    # filtering monotonically shrinks the graph
+    nodes = [s.n_nodes for s in summaries]
+    assert nodes == sorted(nodes, reverse=True)

@@ -1,0 +1,44 @@
+"""Section VI — the linkage attack proof of concept.
+
+Paper yields on 89,393 WebMD users: 1,676 NameLink hits to HealthBoards
+(1.9%); 2,805 filtered avatar targets with 347 linked (12.4%); 137 users in
+both linked populations (far above the ~2% independence rate); >33.4% of
+avatar-linked users found on 2+ services; full PII recoverable for most.
+"""
+
+from repro.experiments import format_table
+from repro.experiments.linkage_exp import run_linkage_experiment
+
+from benchmarks.conftest import emit
+
+
+def test_linkage_attack_campaign(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_linkage_experiment(n_users=2000, seed=9),
+        rounds=1,
+        iterations=1,
+    )
+    report = result.report
+
+    name_rate = report.n_name_linked / report.n_users
+    rows = [
+        ["NameLink rate", "1.9%", f"{name_rate:.1%}"],
+        ["avatar targets / users", "3.1%", f"{report.n_avatar_targets / report.n_users:.1%}"],
+        ["AvatarLink rate", "12.4%", f"{report.avatar_link_rate:.1%}"],
+        ["overlap (both tools)", "137/347", str(len(report.overlap_ids))],
+        ["multi-service fraction", ">=33.4%", f"{report.multi_service_fraction:.1%}"],
+        ["NameLink precision", "manual", f"{report.name_precision:.2f}"],
+        ["AvatarLink precision", "manual", f"{report.avatar_precision:.2f}"],
+    ]
+    emit("Section VI: linkage attack", format_table(["measure", "paper", "measured"], rows))
+    emit("Section VI: PII recovered", "\n".join(report.summary_lines()))
+
+    # shape: a meaningful fraction of filtered avatar targets is linkable
+    assert 0.03 <= report.avatar_link_rate <= 0.40
+    # shape: name linkage lands within an order of magnitude of 1.9%
+    assert 0.005 <= name_rate <= 0.12
+    # linkage against ground truth is precise (the paper validated manually)
+    assert report.name_precision >= 0.9
+    assert report.avatar_precision >= 0.9
+    # the attack recovers PII for linked users
+    assert report.revealed["full_name"] > 0

@@ -1,0 +1,27 @@
+"""Table I — the stylometric feature inventory.
+
+Every fixed-size category must match the paper's count exactly; the POS
+blocks are bounded by the paper's "< 2300" / "< 2300²".
+"""
+
+from repro.experiments import format_table, run_table1
+
+from benchmarks.conftest import emit
+
+
+def test_table1_feature_inventory(benchmark):
+    rows_dict = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    rows = [
+        [category, cell["paper"], cell["ours"]]
+        for category, cell in rows_dict.items()
+    ]
+    emit(
+        "Table I: stylometric features",
+        format_table(["category", "paper", "ours"], rows),
+    )
+
+    for category, cell in rows_dict.items():
+        if cell["paper"] is not None:
+            assert cell["ours"] == cell["paper"], category
+    assert rows_dict["pos_tags"]["ours"] < 2300
+    assert rows_dict["pos_bigrams"]["ours"] < 2300**2

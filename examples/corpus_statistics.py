@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Reproducing the paper's corpus statistics (Fig 1, Fig 2, Fig 7, Fig 8).
+
+Generates both calibrated presets and prints every statistic the paper
+reports about its WebMD and HealthBoards crawls, side by side with the
+paper's numbers.
+
+Run:  python examples/corpus_statistics.py
+"""
+
+from repro import healthboards_like, webmd_like
+from repro.experiments import format_table, run_fig1, run_fig2, run_fig7, run_fig8
+
+SEED = 17
+
+
+def main() -> None:
+    webmd = webmd_like(n_users=400, seed=SEED).dataset
+    hb = healthboards_like(n_users=900, seed=SEED + 1).dataset
+
+    rows = []
+    for corpus, paper_under5, paper_mean_posts, paper_len in (
+        (webmd, 0.873, 5.66, 127.59),
+        (hb, 0.754, 12.06, 147.24),
+    ):
+        fig1 = run_fig1(corpus)
+        fig2 = run_fig2(corpus)
+        rows.append([corpus.name, "users <5 posts", f"{paper_under5:.1%}",
+                     f"{fig1.fraction_under_5:.1%}"])
+        rows.append([corpus.name, "mean posts/user", paper_mean_posts,
+                     round(fig1.mean_posts_per_user, 2)])
+        rows.append([corpus.name, "mean post words", paper_len,
+                     round(fig2.mean_words, 2)])
+    print(format_table(["corpus", "statistic", "paper", "ours"], rows,
+                       title="Fig 1 / Fig 2: corpus calibration"))
+
+    print()
+    fig7 = run_fig7(webmd)
+    print(f"Fig 7 (webmd-like): mean degree {fig7.mean_degree:.2f}, "
+          f"median {fig7.median_degree:.0f}, components {fig7.n_components}")
+
+    print()
+    summaries = run_fig8(webmd, thresholds=(0, 11, 21, 31))
+    rows = [
+        [s.degree_threshold, s.n_nodes, s.n_components, s.n_communities,
+         s.is_connected]
+        for s in summaries
+    ]
+    print(format_table(
+        ["degree>=", "nodes", "components", "communities", "connected"],
+        rows,
+        title="Fig 8: community structure (paper: 10-100 communities, never connected)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Evaluating anonymization defenses against De-Health (§VII future work).
+
+The paper leaves "developing proper anonymization techniques for
+large-scale online health data" as an open problem.  This example runs the
+defenses this library implements — Anonymouth-style text obfuscation and
+correlation-graph scrambling — against the full attack and prints the
+privacy/utility trade-off.
+
+Run:  python examples/defense_evaluation.py
+"""
+
+from repro import webmd_like
+from repro.defense import evaluate_defense, obfuscate_dataset, scramble_threads
+from repro.experiments import format_table
+
+SEED = 23
+
+
+def main() -> None:
+    corpus = webmd_like(n_users=200, seed=SEED).dataset
+    print(f"corpus: {corpus}\n")
+
+    defenses = {
+        "no defense": lambda ds: ds,
+        "obfuscation (50% of posts)": lambda ds: obfuscate_dataset(
+            ds, strength=0.5, seed=SEED
+        ),
+        "obfuscation (all posts)": lambda ds: obfuscate_dataset(
+            ds, strength=1.0, seed=SEED
+        ),
+        "thread scrambling": lambda ds: scramble_threads(ds, prob=1.0, seed=SEED),
+        "both": lambda ds: scramble_threads(
+            obfuscate_dataset(ds, strength=1.0, seed=SEED), prob=1.0, seed=SEED
+        ),
+    }
+
+    rows = []
+    for name, fn in defenses.items():
+        report = evaluate_defense(corpus, fn, defense_name=name, k=10, seed=SEED + 1)
+        rows.append(
+            [
+                name,
+                f"{report.topk_success_after:.2f}",
+                f"{report.accuracy_after:.2f}",
+                f"{report.content_preservation:.2f}",
+            ]
+        )
+    print(
+        format_table(
+            ["defense", "top-10 success", "refined accuracy", "content kept"],
+            rows,
+            title="privacy / utility trade-off (lower attack numbers = better privacy)",
+        )
+    )
+    print(
+        "\nfinding: the attack's similarity is attribute-dominated, so text"
+        "\nobfuscation is the effective lever; graph scrambling alone barely"
+        "\nmoves it — defenses must scrub the writing style itself."
+    )
+
+
+if __name__ == "__main__":
+    main()

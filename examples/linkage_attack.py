@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""The Section-VI linkage attack: from forum pseudonyms to real people.
+
+Generates a WebMD-shaped forum, grows a synthetic Internet around its users
+(sister health service, four social networks, avatar uploads, username
+reuse), then runs NameLink + AvatarLink and reports what PII falls out —
+the reproduction of the paper's 347-of-2805 proof-of-concept.
+
+Run:  python examples/linkage_attack.py
+"""
+
+from repro.experiments import run_linkage_experiment
+from repro.linkage import MarkovUsernameModel
+
+SEED = 11
+
+
+def main() -> None:
+    result = run_linkage_experiment(n_users=1000, seed=SEED)
+    report = result.report
+
+    print("linkage attack campaign")
+    print("=" * 50)
+    for line in report.summary_lines():
+        print(" ", line)
+
+    print("\npaper comparison:")
+    print(f"  avatar link rate: ours {report.avatar_link_rate:.1%} "
+          f"vs paper 12.4%")
+    print(f"  multi-service:    ours {report.multi_service_fraction:.1%} "
+          f"vs paper >=33.4%")
+
+    # peek at a few high-entropy usernames — the ones NameLink trusts
+    linked = list(report.name_links.items())[:5]
+    if linked:
+        print("\nsample name-linked users (highest entropy first):")
+        for user_id, hits in linked:
+            hit = hits[0]
+            print(
+                f"  {hit.username!r} ({hit.entropy_bits:.1f} bits) -> "
+                f"{hit.account.service}:{hit.account.username!r}"
+            )
+
+    # what an adversary learns about one linked person
+    all_linked = set(report.name_links) | set(report.avatar_links)
+    if all_linked:
+        print("\nexample privacy compromise (synthetic person):")
+        example_id = sorted(all_linked)[0]
+        # resolve through the world's ground truth the way Whitepages would
+        print(f"  forum user: {example_id}")
+
+
+if __name__ == "__main__":
+    main()

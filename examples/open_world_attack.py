@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Open-world de-anonymization with verification (the Fig 6 scenario).
+
+Builds two datasets whose user populations only partially overlap, then
+compares De-Health with mean-verification against the traditional
+Stylometry baseline on both accuracy and false-positive rate.  The baseline
+cannot say ⊥, so every non-overlapping user it maps is a false positive;
+De-Health's mean-verification scheme rejects low-evidence mappings.
+
+Run:  python examples/open_world_attack.py
+"""
+
+from repro import DeHealth, DeHealthConfig, StylometryBaseline, UDAGraph
+from repro.experiments import refined_open_split
+from repro.stylometry import FeatureExtractor
+
+SEED = 3
+OVERLAP = 0.5  # half the anonymized users have no auxiliary counterpart
+
+
+def main() -> None:
+    split = refined_open_split(
+        overlap_ratio=OVERLAP, n_users=60, posts_per_user=20, seed=SEED
+    )
+    truth = split.truth
+    print(f"auxiliary:  {split.auxiliary}")
+    print(f"anonymized: {split.anonymized}")
+    print(
+        f"overlapping users: {len(truth.overlapping_ids)}, "
+        f"without true mapping: {len(truth.non_overlapping_ids)}"
+    )
+
+    extractor = FeatureExtractor()
+
+    # --- baseline: one classifier over everyone, no rejection option
+    baseline = StylometryBaseline(classifier="knn")
+    base_result = baseline.deanonymize(
+        UDAGraph(split.anonymized, extractor=extractor),
+        UDAGraph(split.auxiliary, extractor=extractor),
+    )
+    print("\nStylometry baseline:")
+    print(f"  accuracy:            {base_result.accuracy(truth):.1%}")
+    print(f"  false-positive rate: {base_result.false_positive_rate(truth):.1%}")
+
+    # --- De-Health with mean-verification; the paper's r=0.25 on its score
+    # scale maps to ~0.03 on ours after floor correction (DESIGN.md §3)
+    attack = DeHealth(
+        DeHealthConfig(
+            top_k=5,
+            n_landmarks=5,
+            classifier="knn",
+            verification="mean",
+            verification_r=0.03,
+        )
+    )
+    attack.fit(split.anonymized, split.auxiliary, extractor=extractor)
+    result = attack.deanonymize()
+    print("\nDe-Health (K=5, mean-verification r=0.03 floor-corrected):")
+    print(f"  accuracy:            {result.accuracy(truth):.1%}")
+    print(f"  false-positive rate: {result.false_positive_rate(truth):.1%}")
+    print(f"  rejected as ⊥:       {result.rejection_rate():.1%}")
+
+
+if __name__ == "__main__":
+    main()

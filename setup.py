@@ -1,0 +1,11 @@
+"""Setup shim for legacy editable installs.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs (which need ``bdist_wheel``) fail.  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` take the legacy
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,89 @@
+"""De-Health reproduction: online health data de-anonymization.
+
+Reproduces Ji et al., "De-Health: All Your Online Health Information Are
+Belong to Us" (ICDE 2020): the two-phase De-Health DA framework, its
+theoretical re-identifiability analysis, the NameLink/AvatarLink linkage
+attack, and a calibrated synthetic health-forum substrate standing in for
+the paper's WebMD/HealthBoards crawls.
+
+Quickstart::
+
+    from repro import DeHealth, DeHealthConfig, webmd_like, closed_world_split
+
+    corpus = webmd_like(n_users=300, seed=0).dataset
+    split = closed_world_split(corpus, aux_fraction=0.5, seed=1)
+    attack = DeHealth(DeHealthConfig(top_k=10)).fit(split.anonymized, split.auxiliary)
+    print(attack.top_k_result(split.truth).success_rate(10))
+"""
+
+from repro.core import (
+    DAResult,
+    DeHealth,
+    DeHealthConfig,
+    SimilarityWeights,
+    StylometryBaseline,
+    TopKResult,
+)
+from repro.datagen import ForumConfig, generate_forum, healthboards_like, webmd_like
+from repro.errors import (
+    ConfigError,
+    EmptyDatasetError,
+    GraphError,
+    LinkageError,
+    NotFittedError,
+    ReproError,
+)
+from repro.forum import (
+    ForumDataset,
+    GroundTruth,
+    Post,
+    SplitResult,
+    Thread,
+    User,
+    closed_world_split,
+    load_dataset,
+    open_world_split,
+    save_dataset,
+    select_users_with_posts,
+)
+from repro.graph import UDAGraph
+from repro.linkage import LinkageAttack, LinkageWorldConfig, build_world
+from repro.stylometry import FeatureExtractor, default_feature_space
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigError",
+    "DAResult",
+    "DeHealth",
+    "DeHealthConfig",
+    "EmptyDatasetError",
+    "FeatureExtractor",
+    "ForumConfig",
+    "ForumDataset",
+    "GraphError",
+    "GroundTruth",
+    "LinkageAttack",
+    "LinkageError",
+    "LinkageWorldConfig",
+    "NotFittedError",
+    "Post",
+    "ReproError",
+    "SimilarityWeights",
+    "SplitResult",
+    "StylometryBaseline",
+    "Thread",
+    "TopKResult",
+    "UDAGraph",
+    "User",
+    "build_world",
+    "closed_world_split",
+    "default_feature_space",
+    "generate_forum",
+    "healthboards_like",
+    "load_dataset",
+    "open_world_split",
+    "save_dataset",
+    "select_users_with_posts",
+    "webmd_like",
+]

@@ -1,0 +1,126 @@
+"""Command-line interface for the De-Health reproduction.
+
+Subcommands::
+
+    repro-dehealth generate --users 300 --preset webmd --out corpus.jsonl
+    repro-dehealth stats corpus.jsonl
+    repro-dehealth attack corpus.jsonl --top-k 10 --classifier knn
+    repro-dehealth linkage --users 500 --seed 7
+
+Every subcommand is deterministic under ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import DeHealth, DeHealthConfig
+from repro.datagen import healthboards_like, webmd_like
+from repro.experiments import run_fig1, run_fig2, run_fig7
+from repro.experiments.linkage_exp import run_linkage_experiment
+from repro.forum import closed_world_split, load_dataset, save_dataset
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    preset = webmd_like if args.preset == "webmd" else healthboards_like
+    generated = preset(n_users=args.users, seed=args.seed)
+    save_dataset(generated.dataset, args.out)
+    ds = generated.dataset
+    print(f"wrote {args.out}: {ds.n_users} users, {ds.n_posts} posts, "
+          f"{ds.n_threads} threads")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.corpus)
+    fig1 = run_fig1(dataset)
+    fig2 = run_fig2(dataset)
+    fig7 = run_fig7(dataset)
+    print(f"corpus: {dataset}")
+    print(f"mean posts/user:     {fig1.mean_posts_per_user:.2f}")
+    print(f"users with <5 posts: {fig1.fraction_under_5:.1%}")
+    print(f"mean post length:    {fig2.mean_words:.1f} words")
+    print(f"graph: mean degree {fig7.mean_degree:.2f}, "
+          f"median {fig7.median_degree:.0f}, "
+          f"{fig7.n_components} components")
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.corpus)
+    split = closed_world_split(dataset, aux_fraction=args.aux_fraction, seed=args.seed)
+    config = DeHealthConfig(
+        top_k=args.top_k,
+        n_landmarks=args.landmarks,
+        classifier=args.classifier,
+        seed=args.seed,
+    )
+    attack = DeHealth(config)
+    attack.fit(split.anonymized, split.auxiliary)
+    topk = attack.top_k_result(split.truth)
+    print(f"anonymized users: {split.anonymized.n_users}")
+    for k in (1, 5, args.top_k):
+        print(f"top-{k} success: {topk.success_rate(k):.1%}")
+    if not args.skip_refined:
+        result = attack.deanonymize()
+        print(f"refined DA accuracy: {result.accuracy(split.truth):.1%}")
+    return 0
+
+
+def _cmd_linkage(args: argparse.Namespace) -> int:
+    result = run_linkage_experiment(n_users=args.users, seed=args.seed)
+    for line in result.report.summary_lines():
+        print(line)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dehealth",
+        description="De-Health online health data de-anonymization (reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic forum corpus")
+    gen.add_argument("--users", type=int, default=300)
+    gen.add_argument("--preset", choices=("webmd", "healthboards"), default="webmd")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True, help="output JSONL path")
+    gen.set_defaults(func=_cmd_generate)
+
+    stats = sub.add_parser("stats", help="corpus statistics (Fig 1/2/7)")
+    stats.add_argument("corpus", help="JSONL corpus path")
+    stats.set_defaults(func=_cmd_stats)
+
+    attack = sub.add_parser("attack", help="run De-Health on a corpus")
+    attack.add_argument("corpus", help="JSONL corpus path")
+    attack.add_argument("--top-k", type=int, default=10)
+    attack.add_argument("--aux-fraction", type=float, default=0.5)
+    attack.add_argument("--landmarks", type=int, default=20)
+    attack.add_argument(
+        "--classifier", choices=("knn", "smo", "rlsc", "centroid"), default="knn"
+    )
+    attack.add_argument("--seed", type=int, default=0)
+    attack.add_argument(
+        "--skip-refined", action="store_true",
+        help="only run the Top-K phase",
+    )
+    attack.set_defaults(func=_cmd_attack)
+
+    linkage = sub.add_parser("linkage", help="run the linkage attack campaign")
+    linkage.add_argument("--users", type=int, default=500)
+    linkage.add_argument("--seed", type=int, default=0)
+    linkage.set_defaults(func=_cmd_linkage)
+
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""De-Health: the paper's two-phase de-anonymization framework.
+
+Phase 1 (Top-K DA): structural similarity over UDA graphs → Top-K candidate
+sets (+ optional threshold-vector filtering).  Phase 2 (refined DA): per-user
+classifiers over stylometric + structural features, with open-world
+verification schemes (false addition, mean-verification).
+"""
+
+from repro.core.baseline import StylometryBaseline
+from repro.core.config import DeHealthConfig, SimilarityWeights
+from repro.core.filtering import FilterOutcome, filter_candidates
+from repro.core.pipeline import DeHealth
+from repro.core.refined import RefinedDeanonymizer
+from repro.core.results import DAResult, TopKResult
+from repro.core.similarity import SimilarityComputer
+from repro.core.topk import direct_top_k, matching_top_k
+from repro.core.verification import mean_verification
+
+__all__ = [
+    "DAResult",
+    "DeHealth",
+    "DeHealthConfig",
+    "FilterOutcome",
+    "RefinedDeanonymizer",
+    "SimilarityComputer",
+    "SimilarityWeights",
+    "StylometryBaseline",
+    "TopKResult",
+    "direct_top_k",
+    "filter_candidates",
+    "matching_top_k",
+    "mean_verification",
+]

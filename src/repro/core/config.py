@@ -1,0 +1,99 @@
+"""Configuration objects for the De-Health pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+#: Classifiers selectable for the refined-DA phase.
+CLASSIFIER_CHOICES: tuple[str, ...] = ("smo", "knn", "rlsc", "centroid")
+
+#: Top-K candidate selection strategies.
+SELECTION_CHOICES: tuple[str, ...] = ("direct", "matching")
+
+#: Open-world verification schemes (``None`` disables verification).
+VERIFICATION_CHOICES: tuple[str, ...] = ("mean", "false_addition")
+
+
+@dataclass(frozen=True)
+class SimilarityWeights:
+    """The c1/c2/c3 weights of the combined structural similarity.
+
+    Paper defaults: low weight on degree and distance (the graphs are sparse
+    and disconnected), high weight on attributes: c1 = c2 = 0.05, c3 = 0.9.
+    """
+
+    degree: float = 0.05
+    distance: float = 0.05
+    attribute: float = 0.90
+
+    def validate(self) -> None:
+        for name, value in (
+            ("degree", self.degree),
+            ("distance", self.distance),
+            ("attribute", self.attribute),
+        ):
+            if value < 0:
+                raise ConfigError(f"similarity weight {name} must be >= 0, got {value}")
+        if self.degree == self.distance == self.attribute == 0.0:
+            raise ConfigError("at least one similarity weight must be positive")
+
+
+@dataclass(frozen=True)
+class DeHealthConfig:
+    """Every knob of the two-phase attack, paper defaults pre-set.
+
+    ``n_landmarks`` is the paper's ħ (50 for corpus-scale runs, 5 for the
+    small refined-DA experiments); ``verification=None`` corresponds to the
+    closed-world setting.
+    """
+
+    weights: SimilarityWeights = field(default_factory=SimilarityWeights)
+    n_landmarks: int = 50
+    top_k: int = 10
+    selection: str = "direct"
+    filtering: bool = False
+    filter_epsilon: float = 0.01
+    filter_levels: int = 10
+    classifier: str = "smo"
+    use_structural_features: bool = True
+    verification: "str | None" = None
+    verification_r: float = 0.25
+    false_addition_count: "int | None" = None
+    attribute_weight_cap: int = 64
+    seed: int = 0
+
+    def validate(self) -> None:
+        self.weights.validate()
+        if self.n_landmarks < 1:
+            raise ConfigError(f"n_landmarks must be >= 1, got {self.n_landmarks}")
+        if self.top_k < 1:
+            raise ConfigError(f"top_k must be >= 1, got {self.top_k}")
+        if self.selection not in SELECTION_CHOICES:
+            raise ConfigError(
+                f"selection must be one of {SELECTION_CHOICES}, got {self.selection!r}"
+            )
+        if self.classifier not in CLASSIFIER_CHOICES:
+            raise ConfigError(
+                f"classifier must be one of {CLASSIFIER_CHOICES}, got {self.classifier!r}"
+            )
+        if self.verification is not None and self.verification not in VERIFICATION_CHOICES:
+            raise ConfigError(
+                f"verification must be None or one of {VERIFICATION_CHOICES}, "
+                f"got {self.verification!r}"
+            )
+        if self.filter_levels < 2:
+            raise ConfigError(f"filter_levels must be >= 2, got {self.filter_levels}")
+        if self.filter_epsilon < 0:
+            raise ConfigError(
+                f"filter_epsilon must be >= 0, got {self.filter_epsilon}"
+            )
+        if self.verification_r < 0:
+            raise ConfigError(
+                f"verification_r must be >= 0, got {self.verification_r}"
+            )
+        if self.attribute_weight_cap < 1:
+            raise ConfigError(
+                f"attribute_weight_cap must be >= 1, got {self.attribute_weight_cap}"
+            )

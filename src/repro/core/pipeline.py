@@ -1,0 +1,170 @@
+"""The end-to-end De-Health pipeline (the paper's Algorithm 1).
+
+Usage::
+
+    attack = DeHealth(DeHealthConfig(top_k=10, classifier="smo"))
+    attack.fit(anonymized_dataset, auxiliary_dataset)
+    candidates = attack.top_k_candidates()          # phase 1
+    result = attack.deanonymize()                   # phase 2 -> DAResult
+    result.accuracy(truth), result.false_positive_rate(truth)
+
+``fit`` builds both UDA graphs and the structural similarity matrix; the
+two phases can then be run (and re-run with different K) without paying
+feature extraction again.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import DeHealthConfig
+from repro.core.filtering import filter_candidates
+from repro.core.refined import RefinedDeanonymizer
+from repro.core.results import DAResult, TopKResult
+from repro.core.similarity import SimilarityComputer
+from repro.core.topk import direct_top_k, matching_top_k, true_match_ranks
+from repro.core.verification import mean_verification
+from repro.errors import NotFittedError
+from repro.forum.models import ForumDataset
+from repro.forum.split import GroundTruth
+from repro.graph.uda import UDAGraph
+from repro.stylometry.extractor import FeatureExtractor
+
+
+class DeHealth:
+    """Two-phase de-anonymization attack over a pair of forum datasets."""
+
+    def __init__(self, config: "DeHealthConfig | None" = None) -> None:
+        self.config = config or DeHealthConfig()
+        self.config.validate()
+        self.anonymized: "UDAGraph | None" = None
+        self.auxiliary: "UDAGraph | None" = None
+        self.similarity: "SimilarityComputer | None" = None
+        self._refined: "RefinedDeanonymizer | None" = None
+
+    # --- phase 0: graph construction -----------------------------------
+
+    def fit(
+        self,
+        anonymized: "ForumDataset | UDAGraph",
+        auxiliary: "ForumDataset | UDAGraph",
+        extractor: "FeatureExtractor | None" = None,
+    ) -> "DeHealth":
+        """Build UDA graphs for Δ1/Δ2 and prepare the similarity computer.
+
+        Pre-built :class:`UDAGraph` instances are accepted directly, so
+        parameter sweeps (over K, classifiers, weights) can share one
+        feature-extraction pass.
+        """
+        extractor = extractor or FeatureExtractor()
+        self.anonymized = (
+            anonymized
+            if isinstance(anonymized, UDAGraph)
+            else UDAGraph(anonymized, extractor=extractor)
+        )
+        self.auxiliary = (
+            auxiliary
+            if isinstance(auxiliary, UDAGraph)
+            else UDAGraph(auxiliary, extractor=extractor)
+        )
+        self.similarity = SimilarityComputer(
+            self.anonymized,
+            self.auxiliary,
+            weights=self.config.weights,
+            n_landmarks=self.config.n_landmarks,
+            attribute_weight_cap=self.config.attribute_weight_cap,
+        )
+        self._refined = RefinedDeanonymizer(
+            self.anonymized,
+            self.auxiliary,
+            classifier=self.config.classifier,
+            use_structural_features=self.config.use_structural_features,
+            false_addition_count=(
+                self.config.false_addition_count
+                if self.config.verification == "false_addition"
+                else None
+            ),
+            seed=self.config.seed,
+        )
+        return self
+
+    def _require_fit(self) -> None:
+        if self.similarity is None:
+            raise NotFittedError("call fit(anonymized, auxiliary) first")
+
+    # --- phase 1: Top-K DA ----------------------------------------------
+
+    def similarity_matrix(self) -> np.ndarray:
+        self._require_fit()
+        return self.similarity.combined()
+
+    def top_k_candidates(self, k: "int | None" = None) -> dict:
+        """Candidate sets Cu: anonymized id -> list of auxiliary ids.
+
+        A user filtered to ⊥ by Algorithm 2 maps to ``None``.
+        """
+        self._require_fit()
+        k = k or self.config.top_k
+        S = self.similarity_matrix()
+        if self.config.selection == "matching":
+            cols = matching_top_k(S, k)
+        else:
+            cols = direct_top_k(S, k)
+        if self.config.filtering:
+            outcome = filter_candidates(
+                S,
+                cols,
+                epsilon=self.config.filter_epsilon,
+                levels=self.config.filter_levels,
+            )
+            cols = outcome.kept
+        aux_ids = self.auxiliary.users
+        out: dict = {}
+        for i, anon in enumerate(self.anonymized.users):
+            cand = cols[i]
+            out[anon] = None if cand is None else [aux_ids[c] for c in cand]
+        return out
+
+    def top_k_result(self, truth: GroundTruth) -> TopKResult:
+        """Rank of every anonymized user's true mapping (Fig 3 / Fig 5 data)."""
+        self._require_fit()
+        ranks = true_match_ranks(
+            self.similarity_matrix(),
+            self.anonymized.users,
+            self.auxiliary.users,
+            truth.mapping,
+        )
+        return TopKResult(ranks=ranks)
+
+    # --- phase 2: refined DA ----------------------------------------------
+
+    def deanonymize(self, k: "int | None" = None) -> DAResult:
+        """Run both phases and return user-level DA decisions."""
+        self._require_fit()
+        candidates = self.top_k_candidates(k)
+        S = self.similarity_matrix()
+        aux_index = {u: j for j, u in enumerate(self.auxiliary.users)}
+
+        predictions: dict = {}
+        details: dict = {}
+        for i, anon in enumerate(self.anonymized.users):
+            cand = candidates[anon]
+            if cand is None:
+                predictions[anon] = None
+                details[anon] = {"reason": "filtered to bottom"}
+                continue
+            winner, info = self._refined.deanonymize_user(anon, cand)
+            if winner is not None and self.config.verification == "mean":
+                accepted = mean_verification(
+                    S[i],
+                    [aux_index[c] for c in cand],
+                    aux_index[winner],
+                    r=self.config.verification_r,
+                    floor=float(S[i].min()),
+                )
+                if not accepted:
+                    info = {**info, "rejected_by": "mean_verification"}
+                    winner = None
+            predictions[anon] = winner
+            details[anon] = info
+        return DAResult(predictions=predictions, details=details)

@@ -1,0 +1,85 @@
+"""Result containers and the paper's evaluation metrics.
+
+* :class:`TopKResult` — ranks of true mappings in the similarity order;
+  integrating ``rank <= K`` over users gives the Fig 3 / Fig 5 CDFs.
+* :class:`DAResult` — final user-level mapping decisions; ``accuracy`` is
+  the paper's ``Yc / Y`` and ``false_positive_rate`` the Fig 6(b) measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.forum.split import GroundTruth
+
+
+@dataclass(frozen=True)
+class TopKResult:
+    """Rank of each anonymized user's true mapping (1-based; None = no mapping)."""
+
+    ranks: dict
+
+    def success_rate(self, k: int) -> float:
+        """Fraction of users *with* true mappings whose rank is <= K."""
+        with_truth = [r for r in self.ranks.values() if r is not None]
+        if not with_truth:
+            return 0.0
+        return float(np.mean([r <= k for r in with_truth]))
+
+    def cdf(self, ks: "list[int] | np.ndarray") -> np.ndarray:
+        """Top-K success CDF evaluated at each K in ``ks`` (Fig 3 / Fig 5)."""
+        return np.array([self.success_rate(int(k)) for k in ks])
+
+    @property
+    def n_evaluated(self) -> int:
+        return sum(1 for r in self.ranks.values() if r is not None)
+
+
+@dataclass(frozen=True)
+class DAResult:
+    """Final DA decisions: anonymized id -> auxiliary id, or None for ⊥."""
+
+    predictions: dict
+    details: dict = field(default_factory=dict, hash=False)
+
+    def accuracy(self, truth: GroundTruth) -> float:
+        """Yc / Y: correct mappings over users that *have* true mappings."""
+        with_truth = truth.overlapping_ids
+        evaluated = [a for a in with_truth if a in self.predictions]
+        if not evaluated:
+            return 0.0
+        correct = sum(
+            1 for a in evaluated if self.predictions[a] == truth.true_match(a)
+        )
+        return correct / len(evaluated)
+
+    def false_positive_rate(self, truth: GroundTruth) -> float:
+        """Fraction of no-mapping users the attack wrongly mapped to someone.
+
+        Only meaningful in open-world settings; returns 0.0 when every
+        anonymized user has a true mapping.
+        """
+        without_truth = [
+            a for a in truth.non_overlapping_ids if a in self.predictions
+        ]
+        if not without_truth:
+            return 0.0
+        fp = sum(1 for a in without_truth if self.predictions[a] is not None)
+        return fp / len(without_truth)
+
+    def rejection_rate(self) -> float:
+        """Fraction of all anonymized users mapped to ⊥."""
+        if not self.predictions:
+            return 0.0
+        return sum(1 for v in self.predictions.values() if v is None) / len(
+            self.predictions
+        )
+
+    def n_correct(self, truth: GroundTruth) -> int:
+        return sum(
+            1
+            for a, v in self.predictions.items()
+            if v is not None and truth.true_match(a) == v
+        )

@@ -1,0 +1,104 @@
+"""Top-K candidate selection (Section III-B, "Top-K Candidate Set").
+
+Two strategies from the paper:
+
+* **direct selection** — per anonymized user, take the K auxiliary users
+  with the highest similarity scores;
+* **graph-matching-based selection** — run maximum-weight bipartite
+  matching on the complete bipartite similarity graph, give every matched
+  anonymized user its partner as a candidate, remove those edges, and
+  repeat K times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.errors import ConfigError
+
+
+def _check(S: np.ndarray, k: int) -> np.ndarray:
+    S = np.asarray(S, dtype=np.float64)
+    if S.ndim != 2 or S.size == 0:
+        raise ConfigError(f"similarity matrix must be non-empty 2-D, got {S.shape}")
+    if k < 1:
+        raise ConfigError(f"K must be >= 1, got {k}")
+    return S
+
+
+def direct_top_k(S: np.ndarray, k: int) -> list[list[int]]:
+    """Per-row indices of the K highest-scoring columns, best first."""
+    S = _check(S, k)
+    k = min(k, S.shape[1])
+    part = np.argpartition(-S, k - 1, axis=1)[:, :k]
+    out: list[list[int]] = []
+    for i in range(S.shape[0]):
+        cols = part[i]
+        order = np.argsort(-S[i, cols], kind="stable")
+        out.append([int(c) for c in cols[order]])
+    return out
+
+
+def matching_top_k(S: np.ndarray, k: int) -> list[list[int]]:
+    """Repeated maximum-weight bipartite matching (paper Steps 1–4).
+
+    Each round assigns every anonymized user at most one distinct auxiliary
+    user; matched pairs are removed and the matching repeats until every
+    user has K candidates (or the columns are exhausted).  Unlike direct
+    selection, two anonymized users cannot claim the same auxiliary user in
+    the same round, which spreads candidates across contested columns.
+    """
+    S = _check(S, k)
+    n1, n2 = S.shape
+    k = min(k, n2)
+    masked = S.copy()
+    candidates: list[list[int]] = [[] for _ in range(n1)]
+    neg_inf = -1e18
+    for _ in range(k):
+        rows, cols = linear_sum_assignment(masked, maximize=True)
+        progressed = False
+        for r, c in zip(rows, cols):
+            if masked[r, c] <= neg_inf / 2:
+                continue  # only masked edges left for this row
+            candidates[r].append(int(c))
+            masked[r, c] = neg_inf
+            progressed = True
+        if not progressed:
+            break
+    # order each candidate list by true score, best first
+    for r in range(n1):
+        candidates[r].sort(key=lambda c: -S[r, c])
+    return candidates
+
+
+def true_match_ranks(
+    S: np.ndarray,
+    anon_ids: list[str],
+    aux_ids: list[str],
+    truth_mapping: dict,
+) -> dict:
+    """Rank (1-based) of each anonymized user's true mapping by similarity.
+
+    Rank r means the true auxiliary user has the r-th highest score in the
+    user's row (competition ranking; ties broken pessimistically, i.e. equal
+    scores count as ranked ahead).  Users without a true mapping map to
+    ``None``.  This is exactly what the Fig 3 / Fig 5 CDFs integrate: the
+    Top-K DA of user u succeeds iff rank(u) <= K.
+    """
+    S = np.asarray(S, dtype=np.float64)
+    if S.shape != (len(anon_ids), len(aux_ids)):
+        raise ConfigError(
+            f"similarity shape {S.shape} does not match id lists "
+            f"({len(anon_ids)}, {len(aux_ids)})"
+        )
+    aux_index = {u: j for j, u in enumerate(aux_ids)}
+    ranks: dict = {}
+    for i, anon in enumerate(anon_ids):
+        target = truth_mapping.get(anon)
+        if target is None or target not in aux_index:
+            ranks[anon] = None
+            continue
+        score = S[i, aux_index[target]]
+        ranks[anon] = int((S[i] >= score).sum())
+    return ranks

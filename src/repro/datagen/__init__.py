@@ -1,0 +1,23 @@
+"""Synthetic health-forum corpus generator.
+
+Stands in for the paper's scraped WebMD / HealthBoards crawls (see DESIGN.md
+for the substitution argument).  The generator produces users with
+persistent, distinguishable writing styles posting in condition-specific
+boards, calibrated to the corpus statistics the paper publishes (posts/user
+CDF, post length distribution, correlation-graph sparsity).
+"""
+
+from repro.datagen.forum_sim import ForumConfig, generate_forum
+from repro.datagen.presets import healthboards_like, webmd_like
+from repro.datagen.styles import StyleProfile, sample_style
+from repro.datagen.text_synth import PostSynthesizer
+
+__all__ = [
+    "ForumConfig",
+    "PostSynthesizer",
+    "StyleProfile",
+    "generate_forum",
+    "healthboards_like",
+    "sample_style",
+    "webmd_like",
+]

@@ -1,0 +1,212 @@
+"""Forum simulation: users, boards, threads, and co-posting structure.
+
+The simulator reproduces the structural regime the paper measures on the
+real corpora: heavy-tailed posts-per-user (Fig 1), lognormal-ish post
+lengths (Fig 2), a sparse correlation graph with low degrees (Fig 7), and
+board-induced community structure on a disconnected graph (Fig 8).
+
+Mechanics: every user gets a persistent style, a post budget drawn from a
+truncated Zipf law, and one to three home boards.  Threads are then spawned
+on boards (popularity-weighted); the thread starter and a geometric number
+of responders are drawn from the board's members with remaining budget,
+which yields the co-posting edges the UDA graph is built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datagen import vocabulary as vocab
+from repro.datagen.names import US_LOCATIONS, unique_usernames
+from repro.datagen.styles import StyleProfile, sample_style
+from repro.datagen.text_synth import PostSynthesizer
+from repro.errors import ConfigError
+from repro.forum.models import ForumDataset, Post, Thread, User
+from repro.utils.rng import spawn_rngs
+from repro.utils.stats import truncated_zipf_pmf
+
+
+@dataclass(frozen=True)
+class ForumConfig:
+    """Parameters of one synthetic forum corpus.
+
+    The defaults are neutral; the calibrated WebMD/HealthBoards parameter
+    sets live in :mod:`repro.datagen.presets`.
+    """
+
+    name: str = "forum"
+    n_users: int = 500
+    posts_zipf_exponent: float = 2.0
+    min_posts_per_user: int = 1
+    max_posts_per_user: int = 400
+    mean_post_words: float = 130.0
+    boards: tuple = tuple(vocab.BOARDS)
+    board_zipf_exponent: float = 1.1
+    min_boards_per_user: int = 1
+    max_boards_per_user: int = 3
+    reply_geometric_p: float = 0.45
+    max_thread_posts: int = 12
+    style_distinctiveness: float = 0.35
+    style_quirk_strength: float = 1.0
+    style_mood_volatility: float = 0.0
+    user_length_sigma: float = 0.25
+
+    def validate(self) -> None:
+        if self.n_users < 1:
+            raise ConfigError(f"n_users must be >= 1, got {self.n_users}")
+        if not 1 <= self.min_posts_per_user <= self.max_posts_per_user:
+            raise ConfigError(
+                "need 1 <= min_posts_per_user <= max_posts_per_user, got "
+                f"{self.min_posts_per_user}..{self.max_posts_per_user}"
+            )
+        if not self.boards:
+            raise ConfigError("at least one board is required")
+        if not 1 <= self.min_boards_per_user <= self.max_boards_per_user:
+            raise ConfigError("invalid boards_per_user range")
+        if not 0.0 < self.reply_geometric_p <= 1.0:
+            raise ConfigError(
+                f"reply_geometric_p must be in (0, 1], got {self.reply_geometric_p}"
+            )
+        if self.mean_post_words <= 0:
+            raise ConfigError("mean_post_words must be positive")
+
+
+@dataclass
+class GeneratedForum:
+    """A generated corpus plus the hidden ground truth behind it."""
+
+    dataset: ForumDataset
+    styles: dict = field(default_factory=dict)
+    home_boards: dict = field(default_factory=dict)
+
+
+def generate_forum(
+    config: ForumConfig, seed: "int | np.random.Generator | None" = None
+) -> GeneratedForum:
+    """Generate a forum corpus under ``config``.
+
+    Determinism: a fixed ``seed`` reproduces users, styles, thread structure,
+    and post text exactly.
+    """
+    config.validate()
+    rng_names, rng_styles, rng_structure, rng_text = spawn_rngs(seed, 4)
+
+    dataset = ForumDataset(config.name)
+    usernames = unique_usernames(rng_names, config.n_users)
+    user_ids = [f"{config.name}-u{i:06d}" for i in range(config.n_users)]
+    for uid, username in zip(user_ids, usernames):
+        profile = {
+            "location": str(rng_names.choice(US_LOCATIONS)),
+            "join_year": int(rng_names.integers(2005, 2015)),
+        }
+        dataset.add_user(User(user_id=uid, username=username, profile=profile))
+
+    styles: dict[str, StyleProfile] = {}
+    # -sigma^2/2 keeps the *mean* of user length habits on target
+    length_mu = np.log(config.mean_post_words) - 0.5 * config.user_length_sigma**2
+    for uid in user_ids:
+        style = sample_style(
+            rng_styles,
+            mean_post_words=float(
+                rng_styles.lognormal(length_mu, config.user_length_sigma)
+            ),
+            distinctiveness=config.style_distinctiveness,
+            quirk_strength=config.style_quirk_strength,
+            mood_volatility=config.style_mood_volatility,
+        )
+        styles[uid] = style
+
+    # --- post budgets (truncated Zipf on [min, max])
+    support = np.arange(
+        config.min_posts_per_user, config.max_posts_per_user + 1, dtype=int
+    )
+    pmf = truncated_zipf_pmf(len(support), config.posts_zipf_exponent)
+    budgets = {
+        uid: int(rng_structure.choice(support, p=pmf)) for uid in user_ids
+    }
+
+    # --- board membership (popularity-weighted)
+    board_pop = truncated_zipf_pmf(len(config.boards), config.board_zipf_exponent)
+    home_boards: dict[str, tuple] = {}
+    board_members: dict[str, list[str]] = {b: [] for b in config.boards}
+    for uid in user_ids:
+        k = int(
+            rng_structure.integers(
+                config.min_boards_per_user, config.max_boards_per_user + 1
+            )
+        )
+        k = min(k, len(config.boards))
+        picked = rng_structure.choice(
+            len(config.boards), size=k, replace=False, p=board_pop
+        )
+        boards = tuple(config.boards[int(i)] for i in picked)
+        home_boards[uid] = boards
+        for b in boards:
+            board_members[b].append(uid)
+
+    # --- thread generation
+    synthesizer = PostSynthesizer()
+    remaining = dict(budgets)
+    active_boards = [b for b in config.boards if board_members[b]]
+    post_counter = 0
+    thread_counter = 0
+    clock = 0.0
+
+    def board_weight(board: str) -> float:
+        return float(sum(remaining[m] for m in board_members[board]))
+
+    while active_boards:
+        weights = np.array([board_weight(b) for b in active_boards])
+        total = weights.sum()
+        if total <= 0:
+            break
+        board = active_boards[int(rng_structure.choice(len(active_boards), p=weights / total))]
+        members = [m for m in board_members[board] if remaining[m] > 0]
+        if not members:
+            active_boards.remove(board)
+            continue
+
+        member_weights = np.array([remaining[m] for m in members], dtype=float)
+        member_weights /= member_weights.sum()
+        starter = members[int(rng_structure.choice(len(members), p=member_weights))]
+
+        n_replies = int(rng_structure.geometric(config.reply_geometric_p)) - 1
+        n_replies = min(n_replies, config.max_thread_posts - 1)
+        participants = [starter]
+        others = [m for m in members if m != starter]
+        if n_replies and others:
+            other_weights = np.array([remaining[m] for m in others], dtype=float)
+            other_weights /= other_weights.sum()
+            take = min(n_replies, len(others))
+            chosen = rng_structure.choice(
+                len(others), size=take, replace=False, p=other_weights
+            )
+            participants.extend(others[int(i)] for i in chosen)
+
+        topic_words = vocab.BOARDS.get(board, vocab.MEDICAL_NOUNS)
+        topic = f"{topic_words[int(rng_structure.integers(0, len(topic_words)))]} question"
+        thread_id = f"{config.name}-t{thread_counter:06d}"
+        thread_counter += 1
+        dataset.add_thread(
+            Thread(thread_id=thread_id, board=board, topic=topic, starter_id=starter)
+        )
+
+        for uid in participants:
+            text = synthesizer.generate_post(styles[uid], topic_words, rng_text)
+            clock += float(rng_structure.exponential(1.0))
+            dataset.add_post(
+                Post(
+                    post_id=f"{config.name}-p{post_counter:07d}",
+                    user_id=uid,
+                    thread_id=thread_id,
+                    board=board,
+                    text=text,
+                    created_at=clock,
+                )
+            )
+            post_counter += 1
+            remaining[uid] -= 1
+
+    return GeneratedForum(dataset=dataset, styles=styles, home_boards=home_boards)

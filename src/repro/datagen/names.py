@@ -1,0 +1,150 @@
+"""Person-name and username generation.
+
+Usernames follow the empirical patterns Perito et al. observed (and the
+paper's linkage attack exploits): many users derive handles from their real
+name plus digits (low entropy, easily linkable), others pick generic
+word-combination handles (higher entropy only when the words are rare).
+The linkage world reuses these generators so that username-overlap between
+services is realistic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+FIRST_NAMES: tuple[str, ...] = (
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+    "linda", "william", "elizabeth", "david", "barbara", "richard", "susan",
+    "joseph", "jessica", "thomas", "sarah", "charles", "karen", "chris",
+    "nancy", "daniel", "lisa", "matthew", "betty", "anthony", "margaret",
+    "mark", "sandra", "donald", "ashley", "steven", "kimberly", "paul",
+    "emily", "andrew", "donna", "joshua", "michelle", "kenneth", "dorothy",
+    "kevin", "carol", "brian", "amanda", "george", "melissa", "edward",
+    "deborah", "ronald", "stephanie", "timothy", "rebecca", "jason",
+    "sharon", "jeffrey", "laura", "ryan", "cynthia", "jacob", "kathleen",
+    "gary", "amy", "nicholas", "shirley", "eric", "angela", "jonathan",
+    "helen", "stephen", "anna", "larry", "brenda", "justin", "pamela",
+    "scott", "nicole", "brandon", "emma",
+)
+
+LAST_NAMES: tuple[str, ...] = (
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+    "wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+    "lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+    "ramirez", "lewis", "robinson", "walker", "young", "allen", "king",
+    "wright", "scott", "torres", "nguyen", "hill", "flores", "green",
+    "adams", "nelson", "baker", "hall", "rivera", "campbell", "mitchell",
+    "carter", "roberts", "gomez", "phillips", "evans", "turner", "diaz",
+    "parker", "cruz", "edwards", "collins", "reyes", "stewart", "morris",
+    "morales", "murphy", "cook", "rogers", "gutierrez", "ortiz", "morgan",
+    "cooper", "peterson", "bailey", "reed", "kelly", "howard", "ramos",
+    "kim", "cox", "ward", "wolf",
+)
+
+USERNAME_NOUNS: tuple[str, ...] = (
+    "wolf", "tiger", "eagle", "hawk", "bear", "fox", "raven", "falcon",
+    "dragon", "phoenix", "river", "mountain", "storm", "shadow", "spirit",
+    "runner", "dreamer", "wanderer", "gardener", "baker", "reader",
+    "walker", "knitter", "hiker", "fisher", "painter", "dancer", "singer",
+    "mom", "dad", "grandma", "nana", "girl", "guy", "dude", "lady",
+    "star", "moon", "sun", "cloud", "rose", "daisy", "lily", "willow",
+    "pearl", "ruby", "jade", "amber", "sky", "ocean",
+)
+
+USERNAME_ADJECTIVES: tuple[str, ...] = (
+    "happy", "sunny", "lucky", "crazy", "lazy", "sleepy", "grumpy",
+    "silver", "golden", "blue", "red", "green", "purple", "wild", "quiet",
+    "gentle", "brave", "silly", "sweet", "little", "big", "old", "young",
+    "northern", "southern", "western", "eastern", "texas", "jersey",
+    "cosmic", "mystic", "hopeful", "tired", "busy", "free",
+)
+
+US_LOCATIONS: tuple[str, ...] = (
+    "california", "texas", "florida", "new york", "ohio", "georgia",
+    "michigan", "virginia", "washington", "arizona", "colorado", "oregon",
+    "illinois", "pennsylvania", "north carolina", "tennessee", "missouri",
+    "minnesota", "wisconsin", "maryland", "indiana", "massachusetts",
+    "kentucky", "oklahoma", "nevada", "iowa", "utah", "kansas", "arkansas",
+    "alabama",
+)
+
+
+def sample_person_name(rng: np.random.Generator) -> tuple[str, str]:
+    """Sample a (first, last) real-person name."""
+    return (
+        str(rng.choice(FIRST_NAMES)),
+        str(rng.choice(LAST_NAMES)),
+    )
+
+
+def sample_username(
+    rng: np.random.Generator,
+    first: "str | None" = None,
+    last: "str | None" = None,
+    birth_year: "int | None" = None,
+) -> str:
+    """Sample a username, optionally derived from a real name.
+
+    Patterns (mirroring the low→high entropy spectrum the linkage attack
+    exploits): name+digits, initial+lastname+year, adjective+noun,
+    adjective+noun+digits, noun+noun, and name-word blends.
+    """
+    first = first or str(rng.choice(FIRST_NAMES))
+    last = last or str(rng.choice(LAST_NAMES))
+    year = birth_year if birth_year is not None else int(rng.integers(1950, 2000))
+    short_year = year % 100
+    digits2 = int(rng.integers(10, 99))
+    digits4 = int(rng.integers(1000, 9999))
+    noun = str(rng.choice(USERNAME_NOUNS))
+    adj = str(rng.choice(USERNAME_ADJECTIVES))
+
+    pattern = rng.integers(0, 10)
+    if pattern == 0:
+        return f"{first}{short_year:02d}"
+    if pattern == 1:
+        return f"{first}{last}{digits2}"
+    if pattern == 2:
+        return f"{first[0]}{last}{digits4}"
+    if pattern == 3:
+        return f"{first}_{last}"
+    if pattern == 4:
+        return f"{adj}{noun}"
+    if pattern == 5:
+        return f"{adj}{noun}{digits2}"
+    if pattern == 6:
+        return f"{noun}{str(rng.choice(USERNAME_NOUNS))}{short_year:02d}"
+    if pattern == 7:
+        return f"{first}the{noun}"
+    if pattern == 8:
+        return f"{adj}_{first}{digits2}"
+    return f"{noun}{digits4}"
+
+
+def unique_usernames(
+    rng: np.random.Generator, count: int, max_attempts_factor: int = 50
+) -> list[str]:
+    """Generate ``count`` distinct usernames.
+
+    Collisions are resolved by appending digits; raises ``RuntimeError`` only
+    if the namespace is pathologically exhausted.
+    """
+    seen: set[str] = set()
+    out: list[str] = []
+    attempts = 0
+    max_attempts = max_attempts_factor * max(count, 1)
+    while len(out) < count:
+        attempts += 1
+        if attempts > max_attempts:
+            raise RuntimeError(
+                f"could not generate {count} unique usernames "
+                f"after {attempts} attempts"
+            )
+        name = sample_username(rng)
+        if name in seen:
+            name = f"{name}{rng.integers(100, 999)}"
+        if name in seen:
+            continue
+        seen.add(name)
+        out.append(name)
+    return out

@@ -1,0 +1,62 @@
+"""Calibrated corpus presets mirroring the paper's two datasets.
+
+Calibration targets (paper, Section II-A):
+
+==================  ==========  ==============
+statistic           WebMD       HealthBoards
+==================  ==========  ==============
+users               89,393      388,398
+posts/user (mean)   5.66        12.06
+users with <5 posts 87.3%       75.4%
+mean post length    127.59 w    147.24 w
+==================  ==========  ==============
+
+The presets keep the *ratios and shapes* at configurable scale: a truncated
+Zipf exponent of 2.0 puts ≈87% of users under 5 posts (WebMD), 1.62 puts
+≈75% under 5 (HealthBoards); user counts default to a 1:4.3 scale-down of
+the originals.  Absolute user counts are parameters because the attack's
+experiments sweep corpus size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datagen.forum_sim import ForumConfig, GeneratedForum, generate_forum
+
+#: Scale ratio between the paper's two corpora (388,398 / 89,393).
+HB_TO_WEBMD_USER_RATIO = 4.34
+
+
+def webmd_like(
+    n_users: int = 1200,
+    seed: "int | np.random.Generator | None" = 0,
+    **overrides,
+) -> GeneratedForum:
+    """A WebMD-shaped corpus: sparse posting, ~128-word posts."""
+    config = ForumConfig(
+        name="webmd",
+        n_users=n_users,
+        posts_zipf_exponent=2.0,
+        mean_post_words=127.59,
+        reply_geometric_p=0.45,
+        **overrides,
+    )
+    return generate_forum(config, seed=seed)
+
+
+def healthboards_like(
+    n_users: int = 3000,
+    seed: "int | np.random.Generator | None" = 1,
+    **overrides,
+) -> GeneratedForum:
+    """A HealthBoards-shaped corpus: heavier tails, ~147-word posts."""
+    config = ForumConfig(
+        name="healthboards",
+        n_users=n_users,
+        posts_zipf_exponent=1.62,
+        mean_post_words=147.24,
+        reply_geometric_p=0.40,
+        **overrides,
+    )
+    return generate_forum(config, seed=seed)

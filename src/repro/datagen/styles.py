@@ -1,0 +1,190 @@
+"""Per-user writing-style profiles.
+
+A :class:`StyleProfile` is the persistent "writeprint" of one synthetic
+user: which intensifiers/hedges/connectives they favour, their punctuation
+and capitalisation quirks, their habitual misspellings, and their length
+habits.  The profiles are the ground truth the stylometric attack tries to
+recover — the paper's premise ("users have distinctive writing styles") is
+implemented literally.
+
+Choice-point preferences are sampled from sparse Dirichlet distributions so
+that different users concentrate on different alternatives, matching the
+empirical observation that writers reuse a small personal inventory of
+discourse markers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datagen import vocabulary as vocab
+from repro.text.lexicons import MISSPELLINGS
+
+#: correct word -> misspelled variants, restricted to words the synthesiser
+#: can actually emit (function words + our vocabulary pools).
+_EMITTABLE_WORDS: frozenset[str] = frozenset(
+    w
+    for pool in (
+        vocab.MEDICAL_NOUNS,
+        vocab.GENERAL_NOUNS,
+        vocab.VERBS,
+        vocab.ADJECTIVES,
+        vocab.INTENSIFIERS,
+        vocab.HEDGES,
+        vocab.CONNECTIVES,
+        vocab.OPENERS,
+        vocab.DURATIONS,
+        vocab.DOSES,
+    )
+    for phrase in pool
+    for w in phrase.split()
+) | frozenset(w for words in vocab.BOARDS.values() for w in words)
+
+
+def _build_reverse_misspellings() -> dict[str, tuple[str, ...]]:
+    from repro.text.lexicons import FUNCTION_WORDS
+
+    emittable = _EMITTABLE_WORDS | frozenset(FUNCTION_WORDS)
+    table: dict[str, list[str]] = {}
+    for wrong, correct in MISSPELLINGS.items():
+        if correct in emittable:
+            table.setdefault(correct, []).append(wrong)
+    return {k: tuple(v) for k, v in table.items()}
+
+
+REVERSE_MISSPELLINGS: dict[str, tuple[str, ...]] = _build_reverse_misspellings()
+
+
+@dataclass
+class StyleProfile:
+    """All persistent stylistic parameters of one synthetic author."""
+
+    # --- weighted choice points (index-aligned with the vocabulary pools)
+    intensifier_weights: np.ndarray
+    hedge_weights: np.ndarray
+    connective_weights: np.ndarray
+    opener_weights: np.ndarray
+    greeting_weights: np.ndarray
+    closing_weights: np.ndarray
+    filler_weights: np.ndarray
+    emoticon_weights: np.ndarray
+    sentence_kind_weights: np.ndarray
+
+    # --- event probabilities
+    greeting_prob: float
+    closing_prob: float
+    opener_prob: float
+    filler_prob: float
+    emoticon_prob: float
+    exclaim_prob: float
+    multi_exclaim_prob: float
+    ellipsis_prob: float
+    lowercase_i_prob: float
+    no_capitalization_prob: float
+    allcaps_emphasis_prob: float
+    duration_prob: float
+    dose_prob: float
+    paragraph_break_prob: float
+
+    # --- misspelling habit
+    misspell_rate: float
+    misspell_map: dict = field(default_factory=dict)
+
+    # --- within-user drift: per-post blending of choice weights toward
+    # uniform (0 = perfectly consistent author, 1 = every post may be
+    # written in a nearly generic voice)
+    mood_volatility: float = 0.0
+
+    # --- length habits
+    mean_sentence_words: float = 12.0
+    mean_post_words: float = 120.0
+    post_words_sigma: float = 0.45
+
+    def scaled_to_length(self, mean_post_words: float) -> "StyleProfile":
+        """Copy of this profile with a different target post length."""
+        from dataclasses import replace
+
+        return replace(self, mean_post_words=mean_post_words)
+
+
+def _dirichlet(rng: np.random.Generator, size: int, alpha: float) -> np.ndarray:
+    return rng.dirichlet(np.full(size, alpha))
+
+
+def sample_style(
+    rng: np.random.Generator,
+    mean_post_words: float = 120.0,
+    distinctiveness: float = 0.35,
+    quirk_strength: float = 1.0,
+    mood_volatility: float = 0.0,
+) -> StyleProfile:
+    """Sample a fresh author style.
+
+    ``distinctiveness`` is the Dirichlet concentration for choice points:
+    smaller values produce users concentrated on fewer personal alternatives
+    (stronger stylometric signal); values >> 1 make all users near-uniform
+    (an adversarial / obfuscated regime usable for ablations).
+
+    ``quirk_strength`` in [0, 1] shrinks the surface-quirk probabilities
+    (misspellings, case habits, punctuation habits) toward their population
+    means — at 0 every author shares the same quirk rates, so only
+    word-choice preferences separate them.  The paper's hard regimes (short
+    posts, little training data) are reproduced with weak quirks.
+    """
+    if distinctiveness <= 0:
+        raise ValueError(f"distinctiveness must be positive, got {distinctiveness}")
+    if not 0.0 <= quirk_strength <= 1.0:
+        raise ValueError(f"quirk_strength must be in [0, 1], got {quirk_strength}")
+    if not 0.0 <= mood_volatility <= 1.0:
+        raise ValueError(f"mood_volatility must be in [0, 1], got {mood_volatility}")
+    a = distinctiveness
+
+    def shrink(value: float, population_mean: float) -> float:
+        return population_mean + quirk_strength * (value - population_mean)
+
+    n_misspell = int(rng.integers(3, 9))
+    corrects = list(REVERSE_MISSPELLINGS)
+    chosen = rng.choice(len(corrects), size=min(n_misspell, len(corrects)), replace=False)
+    misspell_map = {}
+    for idx in chosen:
+        correct = corrects[int(idx)]
+        variants = REVERSE_MISSPELLINGS[correct]
+        misspell_map[correct] = str(variants[int(rng.integers(0, len(variants)))])
+
+    return StyleProfile(
+        intensifier_weights=_dirichlet(rng, len(vocab.INTENSIFIERS), a),
+        hedge_weights=_dirichlet(rng, len(vocab.HEDGES), a),
+        connective_weights=_dirichlet(rng, len(vocab.CONNECTIVES), a),
+        opener_weights=_dirichlet(rng, len(vocab.OPENERS), a),
+        greeting_weights=_dirichlet(rng, len(vocab.GREETINGS), a),
+        closing_weights=_dirichlet(rng, len(vocab.CLOSINGS), a),
+        filler_weights=_dirichlet(rng, len(vocab.FILLERS), a),
+        emoticon_weights=_dirichlet(rng, len(vocab.EMOTICONS), a),
+        sentence_kind_weights=rng.dirichlet(np.full(6, 1.2)),
+        greeting_prob=float(rng.beta(2, 3)),
+        closing_prob=float(rng.beta(2, 3)),
+        opener_prob=float(rng.beta(2, 4)),
+        filler_prob=shrink(float(rng.beta(1.5, 8)), 0.158),
+        emoticon_prob=shrink(float(rng.beta(1.2, 10)), 0.107),
+        exclaim_prob=shrink(float(rng.beta(1.5, 6)), 0.2),
+        multi_exclaim_prob=shrink(float(rng.beta(1.2, 12)), 0.091),
+        ellipsis_prob=shrink(float(rng.beta(1.5, 8)), 0.158),
+        lowercase_i_prob=shrink(
+            float(rng.choice([0.0, 0.05, 0.9], p=[0.55, 0.15, 0.3])), 0.278
+        ),
+        no_capitalization_prob=shrink(
+            float(rng.choice([0.0, 0.15, 0.95], p=[0.6, 0.2, 0.2])), 0.22
+        ),
+        allcaps_emphasis_prob=shrink(float(rng.beta(1.2, 15)), 0.074),
+        duration_prob=float(rng.beta(3, 5)),
+        dose_prob=float(rng.beta(2, 6)),
+        paragraph_break_prob=float(rng.beta(1.5, 8)),
+        misspell_rate=shrink(float(rng.beta(1.6, 3.0)), 0.348),
+        misspell_map=misspell_map,
+        mood_volatility=mood_volatility,
+        mean_sentence_words=float(rng.normal(12.0, 2.5)).__abs__() + 6.0,
+        mean_post_words=mean_post_words,
+        post_words_sigma=float(rng.uniform(0.3, 0.6)),
+    )

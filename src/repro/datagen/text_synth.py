@@ -1,0 +1,284 @@
+"""Post text synthesis: turn a style profile + board topic into forum prose.
+
+Sentences are assembled from six generative "kinds" (symptom report,
+question, advice, experience, lab detail, feeling) whose slot fillers are
+drawn through the author's weighted choice points.  Style transforms then
+apply the author's surface quirks — capitalisation habits, habitual
+misspellings, exclamation/ellipsis habits, emoticons — so that every
+stylometric category in Table I carries author signal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datagen import vocabulary as vocab
+from repro.datagen.styles import StyleProfile
+
+
+def _pick(rng: np.random.Generator, pool: tuple, weights: np.ndarray) -> str:
+    return str(pool[int(rng.choice(len(pool), p=weights))])
+
+
+def _uniform(rng: np.random.Generator, pool: tuple) -> str:
+    return str(pool[int(rng.integers(0, len(pool)))])
+
+
+class PostSynthesizer:
+    """Stateless generator of post text; all randomness flows through ``rng``."""
+
+    def generate_post(
+        self,
+        style: StyleProfile,
+        topic_words: tuple,
+        rng: np.random.Generator,
+        target_words: "int | None" = None,
+    ) -> str:
+        """Generate one post for an author about a board topic.
+
+        ``target_words`` overrides the author's lognormal length habit (used
+        by experiments needing fixed-size posts).
+        """
+        if target_words is None:
+            # mu is shifted by -sigma^2/2 so the lognormal's *mean* (not
+            # median) hits the author's habitual length.
+            sigma = style.post_words_sigma
+            mu = np.log(style.mean_post_words) - 0.5 * sigma * sigma
+            target_words = max(10, int(rng.lognormal(mu, sigma)))
+            # the sentence loop overshoots by about half a sentence
+            target_words = max(10, target_words - int(style.mean_sentence_words // 2))
+
+        if style.mood_volatility > 0.0:
+            style = self._mood_shifted(style, rng)
+
+        pieces: list[str] = []
+        n_words = 0
+        if rng.random() < style.greeting_prob:
+            greeting = _pick(rng, vocab.GREETINGS, style.greeting_weights)
+            pieces.append(self._finish_sentence(greeting, style, rng, terminal=","))
+            n_words += len(greeting.split())
+
+        while n_words < target_words:
+            sentence = self._make_sentence(style, topic_words, rng)
+            n_words += len(sentence.split())
+            pieces.append(sentence)
+            if rng.random() < style.paragraph_break_prob and n_words < target_words:
+                pieces.append("\n\n")
+
+        if rng.random() < style.closing_prob:
+            closing = _pick(rng, vocab.CLOSINGS, style.closing_weights)
+            pieces.append(self._finish_sentence(closing, style, rng))
+
+        text = ""
+        for piece in pieces:
+            if piece == "\n\n":
+                text = text.rstrip() + "\n\n"
+            elif text.endswith("\n\n") or not text:
+                text += piece
+            else:
+                text += " " + piece
+        return text.strip()
+
+    def _mood_shifted(
+        self, style: StyleProfile, rng: np.random.Generator
+    ) -> StyleProfile:
+        """Per-post drift: blend the author's choice weights toward uniform.
+
+        The blend coefficient is redrawn for every post, so individual posts
+        carry a noisier version of the author's voice — aggregate statistics
+        over many posts still converge to the true preferences.  This is the
+        knob that reproduces the paper's hard regime where post-level
+        classification fails but user-level aggregation succeeds.
+        """
+        from dataclasses import replace
+
+        m = float(rng.beta(2, 2)) * style.mood_volatility
+
+        def blend(weights: np.ndarray) -> np.ndarray:
+            uniform = np.full_like(weights, 1.0 / len(weights))
+            return (1.0 - m) * weights + m * uniform
+
+        return replace(
+            style,
+            intensifier_weights=blend(style.intensifier_weights),
+            hedge_weights=blend(style.hedge_weights),
+            connective_weights=blend(style.connective_weights),
+            opener_weights=blend(style.opener_weights),
+            filler_weights=blend(style.filler_weights),
+            emoticon_weights=blend(style.emoticon_weights),
+            sentence_kind_weights=blend(style.sentence_kind_weights),
+            misspell_rate=(1.0 - m) * style.misspell_rate + m * 0.348,
+        )
+
+    # --- sentence kinds -------------------------------------------------
+
+    def _make_sentence(
+        self, style: StyleProfile, topic_words: tuple, rng: np.random.Generator
+    ) -> str:
+        kind = int(rng.choice(6, p=style.sentence_kind_weights))
+        builders = (
+            self._symptom_sentence,
+            self._question_sentence,
+            self._advice_sentence,
+            self._experience_sentence,
+            self._detail_sentence,
+            self._feeling_sentence,
+        )
+        body, is_question = builders[kind](style, topic_words, rng)
+        if rng.random() < style.opener_prob:
+            body = f"{_pick(rng, vocab.OPENERS, style.opener_weights)} {body}"
+        return self._finish_sentence(body, style, rng, question=is_question)
+
+    def _symptom_sentence(self, style, topic_words, rng) -> tuple[str, bool]:
+        topic = _uniform(rng, topic_words)
+        adj = _uniform(rng, vocab.ADJECTIVES)
+        intensity = _pick(rng, vocab.INTENSIFIERS, style.intensifier_weights)
+        verb_phrase = _uniform(
+            rng,
+            (
+                "i have been having", "i have", "i keep getting", "i am dealing with",
+                "i have been experiencing", "i get", "i am having", "i suffer from",
+            ),
+        )
+        parts = [verb_phrase, intensity, adj, topic]
+        if rng.random() < style.duration_prob:
+            parts.append(_uniform(rng, vocab.DURATIONS))
+        return " ".join(parts), False
+
+    def _question_sentence(self, style, topic_words, rng) -> tuple[str, bool]:
+        topic = _uniform(rng, topic_words)
+        other = _uniform(rng, vocab.MEDICAL_NOUNS)
+        template = _uniform(
+            rng,
+            (
+                f"has anyone else tried {topic}",
+                f"does anyone know if {topic} can cause {other}",
+                f"should i ask my doctor about {topic}",
+                f"is it normal for {topic} to get worse at night",
+                f"has anyone had problems with {topic}",
+                f"what do you all do about {topic}",
+                f"could this be related to my {topic}",
+            ),
+        )
+        return template, True
+
+    def _advice_sentence(self, style, topic_words, rng) -> tuple[str, bool]:
+        topic = _uniform(rng, topic_words)
+        hedge = _pick(rng, vocab.HEDGES, style.hedge_weights)
+        template = _uniform(
+            rng,
+            (
+                f"{hedge} you should ask about {topic}",
+                f"my doctor told me to watch the {topic}",
+                f"{hedge} it is worth getting the {topic} checked",
+                f"the specialist said the {topic} should settle down",
+                f"they want me to come back for more {_uniform(rng, vocab.MEDICAL_NOUNS)}",
+            ),
+        )
+        if rng.random() < style.dose_prob:
+            template += f" and i am on {_uniform(rng, vocab.DOSES)} now"
+        return template, False
+
+    def _experience_sentence(self, style, topic_words, rng) -> tuple[str, bool]:
+        topic = _uniform(rng, topic_words)
+        connective = _pick(rng, vocab.CONNECTIVES, style.connective_weights)
+        first = _uniform(
+            rng,
+            (
+                f"i started {topic} {_uniform(rng, vocab.DURATIONS)}",
+                f"i was put on {topic} by my doctor",
+                f"i tried {topic} last year",
+                f"my {_uniform(rng, vocab.GENERAL_NOUNS)} convinced me to try {topic}",
+            ),
+        )
+        second = _uniform(
+            rng,
+            (
+                "it helped a lot",
+                "it did nothing for me",
+                "the side effects were rough",
+                "i feel a little better now",
+                "things slowly improved",
+                "i had to stop after a while",
+            ),
+        )
+        return f"{first} {connective} {second}", False
+
+    def _detail_sentence(self, style, topic_words, rng) -> tuple[str, bool]:
+        topic = _uniform(rng, topic_words)
+        number = int(rng.integers(2, 500))
+        template = _uniform(
+            rng,
+            (
+                f"my {topic} number was {number} at the last visit",
+                f"the {topic} went from {number} to {int(rng.integers(2, 900))} in {int(rng.integers(2, 12))} months",
+                f"my levels are around {number} which the doctor says is {_uniform(rng, ('normal', 'high', 'low', 'borderline'))}",
+                f"the {topic} test came back at {number}",
+            ),
+        )
+        return template, False
+
+    def _feeling_sentence(self, style, topic_words, rng) -> tuple[str, bool]:
+        intensity = _pick(rng, vocab.INTENSIFIERS, style.intensifier_weights)
+        adj = _uniform(rng, vocab.ADJECTIVES)
+        connective = _pick(rng, vocab.CONNECTIVES, style.connective_weights)
+        tail = _uniform(
+            rng,
+            (
+                "i hope it gets better soon",
+                "i am trying to stay positive",
+                "i just want some answers",
+                "it is hard to explain to my family",
+                "i am scared to make it worse",
+                "nobody seems to understand",
+            ),
+        )
+        return f"i feel {intensity} {adj} {connective} {tail}", False
+
+    # --- surface transforms ----------------------------------------------
+
+    def _finish_sentence(
+        self,
+        body: str,
+        style: StyleProfile,
+        rng: np.random.Generator,
+        question: bool = False,
+        terminal: "str | None" = None,
+    ) -> str:
+        words = body.split()
+        words = [self._style_word(w, style, rng) for w in words]
+
+        if terminal is None:
+            if question:
+                terminal = "?"
+            elif rng.random() < style.ellipsis_prob:
+                terminal = "..."
+            elif rng.random() < style.exclaim_prob:
+                terminal = "!!!" if rng.random() < style.multi_exclaim_prob else "!"
+            else:
+                terminal = "."
+
+        sentence = " ".join(words) + terminal
+        if rng.random() < style.filler_prob:
+            sentence += f" {_pick(rng, vocab.FILLERS, style.filler_weights)}"
+        if rng.random() < style.emoticon_prob:
+            sentence += f" {_pick(rng, vocab.EMOTICONS, style.emoticon_weights)}"
+
+        if rng.random() >= style.no_capitalization_prob:
+            sentence = sentence[0].upper() + sentence[1:]
+        return sentence
+
+    def _style_word(
+        self, word: str, style: StyleProfile, rng: np.random.Generator
+    ) -> str:
+        if word in style.misspell_map and rng.random() < style.misspell_rate:
+            word = style.misspell_map[word]
+        if word == "i" and rng.random() >= style.lowercase_i_prob:
+            word = "I"
+        elif (
+            len(word) > 3
+            and word.isalpha()
+            and rng.random() < style.allcaps_emphasis_prob
+        ):
+            word = word.upper()
+        return word

@@ -1,0 +1,209 @@
+"""Topic vocabulary for the synthetic health forums.
+
+Boards mirror the condition-specific message boards of WebMD/HealthBoards
+("more than 200 message boards on various diseases, conditions, and health
+topics").  Each board carries nouns (conditions, symptoms, drugs) that seed
+thread topics and post content; shared pools carry the generic medical and
+everyday words every user draws from.
+"""
+
+from __future__ import annotations
+
+#: Condition boards: name -> topical nouns used in that board's threads.
+BOARDS: dict[str, tuple[str, ...]] = {
+    "anxiety": (
+        "anxiety", "panic", "attack", "worry", "stress", "fear", "nerves",
+        "ativan", "xanax", "therapy", "breathing", "heartbeat", "dread",
+        "counselor", "ssri", "zoloft", "trigger", "episode", "tension",
+        "insomnia", "restlessness", "palpitations", "agoraphobia",
+    ),
+    "depression": (
+        "depression", "sadness", "mood", "fatigue", "prozac", "lexapro",
+        "therapy", "counseling", "motivation", "sleep", "appetite",
+        "wellbutrin", "isolation", "crying", "hopelessness", "energy",
+        "psychiatrist", "dose", "serotonin", "relapse", "numbness",
+    ),
+    "diabetes": (
+        "diabetes", "sugar", "glucose", "insulin", "metformin", "a1c",
+        "carbs", "diet", "pancreas", "meter", "readings", "neuropathy",
+        "thirst", "pump", "injection", "type", "endocrinologist", "fasting",
+        "snack", "lancet", "ketones", "hypoglycemia",
+    ),
+    "hepatitis": (
+        "hepatitis", "liver", "viral", "load", "genotype", "interferon",
+        "ribavirin", "enzymes", "alt", "ast", "biopsy", "cirrhosis",
+        "treatment", "strain", "fibrosis", "jaundice", "harvoni",
+        "transplant", "bilirubin", "screening", "detox", "methadone",
+    ),
+    "back-pain": (
+        "back", "spine", "disc", "sciatica", "nerve", "vertebrae", "mri",
+        "chiropractor", "physical", "therapy", "ibuprofen", "stretching",
+        "posture", "herniated", "fusion", "epidural", "lumbar", "tailbone",
+        "spasm", "numbness", "cortisone", "surgery",
+    ),
+    "migraine": (
+        "migraine", "headache", "aura", "trigger", "imitrex", "topamax",
+        "light", "nausea", "sensitivity", "caffeine", "botox", "tension",
+        "cluster", "throbbing", "vision", "neurologist", "preventive",
+        "magnesium", "excedrin", "pressure", "temples",
+    ),
+    "allergy": (
+        "allergy", "pollen", "sneezing", "histamine", "claritin", "zyrtec",
+        "rash", "hives", "sinus", "dust", "asthma", "wheezing", "epipen",
+        "peanut", "gluten", "lactose", "shots", "immunology", "congestion",
+        "eyes", "benadryl", "mold",
+    ),
+    "asthma": (
+        "asthma", "inhaler", "albuterol", "wheezing", "breathing", "lungs",
+        "attack", "steroid", "nebulizer", "peak", "flow", "pulmonologist",
+        "singulair", "advair", "cough", "chest", "tightness", "exercise",
+        "spirometry", "oxygen", "flare",
+    ),
+    "heart": (
+        "heart", "blood", "pressure", "cholesterol", "statin", "lipitor",
+        "palpitations", "ekg", "stent", "cardiologist", "arrhythmia",
+        "beta", "blocker", "aspirin", "stress", "angina", "valve",
+        "fibrillation", "echo", "plaque", "bypass", "rhythm",
+    ),
+    "thyroid": (
+        "thyroid", "hypothyroid", "synthroid", "tsh", "levothyroxine",
+        "hashimoto", "goiter", "hormone", "metabolism", "nodule", "graves",
+        "antibodies", "t3", "t4", "endocrinologist", "weight", "hair",
+        "fatigue", "biopsy", "ultrasound", "iodine",
+    ),
+    "digestive": (
+        "ibs", "stomach", "bloating", "acid", "reflux", "gerd", "nausea",
+        "colon", "gluten", "probiotics", "fiber", "colonoscopy", "cramps",
+        "gallbladder", "ulcer", "nexium", "constipation", "diarrhea",
+        "endoscopy", "intestine", "crohns", "celiac",
+    ),
+    "pregnancy": (
+        "pregnancy", "trimester", "ultrasound", "morning", "sickness",
+        "obgyn", "folic", "contractions", "midwife", "prenatal", "nausea",
+        "cramping", "spotting", "cycle", "ovulation", "fertility",
+        "hormones", "labor", "epidural", "heartburn", "swelling",
+    ),
+    "arthritis": (
+        "arthritis", "joints", "rheumatoid", "inflammation", "knees",
+        "stiffness", "methotrexate", "humira", "flare", "cartilage",
+        "osteoarthritis", "swelling", "prednisone", "rheumatologist",
+        "hips", "fingers", "mobility", "naproxen", "lupus", "gout",
+        "remicade",
+    ),
+    "skin": (
+        "skin", "eczema", "psoriasis", "rash", "acne", "dermatologist",
+        "itching", "cream", "steroid", "moisturizer", "hives", "biopsy",
+        "mole", "rosacea", "accutane", "breakout", "scalp", "patches",
+        "lotion", "sunscreen", "flaking",
+    ),
+    "sleep": (
+        "sleep", "insomnia", "apnea", "cpap", "melatonin", "ambien",
+        "snoring", "fatigue", "dreams", "rem", "restless", "legs",
+        "naps", "caffeine", "bedtime", "drowsiness", "study", "machine",
+        "mask", "trazodone", "nightmares",
+    ),
+    "cancer": (
+        "cancer", "tumor", "chemo", "radiation", "oncologist", "biopsy",
+        "remission", "scan", "lymph", "nodes", "marker", "staging",
+        "mastectomy", "melanoma", "prostate", "screening", "cells",
+        "port", "infusion", "recurrence", "survivor",
+    ),
+}
+
+#: Generic medical nouns usable on any board.
+MEDICAL_NOUNS: tuple[str, ...] = (
+    "doctor", "symptoms", "medication", "meds", "dose", "appointment",
+    "blood", "test", "results", "pain", "side", "effects", "diagnosis",
+    "prescription", "specialist", "pharmacy", "insurance", "hospital",
+    "clinic", "treatment", "condition", "surgery", "recovery", "checkup",
+    "labs", "referral", "pill", "tablet", "vitamins", "supplement",
+)
+
+#: Everyday nouns for non-medical clauses.
+GENERAL_NOUNS: tuple[str, ...] = (
+    "week", "month", "year", "day", "night", "morning", "husband", "wife",
+    "mom", "dad", "kids", "work", "job", "house", "family", "friend",
+    "weekend", "body", "head", "life", "time", "problem", "question",
+    "experience", "story", "advice", "support", "group", "post", "thread",
+)
+
+#: State/experience verbs (base forms; synthesiser conjugates crudely).
+VERBS: tuple[str, ...] = (
+    "have", "feel", "get", "take", "try", "start", "stop", "notice",
+    "experience", "suffer", "deal", "struggle", "manage", "handle",
+    "wonder", "think", "know", "hope", "worry", "hurt", "ache", "help",
+    "work", "happen", "change", "improve", "worsen", "continue",
+)
+
+#: Adjectives for symptoms and feelings.
+ADJECTIVES: tuple[str, ...] = (
+    "bad", "terrible", "awful", "horrible", "severe", "mild", "constant",
+    "chronic", "sharp", "dull", "weird", "strange", "scary", "worried",
+    "exhausted", "tired", "dizzy", "nauseous", "sick", "sore", "swollen",
+    "better", "worse", "normal", "high", "low", "new", "old", "frequent",
+    "occasional", "intense", "unbearable", "manageable",
+)
+
+#: Intensifier alternatives — a per-user weighted choice point.
+INTENSIFIERS: tuple[str, ...] = (
+    "very", "really", "so", "extremely", "quite", "pretty", "incredibly",
+    "super", "terribly", "awfully",
+)
+
+#: Hedge alternatives — a per-user weighted choice point.
+HEDGES: tuple[str, ...] = (
+    "maybe", "perhaps", "probably", "possibly", "i guess", "i think",
+    "i suppose", "it seems like", "apparently", "honestly",
+)
+
+#: Connective alternatives — a per-user weighted choice point.
+CONNECTIVES: tuple[str, ...] = (
+    "but", "however", "though", "although", "still", "yet",
+    "on the other hand", "that said", "even so", "anyway",
+)
+
+#: Sentence openers (discourse markers) — per-user weighted choice point.
+OPENERS: tuple[str, ...] = (
+    "well", "so", "anyway", "basically", "honestly", "ok so", "look",
+    "listen", "first of all", "to be honest", "lately", "recently",
+    "for a while now", "these days",
+)
+
+#: Greeting alternatives for post openings.
+GREETINGS: tuple[str, ...] = (
+    "hi everyone", "hello all", "hey guys", "hi all", "hello everyone",
+    "hey there", "hi", "hello", "greetings", "good morning all",
+)
+
+#: Closing alternatives for post endings.
+CLOSINGS: tuple[str, ...] = (
+    "thanks in advance", "any advice appreciated", "thanks for reading",
+    "please help", "god bless", "take care", "thanks so much",
+    "hope someone can help", "sorry for the long post", "thanks all",
+)
+
+#: Filler interjections users sprinkle mid-post.
+FILLERS: tuple[str, ...] = (
+    "lol", "ugh", "sigh", "yikes", "oh well", "go figure", "who knows",
+    "fingers crossed", "believe me", "trust me",
+)
+
+#: Time/duration phrases (inject digits — the digit-frequency features).
+DURATIONS: tuple[str, ...] = (
+    "for 2 weeks", "for 3 days", "for about a month", "for 6 months",
+    "since last year", "for 10 days", "for almost 2 years", "since 2013",
+    "for the past 5 weeks", "on and off for 4 months", "for 48 hours",
+    "every 3 or 4 days", "since i was 25", "for over a decade",
+)
+
+#: Dose phrases (more digits, medical flavour).
+DOSES: tuple[str, ...] = (
+    "10 mg", "20 mg", "25 mg", "50 mg", "75 mg", "100 mg", "150 mg",
+    "200 mg", "5 mg twice a day", "half a tablet", "2 pills a day",
+    "one 40 mg capsule",
+)
+
+#: Emoticons / symbol quirks (special-character features).
+EMOTICONS: tuple[str, ...] = (
+    ":)", ":(", ":/", ";)", ":-)", "<3", "^^", "(!)", "*sigh*", "~",
+)

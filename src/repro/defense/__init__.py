@@ -1,0 +1,30 @@
+"""Anonymization defenses (the paper's open problem, §VII).
+
+The paper closes by noting that "developing proper anonymization techniques
+for large-scale online health data is a challenging open problem" and takes
+it as future work.  This subpackage implements the defense families its
+Discussion and related work point at, so the attack can be evaluated
+against them:
+
+* **writing-style obfuscation** (after Anonymouth [36] and adversarial
+  stylometry [37]): misspelling correction, case/punctuation normalisation,
+  discourse-marker canonicalisation — removing the idiosyncratic and
+  lexical signal Table-I features key on;
+* **correlation-graph perturbation**: thread scrambling / splitting that
+  removes co-posting edges the UDA graph is built from;
+* a **defense evaluation harness** that re-runs De-Health against the
+  defended corpus and reports the privacy gain next to a utility cost.
+"""
+
+from repro.defense.evaluation import DefenseReport, evaluate_defense
+from repro.defense.graph_defense import scramble_threads, split_large_threads
+from repro.defense.obfuscation import TextObfuscator, obfuscate_dataset
+
+__all__ = [
+    "DefenseReport",
+    "TextObfuscator",
+    "evaluate_defense",
+    "obfuscate_dataset",
+    "scramble_threads",
+    "split_large_threads",
+]

@@ -1,0 +1,108 @@
+"""Correlation-graph defenses: perturbing the co-posting structure.
+
+The UDA graph's edges come entirely from thread co-participation, so a
+publisher can cut the structural signal by re-threading: moving posts into
+fresh singleton threads (scrambling) or splitting oversized discussions.
+Text is untouched — these defenses isolate the graph channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.forum.models import ForumDataset, Thread
+from repro.utils.rng import derive_rng
+
+
+def scramble_threads(
+    dataset: ForumDataset,
+    prob: float = 1.0,
+    seed: "int | np.random.Generator | None" = None,
+    name: "str | None" = None,
+) -> ForumDataset:
+    """Move each post, with probability ``prob``, into its own new thread.
+
+    At ``prob=1`` the correlation graph becomes edgeless (every thread has
+    one participant) — the strongest possible structural anonymisation.
+    """
+    if not 0.0 <= prob <= 1.0:
+        raise ConfigError(f"prob must be in [0, 1], got {prob}")
+    rng = derive_rng(seed)
+    out = ForumDataset(name or f"{dataset.name}-scrambled")
+    for user in dataset.users():
+        out.add_user(user)
+    for thread in dataset.threads():
+        out.add_thread(thread)
+    counter = 0
+    for post in dataset.posts():
+        if prob > 0.0 and rng.random() < prob:
+            source = dataset.thread(post.thread_id)
+            new_thread = Thread(
+                thread_id=f"scrambled-{counter:07d}",
+                board=source.board,
+                topic=source.topic,
+                starter_id=post.user_id,
+            )
+            counter += 1
+            out.add_thread(new_thread)
+            post = replace(post, thread_id=new_thread.thread_id)
+        out.add_post(post)
+    return out
+
+
+def split_large_threads(
+    dataset: ForumDataset,
+    max_participants: int = 2,
+    seed: "int | np.random.Generator | None" = None,
+    name: "str | None" = None,
+) -> ForumDataset:
+    """Split threads so no thread exposes more than ``max_participants`` users.
+
+    Keeps small-scale interactivity (reply utility) while capping the
+    co-posting clique size — a k-anonymity-flavoured structural defense.
+    """
+    if max_participants < 1:
+        raise ConfigError(
+            f"max_participants must be >= 1, got {max_participants}"
+        )
+    rng = derive_rng(seed)
+    out = ForumDataset(name or f"{dataset.name}-split{max_participants}")
+    for user in dataset.users():
+        out.add_user(user)
+
+    counter = 0
+    for thread in dataset.threads():
+        posts = dataset.posts_in_thread(thread.thread_id)
+        participants = dataset.thread_participants(thread.thread_id)
+        if len(participants) <= max_participants:
+            out.add_thread(thread)
+            for post in posts:
+                out.add_post(post)
+            continue
+        # partition participants into groups of at most max_participants
+        order = list(rng.permutation(len(participants)))
+        groups = [
+            [participants[i] for i in order[g : g + max_participants]]
+            for g in range(0, len(order), max_participants)
+        ]
+        assignment = {
+            uid: gi for gi, group in enumerate(groups) for uid in group
+        }
+        fragment_ids = {}
+        for gi, group in enumerate(groups):
+            fragment = Thread(
+                thread_id=f"{thread.thread_id}-frag{counter:05d}-{gi}",
+                board=thread.board,
+                topic=thread.topic,
+                starter_id=group[0],
+            )
+            fragment_ids[gi] = fragment.thread_id
+            out.add_thread(fragment)
+        counter += 1
+        for post in posts:
+            gi = assignment[post.user_id]
+            out.add_post(replace(post, thread_id=fragment_ids[gi]))
+    return out

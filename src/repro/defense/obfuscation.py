@@ -1,0 +1,138 @@
+"""Writing-style obfuscation (Anonymouth-style, the paper's refs [36][37]).
+
+Each transform strips one stylometric signal family that Table-I features
+measure.  ``strength`` in [0, 1] is the per-post probability that a
+transform applies, so defenses can be swept from no-op to full scrubbing.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.forum.models import ForumDataset
+from repro.text.lexicons import MISSPELLINGS
+from repro.utils.rng import derive_rng
+
+#: Canonical substitutes for the per-user choice points the generator (and
+#: real writers) vary: mapping variant -> canonical form.
+_CANONICAL_MARKERS: dict[str, str] = {
+    # intensifiers -> "very"
+    "really": "very", "so": "very", "extremely": "very", "quite": "very",
+    "pretty": "very", "incredibly": "very", "super": "very",
+    "terribly": "very", "awfully": "very",
+    # hedges -> "maybe"
+    "perhaps": "maybe", "probably": "maybe", "possibly": "maybe",
+    "apparently": "maybe", "honestly": "maybe",
+    # connectives -> "but"
+    "however": "but", "though": "but", "although": "but", "yet": "but",
+    "still": "but", "anyway": "but",
+}
+
+_MULTI_PUNCT_RE = re.compile(r"([!?.])\1+")
+_ELLIPSIS_RE = re.compile(r"\.{3,}|…")
+_EMOTICON_RE = re.compile(r"(?<!\w)(:\)|:\(|:/|;\)|:-\)|<3|\^\^|\*sigh\*)(?!\w)")
+_WHITESPACE_RE = re.compile(r"[ \t]{2,}")
+
+
+@dataclass(frozen=True)
+class ObfuscationConfig:
+    """Which transforms are active."""
+
+    fix_misspellings: bool = True
+    normalize_case: bool = True
+    normalize_punctuation: bool = True
+    canonicalize_markers: bool = True
+    strip_emoticons: bool = True
+
+
+class TextObfuscator:
+    """Applies style-scrubbing transforms to post text.
+
+    ``strength`` is the per-post application probability: 0 leaves the
+    corpus untouched, 1 scrubs every post.
+    """
+
+    def __init__(
+        self,
+        strength: float = 1.0,
+        config: "ObfuscationConfig | None" = None,
+        seed: "int | np.random.Generator | None" = None,
+    ) -> None:
+        if not 0.0 <= strength <= 1.0:
+            raise ConfigError(f"strength must be in [0, 1], got {strength}")
+        self.strength = strength
+        self.config = config or ObfuscationConfig()
+        self._rng = derive_rng(seed)
+
+    def obfuscate_text(self, text: str) -> str:
+        """Scrub one post (unconditionally — strength gates at corpus level)."""
+        cfg = self.config
+        if cfg.strip_emoticons:
+            text = _EMOTICON_RE.sub("", text)
+        if cfg.normalize_punctuation:
+            text = _ELLIPSIS_RE.sub(".", text)
+            text = _MULTI_PUNCT_RE.sub(r"\1", text)
+        if cfg.fix_misspellings or cfg.canonicalize_markers or cfg.normalize_case:
+            text = self._rewrite_words(text)
+        if cfg.normalize_case:
+            text = self._sentence_case(text)
+        return _WHITESPACE_RE.sub(" ", text).strip()
+
+    def _rewrite_words(self, text: str) -> str:
+        def fix(match: re.Match) -> str:
+            word = match.group()
+            lower = word.lower()
+            if self.config.fix_misspellings and lower in MISSPELLINGS:
+                return MISSPELLINGS[lower]
+            if self.config.canonicalize_markers and lower in _CANONICAL_MARKERS:
+                return _CANONICAL_MARKERS[lower]
+            if self.config.normalize_case and word.isupper() and len(word) > 1:
+                return lower  # de-shout; sentence case is restored later
+            return word
+
+        return re.sub(r"[A-Za-z]+(?:['’][A-Za-z]+)*", fix, text)
+
+    @staticmethod
+    def _sentence_case(text: str) -> str:
+        """Lowercase everything, then capitalise sentence starts and 'I'."""
+        out = []
+        for paragraph in text.split("\n\n"):
+            sentences = re.split(r"(?<=[.!?])\s+", paragraph.lower())
+            fixed = []
+            for sentence in sentences:
+                if sentence:
+                    sentence = sentence[0].upper() + sentence[1:]
+                sentence = re.sub(r"\bi\b", "I", sentence)
+                fixed.append(sentence)
+            out.append(" ".join(fixed))
+        return "\n\n".join(out)
+
+
+def obfuscate_dataset(
+    dataset: ForumDataset,
+    strength: float = 1.0,
+    config: "ObfuscationConfig | None" = None,
+    seed: "int | np.random.Generator | None" = None,
+    name: "str | None" = None,
+) -> ForumDataset:
+    """Return a copy of ``dataset`` with posts scrubbed at ``strength``.
+
+    Each post is scrubbed independently with probability ``strength`` —
+    mirroring partial adoption of a style-anonymisation tool by users.
+    """
+    obfuscator = TextObfuscator(strength=strength, config=config, seed=seed)
+    rng = obfuscator._rng
+    out = ForumDataset(name or f"{dataset.name}-obfuscated")
+    for user in dataset.users():
+        out.add_user(user)
+    for thread in dataset.threads():
+        out.add_thread(thread)
+    for post in dataset.posts():
+        if strength > 0.0 and rng.random() < strength:
+            post = replace(post, text=obfuscator.obfuscate_text(post.text))
+        out.add_post(post)
+    return out

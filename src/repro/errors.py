@@ -1,0 +1,32 @@
+"""Exception hierarchy for the De-Health reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of ``repro`` with a single except clause while
+still being able to discriminate finer failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid configuration value was supplied (bad weight, negative K, ...)."""
+
+
+class EmptyDatasetError(ReproError, ValueError):
+    """An operation required a non-empty dataset but received an empty one."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model was used for prediction before being fitted."""
+
+
+class GraphError(ReproError, ValueError):
+    """A graph operation received an inconsistent or unusable graph."""
+
+
+class LinkageError(ReproError, ValueError):
+    """A linkage-attack component was queried with invalid input."""

@@ -1,0 +1,40 @@
+"""Experiment runners: one per table/figure of the paper's evaluation.
+
+Every runner is size-parameterised so the unit tests exercise tiny
+instances and the benchmark harness (``benchmarks/``) runs the calibrated
+ones.  Runners return plain result objects; ``reporting`` renders them as
+the text tables recorded in EXPERIMENTS.md.
+"""
+
+from repro.experiments.corpora import (
+    refined_closed_corpus,
+    refined_closed_split,
+    refined_open_split,
+    topk_corpus,
+)
+from repro.experiments.corpus_stats import run_fig1, run_fig2, run_table1
+from repro.experiments.graph_exp import run_fig7, run_fig8
+from repro.experiments.closed_world import run_fig3, run_fig4
+from repro.experiments.open_world import run_fig5, run_fig6
+from repro.experiments.linkage_exp import run_linkage_experiment
+from repro.experiments.theory_exp import run_theory_validation
+from repro.experiments.reporting import format_table
+
+__all__ = [
+    "format_table",
+    "refined_closed_corpus",
+    "refined_closed_split",
+    "refined_open_split",
+    "run_fig1",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_linkage_experiment",
+    "run_table1",
+    "run_theory_validation",
+    "topk_corpus",
+]

@@ -1,0 +1,140 @@
+"""Closed-world experiments: Fig 3 (Top-K DA CDF) and Fig 4 (refined DA).
+
+Paper shapes to reproduce:
+
+* Fig 3 — the CDF of correct Top-K DA grows with K; WebMD (smaller corpus)
+  beats HealthBoards at any fixed K; mid splits (more anonymized data)
+  beat the 90%-auxiliary split whose anonymized graph is too sparse.
+* Fig 4 — De-Health beats the no-Top-K Stylometry baseline decisively;
+  smaller K gives better refined accuracy when training data are scarce;
+  SMO beats KNN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import DeHealth, DeHealthConfig, StylometryBaseline
+from repro.experiments.corpora import refined_closed_split, topk_corpus
+from repro.forum import closed_world_split
+from repro.forum.models import ForumDataset
+from repro.graph import UDAGraph
+from repro.stylometry import FeatureExtractor
+
+
+@dataclass(frozen=True)
+class TopKCurve:
+    """One Fig-3/Fig-5 curve."""
+
+    label: str
+    ks: np.ndarray
+    cdf: np.ndarray
+    n_anonymized: int
+
+    def at(self, k: int) -> float:
+        idx = int(np.searchsorted(self.ks, k))
+        idx = min(idx, len(self.cdf) - 1)
+        return float(self.cdf[idx])
+
+
+def run_fig3(
+    dataset: "ForumDataset | None" = None,
+    which: str = "webmd",
+    n_users: int = 600,
+    aux_fractions: tuple = (0.5, 0.7, 0.9),
+    ks: "tuple | None" = None,
+    n_landmarks: int = 50,
+    seed: int = 0,
+) -> list[TopKCurve]:
+    """Fig 3: closed-world Top-K DA CDFs for each auxiliary fraction."""
+    dataset = dataset or topk_corpus(which, n_users=n_users, seed=seed)
+    if ks is None:
+        ks = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
+    extractor = FeatureExtractor()
+    curves: list[TopKCurve] = []
+    for frac in aux_fractions:
+        split = closed_world_split(dataset, aux_fraction=frac, seed=seed + 17)
+        attack = DeHealth(DeHealthConfig(n_landmarks=n_landmarks))
+        attack.fit(split.anonymized, split.auxiliary, extractor=extractor)
+        result = attack.top_k_result(split.truth)
+        ks_arr = np.asarray(ks)
+        curves.append(
+            TopKCurve(
+                label=f"{dataset.name}-{int(frac * 100)}%",
+                ks=ks_arr,
+                cdf=result.cdf(ks_arr),
+                n_anonymized=result.n_evaluated,
+            )
+        )
+    return curves
+
+
+@dataclass(frozen=True)
+class RefinedAccuracyCell:
+    """One bar of Fig 4 / Fig 6(a)."""
+
+    method: str  # "stylometry" or "dehealth"
+    classifier: str
+    k: "int | None"
+    accuracy: float
+    false_positive_rate: float = 0.0
+
+
+def run_fig4(
+    n_users: int = 50,
+    posts_settings: tuple = (20, 40),
+    classifiers: tuple = ("knn", "smo"),
+    k_values: tuple = (5, 10, 15, 20),
+    n_landmarks: int = 5,
+    seed: int = 0,
+) -> dict:
+    """Fig 4: refined closed-world DA accuracy grid.
+
+    Returns ``{(classifier, posts): [RefinedAccuracyCell, ...]}`` with the
+    Stylometry baseline first, then De-Health at each K.  ``posts`` follows
+    the paper's labels: the '-10' setting is 20 posts/user (10 train / 10
+    test), '-20' is 40 posts/user.
+    """
+    results: dict = {}
+    for posts_per_user in posts_settings:
+        split = refined_closed_split(
+            n_users=n_users, posts_per_user=posts_per_user, seed=seed
+        )
+        extractor = FeatureExtractor()
+        anon_uda = UDAGraph(split.anonymized, extractor=extractor)
+        aux_uda = UDAGraph(split.auxiliary, extractor=extractor)
+        for classifier in classifiers:
+            cells: list[RefinedAccuracyCell] = []
+            baseline = StylometryBaseline(classifier=classifier, seed=seed)
+            base_res = baseline.deanonymize(anon_uda, aux_uda)
+            cells.append(
+                RefinedAccuracyCell(
+                    method="stylometry",
+                    classifier=classifier,
+                    k=None,
+                    accuracy=base_res.accuracy(split.truth),
+                )
+            )
+            for k in k_values:
+                attack = DeHealth(
+                    DeHealthConfig(
+                        top_k=k,
+                        n_landmarks=n_landmarks,
+                        classifier=classifier,
+                        seed=seed,
+                    )
+                )
+                attack.fit(anon_uda, aux_uda)
+                res = attack.deanonymize()
+                cells.append(
+                    RefinedAccuracyCell(
+                        method="dehealth",
+                        classifier=classifier,
+                        k=k,
+                        accuracy=res.accuracy(split.truth),
+                    )
+                )
+            results[(classifier, posts_per_user // 2)] = cells
+    return results

@@ -1,0 +1,94 @@
+"""Shared experiment corpora.
+
+Three regimes, matching the paper's three experimental set-ups:
+
+* **topk corpora** — full WebMD/HealthBoards presets, used by the Fig 3 / 5
+  Top-K experiments and the corpus-statistics figures;
+* **refined closed corpus** — the Fig 4 small-sample regime: 50 users with a
+  fixed number of posts, weak per-post style signal (hard 50-class problem,
+  easy 5-class problem), one shared board;
+* **refined open corpus** — the Fig 6 regime: 100 users per side with a
+  controlled overlap ratio.
+"""
+
+from __future__ import annotations
+
+from repro.datagen import healthboards_like, webmd_like
+from repro.forum import (
+    ForumDataset,
+    SplitResult,
+    closed_world_split,
+    open_world_split,
+    select_users_with_posts,
+)
+
+#: Style parameters of the hard refined-DA regime (see EXPERIMENTS.md):
+#: with high concentration and weak quirks the 50-class post-level problem
+#: is hard while aggregate user-level statistics stay informative.
+HARD_STYLE = dict(
+    style_distinctiveness=16.0,
+    style_quirk_strength=0.02,
+    user_length_sigma=0.05,
+    boards=("anxiety",),
+)
+
+
+def topk_corpus(
+    which: str = "webmd", n_users: int = 600, seed: int = 0
+) -> ForumDataset:
+    """A calibrated corpus for Top-K experiments (Fig 1/2/3/5/7/8)."""
+    if which == "webmd":
+        return webmd_like(n_users=n_users, seed=seed).dataset
+    if which == "healthboards":
+        return healthboards_like(n_users=n_users, seed=seed).dataset
+    raise ValueError(f"unknown corpus {which!r}")
+
+
+def refined_closed_corpus(
+    n_users: int = 50,
+    posts_per_user: int = 20,
+    seed: int = 0,
+) -> ForumDataset:
+    """The Fig-4 corpus: ``n_users`` users with exactly ``posts_per_user`` posts."""
+    pool = max(int(n_users * 1.6), n_users + 10)
+    gen = webmd_like(
+        n_users=pool,
+        seed=seed,
+        min_posts_per_user=posts_per_user,
+        max_posts_per_user=posts_per_user + 10,
+        **HARD_STYLE,
+    )
+    return select_users_with_posts(
+        gen.dataset,
+        n_users=n_users,
+        min_posts=posts_per_user,
+        exact_posts=posts_per_user,
+        seed=seed + 1,
+        name=f"webmd-refined-{n_users}x{posts_per_user}",
+    )
+
+
+def refined_closed_split(
+    n_users: int = 50,
+    posts_per_user: int = 20,
+    seed: int = 0,
+) -> SplitResult:
+    """Fig-4 split: half of each user's posts train, half test."""
+    corpus = refined_closed_corpus(n_users, posts_per_user, seed)
+    return closed_world_split(corpus, aux_fraction=0.5, seed=seed + 2)
+
+
+def refined_open_split(
+    overlap_ratio: float,
+    n_users: int = 100,
+    posts_per_user: int = 40,
+    seed: int = 0,
+) -> SplitResult:
+    """Fig-6 split: equal-size sides with a controlled user overlap."""
+    # open_world_split solves x + 2y = n for the chosen ratio, so the pool
+    # must be large enough that each side ends up with ~n_users users.
+    pool = int(n_users * (2.0 - overlap_ratio))
+    corpus = refined_closed_corpus(
+        n_users=max(pool, 4), posts_per_user=posts_per_user, seed=seed
+    )
+    return open_world_split(corpus, overlap_ratio=overlap_ratio, seed=seed + 3)

@@ -1,0 +1,98 @@
+"""Corpus statistics experiments: Fig 1, Fig 2, and Table I.
+
+Paper targets:
+
+* Fig 1 — CDF of users vs number of posts; 87.3% of WebMD users and 75.4%
+  of HealthBoards users have fewer than 5 posts.
+* Fig 2 — post length distribution; means 127.59 (WebMD) and 147.24 (HB)
+  words, most posts under 300 words.
+* Table I — the stylometric feature inventory and per-category counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.forum.models import ForumDataset
+from repro.stylometry import default_feature_space
+from repro.utils.stats import empirical_cdf
+
+#: Paper's Table I "Count" column for the fixed-size categories.
+TABLE1_PAPER_COUNTS = {
+    "length": 3,
+    "word_length": 20,
+    "vocabulary_richness": 5,
+    "letter_freq": 26,
+    "digit_freq": 10,
+    "uppercase_pct": 1,
+    "special_chars": 21,
+    "word_shape": 21,
+    "punctuation": 10,
+    "function_words": 337,
+    "misspellings": 248,
+}
+
+
+@dataclass(frozen=True)
+class PostCdfResult:
+    """Fig-1 series for one corpus."""
+
+    corpus: str
+    points: np.ndarray
+    cdf: np.ndarray
+    fraction_under_5: float
+    mean_posts_per_user: float
+
+
+def run_fig1(dataset: ForumDataset, max_point: int = 500) -> PostCdfResult:
+    """CDF of users with respect to the number of posts (Fig 1)."""
+    counts = np.array(list(dataset.posts_per_user().values()), dtype=float)
+    points = np.arange(0, max_point + 1, dtype=float)
+    return PostCdfResult(
+        corpus=dataset.name,
+        points=points,
+        cdf=empirical_cdf(counts, points),
+        fraction_under_5=float((counts < 5).mean()),
+        mean_posts_per_user=float(counts.mean()),
+    )
+
+
+@dataclass(frozen=True)
+class PostLengthResult:
+    """Fig-2 series for one corpus."""
+
+    corpus: str
+    bin_edges: np.ndarray
+    fraction: np.ndarray
+    mean_words: float
+    fraction_under_300: float
+
+
+def run_fig2(dataset: ForumDataset, max_words: int = 800, bin_width: int = 20) -> PostLengthResult:
+    """Post length distribution in words (Fig 2)."""
+    lengths = np.array(dataset.post_lengths_words(), dtype=float)
+    edges = np.arange(0, max_words + bin_width, bin_width, dtype=float)
+    hist, _ = np.histogram(lengths, bins=edges)
+    fraction = hist / max(len(lengths), 1)
+    return PostLengthResult(
+        corpus=dataset.name,
+        bin_edges=edges,
+        fraction=fraction,
+        mean_words=float(lengths.mean()) if len(lengths) else 0.0,
+        fraction_under_300=float((lengths < 300).mean()) if len(lengths) else 0.0,
+    )
+
+
+def run_table1() -> dict:
+    """Our per-category feature counts next to the paper's (Table I)."""
+    ours = default_feature_space().category_sizes()
+    rows: dict = {}
+    for category, size in ours.items():
+        rows[category] = {
+            "ours": size,
+            "paper": TABLE1_PAPER_COUNTS.get(category),
+        }
+    rows["total"] = {"ours": default_feature_space().size, "paper": None}
+    return rows

@@ -1,0 +1,25 @@
+"""Forum substrate: data model, persistence, and aux/anon dataset splitting."""
+
+from repro.forum.models import ForumDataset, Post, Thread, User
+from repro.forum.split import (
+    GroundTruth,
+    SplitResult,
+    closed_world_split,
+    open_world_split,
+    select_users_with_posts,
+)
+from repro.forum.store import load_dataset, save_dataset
+
+__all__ = [
+    "ForumDataset",
+    "GroundTruth",
+    "Post",
+    "SplitResult",
+    "Thread",
+    "User",
+    "closed_world_split",
+    "load_dataset",
+    "open_world_split",
+    "save_dataset",
+    "select_users_with_posts",
+]

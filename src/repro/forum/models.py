@@ -1,0 +1,233 @@
+"""Data model for online health forums (WebMD / HealthBoards shaped).
+
+A :class:`ForumDataset` holds users, threads, and posts.  Posts belong to a
+thread on a board; the *co-posting* relation over threads is what the UDA
+graph is built from (Section II-B of the paper), and post text is what the
+stylometric features are extracted from.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field, replace
+
+from repro.errors import EmptyDatasetError
+
+
+@dataclass(frozen=True)
+class User:
+    """A registered forum member.
+
+    ``profile`` carries the publicly visible attributes the linkage attack
+    exploits (e.g. location, join year); ``avatar_id`` references an avatar
+    fingerprint in the synthetic Internet world, if the user uploaded one.
+    """
+
+    user_id: str
+    username: str
+    profile: dict = field(default_factory=dict, hash=False)
+    avatar_id: str | None = None
+
+
+@dataclass(frozen=True)
+class Post:
+    """One message in a thread."""
+
+    post_id: str
+    user_id: str
+    thread_id: str
+    board: str
+    text: str
+    created_at: float = 0.0
+
+
+@dataclass(frozen=True)
+class Thread:
+    """A discussion topic started by one user, replied to by others."""
+
+    thread_id: str
+    board: str
+    topic: str
+    starter_id: str
+
+
+class ForumDataset:
+    """An in-memory forum corpus with the query surface the attack needs.
+
+    The container is index-backed: user -> posts and thread -> posts lookups
+    are O(1) amortised, which matters because the UDA-graph construction
+    walks every thread and the extractor walks every user.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        users: Iterable[User] = (),
+        threads: Iterable[Thread] = (),
+        posts: Iterable[Post] = (),
+    ) -> None:
+        self.name = name
+        self._users: dict[str, User] = {}
+        self._threads: dict[str, Thread] = {}
+        self._posts: dict[str, Post] = {}
+        self._posts_by_user: dict[str, list[str]] = defaultdict(list)
+        self._posts_by_thread: dict[str, list[str]] = defaultdict(list)
+        for user in users:
+            self.add_user(user)
+        for thread in threads:
+            self.add_thread(thread)
+        for post in posts:
+            self.add_post(post)
+
+    # --- mutation -----------------------------------------------------
+
+    def add_user(self, user: User) -> None:
+        if user.user_id in self._users:
+            raise ValueError(f"duplicate user_id: {user.user_id}")
+        self._users[user.user_id] = user
+
+    def add_thread(self, thread: Thread) -> None:
+        if thread.thread_id in self._threads:
+            raise ValueError(f"duplicate thread_id: {thread.thread_id}")
+        self._threads[thread.thread_id] = thread
+
+    def add_post(self, post: Post) -> None:
+        if post.post_id in self._posts:
+            raise ValueError(f"duplicate post_id: {post.post_id}")
+        if post.user_id not in self._users:
+            raise ValueError(f"post {post.post_id} references unknown user {post.user_id}")
+        if post.thread_id not in self._threads:
+            raise ValueError(f"post {post.post_id} references unknown thread {post.thread_id}")
+        self._posts[post.post_id] = post
+        self._posts_by_user[post.user_id].append(post.post_id)
+        self._posts_by_thread[post.thread_id].append(post.post_id)
+
+    # --- queries ------------------------------------------------------
+
+    @property
+    def n_users(self) -> int:
+        return len(self._users)
+
+    @property
+    def n_posts(self) -> int:
+        return len(self._posts)
+
+    @property
+    def n_threads(self) -> int:
+        return len(self._threads)
+
+    def user_ids(self) -> list[str]:
+        return list(self._users)
+
+    def users(self) -> Iterator[User]:
+        return iter(self._users.values())
+
+    def threads(self) -> Iterator[Thread]:
+        return iter(self._threads.values())
+
+    def posts(self) -> Iterator[Post]:
+        return iter(self._posts.values())
+
+    def user(self, user_id: str) -> User:
+        return self._users[user_id]
+
+    def thread(self, thread_id: str) -> Thread:
+        return self._threads[thread_id]
+
+    def post(self, post_id: str) -> Post:
+        return self._posts[post_id]
+
+    def has_user(self, user_id: str) -> bool:
+        return user_id in self._users
+
+    def posts_of(self, user_id: str) -> list[Post]:
+        """All posts authored by ``user_id`` (insertion order)."""
+        return [self._posts[pid] for pid in self._posts_by_user.get(user_id, [])]
+
+    def post_texts_of(self, user_id: str) -> list[str]:
+        return [p.text for p in self.posts_of(user_id)]
+
+    def posts_in_thread(self, thread_id: str) -> list[Post]:
+        return [self._posts[pid] for pid in self._posts_by_thread.get(thread_id, [])]
+
+    def thread_participants(self, thread_id: str) -> list[str]:
+        """Distinct users who posted in a thread, in first-post order."""
+        seen: dict[str, None] = {}
+        for pid in self._posts_by_thread.get(thread_id, []):
+            seen.setdefault(self._posts[pid].user_id, None)
+        return list(seen)
+
+    def posts_per_user(self) -> Counter:
+        """``user_id -> post count`` (zero-post users included)."""
+        counts = Counter({uid: 0 for uid in self._users})
+        for uid, pids in self._posts_by_user.items():
+            counts[uid] = len(pids)
+        return counts
+
+    def post_lengths_words(self) -> list[int]:
+        """Word counts of every post (Fig 2's measurement)."""
+        return [len(p.text.split()) for p in self._posts.values()]
+
+    def mean_posts_per_user(self) -> float:
+        if not self._users:
+            raise EmptyDatasetError(f"dataset {self.name!r} has no users")
+        return self.n_posts / self.n_users
+
+    # --- restructuring ------------------------------------------------
+
+    def subset_by_users(
+        self, user_ids: Iterable[str], name: str | None = None
+    ) -> "ForumDataset":
+        """Dataset restricted to ``user_ids`` and their posts.
+
+        Threads are kept whenever they contain at least one retained post,
+        so co-posting structure among retained users survives.
+        """
+        keep = set(user_ids)
+        missing = keep - set(self._users)
+        if missing:
+            raise KeyError(f"unknown user ids: {sorted(missing)[:5]}")
+        out = ForumDataset(name or f"{self.name}-subset")
+        for uid in keep:
+            out.add_user(self._users[uid])
+        kept_threads = {
+            p.thread_id for p in self._posts.values() if p.user_id in keep
+        }
+        for tid in kept_threads:
+            out.add_thread(self._threads[tid])
+        for post in self._posts.values():
+            if post.user_id in keep:
+                out.add_post(post)
+        return out
+
+    def with_pseudonyms(
+        self, mapping: dict[str, str], name: str | None = None
+    ) -> tuple["ForumDataset", dict[str, str]]:
+        """Replace user ids with pseudonyms (the paper's "random ID" step).
+
+        ``mapping`` is original id -> pseudonym; returns the anonymized
+        dataset and the inverse ground-truth mapping pseudonym -> original.
+        Usernames and profiles are stripped (that is what anonymization
+        removes); text, threads, and timestamps are untouched.
+        """
+        unknown = set(mapping) - set(self._users)
+        if unknown:
+            raise KeyError(f"mapping references unknown users: {sorted(unknown)[:5]}")
+        out = ForumDataset(name or f"{self.name}-anon")
+        for uid, user in self._users.items():
+            pseudo = mapping.get(uid, uid)
+            out.add_user(User(user_id=pseudo, username=pseudo, profile={}))
+        for thread in self._threads.values():
+            out.add_thread(
+                replace(thread, starter_id=mapping.get(thread.starter_id, thread.starter_id))
+            )
+        for post in self._posts.values():
+            out.add_post(replace(post, user_id=mapping.get(post.user_id, post.user_id)))
+        return out, {v: k for k, v in mapping.items()}
+
+    def __repr__(self) -> str:
+        return (
+            f"ForumDataset(name={self.name!r}, users={self.n_users}, "
+            f"threads={self.n_threads}, posts={self.n_posts})"
+        )

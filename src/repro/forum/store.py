@@ -1,0 +1,121 @@
+"""JSONL persistence for :class:`~repro.forum.models.ForumDataset`.
+
+One line per record, with a ``kind`` discriminator, so corpora stream back in
+a single pass and stay diff-able.  Format::
+
+    {"kind": "meta", "name": ...}
+    {"kind": "user", ...}
+    {"kind": "thread", ...}
+    {"kind": "post", ...}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.forum.models import ForumDataset, Post, Thread, User
+
+
+def save_dataset(dataset: ForumDataset, path: "str | Path") -> None:
+    """Write ``dataset`` to ``path`` as JSONL."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(json.dumps({"kind": "meta", "name": dataset.name}) + "\n")
+        for user in dataset.users():
+            fh.write(
+                json.dumps(
+                    {
+                        "kind": "user",
+                        "user_id": user.user_id,
+                        "username": user.username,
+                        "profile": user.profile,
+                        "avatar_id": user.avatar_id,
+                    }
+                )
+                + "\n"
+            )
+        for thread in dataset.threads():
+            fh.write(
+                json.dumps(
+                    {
+                        "kind": "thread",
+                        "thread_id": thread.thread_id,
+                        "board": thread.board,
+                        "topic": thread.topic,
+                        "starter_id": thread.starter_id,
+                    }
+                )
+                + "\n"
+            )
+        for post in dataset.posts():
+            fh.write(
+                json.dumps(
+                    {
+                        "kind": "post",
+                        "post_id": post.post_id,
+                        "user_id": post.user_id,
+                        "thread_id": post.thread_id,
+                        "board": post.board,
+                        "text": post.text,
+                        "created_at": post.created_at,
+                    }
+                )
+                + "\n"
+            )
+
+
+def load_dataset(path: "str | Path") -> ForumDataset:
+    """Read a dataset previously written by :func:`save_dataset`."""
+    path = Path(path)
+    dataset: ForumDataset | None = None
+    pending: list[dict] = []
+    with path.open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.pop("kind", None)
+            if kind == "meta":
+                dataset = ForumDataset(record["name"])
+            elif kind in ("user", "thread", "post"):
+                pending.append({"kind": kind, **record})
+            else:
+                raise ValueError(f"{path}:{lineno}: unknown record kind {kind!r}")
+    if dataset is None:
+        raise ValueError(f"{path}: missing meta record")
+    # Users and threads must exist before posts referencing them.
+    for record in pending:
+        if record["kind"] == "user":
+            dataset.add_user(
+                User(
+                    user_id=record["user_id"],
+                    username=record["username"],
+                    profile=record.get("profile") or {},
+                    avatar_id=record.get("avatar_id"),
+                )
+            )
+    for record in pending:
+        if record["kind"] == "thread":
+            dataset.add_thread(
+                Thread(
+                    thread_id=record["thread_id"],
+                    board=record["board"],
+                    topic=record["topic"],
+                    starter_id=record["starter_id"],
+                )
+            )
+    for record in pending:
+        if record["kind"] == "post":
+            dataset.add_post(
+                Post(
+                    post_id=record["post_id"],
+                    user_id=record["user_id"],
+                    thread_id=record["thread_id"],
+                    board=record["board"],
+                    text=record["text"],
+                    created_at=record.get("created_at", 0.0),
+                )
+            )
+    return dataset

@@ -1,0 +1,19 @@
+"""UDA-graph substrate: correlation graph, attributes, landmarks, communities."""
+
+from repro.graph.communities import community_summary, detect_communities
+from repro.graph.correlation import build_correlation_graph
+from repro.graph.landmarks import landmark_closeness, select_landmarks
+from repro.graph.stats import GraphStats, degree_cdf, graph_stats
+from repro.graph.uda import UDAGraph
+
+__all__ = [
+    "GraphStats",
+    "UDAGraph",
+    "build_correlation_graph",
+    "community_summary",
+    "degree_cdf",
+    "detect_communities",
+    "graph_stats",
+    "landmark_closeness",
+    "select_landmarks",
+]

@@ -1,0 +1,57 @@
+"""Landmark users and distance vectors (the s^s similarity component).
+
+De-Health selects the ħ largest-degree users of each graph as landmarks,
+sorted by decreasing degree, and compares users through their distance
+vectors to the landmark set.  Unreachable landmarks get hop distance ∞;
+since cosine similarity needs finite coordinates we encode distances as
+reciprocal closeness ``1/(1+h)`` (∞ → 0) — a documented design default
+(DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.sparse import csgraph
+
+from repro.errors import ConfigError
+from repro.graph.uda import UDAGraph
+
+
+def select_landmarks(uda: UDAGraph, n_landmarks: int) -> list[int]:
+    """Indices of the top-``n_landmarks`` users by degree (ties: weighted
+    degree, then stable user order), sorted in decreasing-degree order."""
+    if n_landmarks < 1:
+        raise ConfigError(f"n_landmarks must be >= 1, got {n_landmarks}")
+    n = uda.n_users
+    order = sorted(
+        range(n),
+        key=lambda i: (-uda.degrees[i], -uda.weighted_degrees[i], uda.users[i]),
+    )
+    return order[: min(n_landmarks, n)]
+
+
+def landmark_closeness(
+    uda: UDAGraph, landmarks: list[int], weighted: bool
+) -> np.ndarray:
+    """Closeness matrix (n_users × ħ): ``1/(1+dist)`` to each landmark.
+
+    ``weighted=False`` uses hop distances; ``weighted=True`` uses Dijkstra
+    with edge length ``1/w`` (stronger interactivity = closer), matching the
+    paper's weighted distance ``wh``.
+    """
+    if not landmarks:
+        raise ConfigError("landmark list is empty")
+    adj = uda.adjacency(weighted=True).astype(np.float64)
+    if weighted:
+        lengths = adj.copy()
+        lengths.data = 1.0 / lengths.data
+    else:
+        lengths = adj.copy()
+        lengths.data = np.ones_like(lengths.data)
+    dist = csgraph.dijkstra(
+        lengths, directed=False, indices=np.asarray(landmarks, dtype=int)
+    )
+    # dist has shape (ħ, n); transpose to user-major and map ∞ -> 0 closeness
+    closeness = 1.0 / (1.0 + dist.T)
+    closeness[~np.isfinite(dist.T)] = 0.0
+    return closeness

@@ -1,0 +1,52 @@
+"""Degree-distribution statistics (paper Fig 7 and Appendix B)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.utils.stats import empirical_cdf
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary of a correlation graph's connectivity."""
+
+    n_nodes: int
+    n_edges: int
+    mean_degree: float
+    median_degree: float
+    max_degree: int
+    n_isolated: int
+    n_components: int
+
+
+def graph_stats(graph: nx.Graph) -> GraphStats:
+    """Compute the Appendix-B connectivity summary."""
+    degrees = np.array([d for _, d in graph.degree()], dtype=float)
+    if degrees.size == 0:
+        return GraphStats(0, 0, 0.0, 0.0, 0, 0, 0)
+    return GraphStats(
+        n_nodes=graph.number_of_nodes(),
+        n_edges=graph.number_of_edges(),
+        mean_degree=float(degrees.mean()),
+        median_degree=float(np.median(degrees)),
+        max_degree=int(degrees.max()),
+        n_isolated=int((degrees == 0).sum()),
+        n_components=nx.number_connected_components(graph),
+    )
+
+
+def degree_cdf(graph: nx.Graph, points: "list[int] | None" = None) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of user degree evaluated at ``points`` (Fig 7).
+
+    Returns ``(points, cdf)``; default points are 0..max degree.
+    """
+    degrees = [d for _, d in graph.degree()]
+    if points is None:
+        top = max(degrees) if degrees else 0
+        points = list(range(top + 1))
+    pts = np.asarray(points, dtype=float)
+    return pts, empirical_cdf(degrees, pts)

@@ -1,0 +1,35 @@
+"""Linkage attack framework (Section VI): NameLink + AvatarLink.
+
+The paper links de-anonymized health-forum accounts to real-world people via
+username reuse (NameLink, after Perito et al.'s username entropy) and avatar
+reuse (AvatarLink, Google reverse image search).  The live Internet is
+replaced by :class:`~repro.linkage.world.SyntheticInternet` — a generated
+population of people with correlated cross-service username/avatar reuse —
+so the identical attack logic runs against a ground-truthed oracle
+(DESIGN.md §2 records the substitution).
+"""
+
+from repro.linkage.avatarlink import AvatarLink
+from repro.linkage.entropy import MarkovUsernameModel
+from repro.linkage.framework import LinkageAttack, LinkageReport
+from repro.linkage.namelink import NameLink
+from repro.linkage.world import (
+    Account,
+    LinkageWorldConfig,
+    Person,
+    SyntheticInternet,
+    build_world,
+)
+
+__all__ = [
+    "Account",
+    "AvatarLink",
+    "LinkageAttack",
+    "LinkageReport",
+    "LinkageWorldConfig",
+    "MarkovUsernameModel",
+    "NameLink",
+    "Person",
+    "SyntheticInternet",
+    "build_world",
+]

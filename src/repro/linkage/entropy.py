@@ -1,0 +1,79 @@
+"""Username entropy à la Perito et al. ("How unique are your usernames?").
+
+A character-level Markov model over a username population assigns each
+username a *surprisal* (information content, in bits).  High-surprisal
+usernames are very unlikely to be picked independently by two people, so an
+exact cross-service match is strong linkage evidence; low-surprisal handles
+("mary52") collide and must be discarded or cross-validated.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from collections.abc import Iterable
+
+from repro.errors import LinkageError
+
+_BOUNDARY = "\x00"
+
+
+class MarkovUsernameModel:
+    """Order-``n`` character Markov model with add-one smoothing.
+
+    ``surprisal(name)`` returns −log₂ P(name) under the model; higher means
+    more unique.  The model must be fitted on a username population first.
+    """
+
+    def __init__(self, order: int = 2) -> None:
+        if order < 1:
+            raise LinkageError(f"order must be >= 1, got {order}")
+        self.order = order
+        self._context_counts: "dict[str, Counter] | None" = None
+        self._vocab: set[str] = set()
+
+    def fit(self, usernames: Iterable[str]) -> "MarkovUsernameModel":
+        contexts: dict[str, Counter] = defaultdict(Counter)
+        vocab: set[str] = {_BOUNDARY}
+        n_seen = 0
+        for name in usernames:
+            if not name:
+                continue
+            n_seen += 1
+            padded = _BOUNDARY * self.order + name.lower() + _BOUNDARY
+            vocab.update(padded)
+            for i in range(self.order, len(padded)):
+                context = padded[i - self.order : i]
+                contexts[context][padded[i]] += 1
+        if n_seen == 0:
+            raise LinkageError("cannot fit an entropy model on zero usernames")
+        self._context_counts = dict(contexts)
+        self._vocab = vocab
+        return self
+
+    def _prob(self, context: str, char: str) -> float:
+        counts = self._context_counts.get(context)
+        v = len(self._vocab)
+        if counts is None:
+            return 1.0 / v
+        total = sum(counts.values())
+        return (counts.get(char, 0) + 1.0) / (total + v)
+
+    def surprisal(self, username: str) -> float:
+        """Information content of ``username`` in bits (−log₂ P)."""
+        if self._context_counts is None:
+            raise LinkageError("entropy model is not fitted")
+        if not username:
+            raise LinkageError("cannot score an empty username")
+        padded = _BOUNDARY * self.order + username.lower() + _BOUNDARY
+        bits = 0.0
+        for i in range(self.order, len(padded)):
+            context = padded[i - self.order : i]
+            bits += -math.log2(self._prob(context, padded[i]))
+        return bits
+
+    def rank_by_uniqueness(self, usernames: Iterable[str]) -> list[tuple[str, float]]:
+        """Usernames sorted by decreasing surprisal (NameLink's step ii)."""
+        scored = [(u, self.surprisal(u)) for u in usernames]
+        scored.sort(key=lambda item: -item[1])
+        return scored

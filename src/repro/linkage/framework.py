@@ -1,0 +1,155 @@
+"""The combined linkage attack (Section VI): run both tools, cross-validate,
+aggregate information, and account for the privacy damage.
+
+The paper's headline numbers for the WebMD population: NameLink ties 1,676
+users to HealthBoards accounts, AvatarLink ties 347 of 2,805 filtered avatar
+targets (12.4%) to real people, the two linked populations overlap in 137
+users, over 33.4% of avatar-linked users are found on two or more social
+services, and for most linked users the full name, birthdate, phone number
+and address become recoverable (via Whitepages).  :class:`LinkageReport`
+carries all of those quantities for the synthetic reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.forum.models import ForumDataset
+from repro.linkage.avatarlink import AvatarLink
+from repro.linkage.namelink import NameLink
+from repro.linkage.world import SyntheticInternet
+
+
+@dataclass(frozen=True)
+class LinkageReport:
+    """Outcome of a combined NameLink + AvatarLink campaign."""
+
+    n_users: int
+    n_avatar_targets: int
+    name_links: dict = field(hash=False)
+    avatar_links: dict = field(hash=False)
+    name_precision: float = 0.0
+    avatar_precision: float = 0.0
+    revealed: dict = field(default_factory=dict, hash=False)
+
+    @property
+    def n_name_linked(self) -> int:
+        return len(self.name_links)
+
+    @property
+    def n_avatar_linked(self) -> int:
+        return len(self.avatar_links)
+
+    @property
+    def avatar_link_rate(self) -> float:
+        """The paper's 347/2805 = 12.4% measure."""
+        if not self.n_avatar_targets:
+            return 0.0
+        return self.n_avatar_linked / self.n_avatar_targets
+
+    @property
+    def overlap_ids(self) -> set:
+        """Users linked by both tools (the paper's 137)."""
+        return set(self.name_links) & set(self.avatar_links)
+
+    @property
+    def multi_service_fraction(self) -> float:
+        """Of avatar-linked users, how many hit >= 2 distinct services."""
+        if not self.avatar_links:
+            return 0.0
+        multi = sum(
+            1
+            for hits in self.avatar_links.values()
+            if len({h.account.service for h in hits}) >= 2
+        )
+        return multi / len(self.avatar_links)
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable report (what the §VI evaluation narrates)."""
+        lines = [
+            f"population: {self.n_users} forum users",
+            f"NameLink: {self.n_name_linked} users linked "
+            f"(precision {self.name_precision:.2f})",
+            f"AvatarLink: {self.n_avatar_linked}/{self.n_avatar_targets} "
+            f"targets linked ({self.avatar_link_rate:.1%}, "
+            f"precision {self.avatar_precision:.2f})",
+            f"overlap (both tools): {len(self.overlap_ids)} users",
+            f"multi-service avatar links: {self.multi_service_fraction:.1%}",
+        ]
+        if self.revealed:
+            lines.append(
+                "PII recovered for linked users: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(self.revealed.items()))
+            )
+        return lines
+
+
+class LinkageAttack:
+    """Orchestrates NameLink + AvatarLink + Whitepages aggregation."""
+
+    def __init__(
+        self,
+        world: SyntheticInternet,
+        min_entropy_bits: float = 35.0,
+        avatar_similarity_threshold: float = 0.95,
+    ) -> None:
+        self.world = world
+        self.namelink = NameLink(world, min_entropy_bits=min_entropy_bits)
+        self.avatarlink = AvatarLink(
+            world, similarity_threshold=avatar_similarity_threshold
+        )
+
+    def run(
+        self,
+        dataset: ForumDataset,
+        name_target_service: "str | None" = "healthboards",
+    ) -> LinkageReport:
+        """Run the full campaign against one forum's user population."""
+        users = list(dataset.users())
+        name_links = self.namelink.link_all(users, name_target_service)
+        avatar_targets = self.avatarlink.filter_targets(users)
+        avatar_links = self.avatarlink.link_all(users)
+
+        revealed = self._aggregate_pii(set(name_links) | set(avatar_links))
+        return LinkageReport(
+            n_users=len(users),
+            n_avatar_targets=len(avatar_targets),
+            name_links=name_links,
+            avatar_links=avatar_links,
+            name_precision=self.namelink.precision(name_links),
+            avatar_precision=self.avatarlink.precision(avatar_links),
+            revealed=revealed,
+        )
+
+    def _aggregate_pii(self, linked_user_ids: set) -> dict:
+        """Count how many linked users expose each PII field.
+
+        A linked user's identity resolves through the world's ground truth
+        (standing in for manual validation + Whitepages enrichment).
+        """
+        counts = {
+            "full_name": 0,
+            "birthdate": 0,
+            "phone": 0,
+            "address": 0,
+            "location": 0,
+        }
+        for user_id in linked_user_ids:
+            person_id = self.world.forum_person.get(user_id)
+            if person_id is None:
+                continue
+            person = self.world.person(person_id)
+            matches = self.world.whitepages_lookup(
+                person.full_name, person.location
+            )
+            if not matches:
+                continue
+            counts["full_name"] += 1
+            counts["location"] += 1
+            # whitepages-style enrichment succeeds when the name+location
+            # pair is unambiguous in the registry
+            if len(matches) == 1:
+                counts["birthdate"] += 1
+                counts["phone"] += 1
+                counts["address"] += 1
+        return counts

@@ -1,0 +1,30 @@
+"""Benchmark machine-learning classifiers, implemented from scratch.
+
+The paper's refined-DA phase uses "benchmark machine learning techniques" —
+specifically KNN and SMO-trained SVMs, with SVM/NN/RLSC named as candidates.
+scikit-learn is not available in the offline environment, so this subpackage
+provides NumPy implementations with a minimal fit/predict interface.
+"""
+
+from repro.ml.base import Classifier, check_fitted
+from repro.ml.knn import KNNClassifier
+from repro.ml.metrics import accuracy_score, confusion_counts
+from repro.ml.multiclass import OneVsRestClassifier
+from repro.ml.nearest_centroid import NearestCentroidClassifier
+from repro.ml.preprocessing import StandardScaler
+from repro.ml.rlsc import RLSCClassifier
+from repro.ml.svm_smo import SMOBinarySVM, SMOClassifier
+
+__all__ = [
+    "Classifier",
+    "KNNClassifier",
+    "NearestCentroidClassifier",
+    "OneVsRestClassifier",
+    "RLSCClassifier",
+    "SMOBinarySVM",
+    "SMOClassifier",
+    "StandardScaler",
+    "accuracy_score",
+    "check_fitted",
+    "confusion_counts",
+]

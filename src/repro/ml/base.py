@@ -1,0 +1,47 @@
+"""Shared classifier interface."""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import NotFittedError
+
+
+@runtime_checkable
+class Classifier(Protocol):
+    """Minimal fit/predict protocol all repro classifiers satisfy."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Classifier": ...
+
+    def predict(self, X: np.ndarray) -> np.ndarray: ...
+
+    def predict_scores(self, X: np.ndarray) -> np.ndarray:
+        """Per-class scores, shape (n_samples, n_classes)."""
+        ...
+
+    def clone(self) -> "Classifier":
+        """Unfitted copy with the same hyperparameters."""
+        ...
+
+
+def check_fitted(estimator, attribute: str) -> None:
+    """Raise :class:`NotFittedError` unless ``attribute`` is set and non-None."""
+    if getattr(estimator, attribute, None) is None:
+        raise NotFittedError(
+            f"{type(estimator).__name__} must be fitted before prediction"
+        )
+
+
+def validate_xy(X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Coerce and sanity-check a training pair."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if len(X) != len(y):
+        raise ValueError(f"X has {len(X)} rows but y has {len(y)} labels")
+    if len(X) == 0:
+        raise ValueError("cannot fit on an empty training set")
+    return X, y

@@ -1,0 +1,72 @@
+"""k-nearest-neighbour classifier (the paper's KNN baseline, after [31])."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.ml.base import check_fitted, validate_xy
+
+
+class KNNClassifier:
+    """Vectorised KNN with euclidean or cosine distance.
+
+    ``predict_scores`` returns per-class (inverse-distance-weighted) vote
+    shares so downstream verification schemes can threshold on confidence.
+    """
+
+    def __init__(self, k: int = 3, metric: str = "cosine") -> None:
+        if k < 1:
+            raise ConfigError(f"k must be >= 1, got {k}")
+        if metric not in ("euclidean", "cosine"):
+            raise ConfigError(f"unknown metric {metric!r}")
+        self.k = k
+        self.metric = metric
+        self._X: "np.ndarray | None" = None
+        self._y_idx: "np.ndarray | None" = None
+        self.classes_: "np.ndarray | None" = None
+
+    def clone(self) -> "KNNClassifier":
+        return KNNClassifier(k=self.k, metric=self.metric)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNNClassifier":
+        X, y = validate_xy(X, y)
+        self.classes_, self._y_idx = np.unique(y, return_inverse=True)
+        self._X = X
+        return self
+
+    def _distances(self, X: np.ndarray) -> np.ndarray:
+        if self.metric == "euclidean":
+            # ||a-b||^2 = ||a||^2 + ||b||^2 - 2 a.b
+            sq = (
+                np.sum(X * X, axis=1)[:, None]
+                + np.sum(self._X * self._X, axis=1)[None, :]
+                - 2.0 * (X @ self._X.T)
+            )
+            return np.sqrt(np.maximum(sq, 0.0))
+        # cosine distance
+        xn = np.linalg.norm(X, axis=1, keepdims=True)
+        tn = np.linalg.norm(self._X, axis=1, keepdims=True)
+        xn[xn == 0.0] = 1.0
+        tn[tn == 0.0] = 1.0
+        sim = (X / xn) @ (self._X / tn).T
+        return 1.0 - sim
+
+    def predict_scores(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self, "_X")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        dist = self._distances(X)
+        k = min(self.k, dist.shape[1])
+        nn = np.argpartition(dist, k - 1, axis=1)[:, :k]
+        scores = np.zeros((len(X), len(self.classes_)))
+        for i in range(len(X)):
+            for j in nn[i]:
+                weight = 1.0 / (1.0 + dist[i, j])
+                scores[i, self._y_idx[j]] += weight
+        totals = scores.sum(axis=1, keepdims=True)
+        totals[totals == 0.0] = 1.0
+        return scores / totals
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        scores = self.predict_scores(X)
+        return self.classes_[np.argmax(scores, axis=1)]

@@ -1,0 +1,33 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exact label matches."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if len(y_true) != len(y_pred):
+        raise ValueError(
+            f"length mismatch: {len(y_true)} true vs {len(y_pred)} predicted"
+        )
+    if len(y_true) == 0:
+        raise ValueError("cannot score empty predictions")
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_counts(y_true, y_pred) -> dict:
+    """``(true, predicted) -> count`` mapping (sparse confusion matrix)."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if len(y_true) != len(y_pred):
+        raise ValueError(
+            f"length mismatch: {len(y_true)} true vs {len(y_pred)} predicted"
+        )
+    out: dict = {}
+    for t, p in zip(y_true, y_pred):
+        key = (t, p)
+        out[key] = out.get(key, 0) + 1
+    return out

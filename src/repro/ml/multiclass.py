@@ -1,0 +1,51 @@
+"""One-vs-rest reduction from binary ±1 classifiers to multiclass."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import check_fitted, validate_xy
+
+
+class OneVsRestClassifier:
+    """Trains one binary classifier per class; predicts the argmax margin.
+
+    The base estimator must expose ``fit(X, y±1)``, ``decision_function(X)``,
+    and ``clone()``.
+    """
+
+    def __init__(self, base) -> None:
+        self.base = base
+        self.classes_: "np.ndarray | None" = None
+        self._estimators: "list | None" = None
+
+    def clone(self) -> "OneVsRestClassifier":
+        return OneVsRestClassifier(base=self.base.clone())
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "OneVsRestClassifier":
+        X, y = validate_xy(X, y)
+        self.classes_ = np.unique(y)
+        self._estimators = []
+        if len(self.classes_) < 2:
+            # degenerate single-class problem: predict it always
+            return self
+        for cls in self.classes_:
+            target = np.where(y == cls, 1.0, -1.0)
+            est = self.base.clone()
+            est.fit(X, target)
+            self._estimators.append(est)
+        return self
+
+    def predict_scores(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self, "classes_")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if not self._estimators:
+            return np.ones((len(X), 1))
+        margins = np.column_stack(
+            [est.decision_function(X) for est in self._estimators]
+        )
+        return margins
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        scores = self.predict_scores(X)
+        return self.classes_[np.argmax(scores, axis=1)]

@@ -1,0 +1,40 @@
+"""Nearest-centroid classifier (the paper's "NN" benchmark in its simplest form)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import check_fitted, validate_xy
+
+
+class NearestCentroidClassifier:
+    """Assigns the class whose training centroid is closest (cosine)."""
+
+    def __init__(self) -> None:
+        self.classes_: "np.ndarray | None" = None
+        self._centroids: "np.ndarray | None" = None
+
+    def clone(self) -> "NearestCentroidClassifier":
+        return NearestCentroidClassifier()
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "NearestCentroidClassifier":
+        X, y = validate_xy(X, y)
+        self.classes_, y_idx = np.unique(y, return_inverse=True)
+        centroids = np.zeros((len(self.classes_), X.shape[1]))
+        for c in range(len(self.classes_)):
+            centroids[c] = X[y_idx == c].mean(axis=0)
+        self._centroids = centroids
+        return self
+
+    def predict_scores(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self, "_centroids")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        xn = np.linalg.norm(X, axis=1, keepdims=True)
+        cn = np.linalg.norm(self._centroids, axis=1, keepdims=True)
+        xn[xn == 0.0] = 1.0
+        cn[cn == 0.0] = 1.0
+        return (X / xn) @ (self._centroids / cn).T
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        scores = self.predict_scores(X)
+        return self.classes_[np.argmax(scores, axis=1)]

@@ -1,0 +1,36 @@
+"""Feature scaling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import check_fitted
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance scaling with constant-feature guard.
+
+    Features with zero variance are left centred but unscaled (divisor 1),
+    which keeps the stylometric vectors — most slots are zero for most
+    posts — numerically stable.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: "np.ndarray | None" = None
+        self.scale_: "np.ndarray | None" = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=float)
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self, "mean_")
+        X = np.asarray(X, dtype=float)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)

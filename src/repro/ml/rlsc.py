@@ -1,0 +1,58 @@
+"""Regularized Least Squares Classification (RLSC).
+
+One of the benchmark techniques the paper names for refined DA ([31] uses
+RLSC at Internet scale).  One-hot ridge regression solved in whichever space
+is smaller (primal d×d or dual n×n), predicting the argmax output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.ml.base import check_fitted, validate_xy
+
+
+class RLSCClassifier:
+    """Ridge-regression one-vs-all classifier with closed-form training."""
+
+    def __init__(self, reg: float = 1.0) -> None:
+        if reg <= 0:
+            raise ConfigError(f"reg must be positive, got {reg}")
+        self.reg = reg
+        self.classes_: "np.ndarray | None" = None
+        self._W: "np.ndarray | None" = None  # (d, n_classes) primal weights
+        self._dual: bool = False
+        self._Xtrain: "np.ndarray | None" = None
+        self._A: "np.ndarray | None" = None  # (n, n_classes) dual coefs
+
+    def clone(self) -> "RLSCClassifier":
+        return RLSCClassifier(reg=self.reg)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RLSCClassifier":
+        X, y = validate_xy(X, y)
+        self.classes_, y_idx = np.unique(y, return_inverse=True)
+        n, d = X.shape
+        Y = -np.ones((n, len(self.classes_)))
+        Y[np.arange(n), y_idx] = 1.0
+        if d <= n:
+            self._dual = False
+            G = X.T @ X + self.reg * np.eye(d)
+            self._W = np.linalg.solve(G, X.T @ Y)
+        else:
+            self._dual = True
+            K = X @ X.T + self.reg * np.eye(n)
+            self._A = np.linalg.solve(K, Y)
+            self._Xtrain = X
+        return self
+
+    def predict_scores(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self, "classes_")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if self._dual:
+            return (X @ self._Xtrain.T) @ self._A
+        return X @ self._W
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        scores = self.predict_scores(X)
+        return self.classes_[np.argmax(scores, axis=1)]

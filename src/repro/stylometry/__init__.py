@@ -1,0 +1,19 @@
+"""Stylometric feature extraction (Table I of the paper).
+
+The feature space F is the concatenation of thirteen category blocks —
+lexical (length, word length, vocabulary richness, letter/digit frequency,
+uppercase percentage, special characters, word shape), syntactic
+(punctuation, function words, POS tags, POS tag bigrams), and idiosyncratic
+(misspellings).  :class:`FeatureSpace` fixes the slot layout;
+:class:`FeatureExtractor` maps post text to vectors over it.
+"""
+
+from repro.stylometry.features import FeatureSpace, default_feature_space
+from repro.stylometry.extractor import FeatureExtractor, UserAttributeProfile
+
+__all__ = [
+    "FeatureExtractor",
+    "FeatureSpace",
+    "UserAttributeProfile",
+    "default_feature_space",
+]

@@ -1,0 +1,266 @@
+"""Post-level feature extraction and user-level attribute aggregation.
+
+Each post is tokenized and tagged once; every Table-I category then counts
+into a sparse ``slot -> value`` mapping over the shared
+:class:`~repro.stylometry.features.FeatureSpace`.  Frequencies are
+normalised within their natural denominator (words for word-indexed
+features, characters for character-indexed ones, tags for POS features), so
+values are real, non-negative, and 0 means "post does not have this
+feature" — exactly the paper's convention.
+
+User-level aggregation follows Section II-B: user ``u`` *has* attribute
+``A_i`` iff some post of ``u`` has feature ``F_i`` non-zero, and the weight
+``l_u(A_i)`` is the number of ``u``'s posts with that feature.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.stylometry.features import (
+    FeatureSpace,
+    MAX_WORD_LENGTH_BIN,
+    WORD_SHAPE_BIGRAM_CLASSES,
+    default_feature_space,
+)
+from repro.text.lexicons import (
+    FUNCTION_WORDS,
+    MISSPELLINGS,
+    PUNCTUATION_MARKS,
+    SPECIAL_CHARACTERS,
+)
+from repro.text.metrics import vocabulary_richness
+from repro.text.postag import PENN_TAGS, POSTagger
+from repro.text.tokenize import tokenize, word_shape
+
+
+@dataclass(frozen=True)
+class UserAttributeProfile:
+    """A user's binary attributes A(u) and weights WA(u) (Section II-B).
+
+    ``slots`` are the feature indices the user has (sorted), ``weights[i]``
+    the number of the user's posts exhibiting ``slots[i]``.
+    """
+
+    slots: np.ndarray
+    weights: np.ndarray
+    n_posts: int
+
+    def __post_init__(self) -> None:
+        if len(self.slots) != len(self.weights):
+            raise ValueError("slots and weights must align")
+
+    def as_dict(self) -> dict[int, int]:
+        """``{slot: l_u(A_i)}`` mapping."""
+        return {int(s): int(w) for s, w in zip(self.slots, self.weights)}
+
+    @property
+    def attribute_set(self) -> frozenset[int]:
+        """A(u) as a frozen set of slot indices."""
+        return frozenset(int(s) for s in self.slots)
+
+
+class FeatureExtractor:
+    """Maps post text to Table-I feature vectors.
+
+    Parameters
+    ----------
+    space:
+        Feature space to extract into; defaults to the shared layout.
+    tagger:
+        POS tagger; defaults to a fresh :class:`POSTagger`.
+    """
+
+    def __init__(
+        self,
+        space: FeatureSpace | None = None,
+        tagger: POSTagger | None = None,
+    ) -> None:
+        self.space = space or default_feature_space()
+        self._tagger = tagger or POSTagger()
+        self._offsets = {
+            cat: sl.start for cat, sl in self.space.category_slices.items()
+        }
+        self._fw_index = {w: i for i, w in enumerate(FUNCTION_WORDS)}
+        self._misspell_index = {w: i for i, w in enumerate(sorted(MISSPELLINGS))}
+        self._tag_index = {t: i for i, t in enumerate(PENN_TAGS)}
+        self._shape_index = {"upper": 0, "lower": 1, "capitalized": 2, "camel": 3, "other": 4}
+        self._shape_bigram_index = {
+            (a, b): i
+            for i, (a, b) in enumerate(
+                (a, b)
+                for a in WORD_SHAPE_BIGRAM_CLASSES
+                for b in WORD_SHAPE_BIGRAM_CLASSES
+            )
+        }
+        self._special_index = {c: i for i, c in enumerate(SPECIAL_CHARACTERS)}
+        self._punct_index = {c: i for i, c in enumerate(PUNCTUATION_MARKS)}
+        self._n_tags = len(PENN_TAGS)
+
+    def extract_sparse(self, text: str) -> dict[int, float]:
+        """Extract one post into a sparse ``{slot: value}`` mapping."""
+        out: dict[int, float] = {}
+        if not text or not text.strip():
+            return out
+
+        tokens = tokenize(text)
+        words = [t.text for t in tokens if t.kind == "word"]
+        lower_words = [w.lower() for w in words]
+        n_words = len(words)
+        n_chars = len(text)
+
+        off = self._offsets
+
+        # --- length (3)
+        base = off["length"]
+        out[base] = float(n_chars)
+        paragraphs = [p for p in text.split("\n\n") if p.strip()]
+        out[base + 1] = float(max(len(paragraphs), 1))
+        if n_words:
+            out[base + 2] = sum(len(w) for w in words) / n_words
+
+        # --- word length (20)
+        if n_words:
+            base = off["word_length"]
+            counts = Counter(min(len(w), MAX_WORD_LENGTH_BIN) for w in words)
+            for length, c in counts.items():
+                out[base + length - 1] = c / n_words
+
+        # --- vocabulary richness (5)
+        base = off["vocabulary_richness"]
+        for i, value in enumerate(vocabulary_richness(lower_words).values()):
+            if value:
+                out[base + i] = float(value)
+
+        # --- letter freq (26), uppercase pct (1)
+        letters = [c for c in text if c.isalpha()]
+        n_letters = len(letters)
+        if n_letters:
+            base = off["letter_freq"]
+            counts = Counter(c.lower() for c in letters)
+            for ch, c in counts.items():
+                idx = ord(ch) - ord("a")
+                if 0 <= idx < 26:
+                    out[base + idx] = c / n_letters
+            n_upper = sum(1 for c in letters if c.isupper())
+            if n_upper:
+                out[off["uppercase_pct"]] = n_upper / n_letters
+
+        # --- digit freq (10)
+        # ASCII digits only: str.isdigit() also accepts superscripts etc.,
+        # which are not Table-I digit features
+        base = off["digit_freq"]
+        digit_counts = Counter(c for c in text if "0" <= c <= "9")
+        for d, c in digit_counts.items():
+            out[base + int(d)] = c / n_chars
+
+        # --- special characters (21)
+        base = off["special_chars"]
+        for ch, idx in self._special_index.items():
+            c = text.count(ch)
+            if c:
+                out[base + idx] = c / n_chars
+
+        # --- word shape (5 + 16)
+        if n_words:
+            base = off["word_shape"]
+            shapes = [word_shape(w) for w in words]
+            for s, c in Counter(shapes).items():
+                out[base + self._shape_index[s]] = c / n_words
+            if len(shapes) > 1:
+                bigram_counts = Counter(zip(shapes, shapes[1:]))
+                for pair, c in bigram_counts.items():
+                    idx = self._shape_bigram_index.get(pair)
+                    if idx is not None:
+                        out[base + 5 + idx] = c / (len(shapes) - 1)
+
+        # --- punctuation (10)
+        base = off["punctuation"]
+        for ch, idx in self._punct_index.items():
+            c = text.count(ch)
+            if c:
+                out[base + idx] = c / n_chars
+
+        # --- function words (337)
+        if n_words:
+            base = off["function_words"]
+            fw_counts = Counter(
+                w for w in lower_words if w in self._fw_index
+            )
+            for w, c in fw_counts.items():
+                out[base + self._fw_index[w]] = c / n_words
+
+        # --- POS tags and bigrams
+        tags = self._tagger.tag(tokens)
+        n_tags = len(tags)
+        if n_tags:
+            base = off["pos_tags"]
+            for t, c in Counter(tags).items():
+                out[base + self._tag_index[t]] = c / n_tags
+            if n_tags > 1:
+                base = off["pos_bigrams"]
+                bigram_counts = Counter(zip(tags, tags[1:]))
+                for (a, b), c in bigram_counts.items():
+                    idx = self._tag_index[a] * self._n_tags + self._tag_index[b]
+                    out[base + idx] = c / (n_tags - 1)
+
+        # --- misspellings (248)
+        if n_words:
+            base = off["misspellings"]
+            ms_counts = Counter(
+                w for w in lower_words if w in self._misspell_index
+            )
+            for w, c in ms_counts.items():
+                out[base + self._misspell_index[w]] = c / n_words
+
+        return out
+
+    def extract(self, text: str) -> np.ndarray:
+        """Extract one post into a dense vector of shape ``(M,)``."""
+        vec = np.zeros(self.space.size)
+        for slot, value in self.extract_sparse(text).items():
+            vec[slot] = value
+        return vec
+
+    def extract_matrix(self, texts: Sequence[str]) -> sparse.csr_matrix:
+        """Extract many posts into a CSR matrix of shape ``(n_posts, M)``."""
+        indptr = [0]
+        indices: list[int] = []
+        data: list[float] = []
+        for text in texts:
+            row = self.extract_sparse(text)
+            for slot in sorted(row):
+                indices.append(slot)
+                data.append(row[slot])
+            indptr.append(len(indices))
+        return sparse.csr_matrix(
+            (data, indices, indptr), shape=(len(texts), self.space.size)
+        )
+
+    def attribute_profile(self, texts: Iterable[str]) -> UserAttributeProfile:
+        """Aggregate a user's posts into A(u) / WA(u) (binary + weights)."""
+        post_counts: Counter[int] = Counter()
+        n_posts = 0
+        for text in texts:
+            n_posts += 1
+            post_counts.update(self.extract_sparse(text).keys())
+        slots = np.array(sorted(post_counts), dtype=np.int64)
+        weights = np.array([post_counts[s] for s in slots], dtype=np.int64)
+        return UserAttributeProfile(slots=slots, weights=weights, n_posts=n_posts)
+
+    def mean_vector(self, texts: Sequence[str]) -> np.ndarray:
+        """Mean post vector of a user (dense); zeros if no posts."""
+        vec = np.zeros(self.space.size)
+        n = 0
+        for text in texts:
+            for slot, value in self.extract_sparse(text).items():
+                vec[slot] += value
+            n += 1
+        if n:
+            vec /= n
+        return vec

@@ -1,0 +1,128 @@
+"""The stylometric feature space: named slots grouped by Table-I category.
+
+The paper organises features as a single vector ``F = <F1 ... FM>`` whose
+category sizes it fixes (3, 20, 5, 26, 10, 1, 21, 21, 10, 337, |POS|,
+|POS|², 248).  This module materialises that layout: every feature has a
+stable integer slot and a human-readable name, and each category owns a
+contiguous slice.  The POS blocks use our 37-tag Penn-style tagset, so
+M = 2108 (the paper's POS blocks are bounded, not fixed: "< 2300").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.text.lexicons import (
+    FUNCTION_WORDS,
+    MISSPELLINGS,
+    PUNCTUATION_MARKS,
+    SPECIAL_CHARACTERS,
+)
+from repro.text.postag import PENN_TAGS
+
+#: Maximum word length tracked individually; longer words share the last bin.
+MAX_WORD_LENGTH_BIN = 20
+
+#: Word-shape classes tracked by frequency features.
+WORD_SHAPE_CLASSES: tuple[str, ...] = ("upper", "lower", "capitalized", "camel", "other")
+
+#: Shape classes participating in shape-bigram features (4x4 = 16 slots).
+WORD_SHAPE_BIGRAM_CLASSES: tuple[str, ...] = ("upper", "lower", "capitalized", "camel")
+
+_RICHNESS_NAMES: tuple[str, ...] = (
+    "yules_k", "hapax_legomena", "dis_legomena", "tris_legomena", "tetrakis_legomena",
+)
+
+_LENGTH_NAMES: tuple[str, ...] = ("char_count", "paragraph_count", "avg_chars_per_word")
+
+
+@dataclass(frozen=True)
+class FeatureSpace:
+    """Immutable slot layout of the stylometric feature vector.
+
+    Attributes
+    ----------
+    names:
+        Tuple of all feature names, index = slot.
+    category_slices:
+        Category name -> ``slice`` over the vector.
+    """
+
+    names: tuple[str, ...]
+    category_slices: dict[str, slice] = field(hash=False)
+
+    @property
+    def size(self) -> int:
+        """Total number of features M."""
+        return len(self.names)
+
+    def slots(self, category: str) -> slice:
+        """The contiguous slice owned by ``category``.
+
+        Raises ``KeyError`` for unknown categories.
+        """
+        return self.category_slices[category]
+
+    def category_sizes(self) -> dict[str, int]:
+        """Category name -> number of slots (the Table-I "Count" column)."""
+        return {
+            name: sl.stop - sl.start for name, sl in self.category_slices.items()
+        }
+
+    def index_of(self, name: str) -> int:
+        """Slot index of a feature name (linear scan; for tests/debugging)."""
+        try:
+            return self.names.index(name)
+        except ValueError:
+            raise KeyError(f"unknown feature name: {name!r}") from None
+
+
+def _build_default_space() -> FeatureSpace:
+    names: list[str] = []
+    slices: dict[str, slice] = {}
+
+    def add_category(category: str, feature_names: list[str]) -> None:
+        start = len(names)
+        names.extend(feature_names)
+        slices[category] = slice(start, len(names))
+
+    add_category("length", [f"length:{n}" for n in _LENGTH_NAMES])
+    add_category(
+        "word_length",
+        [f"word_length:{i}" for i in range(1, MAX_WORD_LENGTH_BIN + 1)],
+    )
+    add_category("vocabulary_richness", [f"richness:{n}" for n in _RICHNESS_NAMES])
+    add_category("letter_freq", [f"letter:{c}" for c in "abcdefghijklmnopqrstuvwxyz"])
+    add_category("digit_freq", [f"digit:{d}" for d in "0123456789"])
+    add_category("uppercase_pct", ["uppercase_pct"])
+    add_category("special_chars", [f"special:{c}" for c in SPECIAL_CHARACTERS])
+    add_category(
+        "word_shape",
+        [f"shape:{s}" for s in WORD_SHAPE_CLASSES]
+        + [
+            f"shape_bigram:{a}>{b}"
+            for a in WORD_SHAPE_BIGRAM_CLASSES
+            for b in WORD_SHAPE_BIGRAM_CLASSES
+        ],
+    )
+    add_category("punctuation", [f"punct:{c}" for c in PUNCTUATION_MARKS])
+    add_category("function_words", [f"fw:{w}" for w in FUNCTION_WORDS])
+    add_category("pos_tags", [f"pos:{t}" for t in PENN_TAGS])
+    add_category(
+        "pos_bigrams",
+        [f"pos2:{a}>{b}" for a in PENN_TAGS for b in PENN_TAGS],
+    )
+    add_category("misspellings", [f"misspell:{w}" for w in sorted(MISSPELLINGS)])
+
+    return FeatureSpace(names=tuple(names), category_slices=slices)
+
+
+_DEFAULT_SPACE: FeatureSpace | None = None
+
+
+def default_feature_space() -> FeatureSpace:
+    """The shared default :class:`FeatureSpace` (built once, reused)."""
+    global _DEFAULT_SPACE
+    if _DEFAULT_SPACE is None:
+        _DEFAULT_SPACE = _build_default_space()
+    return _DEFAULT_SPACE

@@ -1,0 +1,44 @@
+"""Text substrate: tokenization, POS tagging, lexicons, and vocabulary metrics.
+
+The paper's stylometric features (Table I) need word/sentence tokenization, a
+part-of-speech tagger, a function-word list, a misspelling lexicon, and
+vocabulary-richness statistics.  NLTK is not available offline, so this
+subpackage implements all of them from scratch.
+"""
+
+from repro.text.lexicons import (
+    FUNCTION_WORDS,
+    MISSPELLINGS,
+    PUNCTUATION_MARKS,
+    SPECIAL_CHARACTERS,
+)
+from repro.text.metrics import (
+    hapax_legomena,
+    legomena_count,
+    vocabulary_richness,
+    yules_k,
+)
+from repro.text.postag import POSTagger, PENN_TAGS
+from repro.text.tokenize import (
+    sentences,
+    tokenize,
+    tokenize_words,
+    word_shape,
+)
+
+__all__ = [
+    "FUNCTION_WORDS",
+    "MISSPELLINGS",
+    "PENN_TAGS",
+    "POSTagger",
+    "PUNCTUATION_MARKS",
+    "SPECIAL_CHARACTERS",
+    "hapax_legomena",
+    "legomena_count",
+    "sentences",
+    "tokenize",
+    "tokenize_words",
+    "vocabulary_richness",
+    "word_shape",
+    "yules_k",
+]

@@ -1,0 +1,58 @@
+"""Vocabulary-richness metrics (Table I, "Vocabulary richness" row).
+
+The paper uses five richness features: Yule's K plus the counts of hapax,
+dis, tris, and tetrakis legomena (words occurring exactly 1, 2, 3, 4 times).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+
+def yules_k(words: Iterable[str]) -> float:
+    """Yule's characteristic K, a length-robust repetitiveness measure.
+
+    ``K = 10^4 * (Σ_i i² V_i − N) / N²`` where ``V_i`` is the number of types
+    occurring exactly ``i`` times and ``N`` the token count.  Returns 0.0 for
+    fewer than two tokens (K is undefined there; 0 keeps features finite).
+    """
+    counts = Counter(words)
+    n = sum(counts.values())
+    if n < 2:
+        return 0.0
+    freq_of_freq = Counter(counts.values())
+    s2 = sum(i * i * v for i, v in freq_of_freq.items())
+    return 1e4 * (s2 - n) / (n * n)
+
+
+def legomena_count(words: Iterable[str], k: int) -> int:
+    """Number of word types occurring exactly ``k`` times (k-legomena)."""
+    if k < 1:
+        raise ValueError(f"legomena order must be >= 1, got {k}")
+    counts = Counter(words)
+    return sum(1 for c in counts.values() if c == k)
+
+
+def hapax_legomena(words: Iterable[str]) -> int:
+    """Number of word types occurring exactly once."""
+    return legomena_count(words, 1)
+
+
+def vocabulary_richness(words: list[str]) -> dict[str, float]:
+    """All five Table-I richness features in one pass."""
+    counts = Counter(words)
+    n = sum(counts.values())
+    freq_of_freq = Counter(counts.values())
+    if n < 2:
+        k = 0.0
+    else:
+        s2 = sum(i * i * v for i, v in freq_of_freq.items())
+        k = 1e4 * (s2 - n) / (n * n)
+    return {
+        "yules_k": k,
+        "hapax_legomena": float(freq_of_freq.get(1, 0)),
+        "dis_legomena": float(freq_of_freq.get(2, 0)),
+        "tris_legomena": float(freq_of_freq.get(3, 0)),
+        "tetrakis_legomena": float(freq_of_freq.get(4, 0)),
+    }

@@ -1,0 +1,216 @@
+"""Lexicon + suffix-rule part-of-speech tagger over a Penn-style tagset.
+
+The stylometric pipeline only consumes POS *tag frequencies* and *tag-bigram
+frequencies* (Table I), so the tagger's job is to be deterministic, fast, and
+style-discriminative — not to win parsing contests.  The design is a
+two-stage classic:
+
+1. a closed-class lexicon assigns tags to determiners, pronouns,
+   prepositions, conjunctions, auxiliaries, wh-words, and a few hundred
+   high-frequency open-class words;
+2. unknown words fall through to ordered suffix/shape rules (numbers → CD,
+   -ing → VBG, -ly → RB, ...), followed by a handful of Brill-style
+   contextual patch rules (e.g. DT _ → NN when the lexicon guessed a verb).
+"""
+
+from __future__ import annotations
+
+from repro.text.tokenize import Token, tokenize
+
+#: The tagset emitted by :class:`POSTagger` (Penn Treebank core).
+PENN_TAGS: tuple[str, ...] = (
+    "CC", "CD", "DT", "EX", "FW", "IN", "JJ", "JJR", "JJS", "LS", "MD",
+    "NN", "NNS", "NNP", "NNPS", "PDT", "POS", "PRP", "PRP$", "RB", "RBR",
+    "RBS", "RP", "SYM", "TO", "UH", "VB", "VBD", "VBG", "VBN", "VBP", "VBZ",
+    "WDT", "WP", "WP$", "WRB", "PUNCT",
+)
+
+_CLOSED_CLASS: dict[str, str] = {
+    # determiners
+    "a": "DT", "an": "DT", "the": "DT", "this": "DT", "that": "DT",
+    "these": "DT", "those": "DT", "each": "DT", "every": "DT", "no": "DT",
+    "some": "DT", "any": "DT", "all": "PDT", "both": "PDT", "half": "PDT",
+    "such": "PDT", "another": "DT", "either": "DT", "neither": "DT",
+    # pronouns
+    "i": "PRP", "me": "PRP", "we": "PRP", "us": "PRP", "you": "PRP",
+    "he": "PRP", "him": "PRP", "she": "PRP", "it": "PRP", "they": "PRP",
+    "them": "PRP", "myself": "PRP", "yourself": "PRP", "himself": "PRP",
+    "herself": "PRP", "itself": "PRP", "ourselves": "PRP",
+    "themselves": "PRP", "someone": "PRP", "somebody": "PRP",
+    "something": "PRP", "anyone": "PRP", "anybody": "PRP", "anything": "PRP",
+    "everyone": "PRP", "everybody": "PRP", "everything": "PRP",
+    "nobody": "PRP", "nothing": "PRP", "none": "PRP", "oneself": "PRP",
+    "her": "PRP$", "my": "PRP$", "your": "PRP$", "his": "PRP$",
+    "its": "PRP$", "our": "PRP$", "their": "PRP$", "mine": "PRP$",
+    "yours": "PRP$", "hers": "PRP$", "ours": "PRP$", "theirs": "PRP$",
+    # wh-words
+    "who": "WP", "whom": "WP", "whoever": "WP", "whose": "WP$",
+    "which": "WDT", "whatever": "WDT", "whichever": "WDT", "what": "WP",
+    "when": "WRB", "where": "WRB", "why": "WRB", "how": "WRB",
+    "whenever": "WRB", "wherever": "WRB",
+    # prepositions / subordinating conjunctions
+    "of": "IN", "in": "IN", "on": "IN", "at": "IN", "by": "IN", "for": "IN",
+    "with": "IN", "about": "IN", "against": "IN", "between": "IN",
+    "into": "IN", "through": "IN", "during": "IN", "before": "IN",
+    "after": "IN", "above": "IN", "below": "IN", "from": "IN", "up": "RP",
+    "down": "RP", "out": "RP", "off": "RP", "over": "IN", "under": "IN",
+    "again": "RB", "further": "RB", "then": "RB", "once": "RB",
+    "here": "RB", "there": "EX", "near": "IN", "since": "IN", "until": "IN",
+    "while": "IN", "because": "IN", "although": "IN", "though": "IN",
+    "unless": "IN", "whereas": "IN", "whether": "IN", "if": "IN",
+    "as": "IN", "like": "IN", "than": "IN", "per": "IN", "via": "IN",
+    "within": "IN", "without": "IN", "upon": "IN", "onto": "IN",
+    "among": "IN", "amongst": "IN", "around": "IN", "across": "IN",
+    "behind": "IN", "beneath": "IN", "beside": "IN", "besides": "IN",
+    "beyond": "IN", "despite": "IN", "except": "IN", "inside": "IN",
+    "outside": "IN", "toward": "IN", "towards": "IN", "throughout": "IN",
+    # coordinating conjunctions
+    "and": "CC", "or": "CC", "but": "CC", "nor": "CC", "so": "CC",
+    "yet": "CC", "plus": "CC",
+    # to
+    "to": "TO",
+    # auxiliaries / verbs (be, have, do)
+    "am": "VBP", "is": "VBZ", "are": "VBP", "was": "VBD", "were": "VBD",
+    "be": "VB", "being": "VBG", "been": "VBN",
+    "have": "VBP", "has": "VBZ", "had": "VBD", "having": "VBG",
+    "do": "VBP", "does": "VBZ", "did": "VBD", "doing": "VBG", "done": "VBN",
+    # modals
+    "can": "MD", "could": "MD", "may": "MD", "might": "MD", "must": "MD",
+    "shall": "MD", "should": "MD", "will": "MD", "would": "MD",
+    "ought": "MD", "cannot": "MD",
+    # negation & frequent adverbs
+    "not": "RB", "never": "RB", "very": "RB", "too": "RB", "also": "RB",
+    "just": "RB", "only": "RB", "quite": "RB", "rather": "RB",
+    "really": "RB", "always": "RB", "often": "RB", "sometimes": "RB",
+    "usually": "RB", "still": "RB", "already": "RB", "even": "RB",
+    "now": "RB", "soon": "RB", "maybe": "RB", "perhaps": "RB",
+    "however": "RB", "therefore": "RB", "thus": "RB", "instead": "RB",
+    "please": "RB", "back": "RB", "away": "RB", "today": "NN",
+    "n't": "RB",
+    # comparatives / superlatives
+    "more": "RBR", "most": "RBS", "less": "RBR", "least": "RBS",
+    "better": "JJR", "best": "JJS", "worse": "JJR", "worst": "JJS",
+    # interjections
+    "oh": "UH", "hi": "UH", "hello": "UH", "hey": "UH", "wow": "UH",
+    "ouch": "UH", "yes": "UH", "yeah": "UH", "okay": "UH", "ok": "UH",
+    "thanks": "UH", "ugh": "UH", "hmm": "UH",
+    # frequent open-class words in health-forum text (keeps bigrams stable)
+    "doctor": "NN", "doctors": "NNS", "pain": "NN", "symptom": "NN",
+    "symptoms": "NNS", "medication": "NN", "medications": "NNS",
+    "medicine": "NN", "treatment": "NN", "blood": "NN", "test": "NN",
+    "tests": "NNS", "week": "NN", "weeks": "NNS", "day": "NN",
+    "days": "NNS", "month": "NN", "months": "NNS", "year": "NN",
+    "years": "NNS", "time": "NN", "people": "NNS", "thing": "NN",
+    "things": "NNS", "feel": "VBP", "feeling": "VBG", "felt": "VBD",
+    "take": "VBP", "taking": "VBG", "took": "VBD", "taken": "VBN",
+    "get": "VBP", "getting": "VBG", "got": "VBD", "gotten": "VBN",
+    "go": "VBP", "going": "VBG", "went": "VBD", "gone": "VBN",
+    "know": "VBP", "knew": "VBD", "known": "VBN", "think": "VBP",
+    "thought": "VBD", "say": "VBP", "said": "VBD", "see": "VBP",
+    "saw": "VBD", "seen": "VBN", "make": "VBP", "made": "VBD",
+    "help": "VB", "try": "VB", "tried": "VBD", "start": "VB",
+    "started": "VBD", "good": "JJ", "bad": "JJ", "new": "JJ", "old": "JJ",
+    "same": "JJ", "other": "JJ", "sure": "JJ", "different": "JJ",
+    "severe": "JJ", "chronic": "JJ", "normal": "JJ", "high": "JJ",
+    "low": "JJ", "first": "JJ", "second": "JJ", "last": "JJ", "next": "JJ",
+}
+
+# Ordered suffix rules: (suffix, tag).  First match wins; applied only to
+# words absent from the lexicon.
+_SUFFIX_RULES: tuple[tuple[str, str], ...] = (
+    ("ing", "VBG"),
+    ("ed", "VBD"),
+    ("ies", "NNS"),
+    ("ous", "JJ"),
+    ("ive", "JJ"),
+    ("able", "JJ"),
+    ("ible", "JJ"),
+    ("ful", "JJ"),
+    ("ical", "JJ"),
+    ("ish", "JJ"),
+    ("less", "JJ"),
+    ("ly", "RB"),
+    ("tion", "NN"),
+    ("sion", "NN"),
+    ("ment", "NN"),
+    ("ness", "NN"),
+    ("ity", "NN"),
+    ("ism", "NN"),
+    ("ist", "NN"),
+    ("ance", "NN"),
+    ("ence", "NN"),
+    ("ship", "NN"),
+    ("hood", "NN"),
+    ("est", "JJS"),
+    ("er", "NN"),
+    ("s", "NNS"),
+)
+
+
+class POSTagger:
+    """Deterministic POS tagger: lexicon lookup, suffix rules, patch rules.
+
+    Example::
+
+        >>> POSTagger().tag_text("The doctor prescribed new medication.")
+        [('The', 'DT'), ('doctor', 'NN'), ('prescribed', 'VBD'),
+         ('new', 'JJ'), ('medication', 'NN'), ('.', 'PUNCT')]
+    """
+
+    def __init__(self, extra_lexicon: dict[str, str] | None = None) -> None:
+        self._lexicon = dict(_CLOSED_CLASS)
+        if extra_lexicon:
+            for word, tag in extra_lexicon.items():
+                if tag not in PENN_TAGS:
+                    raise ValueError(f"unknown POS tag {tag!r} for word {word!r}")
+                self._lexicon[word.lower()] = tag
+
+    def tag(self, tokens: list[Token]) -> list[str]:
+        """Tag pre-tokenized input; returns one tag per token."""
+        tags = [self._initial_tag(tok, i) for i, tok in enumerate(tokens)]
+        self._apply_context_rules(tokens, tags)
+        return tags
+
+    def tag_text(self, text: str) -> list[tuple[str, str]]:
+        """Tokenize and tag ``text``; returns (surface, tag) pairs."""
+        tokens = tokenize(text)
+        return list(zip((t.text for t in tokens), self.tag(tokens)))
+
+    def _initial_tag(self, token: Token, position: int) -> str:
+        if token.kind == "number":
+            return "CD"
+        if token.kind in ("punct", "symbol"):
+            return "PUNCT" if token.kind == "punct" else "SYM"
+        word = token.text
+        lower = word.lower()
+        if lower in self._lexicon:
+            return self._lexicon[lower]
+        # Mid-sentence capitalisation marks a proper noun.
+        if position > 0 and word[0].isupper():
+            return "NNPS" if word.endswith("s") and len(word) > 3 else "NNP"
+        for suffix, tag in _SUFFIX_RULES:
+            if lower.endswith(suffix) and len(lower) > len(suffix) + 1:
+                return tag
+        return "NN"
+
+    def _apply_context_rules(self, tokens: list[Token], tags: list[str]) -> None:
+        """Brill-style patches that fix the most damaging lexicon guesses."""
+        for i in range(1, len(tags)):
+            prev, cur = tags[i - 1], tags[i]
+            # determiner/possessive + verb-guess → noun ("the feel", "my take")
+            if prev in ("DT", "PRP$", "JJ") and cur in ("VB", "VBP"):
+                tags[i] = "NN"
+            # TO + noun-guess that the lexicon knows as a base verb → VB
+            elif prev == "TO" and cur in ("VBP", "NN"):
+                lower = tokens[i].text.lower()
+                if self._lexicon.get(lower, "").startswith("VB"):
+                    tags[i] = "VB"
+            # modal + anything verb-ish → base form
+            elif prev == "MD" and cur in ("VBP", "VBZ"):
+                tags[i] = "VB"
+            # be/have + VBD → VBN ("was prescribed")
+            elif prev in ("VBD", "VBZ", "VBP") and cur == "VBD":
+                lower_prev = tokens[i - 1].text.lower()
+                if lower_prev in ("is", "are", "was", "were", "be", "been",
+                                  "am", "has", "have", "had"):
+                    tags[i] = "VBN"

@@ -1,0 +1,84 @@
+"""Regex tokenizer and sentence splitter.
+
+Tokens are classified into words (including contractions and internal
+hyphens/apostrophes), numbers, punctuation runs, and residual symbols.  The
+stylometric extractors rely on this classification, so it is part of the
+public contract: ``tokenize`` never drops characters other than whitespace.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<word>[A-Za-z]+(?:['’-][A-Za-z]+)*)   # words, contractions, hyphenated
+  | (?P<number>\d+(?:[.,]\d+)*)                   # integers / decimals / 1,000
+  | (?P<punct>[.!?,;:'"‘’“”()\[\]-]+)  # punctuation runs
+  | (?P<symbol>\S)                                # any other non-space char
+    """,
+    re.VERBOSE,
+)
+
+_SENTENCE_RE = re.compile(r"(?<=[.!?])[\s ]+")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One token with its surface ``text`` and coarse ``kind``.
+
+    ``kind`` is one of ``"word"``, ``"number"``, ``"punct"``, ``"symbol"``.
+    """
+
+    text: str
+    kind: str
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split ``text`` into classified tokens, preserving every non-space char."""
+    tokens: list[Token] = []
+    for match in _TOKEN_RE.finditer(text):
+        kind = match.lastgroup or "symbol"
+        tokens.append(Token(match.group(), kind))
+    return tokens
+
+
+def tokenize_words(text: str, lowercase: bool = False) -> list[str]:
+    """Return only the word tokens of ``text`` (optionally lowercased)."""
+    words = [t.text for t in tokenize(text) if t.kind == "word"]
+    if lowercase:
+        return [w.lower() for w in words]
+    return words
+
+
+def sentences(text: str) -> list[str]:
+    """Split ``text`` into sentences on terminal punctuation.
+
+    A deliberately simple splitter: forum posts rarely contain abbreviations
+    dense enough to matter for frequency features, and determinism matters
+    more here than linguistic perfection.
+    """
+    parts = [p.strip() for p in _SENTENCE_RE.split(text)]
+    return [p for p in parts if p]
+
+
+def word_shape(word: str) -> str:
+    """Classify a word's capitalisation shape.
+
+    Returns one of ``"upper"`` (ALLCAPS), ``"lower"`` (all lowercase),
+    ``"capitalized"`` (First-letter-upper, rest lower), ``"camel"``
+    (internal capitals, e.g. ``WebMD``), or ``"other"`` (no letters — should
+    not occur for word tokens).
+    """
+    if not word:
+        return "other"
+    if word.isupper() and len(word) > 1:
+        return "upper"
+    if word.islower():
+        return "lower"
+    if word[0].isupper() and (len(word) == 1 or word[1:].islower()):
+        return "capitalized"
+    if any(c.isupper() for c in word[1:]):
+        return "camel"
+    return "other"

@@ -1,0 +1,34 @@
+"""Theoretical re-identifiability framework (Section IV of the paper).
+
+Chernoff-style lower bounds on DA success probabilities (Theorems 1–4),
+asymptotic a.a.s. conditions (Corollaries 1–3), and empirical estimation of
+the framework's parameters (λ, λ̄, θ, δ) from a similarity/distance function
+so the bounds can be checked against measured attack performance.
+"""
+
+from repro.theory.bounds import (
+    FeatureGap,
+    aas_condition_exact_pair,
+    aas_condition_full,
+    aas_condition_group,
+    aas_condition_topk,
+    group_reidentification_bound,
+    pairwise_reidentification_bound,
+    topk_group_bound,
+    topk_reidentification_bound,
+)
+from repro.theory.empirical import estimate_gap_from_similarity, measure_da_success
+
+__all__ = [
+    "FeatureGap",
+    "aas_condition_exact_pair",
+    "aas_condition_full",
+    "aas_condition_group",
+    "aas_condition_topk",
+    "estimate_gap_from_similarity",
+    "group_reidentification_bound",
+    "measure_da_success",
+    "pairwise_reidentification_bound",
+    "topk_group_bound",
+    "topk_reidentification_bound",
+]

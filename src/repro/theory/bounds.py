@@ -1,0 +1,187 @@
+"""Theorems 1–4 and Corollaries 1–3: re-identifiability bounds.
+
+Notation (paper Section IV-A): ``f(·,·)`` is a distance over user features;
+``λ = E[f(u, u')]`` the mean over *correct* mappings and ``λ̄ = E[f(u, v)]``
+over incorrect ones; the correct/incorrect values range over intervals of
+width ``θ`` and ``θ̄``; ``δ = max(θ, θ̄)``.
+
+All bounds share the Chernoff kernel ``exp(−(λ−λ̄)² / 4δ²)``:
+
+* Theorem 1:  P(u → u' from {u', v}) ≥ 1 − 2·exp(−gap²/4δ²)
+* Theorem 2:  P(Δ1 α-re-identifiable)  ≥ 1 − exp(ln 2αn1n2 − gap²/4δ²)
+* Theorem 3:  P(u → Cu)                ≥ 1 − exp(ln 2(n2−K) − gap²/4δ²)
+* Theorem 4:  P(Vα : u → Cu)           ≥ 1 − exp(ln 2αn1(n2−K) − gap²/4δ²)
+
+The paper's statements alternate between θ and δ inside the exponent; we use
+δ uniformly — the loosest always-valid constant (DESIGN.md §3).  Bounds are
+clamped to [0, 1]: a negative value just means "vacuous".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class FeatureGap:
+    """The (λ, λ̄, θ, θ̄) parameters the framework is stated over."""
+
+    lam_correct: float
+    lam_incorrect: float
+    range_correct: float
+    range_incorrect: float
+
+    def __post_init__(self) -> None:
+        if self.range_correct < 0 or self.range_incorrect < 0:
+            raise ConfigError("feature ranges must be non-negative")
+
+    @property
+    def gap(self) -> float:
+        """|λ − λ̄|, the separation between correct and incorrect mappings."""
+        return abs(self.lam_correct - self.lam_incorrect)
+
+    @property
+    def delta(self) -> float:
+        """δ = max(θ, θ̄)."""
+        return max(self.range_correct, self.range_incorrect)
+
+    @property
+    def is_separable(self) -> bool:
+        """The λ ≠ λ̄ pre-condition of every theorem."""
+        return self.gap > 0.0
+
+    def chernoff_exponent(self) -> float:
+        """gap² / 4δ² — the kernel shared by all four theorems."""
+        if self.delta == 0.0:
+            return math.inf if self.is_separable else 0.0
+        return (self.gap / (2.0 * self.delta)) ** 2
+
+
+def _clamp(p: float) -> float:
+    return min(1.0, max(0.0, p))
+
+
+def pairwise_reidentification_bound(gap: FeatureGap) -> float:
+    """Theorem 1: P(u → u' from {u', v}) ≥ 1 − 2·exp(−gap²/4δ²)."""
+    if not gap.is_separable:
+        return 0.0
+    return _clamp(1.0 - 2.0 * math.exp(-gap.chernoff_exponent()))
+
+
+def full_reidentification_bound(gap: FeatureGap, n2: int) -> float:
+    """Union-bound form of Corollary 2's pre-asymptotic probability.
+
+    P(u → u' from V2) ≥ 1 − 2(n2−1)·exp(−gap²/4δ²) — the quantity whose
+    limit Corollary 2 takes.
+    """
+    if n2 < 1:
+        raise ConfigError(f"n2 must be >= 1, got {n2}")
+    if not gap.is_separable:
+        return 0.0
+    return _clamp(
+        1.0 - 2.0 * max(n2 - 1, 0) * math.exp(-gap.chernoff_exponent())
+    )
+
+
+def group_reidentification_bound(gap: FeatureGap, alpha: float, n1: int, n2: int) -> float:
+    """Theorem 2: P(Δ1 α-re-identifiable) ≥ 1 − exp(ln 2αn1n2 − gap²/4δ²)."""
+    if not 0.0 < alpha <= 1.0:
+        raise ConfigError(f"alpha must be in (0, 1], got {alpha}")
+    if n1 < 1 or n2 < 1:
+        raise ConfigError(f"n1, n2 must be >= 1, got {n1}, {n2}")
+    if not gap.is_separable:
+        return 0.0
+    log_term = math.log(2.0 * alpha * n1 * n2)
+    return _clamp(1.0 - math.exp(log_term - gap.chernoff_exponent()))
+
+
+def topk_reidentification_bound(gap: FeatureGap, n2: int, k: int) -> float:
+    """Theorem 3(i): P(u → Cu) ≥ 1 − exp(ln 2(n2−K) − gap²/4δ²)."""
+    if k < 1:
+        raise ConfigError(f"K must be >= 1, got {k}")
+    if n2 < 1:
+        raise ConfigError(f"n2 must be >= 1, got {n2}")
+    if not gap.is_separable:
+        return 0.0
+    if k >= n2:
+        return 1.0  # the candidate set is the whole auxiliary set
+    log_term = math.log(2.0 * (n2 - k))
+    return _clamp(1.0 - math.exp(log_term - gap.chernoff_exponent()))
+
+
+def topk_group_bound(gap: FeatureGap, alpha: float, n1: int, n2: int, k: int) -> float:
+    """Theorem 4(i): P(Vα Top-K) ≥ 1 − exp(ln 2αn1(n2−K) − gap²/4δ²)."""
+    if not 0.0 < alpha <= 1.0:
+        raise ConfigError(f"alpha must be in (0, 1], got {alpha}")
+    if k < 1:
+        raise ConfigError(f"K must be >= 1, got {k}")
+    if n1 < 1 or n2 < 1:
+        raise ConfigError(f"n1, n2 must be >= 1, got {n1}, {n2}")
+    if not gap.is_separable:
+        return 0.0
+    if k >= n2:
+        return 1.0
+    log_term = math.log(2.0 * alpha * n1 * (n2 - k))
+    return _clamp(1.0 - math.exp(log_term - gap.chernoff_exponent()))
+
+
+# --- asymptotic (a.a.s.) conditions --------------------------------------
+
+
+def aas_condition_exact_pair(gap: FeatureGap, n: int) -> bool:
+    """Corollary 1: |λ−λ̄|/2δ ≥ sqrt(2 ln n + ln 2)."""
+    if n < 1:
+        raise ConfigError(f"n must be >= 1, got {n}")
+    if not gap.is_separable:
+        return False
+    if gap.delta == 0.0:
+        return True
+    return gap.gap / (2.0 * gap.delta) >= math.sqrt(2.0 * math.log(n) + math.log(2.0))
+
+
+def aas_condition_full(gap: FeatureGap, n: int, n2: int) -> bool:
+    """Corollary 2: |λ−λ̄|/2δ ≥ sqrt(2 ln n + ln 2n2)."""
+    if n < 1 or n2 < 1:
+        raise ConfigError(f"n, n2 must be >= 1, got {n}, {n2}")
+    if not gap.is_separable:
+        return False
+    if gap.delta == 0.0:
+        return True
+    return gap.gap / (2.0 * gap.delta) >= math.sqrt(
+        2.0 * math.log(n) + math.log(2.0 * n2)
+    )
+
+
+def aas_condition_group(gap: FeatureGap, n: int, alpha: float, n1: int, n2: int) -> bool:
+    """Corollary 3: |λ−λ̄|/2δ ≥ sqrt(2 ln n + ln 2αn1n2)."""
+    if not 0.0 < alpha <= 1.0:
+        raise ConfigError(f"alpha must be in (0, 1], got {alpha}")
+    if n < 1 or n1 < 1 or n2 < 1:
+        raise ConfigError("n, n1, n2 must all be >= 1")
+    if not gap.is_separable:
+        return False
+    if gap.delta == 0.0:
+        return True
+    return gap.gap / (2.0 * gap.delta) >= math.sqrt(
+        2.0 * math.log(n) + math.log(2.0 * alpha * n1 * n2)
+    )
+
+
+def aas_condition_topk(gap: FeatureGap, n: int, n2: int, k: int) -> bool:
+    """Theorem 3(ii): |λ−λ̄|/2δ ≥ sqrt(ln 2(n2−K) + 2 ln n)."""
+    if n < 1 or n2 < 1:
+        raise ConfigError(f"n, n2 must be >= 1, got {n}, {n2}")
+    if k < 1:
+        raise ConfigError(f"K must be >= 1, got {k}")
+    if not gap.is_separable:
+        return False
+    if k >= n2:
+        return True
+    if gap.delta == 0.0:
+        return True
+    return gap.gap / (2.0 * gap.delta) >= math.sqrt(
+        math.log(2.0 * (n2 - k)) + 2.0 * math.log(n)
+    )

@@ -1,0 +1,25 @@
+"""Shared utilities: deterministic RNG management and small statistics helpers."""
+
+from repro.utils.rng import derive_rng, seed_from_label, spawn_rngs
+from repro.utils.stats import (
+    cosine_similarity,
+    empirical_cdf,
+    jaccard,
+    minmax_ratio,
+    pad_to_same_length,
+    truncated_zipf_pmf,
+    weighted_jaccard,
+)
+
+__all__ = [
+    "cosine_similarity",
+    "derive_rng",
+    "empirical_cdf",
+    "jaccard",
+    "minmax_ratio",
+    "pad_to_same_length",
+    "seed_from_label",
+    "spawn_rngs",
+    "truncated_zipf_pmf",
+    "weighted_jaccard",
+]

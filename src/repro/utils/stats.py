@@ -1,0 +1,117 @@
+"""Small numeric helpers used across the library.
+
+These are deliberately dependency-light: similarity primitives used by the
+Top-K phase (cosine / Jaccard / min-max ratio), empirical-CDF evaluation used
+by the figure experiments, and a truncated Zipf pmf used by the corpus
+generator to reproduce the heavy-tailed posts-per-user distribution.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+
+def minmax_ratio(a: float, b: float) -> float:
+    """``min(a,b)/max(a,b)`` with the degenerate cases pinned down.
+
+    The paper's degree similarity uses this ratio but never defines it for
+    isolated users.  We define ``0/0 = 1.0`` (two users with identical —
+    empty — interactivity are maximally similar on this component) and
+    one-sided zero as ``0.0``.
+    """
+    if a < 0 or b < 0:
+        raise ValueError(f"minmax_ratio expects non-negative inputs, got {a}, {b}")
+    if a == 0.0 and b == 0.0:
+        return 1.0
+    return min(a, b) / max(a, b)
+
+
+def cosine_similarity(u: Sequence[float], v: Sequence[float]) -> float:
+    """Cosine similarity with zero-vector guard (zero vs zero ⇒ 1.0)."""
+    ua = np.asarray(u, dtype=float)
+    va = np.asarray(v, dtype=float)
+    if ua.ndim != 1 or va.ndim != 1:
+        raise ValueError("cosine_similarity expects 1-D vectors")
+    ua, va = pad_to_same_length(ua, va)
+    nu = float(np.linalg.norm(ua))
+    nv = float(np.linalg.norm(va))
+    if nu == 0.0 and nv == 0.0:
+        return 1.0
+    if nu == 0.0 or nv == 0.0:
+        return 0.0
+    return float(np.dot(ua, va) / (nu * nv))
+
+
+def pad_to_same_length(u: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Zero-pad the shorter of two 1-D arrays (the paper's NCS-vector rule)."""
+    if len(u) == len(v):
+        return u, v
+    size = max(len(u), len(v))
+    return (
+        np.pad(u, (0, size - len(u))),
+        np.pad(v, (0, size - len(v))),
+    )
+
+
+def jaccard(a: Iterable, b: Iterable) -> float:
+    """Jaccard similarity |A∩B| / |A∪B|; empty-vs-empty defined as 1.0."""
+    sa, sb = set(a), set(b)
+    if not sa and not sb:
+        return 1.0
+    return len(sa & sb) / len(sa | sb)
+
+
+def weighted_jaccard(wa: Mapping, wb: Mapping) -> float:
+    """Weighted Jaccard: Σ min(w_a, w_b) / Σ max(w_a, w_b) over the key union.
+
+    Matches the paper's ``|WA(u) ∩ WA(v)| / |WA(u) ∪ WA(v)|`` with
+    ``l_{u∩v} = min`` and ``l_{u∪v} = max``; a key missing from one side
+    contributes weight 0 there.
+    """
+    if not wa and not wb:
+        return 1.0
+    keys = set(wa) | set(wb)
+    num = 0.0
+    den = 0.0
+    for k in keys:
+        x = float(wa.get(k, 0.0))
+        y = float(wb.get(k, 0.0))
+        if x < 0 or y < 0:
+            raise ValueError(f"weighted_jaccard expects non-negative weights (key {k!r})")
+        num += min(x, y)
+        den += max(x, y)
+    if den == 0.0:
+        return 1.0
+    return num / den
+
+
+def empirical_cdf(samples: Sequence[float], points: Sequence[float]) -> np.ndarray:
+    """Evaluate the empirical CDF of ``samples`` at each of ``points``.
+
+    Returns ``P(X <= p)`` for each ``p``; an empty sample set yields zeros
+    (there is nothing at or below any threshold).
+    """
+    xs = np.sort(np.asarray(samples, dtype=float))
+    pts = np.asarray(points, dtype=float)
+    if xs.size == 0:
+        return np.zeros_like(pts)
+    idx = np.searchsorted(xs, pts, side="right")
+    return idx / xs.size
+
+
+def truncated_zipf_pmf(n_max: int, exponent: float) -> np.ndarray:
+    """Probability mass function of a Zipf law on ``{1, ..., n_max}``.
+
+    Used by the corpus generator for posts-per-user: the paper reports that
+    87.3% of WebMD users (75.4% of HealthBoards users) wrote fewer than 5
+    posts, which a truncated power law reproduces with exponent ≈ 2.
+    """
+    if n_max < 1:
+        raise ValueError(f"n_max must be >= 1, got {n_max}")
+    if exponent <= 0:
+        raise ValueError(f"exponent must be positive, got {exponent}")
+    ks = np.arange(1, n_max + 1, dtype=float)
+    weights = ks ** (-exponent)
+    return weights / weights.sum()

@@ -1,0 +1,54 @@
+"""Shared fixtures: tiny corpora and splits, built once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import webmd_like
+from repro.forum import ForumDataset, Post, Thread, User, closed_world_split
+from repro.stylometry import FeatureExtractor
+
+
+@pytest.fixture(scope="session")
+def extractor() -> FeatureExtractor:
+    return FeatureExtractor()
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus() -> ForumDataset:
+    """A small generated corpus with co-posting structure (120 users)."""
+    return webmd_like(n_users=120, seed=101).dataset
+
+
+@pytest.fixture(scope="session")
+def tiny_split(tiny_corpus):
+    """Closed-world split of the tiny corpus."""
+    return closed_world_split(tiny_corpus, aux_fraction=0.5, seed=102)
+
+
+@pytest.fixture()
+def handmade_forum() -> ForumDataset:
+    """A 4-user, 2-thread forum with known structure.
+
+    Threads: t1 on board b1 with users u1, u2, u3 (u1 starts);
+             t2 on board b1 with users u1, u2 (u2 starts).
+    So w(u1,u2) = 2, w(u1,u3) = 1, w(u2,u3) = 1; u4 is isolated.
+    """
+    ds = ForumDataset("handmade")
+    for uid, name in (("u1", "alice1"), ("u2", "bob2"), ("u3", "carol3"), ("u4", "dan4")):
+        ds.add_user(User(user_id=uid, username=name, profile={"location": "ohio"}))
+    ds.add_thread(Thread(thread_id="t1", board="b1", topic="sleep", starter_id="u1"))
+    ds.add_thread(Thread(thread_id="t2", board="b1", topic="sleep", starter_id="u2"))
+    posts = [
+        ("p1", "u1", "t1", "I cannot sleep at night and i feel terrible."),
+        ("p2", "u2", "t1", "Have you tried melatonin? It helped me a lot!"),
+        ("p3", "u3", "t1", "My doctor said the insomnia is from stress..."),
+        ("p4", "u1", "t1", "Thanks, I will definately ask my doctor about it."),
+        ("p5", "u1", "t2", "The melatonin did nothing for me sadly."),
+        ("p6", "u2", "t2", "Sorry to hear that. Maybe ask about trazodone?"),
+    ]
+    for pid, uid, tid, text in posts:
+        ds.add_post(
+            Post(post_id=pid, user_id=uid, thread_id=tid, board="b1", text=text)
+        )
+    return ds

@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "--users", "10", "--out", "x.jsonl"]
+        )
+        assert args.users == 10 and args.preset == "webmd"
+
+    def test_attack_classifier_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attack", "c.jsonl", "--classifier", "gpt"])
+
+
+class TestCommands:
+    def test_generate_and_stats(self, tmp_path, capsys):
+        out = tmp_path / "corpus.jsonl"
+        code = main(["generate", "--users", "40", "--seed", "3", "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        captured = capsys.readouterr().out
+        assert "40 users" in captured
+
+        code = main(["stats", str(out)])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "mean posts/user" in captured
+
+    def test_attack_topk_only(self, tmp_path, capsys):
+        out = tmp_path / "corpus.jsonl"
+        main(["generate", "--users", "60", "--seed", "5", "--out", str(out)])
+        capsys.readouterr()
+        code = main(
+            [
+                "attack", str(out),
+                "--top-k", "5",
+                "--landmarks", "5",
+                "--skip-refined",
+                "--seed", "6",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "top-5 success" in captured
+        assert "refined" not in captured
+
+    def test_attack_full(self, tmp_path, capsys):
+        out = tmp_path / "corpus.jsonl"
+        main(["generate", "--users", "50", "--seed", "8", "--out", str(out)])
+        capsys.readouterr()
+        code = main(
+            ["attack", str(out), "--top-k", "3", "--landmarks", "5", "--seed", "9"]
+        )
+        assert code == 0
+        assert "refined DA accuracy" in capsys.readouterr().out
+
+    def test_linkage(self, capsys):
+        code = main(["linkage", "--users", "80", "--seed", "11"])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "NameLink" in captured and "AvatarLink" in captured

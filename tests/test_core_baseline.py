@@ -1,0 +1,40 @@
+"""Unit tests for the Stylometry comparison baseline."""
+
+import pytest
+
+from repro.core import StylometryBaseline
+from repro.errors import ConfigError
+from repro.forum import closed_world_split, select_users_with_posts
+from repro.graph import UDAGraph
+
+
+@pytest.fixture(scope="module")
+def baseline_setup(tiny_corpus, extractor):
+    sel = select_users_with_posts(tiny_corpus, n_users=10, min_posts=4, seed=11)
+    split = closed_world_split(sel, aux_fraction=0.5, seed=12)
+    anon = UDAGraph(split.anonymized, extractor=extractor)
+    aux = UDAGraph(split.auxiliary, extractor=extractor)
+    return split, anon, aux
+
+
+class TestStylometryBaseline:
+    def test_every_user_decided(self, baseline_setup):
+        split, anon, aux = baseline_setup
+        result = StylometryBaseline(classifier="knn").deanonymize(anon, aux)
+        assert set(result.predictions) == set(split.anonymized.user_ids())
+        # the baseline has no rejection option
+        assert all(v is not None for v in result.predictions.values())
+
+    def test_beats_random(self, baseline_setup):
+        split, anon, aux = baseline_setup
+        result = StylometryBaseline(classifier="knn").deanonymize(anon, aux)
+        assert result.accuracy(split.truth) > 1.0 / aux.n_users
+
+    def test_bad_classifier(self):
+        with pytest.raises(ConfigError):
+            StylometryBaseline(classifier="gpt")
+
+    def test_centroid_variant_runs(self, baseline_setup):
+        split, anon, aux = baseline_setup
+        result = StylometryBaseline(classifier="centroid").deanonymize(anon, aux)
+        assert len(result.predictions) == anon.n_users

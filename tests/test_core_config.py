@@ -1,0 +1,59 @@
+"""Unit tests for De-Health configuration validation."""
+
+import pytest
+
+from repro.core import DeHealthConfig, SimilarityWeights
+from repro.errors import ConfigError
+
+
+class TestSimilarityWeights:
+    def test_paper_defaults(self):
+        w = SimilarityWeights()
+        assert (w.degree, w.distance, w.attribute) == (0.05, 0.05, 0.90)
+        w.validate()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            SimilarityWeights(degree=-0.1).validate()
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ConfigError):
+            SimilarityWeights(0.0, 0.0, 0.0).validate()
+
+    def test_single_component_ok(self):
+        SimilarityWeights(0.0, 0.0, 1.0).validate()
+
+
+class TestDeHealthConfig:
+    def test_defaults_valid(self):
+        DeHealthConfig().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_landmarks": 0},
+            {"top_k": 0},
+            {"selection": "magic"},
+            {"classifier": "deep-net"},
+            {"verification": "oracle"},
+            {"filter_levels": 1},
+            {"filter_epsilon": -0.1},
+            {"verification_r": -1.0},
+            {"attribute_weight_cap": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            DeHealthConfig(**kwargs).validate()
+
+    def test_verification_none_ok(self):
+        DeHealthConfig(verification=None).validate()
+
+    def test_verification_choices_ok(self):
+        DeHealthConfig(verification="mean").validate()
+        DeHealthConfig(verification="false_addition", false_addition_count=5).validate()
+
+    def test_frozen(self):
+        config = DeHealthConfig()
+        with pytest.raises(AttributeError):
+            config.top_k = 99

@@ -1,0 +1,66 @@
+"""Unit tests for Algorithm-2 filtering."""
+
+import numpy as np
+import pytest
+
+from repro.core import filter_candidates
+from repro.errors import ConfigError
+
+S = np.array(
+    [
+        [1.0, 0.2, 0.1],
+        [0.3, 0.25, 0.2],
+        [0.1, 0.1, 0.1],
+    ]
+)
+
+
+class TestFilterCandidates:
+    def test_never_widens(self):
+        candidates = [[0, 1, 2], [0, 1, 2], [0, 1, 2]]
+        outcome = filter_candidates(S, candidates)
+        for original, kept in zip(candidates, outcome.kept):
+            if kept is not None:
+                assert set(kept) <= set(original)
+
+    def test_top_scorer_survives(self):
+        outcome = filter_candidates(S, [[0, 1, 2]] * 3)
+        assert 0 in outcome.kept[0]  # global max always survives level 0
+
+    def test_thresholds_descend(self):
+        outcome = filter_candidates(S, [[0]] * 3, epsilon=0.01, levels=5)
+        assert (np.diff(outcome.thresholds) <= 0).all()
+        assert len(outcome.thresholds) == 5
+
+    def test_bottom_when_all_below_lowest(self):
+        # row 2's candidates all score exactly the global minimum, below
+        # s_l = min + epsilon
+        outcome = filter_candidates(S, [[0, 1, 2]] * 3, epsilon=0.05)
+        assert outcome.kept[2] is None
+        assert outcome.n_bottom == 1
+
+    def test_empty_candidate_list_is_bottom(self):
+        outcome = filter_candidates(S, [[0], [], [0]])
+        assert outcome.kept[1] is None
+
+    def test_zero_epsilon_keeps_everyone(self):
+        outcome = filter_candidates(S, [[0, 1, 2]] * 3, epsilon=0.0)
+        assert outcome.n_bottom == 0
+
+    def test_epsilon_overshoot_degenerates(self):
+        # epsilon far beyond the range: s_l clamps to s_u, a single threshold
+        outcome = filter_candidates(S, [[0, 1, 2]] * 3, epsilon=100.0)
+        assert outcome.kept[0] == [0]
+
+    def test_first_nonempty_level_wins(self):
+        # row 0: scores 1.0, 0.2, 0.1; at the top threshold only col 0 passes
+        outcome = filter_candidates(S, [[0, 1, 2]] * 3, levels=10)
+        assert outcome.kept[0] == [0]
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            filter_candidates(S, [[0]] * 3, levels=1)
+        with pytest.raises(ConfigError):
+            filter_candidates(S, [[0]] * 3, epsilon=-0.1)
+        with pytest.raises(ConfigError):
+            filter_candidates(S, [[0]])  # wrong number of rows

@@ -1,0 +1,129 @@
+"""Integration-style tests for the DeHealth pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import DeHealth, DeHealthConfig
+from repro.errors import NotFittedError
+from repro.forum import closed_world_split, open_world_split, select_users_with_posts
+
+
+@pytest.fixture(scope="module")
+def small_split(tiny_corpus):
+    sel = select_users_with_posts(tiny_corpus, n_users=12, min_posts=4, seed=3)
+    return closed_world_split(sel, aux_fraction=0.5, seed=4)
+
+
+@pytest.fixture(scope="module")
+def fitted(small_split, extractor):
+    attack = DeHealth(DeHealthConfig(top_k=3, n_landmarks=5, classifier="knn"))
+    attack.fit(small_split.anonymized, small_split.auxiliary, extractor=extractor)
+    return attack
+
+
+class TestLifecycle:
+    def test_unfitted_raises(self):
+        attack = DeHealth()
+        with pytest.raises(NotFittedError):
+            attack.similarity_matrix()
+        with pytest.raises(NotFittedError):
+            attack.top_k_candidates()
+        with pytest.raises(NotFittedError):
+            attack.deanonymize()
+
+    def test_similarity_shape(self, fitted, small_split):
+        S = fitted.similarity_matrix()
+        assert S.shape == (
+            small_split.anonymized.n_users,
+            small_split.auxiliary.n_users,
+        )
+
+    def test_config_validated_on_construction(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            DeHealth(DeHealthConfig(top_k=0))
+
+
+class TestTopKPhase:
+    def test_candidate_sets_size(self, fitted):
+        candidates = fitted.top_k_candidates()
+        for cand in candidates.values():
+            assert cand is not None
+            assert len(cand) <= 3
+
+    def test_k_override(self, fitted):
+        candidates = fitted.top_k_candidates(k=5)
+        assert max(len(c) for c in candidates.values()) == 5
+
+    def test_candidates_are_aux_users(self, fitted, small_split):
+        aux_ids = set(small_split.auxiliary.user_ids())
+        for cand in fitted.top_k_candidates().values():
+            assert set(cand) <= aux_ids
+
+    def test_topk_result_ranks(self, fitted, small_split):
+        res = fitted.top_k_result(small_split.truth)
+        assert res.n_evaluated == small_split.anonymized.n_users
+        assert all(r is None or r >= 1 for r in res.ranks.values())
+
+    def test_matching_selection(self, small_split, extractor):
+        attack = DeHealth(
+            DeHealthConfig(top_k=2, n_landmarks=5, selection="matching")
+        )
+        attack.fit(small_split.anonymized, small_split.auxiliary, extractor=extractor)
+        candidates = attack.top_k_candidates()
+        for cand in candidates.values():
+            assert len(cand) == 2
+
+    def test_filtering_enabled(self, small_split, extractor):
+        attack = DeHealth(
+            DeHealthConfig(top_k=3, n_landmarks=5, filtering=True)
+        )
+        attack.fit(small_split.anonymized, small_split.auxiliary, extractor=extractor)
+        candidates = attack.top_k_candidates()
+        assert all(c is None or len(c) >= 1 for c in candidates.values())
+
+
+class TestRefinedPhase:
+    def test_deanonymize_produces_decisions(self, fitted, small_split):
+        result = fitted.deanonymize()
+        assert set(result.predictions) == set(small_split.anonymized.user_ids())
+
+    def test_beats_random_baseline(self, fitted, small_split):
+        result = fitted.deanonymize()
+        accuracy = result.accuracy(small_split.truth)
+        random_baseline = 1.0 / small_split.auxiliary.n_users
+        assert accuracy > 3 * random_baseline
+
+    def test_open_world_mean_verification(self, tiny_corpus, extractor):
+        sel = select_users_with_posts(tiny_corpus, n_users=14, min_posts=4, seed=6)
+        split = open_world_split(sel, overlap_ratio=0.5, seed=7)
+        attack = DeHealth(
+            DeHealthConfig(
+                top_k=3,
+                n_landmarks=5,
+                classifier="knn",
+                verification="mean",
+                verification_r=0.25,
+            )
+        )
+        attack.fit(split.anonymized, split.auxiliary, extractor=extractor)
+        result = attack.deanonymize()
+        # verification must actually reject some users
+        assert result.rejection_rate() > 0.0
+
+    def test_false_addition_scheme(self, tiny_corpus, extractor):
+        sel = select_users_with_posts(tiny_corpus, n_users=14, min_posts=4, seed=8)
+        split = open_world_split(sel, overlap_ratio=0.5, seed=9)
+        attack = DeHealth(
+            DeHealthConfig(
+                top_k=3,
+                n_landmarks=5,
+                classifier="knn",
+                verification="false_addition",
+                false_addition_count=3,
+            )
+        )
+        attack.fit(split.anonymized, split.auxiliary, extractor=extractor)
+        result = attack.deanonymize()
+        assert set(result.predictions) == set(split.anonymized.user_ids())

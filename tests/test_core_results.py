@@ -1,0 +1,65 @@
+"""Unit tests for result containers and DA metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import DAResult, TopKResult
+from repro.forum.split import GroundTruth
+
+
+class TestTopKResult:
+    def test_success_rate(self):
+        res = TopKResult(ranks={"a": 1, "b": 3, "c": 10, "d": None})
+        assert res.success_rate(1) == pytest.approx(1 / 3)
+        assert res.success_rate(5) == pytest.approx(2 / 3)
+        assert res.success_rate(10) == pytest.approx(1.0)
+
+    def test_cdf_monotone(self):
+        res = TopKResult(ranks={f"u{i}": i + 1 for i in range(50)})
+        cdf = res.cdf([1, 5, 10, 25, 50])
+        assert (np.diff(cdf) >= 0).all()
+        assert cdf[-1] == 1.0
+
+    def test_no_truth_users(self):
+        res = TopKResult(ranks={"a": None})
+        assert res.success_rate(100) == 0.0
+        assert res.n_evaluated == 0
+
+
+class TestDAResult:
+    truth = GroundTruth({"a": "x", "b": "y", "c": None, "d": None})
+
+    def test_accuracy_counts_only_truth_users(self):
+        res = DAResult(predictions={"a": "x", "b": "wrong", "c": None, "d": "x"})
+        assert res.accuracy(self.truth) == pytest.approx(0.5)
+
+    def test_fp_rate_counts_only_no_truth_users(self):
+        res = DAResult(predictions={"a": "x", "b": "y", "c": None, "d": "x"})
+        assert res.false_positive_rate(self.truth) == pytest.approx(0.5)
+
+    def test_perfect_attack(self):
+        res = DAResult(predictions={"a": "x", "b": "y", "c": None, "d": None})
+        assert res.accuracy(self.truth) == 1.0
+        assert res.false_positive_rate(self.truth) == 0.0
+
+    def test_rejecting_truth_user_hurts_accuracy(self):
+        res = DAResult(predictions={"a": None, "b": "y", "c": None, "d": None})
+        assert res.accuracy(self.truth) == pytest.approx(0.5)
+
+    def test_rejection_rate(self):
+        res = DAResult(predictions={"a": None, "b": "y", "c": None, "d": "x"})
+        assert res.rejection_rate() == pytest.approx(0.5)
+
+    def test_n_correct(self):
+        res = DAResult(predictions={"a": "x", "b": "z", "c": None, "d": None})
+        assert res.n_correct(self.truth) == 1
+
+    def test_closed_world_fp_rate_zero(self):
+        closed = GroundTruth({"a": "x"})
+        res = DAResult(predictions={"a": "x"})
+        assert res.false_positive_rate(closed) == 0.0
+
+    def test_empty_predictions(self):
+        res = DAResult(predictions={})
+        assert res.accuracy(self.truth) == 0.0
+        assert res.rejection_rate() == 0.0

@@ -1,0 +1,102 @@
+"""Unit tests for Top-K candidate selection."""
+
+import numpy as np
+import pytest
+
+from repro.core import direct_top_k, matching_top_k
+from repro.core.topk import true_match_ranks
+from repro.errors import ConfigError
+
+S = np.array(
+    [
+        [0.9, 0.1, 0.5],
+        [0.2, 0.8, 0.3],
+        [0.4, 0.6, 0.7],
+    ]
+)
+
+
+class TestDirectTopK:
+    def test_top1_is_argmax(self):
+        out = direct_top_k(S, 1)
+        assert out == [[0], [1], [2]]
+
+    def test_ordering_best_first(self):
+        out = direct_top_k(S, 3)
+        assert out[0] == [0, 2, 1]
+        assert out[2] == [2, 1, 0]
+
+    def test_k_clamped_to_columns(self):
+        out = direct_top_k(S, 10)
+        assert all(len(c) == 3 for c in out)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigError):
+            direct_top_k(S, 0)
+        with pytest.raises(ConfigError):
+            direct_top_k(np.empty((0, 0)), 1)
+
+    def test_monotone_in_k(self):
+        """Top-K candidate sets are nested as K grows."""
+        small = direct_top_k(S, 1)
+        large = direct_top_k(S, 2)
+        for row_small, row_large in zip(small, large):
+            assert set(row_small) <= set(row_large)
+
+
+class TestMatchingTopK:
+    def test_round_one_is_assignment(self):
+        out = matching_top_k(S, 1)
+        cols = [c[0] for c in out]
+        assert sorted(cols) == [0, 1, 2]  # a perfect matching
+
+    def test_k2_distinct_candidates(self):
+        out = matching_top_k(S, 2)
+        for cand in out:
+            assert len(cand) == len(set(cand)) == 2
+
+    def test_rectangular_more_aux(self):
+        wide = np.random.default_rng(0).random((2, 5))
+        out = matching_top_k(wide, 3)
+        assert all(len(c) == 3 for c in out)
+
+    def test_candidates_sorted_by_score(self):
+        out = matching_top_k(S, 3)
+        for i, cand in enumerate(out):
+            scores = [S[i, c] for c in cand]
+            assert scores == sorted(scores, reverse=True)
+
+    def test_contested_column_spread(self):
+        contested = np.array(
+            [
+                [0.9, 0.2, 0.1],
+                [0.8, 0.7, 0.1],
+            ]
+        )
+        out = matching_top_k(contested, 1)
+        # direct selection would give both rows column 0; matching cannot
+        assert out[0] != out[1]
+
+
+class TestTrueMatchRanks:
+    def test_rank_one_for_argmax(self):
+        ranks = true_match_ranks(
+            S, ["a0", "a1", "a2"], ["x0", "x1", "x2"],
+            {"a0": "x0", "a1": "x1", "a2": "x2"},
+        )
+        assert ranks == {"a0": 1, "a1": 1, "a2": 1}
+
+    def test_rank_counts_ties_pessimistically(self):
+        tied = np.array([[0.5, 0.5]])
+        ranks = true_match_ranks(tied, ["a"], ["x", "y"], {"a": "y"})
+        assert ranks["a"] == 2
+
+    def test_missing_truth_is_none(self):
+        ranks = true_match_ranks(S, ["a0", "a1", "a2"], ["x0", "x1", "x2"],
+                                 {"a0": "x0", "a1": None})
+        assert ranks["a1"] is None
+        assert ranks["a2"] is None  # absent from mapping
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigError):
+            true_match_ranks(S, ["a"], ["x"], {})

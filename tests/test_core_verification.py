@@ -1,0 +1,50 @@
+"""Unit tests for open-world verification schemes."""
+
+import numpy as np
+import pytest
+
+from repro.core import mean_verification
+from repro.core.verification import distractorless_verification
+
+
+class TestMeanVerification:
+    def test_accepts_dominant_score(self):
+        scores = np.array([0.9, 0.1, 0.1, 0.1])
+        assert mean_verification(scores, [0, 1, 2, 3], 0, r=0.25)
+
+    def test_rejects_flat_scores(self):
+        scores = np.array([0.3, 0.3, 0.3, 0.3])
+        assert not mean_verification(scores, [0, 1, 2, 3], 0, r=0.25)
+
+    def test_r_zero_accepts_above_mean(self):
+        scores = np.array([0.4, 0.2])
+        assert mean_verification(scores, [0, 1], 0, r=0.0)
+
+    def test_higher_r_stricter(self):
+        scores = np.array([0.5, 0.3, 0.2])
+        accepted_low = mean_verification(scores, [0, 1, 2], 0, r=0.1)
+        accepted_high = mean_verification(scores, [0, 1, 2], 0, r=2.0)
+        assert accepted_low and not accepted_high
+
+    def test_empty_candidates_rejected(self):
+        assert not mean_verification(np.array([1.0]), [], 0)
+
+    def test_zero_mean_rejected(self):
+        scores = np.zeros(3)
+        assert not mean_verification(scores, [0, 1, 2], 0, r=0.25)
+
+    def test_negative_r_invalid(self):
+        with pytest.raises(ValueError):
+            mean_verification(np.array([1.0]), [0], 0, r=-0.5)
+
+    def test_exact_threshold_accepted(self):
+        # chosen = (1+r) * mean exactly
+        scores = np.array([1.25, 1.0, 0.75])  # mean = 1.0
+        assert mean_verification(scores, [0, 1, 2], 0, r=0.25)
+
+
+class TestDistractorless:
+    def test_threshold_behaviour(self):
+        scores = np.array([0.7, 0.2])
+        assert distractorless_verification(scores, 0, threshold=0.5)
+        assert not distractorless_verification(scores, 1, threshold=0.5)

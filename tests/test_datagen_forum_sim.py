@@ -1,0 +1,108 @@
+"""Unit tests for the forum simulator and presets."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import ForumConfig, generate_forum, healthboards_like, webmd_like
+from repro.errors import ConfigError
+
+
+class TestForumConfig:
+    def test_defaults_valid(self):
+        ForumConfig().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_users": 0},
+            {"min_posts_per_user": 0},
+            {"min_posts_per_user": 10, "max_posts_per_user": 5},
+            {"boards": ()},
+            {"reply_geometric_p": 0.0},
+            {"reply_geometric_p": 1.5},
+            {"mean_post_words": -1.0},
+            {"min_boards_per_user": 3, "max_boards_per_user": 1},
+        ],
+    )
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(ConfigError):
+            ForumConfig(**kwargs).validate()
+
+
+class TestGenerateForum:
+    def test_basic_generation(self):
+        gen = generate_forum(ForumConfig(n_users=40, name="g"), seed=0)
+        ds = gen.dataset
+        assert ds.n_users == 40
+        assert ds.n_posts >= 40  # every user has at least min_posts=1
+
+    def test_posts_match_budget_floor(self):
+        config = ForumConfig(n_users=20, min_posts_per_user=3, max_posts_per_user=5)
+        ds = generate_forum(config, seed=1).dataset
+        for uid in ds.user_ids():
+            assert 3 <= len(ds.posts_of(uid)) <= 5
+
+    def test_styles_and_boards_returned(self):
+        gen = generate_forum(ForumConfig(n_users=10), seed=2)
+        assert set(gen.styles) == set(gen.dataset.user_ids())
+        assert set(gen.home_boards) == set(gen.dataset.user_ids())
+
+    def test_posts_live_on_home_boards(self):
+        gen = generate_forum(ForumConfig(n_users=30), seed=3)
+        for post in gen.dataset.posts():
+            assert post.board in gen.home_boards[post.user_id]
+
+    def test_deterministic(self):
+        a = generate_forum(ForumConfig(n_users=15), seed=7).dataset
+        b = generate_forum(ForumConfig(n_users=15), seed=7).dataset
+        assert a.n_posts == b.n_posts
+        for post in a.posts():
+            assert b.post(post.post_id).text == post.text
+
+    def test_seed_changes_output(self):
+        a = generate_forum(ForumConfig(n_users=15), seed=1).dataset
+        b = generate_forum(ForumConfig(n_users=15), seed=2).dataset
+        texts_a = sorted(p.text for p in a.posts())[:5]
+        texts_b = sorted(p.text for p in b.posts())[:5]
+        assert texts_a != texts_b
+
+    def test_thread_consistency(self):
+        ds = generate_forum(ForumConfig(n_users=25), seed=4).dataset
+        for thread in ds.threads():
+            posts = ds.posts_in_thread(thread.thread_id)
+            assert posts, "no empty threads"
+            assert all(p.board == thread.board for p in posts)
+
+    def test_timestamps_increase(self):
+        ds = generate_forum(ForumConfig(n_users=15), seed=5).dataset
+        stamps = [p.created_at for p in ds.posts()]
+        assert all(b > a for a, b in zip(stamps, stamps[1:]))
+
+
+class TestPresets:
+    def test_webmd_calibration(self):
+        ds = webmd_like(n_users=400, seed=42).dataset
+        counts = np.array(list(ds.posts_per_user().values()))
+        lengths = ds.post_lengths_words()
+        # Fig 1 target: 87.3% of users under 5 posts
+        assert 0.80 <= (counts < 5).mean() <= 0.95
+        # Fig 2 target: mean post length 127.59 words
+        assert 100 <= float(np.mean(lengths)) <= 155
+
+    def test_healthboards_calibration(self):
+        ds = healthboards_like(n_users=400, seed=43).dataset
+        counts = np.array(list(ds.posts_per_user().values()))
+        lengths = ds.post_lengths_words()
+        # Fig 1 target: 75.4% of users under 5 posts
+        assert 0.65 <= (counts < 5).mean() <= 0.85
+        # Fig 2 target: mean post length 147.24 words
+        assert 115 <= float(np.mean(lengths)) <= 180
+
+    def test_hb_heavier_than_webmd(self):
+        webmd = webmd_like(n_users=300, seed=1).dataset
+        hb = healthboards_like(n_users=300, seed=1).dataset
+        assert hb.mean_posts_per_user() > webmd.mean_posts_per_user()
+
+    def test_preset_overrides(self):
+        ds = webmd_like(n_users=30, seed=0, boards=("anxiety",)).dataset
+        assert {p.board for p in ds.posts()} == {"anxiety"}

@@ -1,0 +1,55 @@
+"""Unit tests for name/username generation."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.names import (
+    FIRST_NAMES,
+    LAST_NAMES,
+    sample_person_name,
+    sample_username,
+    unique_usernames,
+)
+
+
+class TestPersonNames:
+    def test_from_pools(self):
+        rng = np.random.default_rng(0)
+        first, last = sample_person_name(rng)
+        assert first in FIRST_NAMES and last in LAST_NAMES
+
+    def test_deterministic(self):
+        assert sample_person_name(np.random.default_rng(5)) == sample_person_name(
+            np.random.default_rng(5)
+        )
+
+
+class TestUsernames:
+    def test_nonempty_and_stringy(self):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            name = sample_username(rng)
+            assert isinstance(name, str) and len(name) >= 3
+
+    def test_name_derivation(self):
+        rng = np.random.default_rng(2)
+        seen_derived = False
+        for _ in range(60):
+            name = sample_username(rng, first="zelda", last="qume", birth_year=1971)
+            if "zelda" in name or "qume" in name:
+                seen_derived = True
+        assert seen_derived
+
+    def test_unique_usernames_count_and_uniqueness(self):
+        rng = np.random.default_rng(3)
+        names = unique_usernames(rng, 500)
+        assert len(names) == 500
+        assert len(set(names)) == 500
+
+    def test_unique_usernames_zero(self):
+        assert unique_usernames(np.random.default_rng(0), 0) == []
+
+    def test_deterministic(self):
+        a = unique_usernames(np.random.default_rng(9), 20)
+        b = unique_usernames(np.random.default_rng(9), 20)
+        assert a == b

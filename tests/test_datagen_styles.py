@@ -1,0 +1,89 @@
+"""Unit tests for style-profile sampling."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.styles import REVERSE_MISSPELLINGS, StyleProfile, sample_style
+from repro.text.lexicons import MISSPELLINGS
+
+
+class TestReverseMisspellings:
+    def test_only_emittable_words(self):
+        # every correct form must be a word the synthesiser can produce
+        assert "because" in REVERSE_MISSPELLINGS
+
+    def test_variants_are_real_misspellings(self):
+        for correct, variants in REVERSE_MISSPELLINGS.items():
+            for wrong in variants:
+                assert MISSPELLINGS[wrong] == correct
+
+
+class TestSampleStyle:
+    def test_weights_are_distributions(self):
+        style = sample_style(np.random.default_rng(0))
+        for attr in (
+            "intensifier_weights",
+            "hedge_weights",
+            "connective_weights",
+            "opener_weights",
+            "greeting_weights",
+            "closing_weights",
+            "filler_weights",
+            "emoticon_weights",
+            "sentence_kind_weights",
+        ):
+            weights = getattr(style, attr)
+            assert weights.sum() == pytest.approx(1.0)
+            assert (weights >= 0).all()
+
+    def test_probabilities_in_range(self):
+        style = sample_style(np.random.default_rng(1))
+        for attr in (
+            "greeting_prob", "closing_prob", "opener_prob", "filler_prob",
+            "emoticon_prob", "exclaim_prob", "multi_exclaim_prob",
+            "ellipsis_prob", "lowercase_i_prob", "no_capitalization_prob",
+            "allcaps_emphasis_prob", "duration_prob", "dose_prob",
+            "paragraph_break_prob", "misspell_rate",
+        ):
+            assert 0.0 <= getattr(style, attr) <= 1.0, attr
+
+    def test_misspell_map_valid(self):
+        style = sample_style(np.random.default_rng(2))
+        for correct, wrong in style.misspell_map.items():
+            assert MISSPELLINGS[wrong] == correct
+
+    def test_deterministic(self):
+        a = sample_style(np.random.default_rng(7))
+        b = sample_style(np.random.default_rng(7))
+        assert a.misspell_map == b.misspell_map
+        assert np.allclose(a.intensifier_weights, b.intensifier_weights)
+
+    def test_distinctiveness_controls_concentration(self):
+        rng_sharp = np.random.default_rng(11)
+        rng_flat = np.random.default_rng(11)
+        sharp = [sample_style(rng_sharp, distinctiveness=0.05) for _ in range(30)]
+        flat = [sample_style(rng_flat, distinctiveness=50.0) for _ in range(30)]
+        sharp_max = np.mean([s.intensifier_weights.max() for s in sharp])
+        flat_max = np.mean([s.intensifier_weights.max() for s in flat])
+        assert sharp_max > flat_max
+
+    def test_quirk_strength_zero_pins_population_mean(self):
+        rng = np.random.default_rng(3)
+        styles = [sample_style(rng, quirk_strength=0.0) for _ in range(10)]
+        rates = {round(s.misspell_rate, 6) for s in styles}
+        assert len(rates) == 1  # everyone identical at strength 0
+
+    def test_invalid_params(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_style(rng, distinctiveness=0.0)
+        with pytest.raises(ValueError):
+            sample_style(rng, quirk_strength=1.5)
+        with pytest.raises(ValueError):
+            sample_style(rng, mood_volatility=-0.1)
+
+    def test_scaled_to_length(self):
+        style = sample_style(np.random.default_rng(4))
+        longer = style.scaled_to_length(500.0)
+        assert longer.mean_post_words == 500.0
+        assert np.allclose(longer.opener_weights, style.opener_weights)

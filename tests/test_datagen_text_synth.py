@@ -1,0 +1,80 @@
+"""Unit tests for post text synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.styles import sample_style
+from repro.datagen.text_synth import PostSynthesizer
+from repro.datagen.vocabulary import BOARDS
+
+TOPIC = BOARDS["anxiety"]
+
+
+@pytest.fixture()
+def synth():
+    return PostSynthesizer()
+
+
+class TestGeneratePost:
+    def test_nonempty(self, synth):
+        rng = np.random.default_rng(0)
+        style = sample_style(rng)
+        text = synth.generate_post(style, TOPIC, rng)
+        assert len(text.split()) >= 10
+
+    def test_deterministic(self, synth):
+        def make():
+            rng = np.random.default_rng(42)
+            style = sample_style(rng)
+            return synth.generate_post(style, TOPIC, rng)
+
+        assert make() == make()
+
+    def test_target_words_respected(self, synth):
+        rng = np.random.default_rng(1)
+        style = sample_style(rng)
+        text = synth.generate_post(style, TOPIC, rng, target_words=30)
+        # the loop stops after crossing the target, so allow one sentence over
+        assert 30 <= len(text.split()) <= 30 + 40
+
+    def test_length_habit_mean(self, synth):
+        rng = np.random.default_rng(2)
+        style = sample_style(rng, mean_post_words=80.0)
+        lengths = [
+            len(synth.generate_post(style, TOPIC, rng).split()) for _ in range(60)
+        ]
+        assert 55 <= float(np.mean(lengths)) <= 110
+
+    def test_topic_words_appear(self, synth):
+        rng = np.random.default_rng(3)
+        style = sample_style(rng)
+        blob = " ".join(
+            synth.generate_post(style, TOPIC, rng) for _ in range(10)
+        ).lower()
+        assert any(word in blob for word in TOPIC)
+
+    def test_habitual_misspellings_emitted(self, synth):
+        rng = np.random.default_rng(4)
+        style = sample_style(rng)
+        # force a misspelling habit on an extremely common word
+        style.misspell_map.clear()
+        style.misspell_map["i"] = "eye"  # synthetic but guaranteed to trigger
+        style.misspell_rate = 1.0
+        blob = " ".join(synth.generate_post(style, TOPIC, rng) for _ in range(5))
+        assert "eye" in blob.lower()
+
+    def test_mood_volatility_changes_output_not_mean_style(self, synth):
+        rng1 = np.random.default_rng(5)
+        calm_style = sample_style(rng1, mood_volatility=0.0)
+        calm = synth.generate_post(calm_style, TOPIC, np.random.default_rng(9))
+        moody_style = calm_style
+        moody_style.mood_volatility = 0.9
+        moody = synth.generate_post(moody_style, TOPIC, np.random.default_rng(9))
+        assert calm != moody  # the drift must actually change sampling
+
+    def test_paragraphs_possible(self, synth):
+        rng = np.random.default_rng(6)
+        style = sample_style(rng)
+        style.paragraph_break_prob = 0.9
+        text = synth.generate_post(style, TOPIC, rng, target_words=150)
+        assert "\n\n" in text

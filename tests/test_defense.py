@@ -1,0 +1,153 @@
+"""Unit tests for the anonymization defenses."""
+
+import numpy as np
+import pytest
+
+from repro.defense import (
+    TextObfuscator,
+    evaluate_defense,
+    obfuscate_dataset,
+    scramble_threads,
+    split_large_threads,
+)
+from repro.defense.obfuscation import ObfuscationConfig
+from repro.errors import ConfigError
+from repro.graph import build_correlation_graph
+
+
+class TestTextObfuscator:
+    def test_fixes_misspellings(self):
+        out = TextObfuscator().obfuscate_text("It hurts becuase of the wierd pain")
+        assert "becuase" not in out and "because" in out
+        assert "wierd" not in out and "weird" in out
+
+    def test_normalizes_shouting(self):
+        out = TextObfuscator().obfuscate_text("I feel AWFUL and TERRIBLE today")
+        assert "AWFUL" not in out and "awful" in out.lower()
+
+    def test_collapses_punctuation(self):
+        out = TextObfuscator().obfuscate_text("help me!!! please....")
+        assert "!!!" not in out and "...." not in out
+
+    def test_strips_emoticons(self):
+        out = TextObfuscator().obfuscate_text("feeling down :( today :)")
+        assert ":(" not in out and ":)" not in out
+
+    def test_canonicalizes_markers(self):
+        out = TextObfuscator().obfuscate_text("it is really bad however i cope")
+        assert "really" not in out.lower()
+        assert "very" in out.lower()
+        assert "however" not in out.lower()
+
+    def test_sentence_case_and_capital_i(self):
+        out = TextObfuscator().obfuscate_text("i am tired. i need help.")
+        assert out.startswith("I")
+        assert " I " in out or out.endswith("I need help.")
+
+    def test_selective_config(self):
+        config = ObfuscationConfig(
+            fix_misspellings=False,
+            normalize_case=False,
+            normalize_punctuation=True,
+            canonicalize_markers=False,
+            strip_emoticons=False,
+        )
+        out = TextObfuscator(config=config).obfuscate_text("becuase!!! :)")
+        assert "becuase" in out  # misspelling kept
+        assert "!!!" not in out  # punctuation collapsed
+        assert ":)" in out  # emoticon kept
+
+    def test_invalid_strength(self):
+        with pytest.raises(ConfigError):
+            TextObfuscator(strength=1.5)
+
+
+class TestObfuscateDataset:
+    def test_zero_strength_is_identity(self, handmade_forum):
+        out = obfuscate_dataset(handmade_forum, strength=0.0, seed=0)
+        for post in handmade_forum.posts():
+            assert out.post(post.post_id).text == post.text
+
+    def test_full_strength_scrubs(self, handmade_forum):
+        out = obfuscate_dataset(handmade_forum, strength=1.0, seed=0)
+        assert "definately" not in " ".join(p.text for p in out.posts())
+
+    def test_structure_preserved(self, handmade_forum):
+        out = obfuscate_dataset(handmade_forum, strength=1.0, seed=0)
+        assert out.n_users == handmade_forum.n_users
+        assert out.n_posts == handmade_forum.n_posts
+        assert out.n_threads == handmade_forum.n_threads
+
+    def test_deterministic(self, handmade_forum):
+        a = obfuscate_dataset(handmade_forum, strength=0.5, seed=9)
+        b = obfuscate_dataset(handmade_forum, strength=0.5, seed=9)
+        for post in a.posts():
+            assert b.post(post.post_id).text == post.text
+
+
+class TestGraphDefenses:
+    def test_scramble_removes_all_edges(self, handmade_forum):
+        out = scramble_threads(handmade_forum, prob=1.0, seed=0)
+        graph = build_correlation_graph(out)
+        assert graph.number_of_edges() == 0
+        assert out.n_posts == handmade_forum.n_posts
+
+    def test_scramble_zero_prob_identity(self, handmade_forum):
+        out = scramble_threads(handmade_forum, prob=0.0, seed=0)
+        graph_before = build_correlation_graph(handmade_forum)
+        graph_after = build_correlation_graph(out)
+        assert graph_before.number_of_edges() == graph_after.number_of_edges()
+
+    def test_scramble_invalid_prob(self, handmade_forum):
+        with pytest.raises(ConfigError):
+            scramble_threads(handmade_forum, prob=2.0)
+
+    def test_split_caps_participants(self, handmade_forum):
+        out = split_large_threads(handmade_forum, max_participants=2, seed=0)
+        for thread in out.threads():
+            assert len(out.thread_participants(thread.thread_id)) <= 2
+        assert out.n_posts == handmade_forum.n_posts
+
+    def test_split_keeps_small_threads(self, handmade_forum):
+        out = split_large_threads(handmade_forum, max_participants=10, seed=0)
+        assert out.n_threads == handmade_forum.n_threads
+
+    def test_split_invalid_cap(self, handmade_forum):
+        with pytest.raises(ConfigError):
+            split_large_threads(handmade_forum, max_participants=0)
+
+
+class TestEvaluateDefense:
+    def test_obfuscation_reduces_attack(self, tiny_corpus):
+        report = evaluate_defense(
+            tiny_corpus,
+            lambda ds: obfuscate_dataset(ds, strength=1.0, seed=1),
+            defense_name="obfuscation",
+            k=10,
+            seed=2,
+        )
+        # full scrubbing must cost the attack something
+        assert report.topk_success_after <= report.topk_success_before + 0.02
+        # and keep most medical content intact
+        assert report.content_preservation >= 0.6
+
+    def test_scramble_preserves_content_exactly(self, tiny_corpus):
+        report = evaluate_defense(
+            tiny_corpus,
+            lambda ds: scramble_threads(ds, prob=1.0, seed=1),
+            defense_name="scramble",
+            k=10,
+            seed=2,
+        )
+        assert report.content_preservation == 1.0
+
+    def test_report_properties(self, tiny_corpus):
+        report = evaluate_defense(
+            tiny_corpus,
+            lambda ds: ds,  # no-op defense
+            defense_name="noop",
+            k=5,
+            seed=3,
+        )
+        assert report.topk_reduction == pytest.approx(0.0, abs=1e-9)
+        assert report.accuracy_reduction == pytest.approx(0.0, abs=1e-9)

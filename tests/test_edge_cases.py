@@ -1,0 +1,149 @@
+"""Failure injection and degenerate-input tests across modules."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DeHealth,
+    DeHealthConfig,
+    ForumDataset,
+    Post,
+    Thread,
+    User,
+    UDAGraph,
+)
+from repro.core import SimilarityComputer, direct_top_k, filter_candidates
+from repro.core.topk import matching_top_k
+from repro.defense import TextObfuscator, obfuscate_dataset
+from repro.linkage import MarkovUsernameModel, build_world
+from repro.stylometry import FeatureExtractor
+
+
+def _single_user_forum(n_posts: int = 1) -> ForumDataset:
+    ds = ForumDataset("one")
+    ds.add_user(User(user_id="u1", username="solo"))
+    ds.add_thread(Thread(thread_id="t1", board="b", topic="x", starter_id="u1"))
+    for i in range(n_posts):
+        ds.add_post(
+            Post(
+                post_id=f"p{i}",
+                user_id="u1",
+                thread_id="t1",
+                board="b",
+                text=f"Post number {i} about my headache today.",
+            )
+        )
+    return ds
+
+
+class TestDegenerateGraphs:
+    def test_single_user_uda(self, extractor):
+        uda = UDAGraph(_single_user_forum(), extractor=extractor)
+        assert uda.n_users == 1
+        assert uda.degrees[0] == 0
+        assert len(uda.attribute_set_of("u1")) > 0
+
+    def test_similarity_between_singletons(self, extractor):
+        a = UDAGraph(_single_user_forum(), extractor=extractor)
+        b = UDAGraph(_single_user_forum(3), extractor=extractor)
+        sim = SimilarityComputer(a, b, n_landmarks=1)
+        S = sim.combined()
+        assert S.shape == (1, 1)
+        assert np.isfinite(S).all()
+
+    def test_pipeline_on_singletons(self, extractor):
+        attack = DeHealth(DeHealthConfig(top_k=1, n_landmarks=1, classifier="centroid"))
+        attack.fit(_single_user_forum(), _single_user_forum(2), extractor=extractor)
+        candidates = attack.top_k_candidates()
+        assert candidates == {"u1": ["u1"]}
+        result = attack.deanonymize()
+        assert result.predictions["u1"] == "u1"
+
+    def test_all_lurkers_forum(self, extractor):
+        ds = ForumDataset("lurkers")
+        for i in range(3):
+            ds.add_user(User(user_id=f"u{i}", username=f"name{i}"))
+        uda = UDAGraph(ds, extractor=extractor)
+        assert (uda.degrees == 0).all()
+        assert uda.attr_weights.nnz == 0
+
+
+class TestDegenerateScores:
+    def test_all_tied_similarity_topk(self):
+        S = np.full((3, 4), 0.5)
+        out = direct_top_k(S, 2)
+        for cand in out:
+            assert len(cand) == 2
+
+    def test_all_tied_matching(self):
+        S = np.full((3, 3), 0.5)
+        out = matching_top_k(S, 3)
+        for cand in out:
+            assert sorted(cand) == [0, 1, 2]
+
+    def test_constant_scores_filter(self):
+        S = np.full((2, 3), 1.0)
+        outcome = filter_candidates(S, [[0, 1, 2]] * 2, epsilon=0.01)
+        # s_l clamps to s_u; everyone survives at the single threshold
+        assert all(kept == [0, 1, 2] for kept in outcome.kept)
+
+    def test_negative_scores(self):
+        S = np.array([[-1.0, -2.0], [-3.0, -0.5]])
+        out = direct_top_k(S, 1)
+        assert out == [[0], [1]]
+
+
+class TestExtractorEdgeCases:
+    def test_punctuation_only_post(self, extractor):
+        out = extractor.extract_sparse("!!! ... ???")
+        assert all(np.isfinite(v) for v in out.values())
+
+    def test_digits_only_post(self, extractor):
+        out = extractor.extract_sparse("12345 67890")
+        assert len(out) > 0
+
+    def test_single_character(self, extractor):
+        out = extractor.extract_sparse("a")
+        assert all(v >= 0 for v in out.values())
+
+    def test_very_long_word(self, extractor):
+        out = extractor.extract_sparse("a" * 500)
+        space = extractor.space
+        # falls in the 20+ word-length bin
+        assert out[space.slots("word_length").stop - 1] == 1.0
+
+
+class TestDefenseEdgeCases:
+    def test_obfuscate_empty_text(self):
+        assert TextObfuscator().obfuscate_text("") == ""
+
+    def test_obfuscate_whitespace(self):
+        assert TextObfuscator().obfuscate_text("   \n\n  ") == ""
+
+    def test_obfuscate_empty_dataset(self):
+        ds = ForumDataset("empty-ish")
+        ds.add_user(User(user_id="u", username="n"))
+        out = obfuscate_dataset(ds, strength=1.0, seed=0)
+        assert out.n_posts == 0
+
+
+class TestLinkageEdgeCases:
+    def test_world_with_no_background(self):
+        users = [User(user_id="u1", username="veryuniquehandle99")]
+        from repro.linkage import LinkageWorldConfig
+
+        world = build_world(
+            users,
+            config=LinkageWorldConfig(n_background_people=0),
+            seed=1,
+        )
+        assert len(world.persons) == 1
+
+    def test_entropy_model_single_name(self):
+        model = MarkovUsernameModel().fit(["onlyone"])
+        assert model.surprisal("onlyone") > 0
+
+    def test_entropy_unseen_characters(self):
+        model = MarkovUsernameModel().fit(["abc", "abd"])
+        # characters never seen during fit still score finitely
+        assert np.isfinite(model.surprisal("xyz123"))

@@ -1,0 +1,132 @@
+"""Tests for the experiment runners (small instances of every figure)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    format_table,
+    refined_closed_corpus,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig5,
+    run_fig7,
+    run_fig8,
+    run_table1,
+    run_theory_validation,
+)
+
+
+class TestCorpusStats:
+    def test_fig1_structure(self, tiny_corpus):
+        res = run_fig1(tiny_corpus, max_point=50)
+        assert len(res.points) == len(res.cdf) == 51
+        assert (np.diff(res.cdf) >= 0).all()
+        assert 0.0 <= res.fraction_under_5 <= 1.0
+
+    def test_fig1_calibration(self, tiny_corpus):
+        res = run_fig1(tiny_corpus)
+        # webmd preset: most users under 5 posts (paper: 87.3%)
+        assert res.fraction_under_5 >= 0.75
+
+    def test_fig2_structure(self, tiny_corpus):
+        res = run_fig2(tiny_corpus)
+        assert res.fraction.sum() == pytest.approx(1.0, abs=0.05)
+        assert res.mean_words > 0
+        # paper: most posts under 300 words
+        assert res.fraction_under_300 >= 0.8
+
+    def test_table1_matches_paper_fixed_rows(self):
+        rows = run_table1()
+        for category in (
+            "length", "word_length", "vocabulary_richness", "letter_freq",
+            "digit_freq", "uppercase_pct", "special_chars", "word_shape",
+            "punctuation", "function_words", "misspellings",
+        ):
+            assert rows[category]["ours"] == rows[category]["paper"]
+
+    def test_table1_pos_rows_bounded(self):
+        rows = run_table1()
+        assert rows["pos_tags"]["ours"] < 2300
+        assert rows["pos_bigrams"]["ours"] < 2300**2
+
+
+class TestGraphExperiments:
+    def test_fig7(self, tiny_corpus):
+        res = run_fig7(tiny_corpus, max_degree=100)
+        assert (np.diff(res.cdf) >= 0).all()
+        assert res.n_components > 1  # paper: graphs are disconnected
+
+    def test_fig8(self, tiny_corpus):
+        summaries = run_fig8(tiny_corpus, thresholds=(0, 3))
+        assert len(summaries) == 2
+        assert summaries[0].degree_threshold == 0
+        assert summaries[0].n_nodes >= summaries[1].n_nodes
+
+
+class TestTopKExperiments:
+    def test_fig3_shape(self, tiny_corpus):
+        curves = run_fig3(
+            dataset=tiny_corpus,
+            aux_fractions=(0.5, 0.9),
+            ks=(1, 5, 20),
+            n_landmarks=10,
+            seed=0,
+        )
+        assert len(curves) == 2
+        for curve in curves:
+            assert (np.diff(curve.cdf) >= -1e-9).all()  # CDF grows with K
+            assert curve.n_anonymized > 0
+
+    def test_fig5_shape(self, tiny_corpus):
+        curves = run_fig5(
+            dataset=tiny_corpus,
+            overlap_ratios=(0.5, 0.9),
+            ks=(1, 5, 20),
+            n_landmarks=10,
+            seed=0,
+        )
+        assert len(curves) == 2
+        hi = curves[1]
+        assert hi.label.endswith("90%")
+
+    def test_curve_at_lookup(self, tiny_corpus):
+        curves = run_fig3(
+            dataset=tiny_corpus, aux_fractions=(0.5,), ks=(1, 10), n_landmarks=5
+        )
+        assert curves[0].at(10) >= curves[0].at(1)
+
+
+class TestRefinedCorpus:
+    def test_exact_post_counts(self):
+        corpus = refined_closed_corpus(n_users=8, posts_per_user=6, seed=0)
+        assert corpus.n_users == 8
+        for uid in corpus.user_ids():
+            assert len(corpus.posts_of(uid)) == 6
+
+
+class TestTheoryValidation:
+    def test_bounds_hold(self):
+        cells = run_theory_validation(gaps=(2.0, 8.0), n1=60, n2=60, k=5, seed=1)
+        for cell in cells:
+            assert cell.bound_pairwise <= cell.measured_exact + 0.05
+            assert cell.bound_topk <= cell.measured_topk + 0.05
+
+    def test_monotone_in_gap(self):
+        cells = run_theory_validation(gaps=(0.5, 2.0, 8.0), n1=40, n2=40)
+        exacts = [c.measured_exact for c in cells]
+        assert exacts == sorted(exacts)
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(
+            ["name", "value"], [["alpha", 1.5], ["beta", None]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "alpha" in text and "1.500" in text and "-" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "y"]])

@@ -1,0 +1,67 @@
+"""Tests for the feature-effectiveness ablation (paper future work)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.feature_ablation import (
+    ABLATABLE_CATEGORIES,
+    run_feature_ablation,
+)
+from repro.graph import UDAGraph
+
+
+class TestMaskedAttributes:
+    def test_masking_zeroes_category(self, handmade_forum, extractor):
+        uda = UDAGraph(handmade_forum, extractor=extractor)
+        sl = extractor.space.slots("function_words")
+        masked = uda.with_masked_attributes(["function_words"])
+        assert masked.attr_weights[:, sl.start : sl.stop].nnz == 0
+        # other categories untouched
+        other = extractor.space.slots("letter_freq")
+        assert (
+            masked.attr_weights[:, other.start : other.stop].nnz
+            == uda.attr_weights[:, other.start : other.stop].nnz
+        )
+
+    def test_original_unmodified(self, handmade_forum, extractor):
+        uda = UDAGraph(handmade_forum, extractor=extractor)
+        nnz_before = uda.attr_weights.nnz
+        uda.with_masked_attributes(["function_words", "pos_bigrams"])
+        assert uda.attr_weights.nnz == nnz_before
+
+    def test_unknown_category_raises(self, handmade_forum, extractor):
+        uda = UDAGraph(handmade_forum, extractor=extractor)
+        with pytest.raises(KeyError):
+            uda.with_masked_attributes(["made_up_category"])
+
+    def test_masking_everything(self, handmade_forum, extractor):
+        uda = UDAGraph(handmade_forum, extractor=extractor)
+        masked = uda.with_masked_attributes(
+            list(extractor.space.category_slices)
+        )
+        assert masked.attr_weights.nnz == 0
+
+
+class TestRunFeatureAblation:
+    def test_structure(self, tiny_corpus):
+        cells = run_feature_ablation(
+            tiny_corpus, k=5, categories=("function_words", "pos_bigrams"), seed=1
+        )
+        assert cells[0].removed == "(none)"
+        assert {c.removed for c in cells[1:]} == {"function_words", "pos_bigrams"}
+        for cell in cells:
+            assert 0.0 <= cell.topk_success <= 1.0
+
+    def test_sorted_by_drop(self, tiny_corpus):
+        cells = run_feature_ablation(
+            tiny_corpus, k=5, categories=("letter_freq", "misspellings"), seed=1
+        )
+        drops = [c.drop_vs_full for c in cells[1:]]
+        assert drops == sorted(drops, reverse=True)
+
+    def test_default_categories_exist(self):
+        from repro.stylometry import default_feature_space
+
+        space = default_feature_space()
+        for category in ABLATABLE_CATEGORIES:
+            assert category in space.category_slices

@@ -1,0 +1,138 @@
+"""Unit tests for the forum data model."""
+
+import pytest
+
+from repro.errors import EmptyDatasetError
+from repro.forum import ForumDataset, Post, Thread, User
+
+
+def _user(uid="u1"):
+    return User(user_id=uid, username=f"name-{uid}")
+
+
+def _thread(tid="t1", starter="u1"):
+    return Thread(thread_id=tid, board="b", topic="x", starter_id=starter)
+
+
+def _post(pid="p1", uid="u1", tid="t1", text="hello"):
+    return Post(post_id=pid, user_id=uid, thread_id=tid, board="b", text=text)
+
+
+class TestMutation:
+    def test_add_and_query(self):
+        ds = ForumDataset("t")
+        ds.add_user(_user())
+        ds.add_thread(_thread())
+        ds.add_post(_post())
+        assert ds.n_users == 1 and ds.n_threads == 1 and ds.n_posts == 1
+        assert ds.post("p1").text == "hello"
+
+    def test_duplicate_user_rejected(self):
+        ds = ForumDataset("t")
+        ds.add_user(_user())
+        with pytest.raises(ValueError):
+            ds.add_user(_user())
+
+    def test_duplicate_thread_rejected(self):
+        ds = ForumDataset("t")
+        ds.add_thread(_thread())
+        with pytest.raises(ValueError):
+            ds.add_thread(_thread())
+
+    def test_post_requires_user(self):
+        ds = ForumDataset("t")
+        ds.add_thread(_thread())
+        with pytest.raises(ValueError):
+            ds.add_post(_post())
+
+    def test_post_requires_thread(self):
+        ds = ForumDataset("t")
+        ds.add_user(_user())
+        with pytest.raises(ValueError):
+            ds.add_post(_post())
+
+    def test_duplicate_post_rejected(self):
+        ds = ForumDataset("t")
+        ds.add_user(_user())
+        ds.add_thread(_thread())
+        ds.add_post(_post())
+        with pytest.raises(ValueError):
+            ds.add_post(_post())
+
+
+class TestQueries:
+    def test_posts_of(self, handmade_forum):
+        assert [p.post_id for p in handmade_forum.posts_of("u1")] == ["p1", "p4", "p5"]
+
+    def test_posts_of_unknown_user_empty(self, handmade_forum):
+        assert handmade_forum.posts_of("nobody") == []
+
+    def test_post_texts_of(self, handmade_forum):
+        texts = handmade_forum.post_texts_of("u2")
+        assert len(texts) == 2 and all(isinstance(t, str) for t in texts)
+
+    def test_thread_participants_order(self, handmade_forum):
+        assert handmade_forum.thread_participants("t1") == ["u1", "u2", "u3"]
+
+    def test_posts_per_user_includes_lurkers(self, handmade_forum):
+        counts = handmade_forum.posts_per_user()
+        assert counts["u4"] == 0
+        assert counts["u1"] == 3
+
+    def test_post_lengths_words(self, handmade_forum):
+        lengths = handmade_forum.post_lengths_words()
+        assert len(lengths) == handmade_forum.n_posts
+        assert all(length > 0 for length in lengths)
+
+    def test_mean_posts_per_user(self, handmade_forum):
+        assert handmade_forum.mean_posts_per_user() == pytest.approx(6 / 4)
+
+    def test_mean_posts_empty_dataset(self):
+        with pytest.raises(EmptyDatasetError):
+            ForumDataset("empty").mean_posts_per_user()
+
+    def test_has_user(self, handmade_forum):
+        assert handmade_forum.has_user("u1")
+        assert not handmade_forum.has_user("zz")
+
+
+class TestSubset:
+    def test_subset_keeps_posts_and_threads(self, handmade_forum):
+        sub = handmade_forum.subset_by_users(["u1", "u2"])
+        assert sub.n_users == 2
+        assert {p.user_id for p in sub.posts()} == {"u1", "u2"}
+        assert sub.n_threads == 2  # both threads contain u1/u2 posts
+
+    def test_subset_unknown_user(self, handmade_forum):
+        with pytest.raises(KeyError):
+            handmade_forum.subset_by_users(["ghost"])
+
+    def test_subset_isolated_user(self, handmade_forum):
+        sub = handmade_forum.subset_by_users(["u4"])
+        assert sub.n_users == 1 and sub.n_posts == 0
+
+
+class TestPseudonyms:
+    def test_mapping_applied(self, handmade_forum):
+        anon, truth = handmade_forum.with_pseudonyms({"u1": "x1", "u2": "x2"})
+        assert anon.has_user("x1") and anon.has_user("x2")
+        assert truth == {"x1": "u1", "x2": "u2"}
+        # unmapped users keep their ids
+        assert anon.has_user("u3")
+
+    def test_profile_stripped(self, handmade_forum):
+        anon, _ = handmade_forum.with_pseudonyms({"u1": "x1"})
+        assert anon.user("x1").profile == {}
+        assert anon.user("x1").username == "x1"
+
+    def test_posts_relabelled(self, handmade_forum):
+        anon, _ = handmade_forum.with_pseudonyms({"u1": "x1"})
+        assert [p.post_id for p in anon.posts_of("x1")] == ["p1", "p4", "p5"]
+
+    def test_unknown_user_in_mapping(self, handmade_forum):
+        with pytest.raises(KeyError):
+            handmade_forum.with_pseudonyms({"ghost": "g"})
+
+    def test_text_untouched(self, handmade_forum):
+        anon, _ = handmade_forum.with_pseudonyms({"u1": "x1"})
+        assert anon.post("p1").text == handmade_forum.post("p1").text

@@ -1,0 +1,133 @@
+"""Unit tests for closed/open-world splitting."""
+
+import pytest
+
+from repro.errors import ConfigError, EmptyDatasetError
+from repro.forum import (
+    ForumDataset,
+    closed_world_split,
+    open_world_split,
+    select_users_with_posts,
+)
+
+
+class TestClosedWorld:
+    def test_posts_conserved(self, tiny_corpus):
+        split = closed_world_split(tiny_corpus, aux_fraction=0.5, seed=0)
+        assert (
+            split.auxiliary.n_posts + split.anonymized.n_posts
+            == tiny_corpus.n_posts
+        )
+
+    def test_every_anon_user_has_truth(self, tiny_corpus):
+        split = closed_world_split(tiny_corpus, aux_fraction=0.5, seed=0)
+        for anon_id in split.anonymized.user_ids():
+            assert split.truth.true_match(anon_id) is not None
+
+    def test_truth_maps_to_aux_users(self, tiny_corpus):
+        split = closed_world_split(tiny_corpus, aux_fraction=0.5, seed=0)
+        for anon_id, orig in split.truth.mapping.items():
+            assert split.auxiliary.has_user(orig)
+
+    def test_aux_fraction_respected(self, tiny_corpus):
+        lo = closed_world_split(tiny_corpus, aux_fraction=0.5, seed=0)
+        hi = closed_world_split(tiny_corpus, aux_fraction=0.9, seed=0)
+        assert hi.auxiliary.n_posts > lo.auxiliary.n_posts
+
+    def test_anonymized_ids_are_pseudonyms(self, tiny_corpus):
+        split = closed_world_split(tiny_corpus, aux_fraction=0.5, seed=0)
+        assert all(a.startswith("anon_") for a in split.anonymized.user_ids())
+
+    def test_profiles_stripped_from_anon(self, tiny_corpus):
+        split = closed_world_split(tiny_corpus, aux_fraction=0.5, seed=0)
+        for user in split.anonymized.users():
+            assert user.profile == {}
+
+    def test_posts_not_shared_across_sides(self, tiny_corpus):
+        split = closed_world_split(tiny_corpus, aux_fraction=0.7, seed=1)
+        aux_ids = {p.post_id for p in split.auxiliary.posts()}
+        anon_ids = {p.post_id for p in split.anonymized.posts()}
+        assert not aux_ids & anon_ids
+
+    def test_deterministic(self, tiny_corpus):
+        a = closed_world_split(tiny_corpus, aux_fraction=0.5, seed=5)
+        b = closed_world_split(tiny_corpus, aux_fraction=0.5, seed=5)
+        assert a.truth.mapping == b.truth.mapping
+
+    def test_invalid_fraction(self, tiny_corpus):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ConfigError):
+                closed_world_split(tiny_corpus, aux_fraction=bad)
+
+    def test_empty_dataset(self):
+        with pytest.raises(EmptyDatasetError):
+            closed_world_split(ForumDataset("empty"), aux_fraction=0.5)
+
+
+class TestOpenWorld:
+    def test_overlap_ratio_structure(self, tiny_corpus):
+        split = open_world_split(tiny_corpus, overlap_ratio=0.5, seed=0)
+        overlapping = split.truth.overlapping_ids
+        non_overlapping = split.truth.non_overlapping_ids
+        assert overlapping and non_overlapping
+        ratio = len(overlapping) / (len(overlapping) + len(non_overlapping))
+        assert ratio == pytest.approx(0.5, abs=0.12)
+
+    def test_higher_ratio_more_overlap(self, tiny_corpus):
+        lo = open_world_split(tiny_corpus, overlap_ratio=0.5, seed=0)
+        hi = open_world_split(tiny_corpus, overlap_ratio=0.9, seed=0)
+        lo_frac = len(lo.truth.overlapping_ids) / len(lo.truth.mapping)
+        hi_frac = len(hi.truth.overlapping_ids) / len(hi.truth.mapping)
+        assert hi_frac > lo_frac
+
+    def test_non_overlapping_absent_from_aux(self, tiny_corpus):
+        split = open_world_split(tiny_corpus, overlap_ratio=0.5, seed=0)
+        # anonymized users without truth must not exist in auxiliary data
+        for anon_id in split.truth.non_overlapping_ids:
+            assert split.truth.true_match(anon_id) is None
+
+    def test_overlapping_users_have_posts_both_sides(self, tiny_corpus):
+        split = open_world_split(tiny_corpus, overlap_ratio=0.7, seed=2)
+        for anon_id in split.truth.overlapping_ids:
+            orig = split.truth.true_match(anon_id)
+            assert split.auxiliary.posts_of(orig)
+            assert split.anonymized.posts_of(anon_id)
+
+    def test_invalid_ratio(self, tiny_corpus):
+        with pytest.raises(ConfigError):
+            open_world_split(tiny_corpus, overlap_ratio=0.0)
+
+    def test_tiny_dataset_rejected(self):
+        ds = ForumDataset("small")
+        with pytest.raises(EmptyDatasetError):
+            open_world_split(ds, overlap_ratio=0.5)
+
+
+class TestSelectUsers:
+    def test_exact_posts(self, tiny_corpus):
+        sel = select_users_with_posts(
+            tiny_corpus, n_users=5, min_posts=3, exact_posts=3, seed=1
+        )
+        assert sel.n_users == 5
+        for uid in sel.user_ids():
+            assert len(sel.posts_of(uid)) == 3
+
+    def test_min_posts_only(self, tiny_corpus):
+        sel = select_users_with_posts(tiny_corpus, n_users=5, min_posts=2, seed=1)
+        for uid in sel.user_ids():
+            assert len(sel.posts_of(uid)) >= 2
+
+    def test_too_many_requested(self, tiny_corpus):
+        with pytest.raises(ConfigError):
+            select_users_with_posts(tiny_corpus, n_users=10_000, min_posts=1)
+
+    def test_invalid_params(self, tiny_corpus):
+        with pytest.raises(ConfigError):
+            select_users_with_posts(tiny_corpus, n_users=0, min_posts=1)
+        with pytest.raises(ConfigError):
+            select_users_with_posts(tiny_corpus, n_users=1, min_posts=0)
+
+    def test_threads_remain_consistent(self, tiny_corpus):
+        sel = select_users_with_posts(tiny_corpus, n_users=5, min_posts=2, seed=3)
+        for post in sel.posts():
+            assert sel.thread(post.thread_id) is not None

@@ -1,0 +1,67 @@
+"""Round-trip tests for JSONL persistence."""
+
+import pytest
+
+from repro.forum import load_dataset, save_dataset
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self, handmade_forum, tmp_path):
+        path = tmp_path / "forum.jsonl"
+        save_dataset(handmade_forum, path)
+        loaded = load_dataset(path)
+        assert loaded.name == handmade_forum.name
+        assert loaded.n_users == handmade_forum.n_users
+        assert loaded.n_threads == handmade_forum.n_threads
+        assert loaded.n_posts == handmade_forum.n_posts
+        for post in handmade_forum.posts():
+            assert loaded.post(post.post_id).text == post.text
+            assert loaded.post(post.post_id).user_id == post.user_id
+
+    def test_profiles_survive(self, handmade_forum, tmp_path):
+        path = tmp_path / "forum.jsonl"
+        save_dataset(handmade_forum, path)
+        loaded = load_dataset(path)
+        assert loaded.user("u1").profile == {"location": "ohio"}
+
+    def test_unicode_text(self, handmade_forum, tmp_path):
+        from repro.forum import Post
+
+        handmade_forum.add_post(
+            Post(
+                post_id="p7",
+                user_id="u1",
+                thread_id="t1",
+                board="b1",
+                text="soupçon of naïveté — 漢字 🙂",
+            )
+        )
+        path = tmp_path / "forum.jsonl"
+        save_dataset(handmade_forum, path)
+        assert load_dataset(path).post("p7").text == "soupçon of naïveté — 漢字 🙂"
+
+    def test_missing_meta_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "user", "user_id": "u", "username": "n"}\n')
+        with pytest.raises(ValueError, match="meta"):
+            load_dataset(path)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "meta", "name": "x"}\n{"kind": "alien"}\n')
+        with pytest.raises(ValueError, match="alien"):
+            load_dataset(path)
+
+    def test_blank_lines_skipped(self, handmade_forum, tmp_path):
+        path = tmp_path / "forum.jsonl"
+        save_dataset(handmade_forum, path)
+        content = path.read_text().replace("\n", "\n\n")
+        path.write_text(content)
+        assert load_dataset(path).n_posts == handmade_forum.n_posts
+
+    def test_generated_corpus_round_trip(self, tiny_corpus, tmp_path):
+        path = tmp_path / "big.jsonl"
+        save_dataset(tiny_corpus, path)
+        loaded = load_dataset(path)
+        assert loaded.n_posts == tiny_corpus.n_posts
+        assert sorted(loaded.user_ids()) == sorted(tiny_corpus.user_ids())

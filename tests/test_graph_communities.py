@@ -1,0 +1,57 @@
+"""Unit tests for community detection and Fig-8 summaries."""
+
+import networkx as nx
+
+from repro.graph import build_correlation_graph, community_summary, detect_communities
+
+
+class TestDetectCommunities:
+    def test_two_cliques(self):
+        g = nx.Graph()
+        for clique in (("a", "b", "c"), ("x", "y", "z")):
+            for i, u in enumerate(clique):
+                for v in clique[i + 1 :]:
+                    g.add_edge(u, v, weight=1)
+        communities = detect_communities(g)
+        assert len(communities) == 2
+        assert {frozenset(c) for c in communities} == {
+            frozenset({"a", "b", "c"}),
+            frozenset({"x", "y", "z"}),
+        }
+
+    def test_isolated_nodes_ignored(self):
+        g = nx.Graph()
+        g.add_nodes_from(["lonely1", "lonely2"])
+        g.add_edge("a", "b", weight=1)
+        communities = detect_communities(g)
+        assert all("lonely1" not in c for c in communities)
+
+    def test_empty_graph(self):
+        assert detect_communities(nx.Graph()) == []
+
+
+class TestCommunitySummary:
+    def test_threshold_filters_nodes(self, tiny_corpus):
+        g = build_correlation_graph(tiny_corpus)
+        full = community_summary(g, 0)
+        filtered = community_summary(g, 3)
+        assert filtered.n_nodes < full.n_nodes
+
+    def test_paper_shape_disconnected(self, tiny_corpus):
+        """The paper's graphs are never connected at threshold 0."""
+        g = build_correlation_graph(tiny_corpus)
+        summary = community_summary(g, 0)
+        assert not summary.is_connected
+        assert summary.n_components > 1
+
+    def test_community_count_in_paper_band(self, tiny_corpus):
+        """Appendix B: roughly 10-100 communities."""
+        g = build_correlation_graph(tiny_corpus)
+        summary = community_summary(g, 0)
+        assert 2 <= summary.n_communities <= 100
+
+    def test_empty_graph_summary(self):
+        summary = community_summary(nx.Graph(), 0)
+        assert summary.n_nodes == 0
+        assert summary.n_components == 0
+        assert not summary.is_connected

@@ -1,0 +1,39 @@
+"""Unit tests for correlation-graph construction."""
+
+from repro.graph import build_correlation_graph
+
+
+class TestBuildCorrelationGraph:
+    def test_known_structure(self, handmade_forum):
+        g = build_correlation_graph(handmade_forum)
+        assert g.number_of_nodes() == 4
+        assert g[u"u1"]["u2"]["weight"] == 2  # co-posted in t1 and t2
+        assert g["u1"]["u3"]["weight"] == 1
+        assert g["u2"]["u3"]["weight"] == 1
+
+    def test_isolated_user_kept(self, handmade_forum):
+        g = build_correlation_graph(handmade_forum)
+        assert "u4" in g
+        assert g.degree("u4") == 0
+
+    def test_no_self_loops(self, handmade_forum):
+        g = build_correlation_graph(handmade_forum)
+        assert all(u != v for u, v in g.edges())
+
+    def test_undirected_symmetry(self, handmade_forum):
+        g = build_correlation_graph(handmade_forum)
+        assert g["u1"]["u2"]["weight"] == g["u2"]["u1"]["weight"]
+
+    def test_generated_corpus_sane(self, tiny_corpus):
+        g = build_correlation_graph(tiny_corpus)
+        assert g.number_of_nodes() == tiny_corpus.n_users
+        assert g.number_of_edges() > 0
+        # the paper's graphs are sparse: mean degree stays small
+        mean_degree = 2 * g.number_of_edges() / g.number_of_nodes()
+        assert mean_degree < 30
+
+    def test_multiple_posts_same_thread_single_weight(self, handmade_forum):
+        # u1 posted twice in t1, but (u1, u2) only co-occur twice across
+        # two threads — repeated posting in one thread adds no extra weight
+        g = build_correlation_graph(handmade_forum)
+        assert g["u1"]["u2"]["weight"] == 2

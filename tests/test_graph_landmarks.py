@@ -1,0 +1,73 @@
+"""Unit tests for landmark selection and closeness vectors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph import UDAGraph, landmark_closeness, select_landmarks
+
+
+@pytest.fixture()
+def uda(handmade_forum, extractor):
+    return UDAGraph(handmade_forum, extractor=extractor, with_attributes=False)
+
+
+class TestSelectLandmarks:
+    def test_ordered_by_degree(self, uda):
+        lm = select_landmarks(uda, 4)
+        degrees = [uda.degrees[i] for i in lm]
+        assert degrees == sorted(degrees, reverse=True)
+
+    def test_top1_is_max_degree(self, uda):
+        lm = select_landmarks(uda, 1)
+        assert uda.degrees[lm[0]] == uda.degrees.max()
+
+    def test_clamps_to_n_users(self, uda):
+        assert len(select_landmarks(uda, 100)) == uda.n_users
+
+    def test_invalid_count(self, uda):
+        with pytest.raises(ConfigError):
+            select_landmarks(uda, 0)
+
+    def test_deterministic_tiebreak(self, uda):
+        assert select_landmarks(uda, 4) == select_landmarks(uda, 4)
+
+
+class TestLandmarkCloseness:
+    def test_shape(self, uda):
+        lm = select_landmarks(uda, 2)
+        close = landmark_closeness(uda, lm, weighted=False)
+        assert close.shape == (uda.n_users, 2)
+
+    def test_self_closeness_is_one(self, uda):
+        lm = select_landmarks(uda, 1)
+        close = landmark_closeness(uda, lm, weighted=False)
+        assert close[lm[0], 0] == 1.0
+
+    def test_unreachable_is_zero(self, uda):
+        lm = select_landmarks(uda, 1)
+        close = landmark_closeness(uda, lm, weighted=False)
+        isolated = uda.index["u4"]
+        assert close[isolated, 0] == 0.0
+
+    def test_values_in_unit_interval(self, uda):
+        lm = select_landmarks(uda, 3)
+        for weighted in (False, True):
+            close = landmark_closeness(uda, lm, weighted=weighted)
+            assert (close >= 0).all() and (close <= 1).all()
+
+    def test_hop_distance_encoding(self, uda):
+        # u3 is 1 hop from u1 and u2 -> closeness 1/(1+1) = 0.5
+        lm = [uda.index["u1"]]
+        close = landmark_closeness(uda, lm, weighted=False)
+        assert close[uda.index["u3"], 0] == pytest.approx(0.5)
+
+    def test_weighted_uses_strength(self, uda):
+        # edge u1-u2 has weight 2 -> length 0.5 -> closeness 1/1.5
+        lm = [uda.index["u1"]]
+        close = landmark_closeness(uda, lm, weighted=True)
+        assert close[uda.index["u2"], 0] == pytest.approx(1.0 / 1.5)
+
+    def test_empty_landmarks_rejected(self, uda):
+        with pytest.raises(ConfigError):
+            landmark_closeness(uda, [], weighted=False)

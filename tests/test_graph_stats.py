@@ -1,0 +1,44 @@
+"""Unit tests for degree statistics (Fig 7)."""
+
+import networkx as nx
+import numpy as np
+
+from repro.graph import build_correlation_graph, degree_cdf, graph_stats
+
+
+class TestGraphStats:
+    def test_known_graph(self, handmade_forum):
+        g = build_correlation_graph(handmade_forum)
+        stats = graph_stats(g)
+        assert stats.n_nodes == 4
+        assert stats.n_edges == 3
+        assert stats.n_isolated == 1
+        assert stats.n_components == 2
+        assert stats.max_degree == 2
+
+    def test_empty_graph(self):
+        stats = graph_stats(nx.Graph())
+        assert stats.n_nodes == 0 and stats.mean_degree == 0.0
+
+    def test_generated_low_degree(self, tiny_corpus):
+        """Appendix B: degrees are low for most users."""
+        stats = graph_stats(build_correlation_graph(tiny_corpus))
+        assert stats.median_degree <= 10
+
+
+class TestDegreeCdf:
+    def test_monotone_to_one(self, tiny_corpus):
+        g = build_correlation_graph(tiny_corpus)
+        points, cdf = degree_cdf(g)
+        assert (np.diff(cdf) >= 0).all()
+        assert cdf[-1] == 1.0
+
+    def test_custom_points(self, handmade_forum):
+        g = build_correlation_graph(handmade_forum)
+        points, cdf = degree_cdf(g, [0, 1, 2])
+        # degrees: u1=2, u2=2, u3=2, u4=0
+        assert list(cdf) == [0.25, 0.25, 1.0]
+
+    def test_empty_graph(self):
+        points, cdf = degree_cdf(nx.Graph())
+        assert list(cdf) == [0.0]

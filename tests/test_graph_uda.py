@@ -1,0 +1,69 @@
+"""Unit tests for the UDA graph."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EmptyDatasetError
+from repro.forum import ForumDataset
+from repro.graph import UDAGraph
+
+
+class TestUDAGraph:
+    def test_degrees(self, handmade_forum, extractor):
+        g = UDAGraph(handmade_forum, extractor=extractor)
+        assert g.degree_of("u1") == 2
+        assert g.degree_of("u4") == 0
+
+    def test_weighted_degrees(self, handmade_forum, extractor):
+        g = UDAGraph(handmade_forum, extractor=extractor)
+        assert g.weighted_degree_of("u1") == 3.0  # w12=2 + w13=1
+        assert g.weighted_degree_of("u3") == 2.0
+
+    def test_ncs_sorted_descending(self, handmade_forum, extractor):
+        g = UDAGraph(handmade_forum, extractor=extractor)
+        ncs = g.ncs_of("u1")
+        assert list(ncs) == [2.0, 1.0]
+
+    def test_ncs_empty_for_isolated(self, handmade_forum, extractor):
+        g = UDAGraph(handmade_forum, extractor=extractor)
+        assert len(g.ncs_of("u4")) == 0
+
+    def test_attribute_weights_bounded_by_posts(self, handmade_forum, extractor):
+        g = UDAGraph(handmade_forum, extractor=extractor)
+        for uid in handmade_forum.user_ids():
+            weights = g.attribute_weights_of(uid)
+            n_posts = len(handmade_forum.posts_of(uid))
+            assert all(1 <= w <= n_posts for w in weights.values())
+
+    def test_attribute_set_matches_weights(self, handmade_forum, extractor):
+        g = UDAGraph(handmade_forum, extractor=extractor)
+        assert g.attribute_set_of("u1") == set(g.attribute_weights_of("u1"))
+
+    def test_isolated_user_has_attributes(self, handmade_forum, extractor):
+        g = UDAGraph(handmade_forum, extractor=extractor)
+        assert g.attribute_set_of("u4") == frozenset()  # no posts, no attrs
+
+    def test_without_attributes(self, handmade_forum, extractor):
+        g = UDAGraph(handmade_forum, extractor=extractor, with_attributes=False)
+        assert g.attr_weights.nnz == 0
+
+    def test_adjacency_matches_graph(self, handmade_forum, extractor):
+        g = UDAGraph(handmade_forum, extractor=extractor)
+        adj = g.adjacency(weighted=True).toarray()
+        i, j = g.index["u1"], g.index["u2"]
+        assert adj[i, j] == 2.0
+        assert np.allclose(adj, adj.T)
+
+    def test_empty_dataset_rejected(self, extractor):
+        with pytest.raises(EmptyDatasetError):
+            UDAGraph(ForumDataset("none"), extractor=extractor)
+
+    def test_stable_user_order(self, handmade_forum, extractor):
+        g = UDAGraph(handmade_forum, extractor=extractor)
+        assert g.users == sorted(handmade_forum.user_ids())
+        assert all(g.users[g.index[u]] == u for u in g.users)
+
+    def test_n_posts_vector(self, handmade_forum, extractor):
+        g = UDAGraph(handmade_forum, extractor=extractor)
+        assert g.n_posts[g.index["u1"]] == 3
+        assert g.n_posts[g.index["u4"]] == 0

@@ -1,0 +1,149 @@
+"""End-to-end integration tests across all subsystems."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DeHealth,
+    DeHealthConfig,
+    StylometryBaseline,
+    UDAGraph,
+    closed_world_split,
+    load_dataset,
+    open_world_split,
+    save_dataset,
+    webmd_like,
+)
+from repro.defense import obfuscate_dataset
+from repro.experiments.linkage_exp import run_linkage_experiment
+from repro.theory import (
+    estimate_gap_from_similarity,
+    measure_da_success,
+)
+
+
+class TestFullClosedWorldPipeline:
+    def test_generate_split_attack_evaluate(self):
+        corpus = webmd_like(n_users=100, seed=31).dataset
+        split = closed_world_split(corpus, aux_fraction=0.5, seed=32)
+        attack = DeHealth(
+            DeHealthConfig(top_k=5, n_landmarks=10, classifier="centroid")
+        )
+        attack.fit(split.anonymized, split.auxiliary)
+
+        topk = attack.top_k_result(split.truth)
+        result = attack.deanonymize()
+
+        # every attack product is internally consistent
+        assert topk.n_evaluated == split.anonymized.n_users
+        assert set(result.predictions) == set(split.anonymized.user_ids())
+        # and beats random on this small instance
+        assert result.accuracy(split.truth) > 1.0 / split.auxiliary.n_users
+
+    def test_persistence_round_trip_preserves_attack(self, tmp_path):
+        corpus = webmd_like(n_users=60, seed=33).dataset
+        path = tmp_path / "corpus.jsonl"
+        save_dataset(corpus, path)
+        reloaded = load_dataset(path)
+
+        for ds in (corpus, reloaded):
+            split = closed_world_split(ds, aux_fraction=0.5, seed=34)
+            attack = DeHealth(DeHealthConfig(top_k=3, n_landmarks=5))
+            attack.fit(split.anonymized, split.auxiliary)
+            # determinism across the round trip
+            S = attack.similarity_matrix()
+            assert S.shape[0] == split.anonymized.n_users
+
+    def test_theory_applies_to_attack_output(self):
+        corpus = webmd_like(n_users=80, seed=35).dataset
+        split = closed_world_split(corpus, aux_fraction=0.5, seed=36)
+        attack = DeHealth(DeHealthConfig(n_landmarks=10))
+        attack.fit(split.anonymized, split.auxiliary)
+        S = attack.similarity_matrix()
+        gap = estimate_gap_from_similarity(
+            S, attack.anonymized.users, attack.auxiliary.users, split.truth.mapping
+        )
+        measured = measure_da_success(
+            S, attack.anonymized.users, attack.auxiliary.users, split.truth.mapping
+        )
+        # the attack works at all <=> the gap is positive
+        assert gap.lam_correct > gap.lam_incorrect
+        assert measured["exact"] > 0.0
+
+
+class TestFullOpenWorldPipeline:
+    def test_verification_controls_fp(self):
+        corpus = webmd_like(
+            n_users=80, seed=37, min_posts_per_user=4, max_posts_per_user=10
+        ).dataset
+        split = open_world_split(corpus, overlap_ratio=0.5, seed=38)
+
+        unverified = DeHealth(
+            DeHealthConfig(top_k=3, n_landmarks=5, classifier="centroid")
+        )
+        unverified.fit(split.anonymized, split.auxiliary)
+        fp_unverified = unverified.deanonymize().false_positive_rate(split.truth)
+
+        verified = DeHealth(
+            DeHealthConfig(
+                top_k=3,
+                n_landmarks=5,
+                classifier="centroid",
+                verification="mean",
+                verification_r=0.03,
+            )
+        )
+        verified.fit(split.anonymized, split.auxiliary)
+        fp_verified = verified.deanonymize().false_positive_rate(split.truth)
+
+        # closed-world attacker maps everyone (FP = 1); verification cuts it
+        assert fp_unverified == 1.0
+        assert fp_verified < fp_unverified
+
+
+class TestDefenseIntegration:
+    def test_obfuscated_corpus_still_attackable_but_harder(self):
+        corpus = webmd_like(n_users=100, seed=39).dataset
+        split = closed_world_split(corpus, aux_fraction=0.5, seed=40)
+
+        def run(anon_ds):
+            attack = DeHealth(DeHealthConfig(top_k=5, n_landmarks=10, classifier="centroid"))
+            attack.fit(anon_ds, split.auxiliary)
+            return attack.top_k_result(split.truth).success_rate(5)
+
+        before = run(split.anonymized)
+        after = run(obfuscate_dataset(split.anonymized, strength=1.0, seed=41))
+        assert after <= before + 0.05  # defense never helps the attacker
+
+
+class TestLinkageIntegration:
+    def test_attack_then_linkage_composition(self):
+        """The paper's full threat model: DA the posts, then link to people."""
+        result = run_linkage_experiment(n_users=200, seed=42)
+        report = result.report
+        linked = set(report.name_links) | set(report.avatar_links)
+        # at least someone is linked, with correct ground-truth identity
+        assert linked
+        assert report.name_precision == 1.0 or report.avatar_precision == 1.0
+        # PII exposure counted for the linked population
+        assert report.revealed["full_name"] <= len(linked)
+
+
+class TestBaselineComparison:
+    def test_dehealth_and_baseline_agree_on_interface(self):
+        corpus = webmd_like(
+            n_users=40, seed=43, min_posts_per_user=4, max_posts_per_user=8
+        ).dataset
+        split = closed_world_split(corpus, aux_fraction=0.5, seed=44)
+        anon = UDAGraph(split.anonymized)
+        aux = UDAGraph(split.auxiliary)
+        baseline = StylometryBaseline(classifier="centroid").deanonymize(anon, aux)
+        attack = DeHealth(DeHealthConfig(top_k=5, n_landmarks=5, classifier="centroid"))
+        attack.fit(anon, aux)
+        dehealth = attack.deanonymize()
+        # identical decision surface: same users, values in aux or None
+        assert set(baseline.predictions) == set(dehealth.predictions)
+        aux_ids = set(split.auxiliary.user_ids())
+        for res in (baseline, dehealth):
+            for v in res.predictions.values():
+                assert v is None or v in aux_ids

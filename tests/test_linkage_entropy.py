@@ -1,0 +1,62 @@
+"""Unit tests for the username entropy model."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.names import unique_usernames
+from repro.errors import LinkageError
+from repro.linkage import MarkovUsernameModel
+
+
+@pytest.fixture(scope="module")
+def fitted_model():
+    rng = np.random.default_rng(0)
+    return MarkovUsernameModel(order=2).fit(unique_usernames(rng, 400))
+
+
+class TestMarkovUsernameModel:
+    def test_surprisal_positive(self, fitted_model):
+        assert fitted_model.surprisal("happywolf42") > 0
+
+    def test_longer_names_more_surprising(self, fitted_model):
+        short = fitted_model.surprisal("wolf")
+        long = fitted_model.surprisal("wolfwolfwolfwolf")
+        assert long > short
+
+    def test_rare_patterns_more_surprising(self, fitted_model):
+        common = fitted_model.surprisal("sunnybear77")
+        rare = fitted_model.surprisal("qxzqjvwpk")
+        # per-character surprisal comparison (lengths differ slightly)
+        assert rare / 9 > common / 11
+
+    def test_case_insensitive(self, fitted_model):
+        assert fitted_model.surprisal("WolfHawk") == pytest.approx(
+            fitted_model.surprisal("wolfhawk")
+        )
+
+    def test_unfitted_raises(self):
+        with pytest.raises(LinkageError):
+            MarkovUsernameModel().surprisal("x")
+
+    def test_empty_username_rejected(self, fitted_model):
+        with pytest.raises(LinkageError):
+            fitted_model.surprisal("")
+
+    def test_fit_empty_population_rejected(self):
+        with pytest.raises(LinkageError):
+            MarkovUsernameModel().fit([])
+
+    def test_invalid_order(self):
+        with pytest.raises(LinkageError):
+            MarkovUsernameModel(order=0)
+
+    def test_rank_by_uniqueness_sorted(self, fitted_model):
+        ranked = fitted_model.rank_by_uniqueness(["bob", "qxzqjvwpk", "sunnybear"])
+        scores = [s for _, s in ranked]
+        assert scores == sorted(scores, reverse=True)
+        assert ranked[0][0] == "qxzqjvwpk"
+
+    def test_deterministic(self, fitted_model):
+        assert fitted_model.surprisal("gardenlady55") == fitted_model.surprisal(
+            "gardenlady55"
+        )

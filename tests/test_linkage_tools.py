@@ -1,0 +1,120 @@
+"""Unit tests for NameLink, AvatarLink, and the combined framework."""
+
+import pytest
+
+from repro.datagen import webmd_like
+from repro.errors import LinkageError
+from repro.experiments.linkage_exp import _attach_avatars, run_linkage_experiment
+from repro.linkage import AvatarLink, LinkageAttack, NameLink, build_world
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    gen = webmd_like(n_users=300, seed=77)
+    world = build_world(list(gen.dataset.users()), seed=78)
+    dataset = _attach_avatars(gen.dataset, world)
+    return world, dataset
+
+
+class TestNameLink:
+    def test_link_all_returns_hits(self, campaign):
+        world, dataset = campaign
+        namelink = NameLink(world, min_entropy_bits=30.0)
+        links = namelink.link_all(list(dataset.users()), "healthboards")
+        assert isinstance(links, dict)
+        for hits in links.values():
+            assert all(h.account.service == "healthboards" for h in hits)
+
+    def test_precision_on_ground_truth(self, campaign):
+        world, dataset = campaign
+        namelink = NameLink(world, min_entropy_bits=30.0)
+        links = namelink.link_all(list(dataset.users()), "healthboards")
+        if links:
+            assert namelink.precision(links) >= 0.9
+
+    def test_entropy_threshold_filters(self, campaign):
+        world, dataset = campaign
+        users = list(dataset.users())
+        loose = NameLink(world, min_entropy_bits=0.0).link_all(users, "healthboards")
+        strict = NameLink(world, min_entropy_bits=200.0).link_all(users, "healthboards")
+        assert len(strict) <= len(loose)
+        assert len(strict) == 0  # nothing clears 200 bits
+
+    def test_unfitted_model_without_users(self, campaign):
+        world, dataset = campaign
+        namelink = NameLink(world)
+        with pytest.raises(LinkageError):
+            namelink.link_user(next(dataset.users()))
+
+    def test_invalid_threshold(self, campaign):
+        world, _ = campaign
+        with pytest.raises(LinkageError):
+            NameLink(world, min_entropy_bits=-1.0)
+
+
+class TestAvatarLink:
+    def test_filter_targets_only_human(self, campaign):
+        world, dataset = campaign
+        avatarlink = AvatarLink(world)
+        targets = avatarlink.filter_targets(list(dataset.users()))
+        for user in targets:
+            assert world.avatar_kinds[user.avatar_id] == "human"
+
+    def test_link_user_requires_avatar(self, campaign):
+        world, dataset = campaign
+        avatarlink = AvatarLink(world)
+        no_avatar = next(u for u in dataset.users() if u.avatar_id is None)
+        with pytest.raises(LinkageError):
+            avatarlink.link_user(no_avatar)
+
+    def test_hits_exclude_query_avatar(self, campaign):
+        world, dataset = campaign
+        avatarlink = AvatarLink(world)
+        links = avatarlink.link_all(list(dataset.users()))
+        for user_id, hits in links.items():
+            queried = next(
+                u.avatar_id for u in dataset.users() if u.user_id == user_id
+            )
+            assert all(h.account.avatar_id != queried for h in hits)
+
+    def test_precision(self, campaign):
+        world, dataset = campaign
+        avatarlink = AvatarLink(world)
+        links = avatarlink.link_all(list(dataset.users()))
+        if links:
+            assert avatarlink.precision(links) >= 0.9
+
+    def test_query_schedule(self, campaign):
+        world, _ = campaign
+        avatarlink = AvatarLink(world, queries_per_day=561)
+        schedule = avatarlink.query_schedule(2805)
+        assert schedule["days_needed"] == 5  # the paper's five-day budget
+
+    def test_invalid_threshold(self, campaign):
+        world, _ = campaign
+        with pytest.raises(LinkageError):
+            AvatarLink(world, similarity_threshold=0.0)
+
+
+class TestLinkageAttackFramework:
+    def test_report_fields(self, campaign):
+        world, dataset = campaign
+        report = LinkageAttack(world).run(dataset)
+        assert report.n_users == dataset.n_users
+        assert 0.0 <= report.avatar_link_rate <= 1.0
+        assert 0.0 <= report.multi_service_fraction <= 1.0
+        assert report.overlap_ids <= (
+            set(report.name_links) | set(report.avatar_links)
+        )
+
+    def test_summary_lines(self, campaign):
+        world, dataset = campaign
+        report = LinkageAttack(world).run(dataset)
+        lines = report.summary_lines()
+        assert any("NameLink" in line for line in lines)
+        assert any("AvatarLink" in line for line in lines)
+
+    def test_experiment_runner(self):
+        result = run_linkage_experiment(n_users=150, seed=5)
+        assert result.report.n_users == 150
+        assert result.paper_avatar_link_rate == pytest.approx(0.124)

@@ -1,0 +1,113 @@
+"""Unit tests for the synthetic Internet world."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import webmd_like
+from repro.errors import LinkageError
+from repro.linkage import LinkageWorldConfig, build_world
+
+
+@pytest.fixture(scope="module")
+def world_and_users():
+    users = list(webmd_like(n_users=200, seed=55).dataset.users())
+    world = build_world(users, seed=56)
+    return world, users
+
+
+class TestBuildWorld:
+    def test_every_forum_user_has_person(self, world_and_users):
+        world, users = world_and_users
+        for user in users:
+            assert user.user_id in world.forum_person
+            assert world.forum_person[user.user_id] in world.persons
+
+    def test_health_service_accounts_complete(self, world_and_users):
+        world, users = world_and_users
+        assert len(world.accounts["webmd"]) == len(users)
+
+    def test_some_cross_service_presence(self, world_and_users):
+        world, _ = world_and_users
+        assert len(world.accounts["healthboards"]) > 0
+        assert len(world.accounts["facebook"]) > 0
+
+    def test_background_people_exist(self, world_and_users):
+        world, users = world_and_users
+        assert len(world.persons) > len(users)
+
+    def test_avatar_vectors_unit_norm(self, world_and_users):
+        world, _ = world_and_users
+        for vec in world.avatar_vectors.values():
+            assert np.linalg.norm(vec) == pytest.approx(1.0, abs=1e-6)
+
+    def test_avatar_kinds_assigned(self, world_and_users):
+        world, _ = world_and_users
+        from repro.linkage.world import AVATAR_KINDS
+
+        assert set(world.avatar_kinds.values()) <= set(AVATAR_KINDS)
+
+    def test_person_location_matches_forum_profile(self, world_and_users):
+        world, users = world_and_users
+        for user in users:
+            loc = user.profile.get("location")
+            if loc:
+                person = world.person(world.forum_person[user.user_id])
+                assert person.location == loc
+
+    def test_deterministic(self):
+        users = list(webmd_like(n_users=50, seed=57).dataset.users())
+        w1 = build_world(users, seed=58)
+        w2 = build_world(users, seed=58)
+        assert set(w1.accounts["facebook"]) == set(w2.accounts["facebook"])
+
+
+class TestWorldQueries:
+    def test_search_username_exact(self, world_and_users):
+        world, users = world_and_users
+        hits = world.search_username(users[0].username, "webmd")
+        assert len(hits) == 1
+        assert hits[0].person_id == world.forum_person[users[0].user_id]
+
+    def test_search_unknown_service(self, world_and_users):
+        world, _ = world_and_users
+        with pytest.raises(LinkageError):
+            world.search_username("x", "myspace")
+
+    def test_search_empty_username(self, world_and_users):
+        world, _ = world_and_users
+        with pytest.raises(LinkageError):
+            world.search_username("")
+
+    def test_reverse_image_search_finds_self(self, world_and_users):
+        world, _ = world_and_users
+        avatar_id, vec = next(iter(world.avatar_vectors.items()))
+        hits = world.reverse_image_search(vec, threshold=0.99)
+        assert any(h.avatar_id == avatar_id for h in hits)
+
+    def test_reverse_image_zero_vector(self, world_and_users):
+        world, _ = world_and_users
+        with pytest.raises(LinkageError):
+            world.reverse_image_search(np.zeros(32))
+
+    def test_whitepages_lookup(self, world_and_users):
+        world, _ = world_and_users
+        person = next(iter(world.persons.values()))
+        hits = world.whitepages_lookup(person.full_name, person.location)
+        assert person in hits
+
+
+class TestWorldConfig:
+    def test_defaults_valid(self):
+        LinkageWorldConfig().validate()
+
+    def test_invalid_probability(self):
+        with pytest.raises(LinkageError):
+            LinkageWorldConfig(username_reuse_base=1.5).validate()
+
+    def test_negative_noise(self):
+        with pytest.raises(LinkageError):
+            LinkageWorldConfig(avatar_noise=-0.1).validate()
+
+    def test_negative_background(self):
+        with pytest.raises(LinkageError):
+            LinkageWorldConfig(n_background_people=-1).validate()

@@ -1,0 +1,75 @@
+"""Unit tests for the KNN classifier."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, NotFittedError
+from repro.ml import KNNClassifier
+
+
+def _blobs(seed=0, n_per_class=20, n_classes=3, dim=6, spread=4.0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(n_classes, dim)) * spread
+    X = np.vstack([c + rng.normal(size=(n_per_class, dim)) for c in centers])
+    y = np.repeat(np.arange(n_classes), n_per_class)
+    return X, y, centers
+
+
+class TestKNN:
+    def test_separable_blobs(self):
+        X, y, centers = _blobs()
+        clf = KNNClassifier(k=3, metric="euclidean").fit(X, y)
+        rng = np.random.default_rng(1)
+        Xte = np.vstack([c + rng.normal(size=(5, 6)) for c in centers])
+        yte = np.repeat(np.arange(3), 5)
+        assert (clf.predict(Xte) == yte).mean() >= 0.9
+
+    def test_cosine_metric(self):
+        X, y, _ = _blobs(seed=2)
+        clf = KNNClassifier(k=3, metric="cosine").fit(X, y)
+        assert (clf.predict(X) == y).mean() >= 0.9
+
+    def test_k1_memorizes_training(self):
+        X, y, _ = _blobs(seed=3)
+        clf = KNNClassifier(k=1, metric="euclidean").fit(X, y)
+        assert (clf.predict(X) == y).all()
+
+    def test_scores_shape_and_normalised(self):
+        X, y, _ = _blobs()
+        clf = KNNClassifier(k=5).fit(X, y)
+        scores = clf.predict_scores(X[:7])
+        assert scores.shape == (7, 3)
+        assert np.allclose(scores.sum(axis=1), 1.0)
+
+    def test_string_labels(self):
+        X, y, _ = _blobs()
+        labels = np.array(["alice", "bob", "carol"])[y]
+        clf = KNNClassifier(k=3).fit(X, labels)
+        assert set(clf.predict(X[:10])) <= {"alice", "bob", "carol"}
+
+    def test_k_larger_than_train(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0, 1])
+        clf = KNNClassifier(k=10, metric="euclidean").fit(X, y)
+        assert clf.predict(np.array([[0.1]]))[0] == 0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            KNNClassifier().predict(np.zeros((1, 3)))
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            KNNClassifier(k=0)
+        with pytest.raises(ConfigError):
+            KNNClassifier(metric="manhattan")
+
+    def test_clone_unfitted(self):
+        clf = KNNClassifier(k=7, metric="euclidean").fit(*_blobs()[:2])
+        clone = clf.clone()
+        assert clone.k == 7 and clone.metric == "euclidean"
+        with pytest.raises(NotFittedError):
+            clone.predict(np.zeros((1, 6)))
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ValueError):
+            KNNClassifier().fit(np.zeros((0, 3)), np.array([]))

@@ -1,0 +1,124 @@
+"""Unit tests for RLSC, nearest centroid, scaler, metrics, one-vs-rest."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, NotFittedError
+from repro.ml import (
+    NearestCentroidClassifier,
+    OneVsRestClassifier,
+    RLSCClassifier,
+    SMOBinarySVM,
+    StandardScaler,
+    accuracy_score,
+    confusion_counts,
+)
+
+
+def _blobs(seed=0, n=20, n_classes=3, dim=5):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(n_classes, dim)) * 5
+    X = np.vstack([c + rng.normal(size=(n, dim)) for c in centers])
+    y = np.repeat(np.arange(n_classes), n)
+    return X, y
+
+
+class TestRLSC:
+    def test_separable(self):
+        X, y = _blobs()
+        clf = RLSCClassifier(reg=1.0).fit(X, y)
+        assert (clf.predict(X) == y).mean() >= 0.95
+
+    def test_dual_path_when_wide(self):
+        rng = np.random.default_rng(1)
+        X = np.vstack([rng.normal(size=(8, 50)) + 3, rng.normal(size=(8, 50)) - 3])
+        y = np.repeat([0, 1], 8)
+        clf = RLSCClassifier().fit(X, y)
+        assert clf._dual is True
+        assert (clf.predict(X) == y).all()
+
+    def test_primal_path_when_tall(self):
+        X, y = _blobs(n=30, dim=4)
+        clf = RLSCClassifier().fit(X, y)
+        assert clf._dual is False
+
+    def test_invalid_reg(self):
+        with pytest.raises(ConfigError):
+            RLSCClassifier(reg=0.0)
+
+    def test_scores_shape(self):
+        X, y = _blobs()
+        clf = RLSCClassifier().fit(X, y)
+        assert clf.predict_scores(X[:3]).shape == (3, 3)
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            RLSCClassifier().predict(np.zeros((1, 2)))
+
+
+class TestNearestCentroid:
+    def test_separable(self):
+        X, y = _blobs(seed=2)
+        clf = NearestCentroidClassifier().fit(X, y)
+        assert (clf.predict(X) == y).mean() >= 0.95
+
+    def test_centroid_count(self):
+        X, y = _blobs(seed=3)
+        clf = NearestCentroidClassifier().fit(X, y)
+        assert clf._centroids.shape[0] == 3
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            NearestCentroidClassifier().predict(np.zeros((1, 2)))
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_var(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(loc=5, scale=3, size=(100, 4))
+        Xs = StandardScaler().fit_transform(X)
+        assert np.allclose(Xs.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(Xs.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_feature_guard(self):
+        X = np.array([[1.0, 2.0], [1.0, 3.0], [1.0, 4.0]])
+        Xs = StandardScaler().fit_transform(X)
+        assert np.allclose(Xs[:, 0], 0.0)
+        assert not np.isnan(Xs).any()
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.zeros((1, 2)))
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy_score([1, 2, 3], [1, 2, 4]) == pytest.approx(2 / 3)
+
+    def test_accuracy_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+    def test_accuracy_length_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1], [1, 2])
+
+    def test_confusion(self):
+        counts = confusion_counts(["a", "a", "b"], ["a", "b", "b"])
+        assert counts == {("a", "a"): 1, ("a", "b"): 1, ("b", "b"): 1}
+
+
+class TestOneVsRest:
+    def test_with_svm_base(self):
+        X, y = _blobs(seed=5)
+        clf = OneVsRestClassifier(base=SMOBinarySVM(C=1.0)).fit(X, y)
+        assert (clf.predict(X) == y).mean() >= 0.9
+
+    def test_single_class(self):
+        X = np.zeros((4, 2))
+        clf = OneVsRestClassifier(base=SMOBinarySVM()).fit(X, np.ones(4))
+        assert (clf.predict(X) == 1).all()
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            OneVsRestClassifier(base=SMOBinarySVM()).predict(np.zeros((1, 2)))

@@ -1,0 +1,104 @@
+"""Unit tests for the SMO-trained SVM."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.ml import SMOBinarySVM, SMOClassifier
+
+
+def _binary_data(seed=0, n=40, dim=4, gap=4.0):
+    rng = np.random.default_rng(seed)
+    X = np.vstack(
+        [
+            rng.normal(size=(n, dim)) + gap,
+            rng.normal(size=(n, dim)) - gap,
+        ]
+    )
+    y = np.concatenate([np.ones(n), -np.ones(n)])
+    return X, y
+
+
+class TestBinarySVM:
+    def test_separable(self):
+        X, y = _binary_data()
+        clf = SMOBinarySVM(C=1.0).fit(X, y)
+        assert (clf.predict(X) == y).all()
+
+    def test_margin_signs(self):
+        X, y = _binary_data(seed=1)
+        clf = SMOBinarySVM(C=1.0).fit(X, y)
+        margins = clf.decision_function(X)
+        assert (np.sign(margins) == y).mean() >= 0.98
+
+    def test_rbf_kernel_on_xor(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(-1, 1, size=(120, 2))
+        y = np.where(X[:, 0] * X[:, 1] > 0, 1.0, -1.0)
+        clf = SMOBinarySVM(C=10.0, kernel="rbf", gamma=2.0, max_passes=8).fit(X, y)
+        assert (clf.predict(X) == y).mean() >= 0.9  # linear cannot do this
+
+    def test_labels_must_be_pm1(self):
+        X = np.zeros((4, 2))
+        with pytest.raises(ConfigError):
+            SMOBinarySVM().fit(X, np.array([0, 1, 0, 1]))
+
+    def test_gram_shortcut_matches(self):
+        X, y = _binary_data(seed=3)
+        direct = SMOBinarySVM(C=1.0, seed=5).fit(X, y)
+        gram = X @ X.T
+        via_gram = SMOBinarySVM(C=1.0, seed=5).fit(X, y, gram=gram)
+        assert np.allclose(
+            direct.decision_function(X), via_gram.decision_function(X)
+        )
+
+    def test_bad_gram_shape(self):
+        X, y = _binary_data()
+        with pytest.raises(ConfigError):
+            SMOBinarySVM().fit(X, y, gram=np.eye(3))
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            SMOBinarySVM(C=0.0)
+        with pytest.raises(ConfigError):
+            SMOBinarySVM(kernel="poly")
+
+    def test_deterministic(self):
+        X, y = _binary_data(seed=4)
+        a = SMOBinarySVM(seed=9).fit(X, y).decision_function(X)
+        b = SMOBinarySVM(seed=9).fit(X, y).decision_function(X)
+        assert np.allclose(a, b)
+
+
+class TestMulticlassSMO:
+    def test_four_classes(self):
+        rng = np.random.default_rng(5)
+        centers = rng.normal(size=(4, 6)) * 5
+        X = np.vstack([c + rng.normal(size=(25, 6)) for c in centers])
+        y = np.repeat(np.arange(4), 25)
+        clf = SMOClassifier(C=1.0).fit(X, y)
+        assert (clf.predict(X) == y).mean() >= 0.95
+
+    def test_scores_shape(self):
+        rng = np.random.default_rng(6)
+        X = rng.normal(size=(30, 4))
+        y = np.repeat(np.arange(3), 10)
+        clf = SMOClassifier().fit(X, y)
+        assert clf.predict_scores(X[:4]).shape == (4, 3)
+
+    def test_single_class_degenerate(self):
+        X = np.random.default_rng(7).normal(size=(5, 3))
+        clf = SMOClassifier().fit(X, np.zeros(5))
+        assert (clf.predict(X) == 0).all()
+
+    def test_string_labels(self):
+        rng = np.random.default_rng(8)
+        X = np.vstack([rng.normal(size=(15, 3)) + 4, rng.normal(size=(15, 3)) - 4])
+        y = np.array(["pos"] * 15 + ["neg"] * 15)
+        clf = SMOClassifier().fit(X, y)
+        assert set(clf.predict(X)) <= {"pos", "neg"}
+
+    def test_clone(self):
+        clf = SMOClassifier(C=3.0, kernel="rbf", gamma=0.5)
+        clone = clf.clone()
+        assert clone.base.C == 3.0 and clone.base.kernel == "rbf"

@@ -1,0 +1,184 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import direct_top_k, filter_candidates, matching_top_k
+from repro.core.topk import true_match_ranks
+from repro.stylometry import FeatureExtractor, default_feature_space
+from repro.text.metrics import vocabulary_richness, yules_k
+from repro.text.tokenize import tokenize, word_shape
+from repro.theory import FeatureGap, pairwise_reidentification_bound, topk_reidentification_bound
+from repro.utils.stats import (
+    cosine_similarity,
+    empirical_cdf,
+    jaccard,
+    minmax_ratio,
+    weighted_jaccard,
+)
+
+_EXTRACTOR = FeatureExtractor()
+
+text_strategy = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=0x2026),
+    max_size=400,
+)
+nonneg_floats = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+
+class TestTokenizerProperties:
+    @given(text_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_tokenize_never_drops_non_space(self, text):
+        rebuilt = "".join(t.text for t in tokenize(text))
+        original = "".join(text.split())
+        # every non-whitespace character the tokenizer understands survives
+        assert len(rebuilt) <= len(original)
+
+    @given(st.text(alphabet="abcdefG HIJ-'", max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_word_tokens_alpha(self, text):
+        for token in tokenize(text):
+            if token.kind == "word":
+                assert any(c.isalpha() for c in token.text)
+
+    @given(st.text(alphabet=st.characters(categories=("Lu", "Ll")), min_size=1, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_word_shape_total(self, word):
+        assert word_shape(word) in ("upper", "lower", "capitalized", "camel", "other")
+
+
+class TestMetricsProperties:
+    @given(st.lists(st.sampled_from("abcdefgh"), max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_yules_k_non_negative(self, words):
+        assert yules_k(words) >= 0.0
+
+    @given(st.lists(st.sampled_from("abcde"), min_size=1, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_legomena_bounded_by_types(self, words):
+        out = vocabulary_richness(words)
+        n_types = len(set(words))
+        total = (
+            out["hapax_legomena"] + out["dis_legomena"]
+            + out["tris_legomena"] + out["tetrakis_legomena"]
+        )
+        assert total <= n_types
+
+
+class TestSimilarityPrimitives:
+    @given(nonneg_floats, nonneg_floats)
+    @settings(max_examples=100, deadline=None)
+    def test_minmax_ratio_bounds_and_symmetry(self, a, b):
+        r = minmax_ratio(a, b)
+        assert 0.0 <= r <= 1.0
+        assert r == minmax_ratio(b, a)
+
+    @given(
+        st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=10),
+        st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=10),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_cosine_bounds(self, u, v):
+        c = cosine_similarity(u, v)
+        assert -1.0 - 1e-9 <= c <= 1.0 + 1e-9
+
+    @given(st.sets(st.integers(0, 50)), st.sets(st.integers(0, 50)))
+    @settings(max_examples=100, deadline=None)
+    def test_jaccard_bounds_and_symmetry(self, a, b):
+        j = jaccard(a, b)
+        assert 0.0 <= j <= 1.0
+        assert j == jaccard(b, a)
+
+    @given(
+        st.dictionaries(st.integers(0, 20), st.floats(0, 100, allow_nan=False), max_size=10),
+        st.dictionaries(st.integers(0, 20), st.floats(0, 100, allow_nan=False), max_size=10),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_weighted_jaccard_bounds(self, wa, wb):
+        j = weighted_jaccard(wa, wb)
+        assert 0.0 <= j <= 1.0 + 1e-9
+
+    @given(st.lists(st.floats(-50, 50, allow_nan=False), max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_empirical_cdf_monotone(self, samples):
+        points = np.linspace(-60, 60, 25)
+        cdf = empirical_cdf(samples, points)
+        assert (np.diff(cdf) >= 0).all()
+        assert (cdf >= 0).all() and (cdf <= 1).all()
+
+
+class TestTopKProperties:
+    @given(
+        st.integers(2, 8),
+        st.integers(2, 10),
+        st.integers(1, 10),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_direct_topk_contains_argmax(self, n1, n2, k, seed):
+        S = np.random.default_rng(seed).random((n1, n2))
+        out = direct_top_k(S, k)
+        for i in range(n1):
+            assert int(np.argmax(S[i])) in out[i]
+
+    @given(st.integers(2, 6), st.integers(3, 8), st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_matching_first_round_injective(self, n1, n2, seed):
+        S = np.random.default_rng(seed).random((n1, n2))
+        out = matching_top_k(S, 1)
+        firsts = [c[0] for c in out if c]
+        assert len(firsts) == len(set(firsts))
+
+    @given(st.integers(2, 8), st.integers(2, 8), st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_filter_never_widens(self, n1, n2, seed):
+        S = np.random.default_rng(seed).random((n1, n2))
+        candidates = [list(range(n2)) for _ in range(n1)]
+        outcome = filter_candidates(S, candidates, epsilon=0.01, levels=5)
+        for kept in outcome.kept:
+            assert kept is None or set(kept) <= set(range(n2))
+
+    @given(st.integers(2, 8), st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_rank_one_iff_argmax(self, n, seed):
+        S = np.random.default_rng(seed).random((n, n))
+        anon = [f"a{i}" for i in range(n)]
+        aux = [f"x{i}" for i in range(n)]
+        truth = {a: x for a, x in zip(anon, aux)}
+        ranks = true_match_ranks(S, anon, aux, truth)
+        for i, a in enumerate(anon):
+            if ranks[a] == 1:
+                assert S[i, i] == S[i].max()
+
+
+class TestTheoryProperties:
+    gaps = st.floats(min_value=0.01, max_value=50, allow_nan=False)
+
+    @given(gaps, st.floats(0.01, 10, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_bound_in_unit_interval(self, gap_size, width):
+        fg = FeatureGap(0.0, gap_size, width, width)
+        assert 0.0 <= pairwise_reidentification_bound(fg) <= 1.0
+
+    @given(gaps, st.integers(2, 1000), st.integers(1, 100))
+    @settings(max_examples=100, deadline=None)
+    def test_topk_bound_at_least_zero_and_monotone_k(self, gap_size, n2, k):
+        fg = FeatureGap(0.0, gap_size, 1.0, 1.0)
+        k = min(k, n2)
+        b1 = topk_reidentification_bound(fg, n2=n2, k=k)
+        b2 = topk_reidentification_bound(fg, n2=n2, k=min(k + 10, n2))
+        assert 0.0 <= b1 <= b2 <= 1.0
+
+
+class TestExtractorProperties:
+    @given(text_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_features_non_negative_and_in_space(self, text):
+        out = _EXTRACTOR.extract_sparse(text)
+        space = default_feature_space()
+        for slot, value in out.items():
+            assert 0 <= slot < space.size
+            assert value >= 0.0
+            assert np.isfinite(value)

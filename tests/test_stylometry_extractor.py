@@ -1,0 +1,142 @@
+"""Unit tests for post-level extraction and user-level aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.stylometry import FeatureExtractor, default_feature_space
+
+TEXT = (
+    "Hi everyone, I have been having really bad migraines for 3 weeks!!! "
+    "My doctor said it is becuase of stress... has anyone tried imitrex? "
+    "I take 20 mg and i feel AWFUL :("
+)
+
+
+@pytest.fixture(scope="module")
+def fx():
+    return FeatureExtractor()
+
+
+class TestExtractSparse:
+    def test_nonempty(self, fx):
+        out = fx.extract_sparse(TEXT)
+        assert len(out) > 50
+
+    def test_empty_text(self, fx):
+        assert fx.extract_sparse("") == {}
+        assert fx.extract_sparse("   \n ") == {}
+
+    def test_all_values_positive(self, fx):
+        assert all(v > 0 for v in fx.extract_sparse(TEXT).values())
+
+    def test_slots_in_range(self, fx):
+        space = default_feature_space()
+        assert all(0 <= s < space.size for s in fx.extract_sparse(TEXT))
+
+    def test_deterministic(self, fx):
+        assert fx.extract_sparse(TEXT) == fx.extract_sparse(TEXT)
+
+    def test_char_count_feature(self, fx):
+        space = default_feature_space()
+        out = fx.extract_sparse(TEXT)
+        assert out[space.index_of("length:char_count")] == len(TEXT)
+
+    def test_function_word_hit(self, fx):
+        space = default_feature_space()
+        out = fx.extract_sparse(TEXT)
+        assert out.get(space.index_of("fw:i"), 0) > 0
+
+    def test_misspelling_hit(self, fx):
+        space = default_feature_space()
+        out = fx.extract_sparse(TEXT)
+        assert out.get(space.index_of("misspell:becuase"), 0) > 0
+
+    def test_digit_features(self, fx):
+        space = default_feature_space()
+        out = fx.extract_sparse(TEXT)
+        assert out.get(space.index_of("digit:2"), 0) > 0
+
+    def test_letter_freqs_sum_to_one(self, fx):
+        space = default_feature_space()
+        out = fx.extract_sparse(TEXT)
+        sl = space.slots("letter_freq")
+        total = sum(v for s, v in out.items() if sl.start <= s < sl.stop)
+        assert total == pytest.approx(1.0)
+
+    def test_pos_tag_freqs_sum_to_one(self, fx):
+        space = default_feature_space()
+        out = fx.extract_sparse(TEXT)
+        sl = space.slots("pos_tags")
+        total = sum(v for s, v in out.items() if sl.start <= s < sl.stop)
+        assert total == pytest.approx(1.0)
+
+
+class TestExtractDense:
+    def test_shape(self, fx):
+        vec = fx.extract(TEXT)
+        assert vec.shape == (default_feature_space().size,)
+
+    def test_matches_sparse(self, fx):
+        vec = fx.extract(TEXT)
+        sparse_map = fx.extract_sparse(TEXT)
+        assert np.count_nonzero(vec) == len(sparse_map)
+        for slot, value in sparse_map.items():
+            assert vec[slot] == pytest.approx(value)
+
+
+class TestExtractMatrix:
+    def test_shape_and_rows(self, fx):
+        texts = [TEXT, "Short post.", ""]
+        mat = fx.extract_matrix(texts)
+        assert mat.shape == (3, default_feature_space().size)
+        assert mat[2].nnz == 0
+
+    def test_row_equals_single(self, fx):
+        mat = fx.extract_matrix([TEXT])
+        vec = fx.extract(TEXT)
+        assert np.allclose(mat.toarray()[0], vec)
+
+    def test_empty_list(self, fx):
+        mat = fx.extract_matrix([])
+        assert mat.shape == (0, default_feature_space().size)
+
+
+class TestAttributeProfile:
+    def test_weights_count_posts(self, fx):
+        profile = fx.attribute_profile([TEXT, TEXT])
+        assert profile.n_posts == 2
+        # every attribute present in TEXT appears in both posts
+        assert set(profile.weights.tolist()) == {2}
+
+    def test_binary_attribute_semantics(self, fx):
+        profile = fx.attribute_profile([TEXT, "Totally different words here."])
+        as_dict = profile.as_dict()
+        assert all(1 <= v <= 2 for v in as_dict.values())
+
+    def test_empty_user(self, fx):
+        profile = fx.attribute_profile([])
+        assert profile.n_posts == 0
+        assert len(profile.slots) == 0
+
+    def test_attribute_set(self, fx):
+        profile = fx.attribute_profile([TEXT])
+        assert profile.attribute_set == frozenset(fx.extract_sparse(TEXT))
+
+    def test_mismatched_lengths_rejected(self):
+        from repro.stylometry.extractor import UserAttributeProfile
+
+        with pytest.raises(ValueError):
+            UserAttributeProfile(
+                slots=np.array([1, 2]), weights=np.array([1]), n_posts=1
+            )
+
+
+class TestMeanVector:
+    def test_average_of_two(self, fx):
+        a = fx.extract("First post about sleep.")
+        b = fx.extract("Second post about pain!")
+        mean = fx.mean_vector(["First post about sleep.", "Second post about pain!"])
+        assert np.allclose(mean, (a + b) / 2)
+
+    def test_no_posts(self, fx):
+        assert np.count_nonzero(fx.mean_vector([])) == 0

@@ -1,0 +1,62 @@
+"""Unit tests for the feature-space layout (Table I)."""
+
+import pytest
+
+from repro.stylometry.features import default_feature_space
+from repro.text.postag import PENN_TAGS
+
+
+@pytest.fixture(scope="module")
+def space():
+    return default_feature_space()
+
+
+class TestLayout:
+    def test_table1_category_sizes(self, space):
+        sizes = space.category_sizes()
+        assert sizes["length"] == 3
+        assert sizes["word_length"] == 20
+        assert sizes["vocabulary_richness"] == 5
+        assert sizes["letter_freq"] == 26
+        assert sizes["digit_freq"] == 10
+        assert sizes["uppercase_pct"] == 1
+        assert sizes["special_chars"] == 21
+        assert sizes["word_shape"] == 21
+        assert sizes["punctuation"] == 10
+        assert sizes["function_words"] == 337
+        assert sizes["misspellings"] == 248
+
+    def test_pos_blocks(self, space):
+        sizes = space.category_sizes()
+        assert sizes["pos_tags"] == len(PENN_TAGS)
+        assert sizes["pos_bigrams"] == len(PENN_TAGS) ** 2
+
+    def test_total_size(self, space):
+        assert space.size == sum(space.category_sizes().values())
+        assert space.size == len(space.names)
+
+    def test_slices_are_contiguous_partition(self, space):
+        slices = sorted(space.category_slices.values(), key=lambda s: s.start)
+        assert slices[0].start == 0
+        for prev, cur in zip(slices, slices[1:]):
+            assert prev.stop == cur.start
+        assert slices[-1].stop == space.size
+
+    def test_names_unique(self, space):
+        assert len(set(space.names)) == space.size
+
+    def test_slots_lookup(self, space):
+        sl = space.slots("function_words")
+        assert sl.stop - sl.start == 337
+
+    def test_unknown_category(self, space):
+        with pytest.raises(KeyError):
+            space.slots("nope")
+
+    def test_index_of(self, space):
+        assert space.names[space.index_of("uppercase_pct")] == "uppercase_pct"
+        with pytest.raises(KeyError):
+            space.index_of("not-a-feature")
+
+    def test_singleton_shared(self):
+        assert default_feature_space() is default_feature_space()

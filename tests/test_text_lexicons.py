@@ -1,0 +1,64 @@
+"""Table-I lexicon invariants (counts are part of the paper's spec)."""
+
+from repro.text.lexicons import (
+    FUNCTION_WORDS,
+    MISSPELLINGS,
+    PUNCTUATION_MARKS,
+    SPECIAL_CHARACTERS,
+)
+
+
+class TestFunctionWords:
+    def test_exactly_337(self):
+        """Table I: 337 function-word features."""
+        assert len(FUNCTION_WORDS) == 337
+
+    def test_no_duplicates(self):
+        assert len(set(FUNCTION_WORDS)) == len(FUNCTION_WORDS)
+
+    def test_all_lowercase(self):
+        assert all(w == w.lower() for w in FUNCTION_WORDS)
+
+    def test_core_words_present(self):
+        for word in ("the", "and", "because", "of", "i", "not", "would"):
+            assert word in FUNCTION_WORDS
+
+
+class TestMisspellings:
+    def test_exactly_248(self):
+        """Table I: 248 misspelled-word features."""
+        assert len(MISSPELLINGS) == 248
+
+    def test_no_identity_mappings(self):
+        assert all(wrong != right for wrong, right in MISSPELLINGS.items())
+
+    def test_all_lowercase_keys(self):
+        assert all(k == k.lower() for k in MISSPELLINGS)
+
+    def test_classic_entries(self):
+        assert MISSPELLINGS["becuase"] == "because"
+        assert MISSPELLINGS["teh"] == "the"
+
+    def test_keys_are_single_tokens(self):
+        assert all(" " not in k for k in MISSPELLINGS)
+
+
+class TestCharacterLexicons:
+    def test_special_chars_count(self):
+        """Table I: 21 special characters."""
+        assert len(SPECIAL_CHARACTERS) == 21
+
+    def test_special_chars_unique(self):
+        assert len(set(SPECIAL_CHARACTERS)) == 21
+
+    def test_special_chars_single(self):
+        assert all(len(c) == 1 for c in SPECIAL_CHARACTERS)
+
+    def test_punctuation_count(self):
+        """Table I: 10 punctuation features."""
+        assert len(PUNCTUATION_MARKS) == 10
+
+    def test_punctuation_includes_paper_examples(self):
+        # the paper lists "!,;?" as examples
+        for mark in ("!", ",", ";", "?"):
+            assert mark in PUNCTUATION_MARKS

@@ -1,0 +1,73 @@
+"""Unit tests for vocabulary-richness metrics."""
+
+import pytest
+
+from repro.text.metrics import (
+    hapax_legomena,
+    legomena_count,
+    vocabulary_richness,
+    yules_k,
+)
+
+
+class TestYulesK:
+    def test_all_unique_words(self):
+        # every word once: sum i^2 V_i = N, so K = 0
+        assert yules_k(["a", "b", "c", "d"]) == 0.0
+
+    def test_repetition_raises_k(self):
+        varied = yules_k(["a", "b", "c", "d", "e", "f"])
+        repetitive = yules_k(["a", "a", "a", "b", "b", "c"])
+        assert repetitive > varied
+
+    def test_short_input_is_zero(self):
+        assert yules_k([]) == 0.0
+        assert yules_k(["one"]) == 0.0
+
+    def test_known_value(self):
+        # words: a,a,b -> N=3, V_1=1 (b), V_2=1 (a)
+        # K = 1e4 * (1*1 + 4*1 - 3) / 9 = 1e4 * 2/9
+        assert yules_k(["a", "a", "b"]) == pytest.approx(1e4 * 2 / 9)
+
+
+class TestLegomena:
+    def test_hapax(self):
+        assert hapax_legomena(["a", "b", "b", "c"]) == 2
+
+    def test_dis(self):
+        assert legomena_count(["a", "b", "b", "c", "c"], 2) == 2
+
+    def test_absent_order(self):
+        assert legomena_count(["a"], 5) == 0
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            legomena_count(["a"], 0)
+
+
+class TestVocabularyRichness:
+    def test_five_features(self):
+        out = vocabulary_richness(["a", "a", "b", "c", "c", "c"])
+        assert set(out) == {
+            "yules_k",
+            "hapax_legomena",
+            "dis_legomena",
+            "tris_legomena",
+            "tetrakis_legomena",
+        }
+
+    def test_counts(self):
+        out = vocabulary_richness(["a", "a", "b", "c", "c", "c", "d", "d", "d", "d"])
+        assert out["hapax_legomena"] == 1  # b
+        assert out["dis_legomena"] == 1  # a
+        assert out["tris_legomena"] == 1  # c
+        assert out["tetrakis_legomena"] == 1  # d
+
+    def test_consistent_with_yules_k(self):
+        words = "the cat sat on the mat the end".split()
+        assert vocabulary_richness(words)["yules_k"] == pytest.approx(yules_k(words))
+
+    def test_empty(self):
+        out = vocabulary_richness([])
+        assert out["yules_k"] == 0.0
+        assert out["hapax_legomena"] == 0.0

@@ -1,0 +1,89 @@
+"""Unit tests for the POS tagger."""
+
+import pytest
+
+from repro.text.postag import PENN_TAGS, POSTagger
+from repro.text.tokenize import tokenize
+
+
+@pytest.fixture(scope="module")
+def tagger():
+    return POSTagger()
+
+
+class TestBasicTagging:
+    def test_simple_sentence(self, tagger):
+        tags = dict(tagger.tag_text("The doctor prescribed new medication."))
+        assert tags["The"] == "DT"
+        assert tags["doctor"] == "NN"
+        assert tags["prescribed"] == "VBD"
+        assert tags["new"] == "JJ"
+        assert tags["."] == "PUNCT"
+
+    def test_pronouns(self, tagger):
+        pairs = tagger.tag_text("I told them my story")
+        tags = {w: t for w, t in pairs}
+        assert tags["I"] == "PRP"
+        assert tags["them"] == "PRP"
+        assert tags["my"] == "PRP$"
+
+    def test_numbers_are_cd(self, tagger):
+        pairs = tagger.tag_text("I take 20 mg")
+        assert ("20", "CD") in pairs
+
+    def test_modal_plus_verb(self, tagger):
+        tags = dict(tagger.tag_text("You should take it"))
+        assert tags["should"] == "MD"
+        assert tags["take"] == "VB"  # patched from VBP after modal
+
+    def test_passive_becomes_vbn(self, tagger):
+        tags = dict(tagger.tag_text("I was prescribed ativan"))
+        assert tags["was"] == "VBD"
+        assert tags["prescribed"] == "VBN"
+
+    def test_all_tags_in_tagset(self, tagger):
+        text = (
+            "Honestly, my doctor said the 2 new medications were "
+            "helping but I still feel awful at night!!! What should I do?"
+        )
+        for _, tag in tagger.tag_text(text):
+            assert tag in PENN_TAGS
+
+
+class TestSuffixRules:
+    def test_ing(self, tagger):
+        assert dict(tagger.tag_text("zorbing is fun"))["zorbing"] == "VBG"
+
+    def test_ly(self, tagger):
+        assert dict(tagger.tag_text("he spoke frumiously"))["frumiously"] == "RB"
+
+    def test_tion(self, tagger):
+        assert dict(tagger.tag_text("the brillification"))["brillification"] == "NN"
+
+    def test_unknown_defaults_nn(self, tagger):
+        assert dict(tagger.tag_text("a borogove"))["borogove"] == "NN"
+
+    def test_midsentence_capital_is_nnp(self, tagger):
+        assert dict(tagger.tag_text("ask Zorblat today"))["Zorblat"] == "NNP"
+
+
+class TestInterface:
+    def test_tag_pretokenized(self, tagger):
+        tokens = tokenize("I feel fine")
+        tags = tagger.tag(tokens)
+        assert len(tags) == len(tokens)
+
+    def test_empty(self, tagger):
+        assert tagger.tag([]) == []
+
+    def test_extra_lexicon(self):
+        custom = POSTagger(extra_lexicon={"zorble": "VB"})
+        assert dict(custom.tag_text("zorble now"))["zorble"] == "VB"
+
+    def test_extra_lexicon_bad_tag(self):
+        with pytest.raises(ValueError):
+            POSTagger(extra_lexicon={"x": "NOTATAG"})
+
+    def test_deterministic(self, tagger):
+        text = "My anxiety got worse after 3 weeks of bad sleep."
+        assert tagger.tag_text(text) == tagger.tag_text(text)

@@ -1,0 +1,89 @@
+"""Unit tests for repro.text.tokenize."""
+
+import pytest
+
+from repro.text.tokenize import Token, sentences, tokenize, tokenize_words, word_shape
+
+
+class TestTokenize:
+    def test_simple_sentence(self):
+        tokens = tokenize("The cat sat.")
+        assert [t.text for t in tokens] == ["The", "cat", "sat", "."]
+        assert [t.kind for t in tokens] == ["word", "word", "word", "punct"]
+
+    def test_contraction_stays_one_word(self):
+        tokens = tokenize("don't")
+        assert tokens == [Token("don't", "word")]
+
+    def test_hyphenated_word(self):
+        tokens = tokenize("well-known issue")
+        assert tokens[0] == Token("well-known", "word")
+
+    def test_numbers(self):
+        tokens = tokenize("I take 20 mg or 1,000 units")
+        kinds = {t.text: t.kind for t in tokens}
+        assert kinds["20"] == "number"
+        assert kinds["1,000"] == "number"
+
+    def test_symbols_preserved(self):
+        tokens = tokenize("cost is $5 @home")
+        texts = [t.text for t in tokens]
+        assert "$" in texts and "@" in texts
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert tokenize("  \n\t ") == []
+
+    def test_no_characters_dropped(self):
+        text = "Hello, world! It's 5pm... cost: $3 (roughly)"
+        rebuilt = "".join(t.text for t in tokenize(text))
+        assert rebuilt == text.replace(" ", "")
+
+    def test_punct_runs_grouped(self):
+        tokens = tokenize("what?!...")
+        assert tokens[-1].kind == "punct"
+
+
+class TestTokenizeWords:
+    def test_only_words(self):
+        assert tokenize_words("I take 20 mg!") == ["I", "take", "mg"]
+
+    def test_lowercase_option(self):
+        assert tokenize_words("The CAT", lowercase=True) == ["the", "cat"]
+
+
+class TestSentences:
+    def test_split_on_terminals(self):
+        assert sentences("Hi there. How are you? Fine!") == [
+            "Hi there.",
+            "How are you?",
+            "Fine!",
+        ]
+
+    def test_single_sentence(self):
+        assert sentences("just one line") == ["just one line"]
+
+    def test_empty(self):
+        assert sentences("") == []
+
+    def test_multiple_spaces(self):
+        assert len(sentences("One.   Two.")) == 2
+
+
+class TestWordShape:
+    @pytest.mark.parametrize(
+        "word, shape",
+        [
+            ("HELP", "upper"),
+            ("help", "lower"),
+            ("Help", "capitalized"),
+            ("WebMD", "camel"),
+            ("iPhone", "camel"),
+            ("I", "capitalized"),
+            ("", "other"),
+        ],
+    )
+    def test_shapes(self, word, shape):
+        assert word_shape(word) == shape

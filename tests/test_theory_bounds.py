@@ -1,0 +1,158 @@
+"""Unit tests for the Section-IV re-identifiability bounds."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.theory import (
+    FeatureGap,
+    aas_condition_exact_pair,
+    aas_condition_full,
+    aas_condition_group,
+    aas_condition_topk,
+    group_reidentification_bound,
+    pairwise_reidentification_bound,
+    topk_group_bound,
+    topk_reidentification_bound,
+)
+from repro.theory.bounds import full_reidentification_bound
+
+
+def gap(g=2.0, width=1.0):
+    return FeatureGap(
+        lam_correct=1.0,
+        lam_incorrect=1.0 + g,
+        range_correct=width,
+        range_incorrect=width,
+    )
+
+
+class TestFeatureGap:
+    def test_gap_and_delta(self):
+        fg = gap(2.0, 0.5)
+        assert fg.gap == 2.0
+        assert fg.delta == 0.5
+
+    def test_separability(self):
+        assert gap(1.0).is_separable
+        assert not gap(0.0).is_separable
+
+    def test_chernoff_exponent(self):
+        fg = gap(2.0, 1.0)
+        assert fg.chernoff_exponent() == pytest.approx(1.0)
+
+    def test_zero_delta_infinite_exponent(self):
+        fg = FeatureGap(1.0, 2.0, 0.0, 0.0)
+        assert math.isinf(fg.chernoff_exponent())
+
+    def test_negative_ranges_rejected(self):
+        with pytest.raises(ConfigError):
+            FeatureGap(1.0, 2.0, -0.1, 0.1)
+
+
+class TestTheorem1:
+    def test_formula(self):
+        fg = gap(2.0, 1.0)
+        expected = 1.0 - 2.0 * math.exp(-1.0)
+        assert pairwise_reidentification_bound(fg) == pytest.approx(expected)
+
+    def test_monotone_in_gap(self):
+        bounds = [pairwise_reidentification_bound(gap(g)) for g in (1, 2, 4, 8)]
+        assert bounds == sorted(bounds)
+
+    def test_no_separation_zero(self):
+        assert pairwise_reidentification_bound(gap(0.0)) == 0.0
+
+    def test_clamped_to_unit_interval(self):
+        assert 0.0 <= pairwise_reidentification_bound(gap(0.1)) <= 1.0
+
+
+class TestTheorem2:
+    def test_decreases_with_population(self):
+        fg = gap(6.0)
+        small = group_reidentification_bound(fg, alpha=0.5, n1=10, n2=10)
+        large = group_reidentification_bound(fg, alpha=0.5, n1=1000, n2=1000)
+        assert small >= large
+
+    def test_alpha_monotone(self):
+        fg = gap(6.0)
+        low = group_reidentification_bound(fg, alpha=0.1, n1=100, n2=100)
+        high = group_reidentification_bound(fg, alpha=1.0, n1=100, n2=100)
+        assert low >= high  # more users to capture = harder
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ConfigError):
+            group_reidentification_bound(gap(), alpha=0.0, n1=10, n2=10)
+        with pytest.raises(ConfigError):
+            group_reidentification_bound(gap(), alpha=1.5, n1=10, n2=10)
+
+
+class TestTheorem3:
+    def test_k_equals_n2_certain(self):
+        assert topk_reidentification_bound(gap(0.5), n2=10, k=10) == 1.0
+
+    def test_k_monotone(self):
+        fg = gap(5.0)
+        bounds = [topk_reidentification_bound(fg, n2=1000, k=k) for k in (1, 10, 100, 999)]
+        assert bounds == sorted(bounds)
+
+    def test_tighter_than_pairwise_times_population(self):
+        fg = gap(5.0)
+        assert topk_reidentification_bound(fg, n2=50, k=5) <= 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigError):
+            topk_reidentification_bound(gap(), n2=10, k=0)
+
+
+class TestTheorem4:
+    def test_group_below_individual(self):
+        fg = gap(6.0)
+        individual = topk_reidentification_bound(fg, n2=100, k=10)
+        group = topk_group_bound(fg, alpha=1.0, n1=100, n2=100, k=10)
+        assert group <= individual
+
+    def test_k_covers_everything(self):
+        assert topk_group_bound(gap(0.5), alpha=0.5, n1=10, n2=5, k=5) == 1.0
+
+
+class TestFullBound:
+    def test_single_auxiliary_user(self):
+        # n2 = 1: no wrong mapping exists, bound = 1
+        assert full_reidentification_bound(gap(1.0), n2=1) == 1.0
+
+    def test_monotone_in_n2(self):
+        fg = gap(4.0)
+        assert full_reidentification_bound(fg, 10) >= full_reidentification_bound(fg, 1000)
+
+
+class TestAasConditions:
+    def test_exact_pair_threshold(self):
+        # gap/2δ = sqrt(2 ln n + ln 2) boundary
+        n = 100
+        needed = math.sqrt(2 * math.log(n) + math.log(2))
+        just_enough = FeatureGap(0.0, 2 * needed + 1e-9, 1.0, 1.0)
+        just_short = FeatureGap(0.0, 2 * needed - 1e-6, 1.0, 1.0)
+        assert aas_condition_exact_pair(just_enough, n)
+        assert not aas_condition_exact_pair(just_short, n)
+
+    def test_full_condition_stricter_than_pair(self):
+        fg = FeatureGap(0.0, 6.5, 1.0, 1.0)
+        n = 100
+        if aas_condition_full(fg, n, n):
+            assert aas_condition_exact_pair(fg, n)
+
+    def test_topk_easier_with_large_k(self):
+        fg = FeatureGap(0.0, 6.0, 1.0, 1.0)
+        assert aas_condition_topk(fg, n=100, n2=100, k=100)
+
+    def test_group_condition(self):
+        assert aas_condition_group(gap(100.0), n=10, alpha=0.5, n1=10, n2=10)
+        assert not aas_condition_group(gap(0.0), n=10, alpha=0.5, n1=10, n2=10)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigError):
+            aas_condition_exact_pair(gap(), 0)
+        with pytest.raises(ConfigError):
+            aas_condition_topk(gap(), n=10, n2=10, k=0)

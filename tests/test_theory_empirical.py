@@ -1,0 +1,82 @@
+"""Unit tests for empirical gap estimation and DA-success measurement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.theory import estimate_gap_from_similarity, measure_da_success
+
+ANON = ["a0", "a1", "a2"]
+AUX = ["x0", "x1", "x2"]
+TRUTH = {"a0": "x0", "a1": "x1", "a2": "x2"}
+
+S = np.array(
+    [
+        [0.9, 0.1, 0.2],
+        [0.1, 0.8, 0.2],
+        [0.3, 0.2, 0.7],
+    ]
+)
+
+
+class TestEstimateGap:
+    def test_lambda_values(self):
+        fg = estimate_gap_from_similarity(S, ANON, AUX, TRUTH)
+        assert fg.lam_correct == pytest.approx((0.9 + 0.8 + 0.7) / 3)
+        assert fg.lam_incorrect == pytest.approx(
+            (0.1 + 0.2 + 0.1 + 0.2 + 0.3 + 0.2) / 6
+        )
+        assert fg.is_separable
+
+    def test_ranges(self):
+        fg = estimate_gap_from_similarity(S, ANON, AUX, TRUTH)
+        assert fg.range_correct == pytest.approx(0.2)
+        assert fg.range_incorrect == pytest.approx(0.2)
+
+    def test_partial_truth(self):
+        fg = estimate_gap_from_similarity(S, ANON, AUX, {"a0": "x0", "a1": None})
+        assert fg.lam_correct == pytest.approx(0.9)
+
+    def test_no_truth_rejected(self):
+        with pytest.raises(ConfigError):
+            estimate_gap_from_similarity(S, ANON, AUX, {})
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigError):
+            estimate_gap_from_similarity(S, ["a"], AUX, TRUTH)
+
+
+class TestMeasureSuccess:
+    def test_perfect_diagonal(self):
+        out = measure_da_success(S, ANON, AUX, TRUTH, ks=[1, 2])
+        assert out["exact"] == 1.0
+        assert out["topk"][1] == 1.0
+        assert out["n_evaluated"] == 3
+
+    def test_rank_two_case(self):
+        S2 = S.copy()
+        S2[0, 1] = 0.95  # a0's true mapping drops to rank 2
+        out = measure_da_success(S2, ANON, AUX, TRUTH, ks=[1, 2])
+        assert out["exact"] == pytest.approx(2 / 3)
+        assert out["topk"][2] == 1.0
+
+    def test_no_overlap_rejected(self):
+        with pytest.raises(ConfigError):
+            measure_da_success(S, ANON, AUX, {"a0": None})
+
+    def test_consistency_with_bounds(self):
+        """Bound must sit at or below measurement on theory-friendly data."""
+        from repro.theory import pairwise_reidentification_bound
+
+        rng = np.random.default_rng(0)
+        n = 200
+        D = 5.0 + rng.random((n, n))  # incorrect distances in [5, 6]
+        diag = 1.0 + rng.random(n)  # correct distances in [1, 2]
+        D[np.arange(n), np.arange(n)] = diag
+        sim = -D  # convert distance to similarity for the measurer
+        anon = [f"a{i}" for i in range(n)]
+        aux = [f"x{i}" for i in range(n)]
+        truth = {a: x for a, x in zip(anon, aux)}
+        measured = measure_da_success(sim, anon, aux, truth)["exact"]
+        fg = estimate_gap_from_similarity(sim, anon, aux, truth)
+        assert pairwise_reidentification_bound(fg) <= measured + 1e-9

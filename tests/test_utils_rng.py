@@ -1,0 +1,61 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_rng, seed_from_label, spawn_rngs
+
+
+class TestDeriveRng:
+    def test_none_gives_generator(self):
+        assert isinstance(derive_rng(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = derive_rng(42).random(5)
+        b = derive_rng(42).random(5)
+        assert np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert derive_rng(gen) is gen
+
+
+class TestSeedFromLabel:
+    def test_deterministic(self):
+        assert seed_from_label(1, "x") == seed_from_label(1, "x")
+
+    def test_label_sensitivity(self):
+        assert seed_from_label(1, "x") != seed_from_label(1, "y")
+
+    def test_seed_sensitivity(self):
+        assert seed_from_label(1, "x") != seed_from_label(2, "x")
+
+    def test_non_negative_64bit(self):
+        value = seed_from_label(123, "component")
+        assert 0 <= value < 2**64
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 4)) == 4
+
+    def test_streams_differ(self):
+        a, b = spawn_rngs(0, 2)
+        assert not np.allclose(a.random(10), b.random(10))
+
+    def test_deterministic_across_calls(self):
+        a1, _ = spawn_rngs(7, 2)
+        a2, _ = spawn_rngs(7, 2)
+        assert np.allclose(a1.random(10), a2.random(10))
+
+    def test_zero(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_spawn_from_generator(self):
+        gen = np.random.default_rng(3)
+        children = spawn_rngs(gen, 3)
+        assert len(children) == 3

@@ -1,0 +1,149 @@
+"""Unit tests for repro.utils.stats."""
+
+import numpy as np
+import pytest
+
+from repro.utils.stats import (
+    cosine_similarity,
+    empirical_cdf,
+    jaccard,
+    minmax_ratio,
+    pad_to_same_length,
+    truncated_zipf_pmf,
+    weighted_jaccard,
+)
+
+
+class TestMinmaxRatio:
+    def test_equal_values(self):
+        assert minmax_ratio(3.0, 3.0) == 1.0
+
+    def test_ordering_invariant(self):
+        assert minmax_ratio(2.0, 8.0) == minmax_ratio(8.0, 2.0) == 0.25
+
+    def test_both_zero_is_one(self):
+        assert minmax_ratio(0.0, 0.0) == 1.0
+
+    def test_one_zero_is_zero(self):
+        assert minmax_ratio(0.0, 5.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            minmax_ratio(-1.0, 2.0)
+
+
+class TestCosineSimilarity:
+    def test_identical_vectors(self):
+        assert cosine_similarity([1, 2, 3], [1, 2, 3]) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_similarity([1, 0], [0, 1]) == pytest.approx(0.0)
+
+    def test_zero_vs_zero(self):
+        assert cosine_similarity([0, 0], [0, 0]) == 1.0
+
+    def test_zero_vs_nonzero(self):
+        assert cosine_similarity([0, 0], [1, 1]) == 0.0
+
+    def test_length_mismatch_pads(self):
+        # [1,0] vs [1] -> [1] padded to [1,0]: identical
+        assert cosine_similarity([1, 0], [1]) == pytest.approx(1.0)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            cosine_similarity(np.ones((2, 2)), np.ones(2))
+
+
+class TestPad:
+    def test_pads_shorter(self):
+        a, b = pad_to_same_length(np.array([1.0]), np.array([1.0, 2.0, 3.0]))
+        assert len(a) == len(b) == 3
+        assert list(a) == [1.0, 0.0, 0.0]
+
+    def test_equal_untouched(self):
+        a = np.array([1.0, 2.0])
+        out_a, out_b = pad_to_same_length(a, np.array([3.0, 4.0]))
+        assert out_a is a
+
+
+class TestJaccard:
+    def test_disjoint(self):
+        assert jaccard({1, 2}, {3, 4}) == 0.0
+
+    def test_identical(self):
+        assert jaccard({1, 2}, {2, 1}) == 1.0
+
+    def test_partial(self):
+        assert jaccard({1, 2, 3}, {2, 3, 4}) == pytest.approx(0.5)
+
+    def test_empty_vs_empty(self):
+        assert jaccard([], []) == 1.0
+
+    def test_empty_vs_nonempty(self):
+        assert jaccard([], [1]) == 0.0
+
+
+class TestWeightedJaccard:
+    def test_identical_weights(self):
+        w = {"a": 2.0, "b": 3.0}
+        assert weighted_jaccard(w, dict(w)) == 1.0
+
+    def test_exact_arithmetic(self):
+        # min: a->1, b->1 (missing=0? b in both) ; here: {a:1,b:3} vs {a:2,b:1}
+        # min = 1 + 1 = 2 ; max = 2 + 3 = 5 -> 0.4
+        assert weighted_jaccard({"a": 1, "b": 3}, {"a": 2, "b": 1}) == pytest.approx(0.4)
+
+    def test_missing_keys_count_zero(self):
+        # min = 0, max = 1 + 1 = 2
+        assert weighted_jaccard({"a": 1}, {"b": 1}) == 0.0
+
+    def test_empty_vs_empty(self):
+        assert weighted_jaccard({}, {}) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_jaccard({"a": -1}, {"a": 1})
+
+    def test_symmetry(self):
+        wa = {"a": 1.5, "b": 0.5, "c": 2.0}
+        wb = {"b": 1.0, "c": 0.25, "d": 4.0}
+        assert weighted_jaccard(wa, wb) == pytest.approx(weighted_jaccard(wb, wa))
+
+
+class TestEmpiricalCdf:
+    def test_basic(self):
+        cdf = empirical_cdf([1, 2, 3, 4], [0, 2, 5])
+        assert list(cdf) == [0.0, 0.5, 1.0]
+
+    def test_empty_samples(self):
+        assert list(empirical_cdf([], [1, 2])) == [0.0, 0.0]
+
+    def test_monotone(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(size=200)
+        points = np.linspace(-3, 3, 50)
+        cdf = empirical_cdf(samples, points)
+        assert (np.diff(cdf) >= 0).all()
+
+
+class TestZipfPmf:
+    def test_sums_to_one(self):
+        assert truncated_zipf_pmf(100, 2.0).sum() == pytest.approx(1.0)
+
+    def test_decreasing(self):
+        pmf = truncated_zipf_pmf(50, 1.5)
+        assert (np.diff(pmf) < 0).all()
+
+    def test_single_point(self):
+        assert list(truncated_zipf_pmf(1, 2.0)) == [1.0]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            truncated_zipf_pmf(0, 2.0)
+        with pytest.raises(ValueError):
+            truncated_zipf_pmf(10, -1.0)
+
+    def test_webmd_calibration_band(self):
+        """Exponent 2.0 puts ~87% of mass below 5 (the Fig-1 target)."""
+        pmf = truncated_zipf_pmf(400, 2.0)
+        assert 0.82 <= pmf[:4].sum() <= 0.92
