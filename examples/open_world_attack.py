@@ -7,12 +7,17 @@ Stylometry baseline on both accuracy and false-positive rate.  The baseline
 cannot say ⊥, so every non-overlapping user it maps is a false positive;
 De-Health's mean-verification scheme rejects low-evidence mappings.
 
+The De-Health variants run through the session-based API
+(:class:`repro.api.AttackSession`): both requests share one feature
+extraction and one similarity computation, as the cache stats printed at
+the end show.
+
 Run:  python examples/open_world_attack.py
 """
 
-from repro import DeHealth, DeHealthConfig, StylometryBaseline, UDAGraph
+from repro import StylometryBaseline
+from repro.api import AttackRequest, AttackSession
 from repro.experiments import refined_open_split
-from repro.stylometry import FeatureExtractor
 
 SEED = 3
 OVERLAP = 0.5  # half the anonymized users have no auxiliary counterpart
@@ -30,35 +35,45 @@ def main() -> None:
         f"without true mapping: {len(truth.non_overlapping_ids)}"
     )
 
-    extractor = FeatureExtractor()
+    session = AttackSession(split)
 
     # --- baseline: one classifier over everyone, no rejection option
     baseline = StylometryBaseline(classifier="knn")
-    base_result = baseline.deanonymize(
-        UDAGraph(split.anonymized, extractor=extractor),
-        UDAGraph(split.auxiliary, extractor=extractor),
-    )
+    base_result = baseline.deanonymize(*session.graphs)
     print("\nStylometry baseline:")
     print(f"  accuracy:            {base_result.accuracy(truth):.1%}")
     print(f"  false-positive rate: {base_result.false_positive_rate(truth):.1%}")
 
-    # --- De-Health with mean-verification; the paper's r=0.25 on its score
-    # scale maps to ~0.03 on ours after floor correction (DESIGN.md §3)
-    attack = DeHealth(
-        DeHealthConfig(
-            top_k=5,
-            n_landmarks=5,
-            classifier="knn",
-            verification="mean",
-            verification_r=0.03,
-        )
+    # --- De-Health, with and without verification: one request protocol,
+    # one shared fit.  The paper's r=0.25 on its score scale maps to ~0.03
+    # on ours after floor correction (DESIGN.md §3).
+    base = AttackRequest(
+        world="open",
+        overlap_ratio=OVERLAP,
+        split_seed=SEED + 3,  # refined_open_split's actual split seed
+        top_k=5,
+        n_landmarks=5,
+        classifier="knn",
     )
-    attack.fit(split.anonymized, split.auxiliary, extractor=extractor)
-    result = attack.deanonymize()
+    unverified, verified = session.sweep(
+        [base, base.variant(verification="mean", verification_r=0.03)]
+    )
+
+    print("\nDe-Health (K=5, no verification):")
+    print(f"  accuracy:            {unverified.refined_accuracy:.1%}")
+    print(f"  false-positive rate: {unverified.false_positive_rate:.1%}")
+
     print("\nDe-Health (K=5, mean-verification r=0.03 floor-corrected):")
-    print(f"  accuracy:            {result.accuracy(truth):.1%}")
-    print(f"  false-positive rate: {result.false_positive_rate(truth):.1%}")
-    print(f"  rejected as ⊥:       {result.rejection_rate():.1%}")
+    print(f"  accuracy:            {verified.refined_accuracy:.1%}")
+    print(f"  false-positive rate: {verified.false_positive_rate:.1%}")
+    print(f"  rejected as ⊥:       {verified.rejection_rate:.1%}")
+
+    stats = session.stats()
+    print(
+        f"\nsession cache: {stats['graph_builds']} graph build(s), "
+        f"{stats['similarity_builds'].get('combined', 0)} combined-similarity "
+        f"computation(s) across {stats['runs']} attack runs"
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Drive the JSON service end to end, in process (no sockets needed).
+
+Builds the WSGI app over a fresh engine and walks the full flow a remote
+client would: health check → corpus generation → single attack → parameter
+sweep → engine stats.  The same payloads work over HTTP against
+``repro-dehealth serve``::
+
+    repro-dehealth serve --port 8321 &
+    curl -s -X POST localhost:8321/generate -d '{"users": 150, "name": "demo"}'
+    curl -s -X POST localhost:8321/attack -d '{"corpus": "demo", "top_k": 5}'
+
+Run:  python examples/service_client.py
+"""
+
+from repro.service import call_app, create_app
+
+
+def main() -> None:
+    app = create_app()
+
+    # 1. Liveness.
+    health = call_app(app, "GET", "/healthz")
+    print(f"GET /healthz -> {health.status} {health.json}")
+
+    # 2. Generate and register a corpus server-side.
+    generated = call_app(
+        app,
+        "POST",
+        "/generate",
+        {"preset": "webmd", "users": 150, "seed": 7, "name": "demo"},
+    )
+    print(f"POST /generate -> {generated.status} {generated.json}")
+
+    # 3. One attack: closed world, K=5, KNN refined phase.
+    attack = call_app(
+        app,
+        "POST",
+        "/attack",
+        {
+            "corpus": "demo",
+            "top_k": 5,
+            "n_landmarks": 10,
+            "classifier": "knn",
+            "ks": [1, 5, 10],
+        },
+    )
+    report = attack.json
+    print(f"POST /attack -> {attack.status}")
+    for k, rate in sorted(report["success_rates"].items(), key=lambda kv: int(kv[0])):
+        print(f"  top-{k} success: {rate:.1%}")
+    print(f"  refined DA accuracy: {report['refined_accuracy']:.1%}")
+
+    # 4. A sweep over K x classifier: the grid expands to 6 requests, and
+    #    because corpus + split agree they all share one fitted session.
+    sweep = call_app(
+        app,
+        "POST",
+        "/sweep",
+        {
+            "base": {"corpus": "demo", "n_landmarks": 10, "ks": [1, 5]},
+            "grid": {"top_k": [3, 5, 10], "classifier": ["knn", "centroid"]},
+        },
+    )
+    print(f"POST /sweep -> {sweep.status} ({sweep.json['count']} variants)")
+    for rep in sweep.json["reports"]:
+        req = rep["request"]
+        print(
+            f"  K={req['top_k']:>2} {req['classifier']:<8} "
+            f"accuracy={rep['refined_accuracy']:.1%} "
+            f"reused_fit={rep['reused_fit']}"
+        )
+
+    # 5. The engine's cache counters prove the sweep reused one fit.
+    stats = call_app(app, "GET", "/stats").json
+    session = stats["sessions"][0]
+    print(
+        f"GET /stats -> {stats['attacks']} attacks over "
+        f"{len(stats['sessions'])} session(s); "
+        f"graph builds: {session['graph_builds']}, "
+        f"combined-similarity builds: "
+        f"{session['similarity_builds'].get('combined', 0)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -24,6 +24,7 @@ from repro.core import (
     StylometryBaseline,
     TopKResult,
 )
+from repro.api import AttackReport, AttackRequest, AttackSession, Engine
 from repro.datagen import ForumConfig, generate_forum, healthboards_like, webmd_like
 from repro.errors import (
     ConfigError,
@@ -48,16 +49,21 @@ from repro.forum import (
 )
 from repro.graph import UDAGraph
 from repro.linkage import LinkageAttack, LinkageWorldConfig, build_world
+from repro.service import create_app, serve
 from repro.stylometry import FeatureExtractor, default_feature_space
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AttackReport",
+    "AttackRequest",
+    "AttackSession",
     "ConfigError",
     "DAResult",
     "DeHealth",
     "DeHealthConfig",
     "EmptyDatasetError",
+    "Engine",
     "FeatureExtractor",
     "ForumConfig",
     "ForumDataset",
@@ -78,6 +84,7 @@ __all__ = [
     "User",
     "build_world",
     "closed_world_split",
+    "create_app",
     "default_feature_space",
     "generate_forum",
     "healthboards_like",
@@ -85,5 +92,6 @@ __all__ = [
     "open_world_split",
     "save_dataset",
     "select_users_with_posts",
+    "serve",
     "webmd_like",
 ]

@@ -1,0 +1,35 @@
+"""Session-based public API for the De-Health reproduction.
+
+The staged surface the CLI, experiments, examples, and the WSGI service all
+build on:
+
+* :class:`AttackRequest` / :class:`AttackReport` — the declarative,
+  JSON-serializable protocol describing one attack variant and its results;
+* :class:`AttackSession` — cache-aware executor over one Δ1/Δ2 split
+  (feature extraction, similarity matrices, and refined-phase post matrices
+  are each computed once per session, however many variants run);
+* :class:`Engine` — corpus registry + session cache + batch entry points
+  (``attack``, ``sweep``, ``generate``, ``linkage``, ``stats``).
+
+Quickstart::
+
+    from repro.api import AttackRequest, Engine
+
+    engine = Engine()
+    engine.generate(preset="webmd", users=300, seed=0, name="demo")
+    base = AttackRequest(corpus="demo", top_k=10, classifier="knn")
+    reports = engine.sweep([base.variant(top_k=k) for k in (5, 10, 20)])
+"""
+
+from repro.api.engine import Engine, dataset_fingerprint
+from repro.api.protocol import AttackReport, AttackRequest, WORLD_CHOICES
+from repro.api.session import AttackSession
+
+__all__ = [
+    "AttackReport",
+    "AttackRequest",
+    "AttackSession",
+    "Engine",
+    "WORLD_CHOICES",
+    "dataset_fingerprint",
+]

@@ -1,0 +1,212 @@
+"""The attack engine: corpus registry + session cache + batch entry points.
+
+The :class:`Engine` is the process-wide front door the CLI, the experiments,
+and the :mod:`repro.service` WSGI layer all share.  It keys
+:class:`~repro.api.AttackSession` instances by ``(dataset fingerprint,
+split parameters)``, so any number of :class:`~repro.api.AttackRequest`
+variants that agree on corpus and split reuse one fitted session — one
+feature-extraction pass, one similarity computation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+from repro.api.protocol import AttackReport, AttackRequest
+from repro.api.session import AttackSession
+from repro.errors import ConfigError
+from repro.forum.models import ForumDataset
+from repro.stylometry.extractor import FeatureExtractor
+
+#: Corpus presets :meth:`Engine.generate` accepts.
+PRESET_CHOICES: tuple = ("webmd", "healthboards")
+
+
+def dataset_fingerprint(dataset: ForumDataset) -> str:
+    """A content fingerprint of a corpus: name, sizes, users, and post text.
+
+    Post text is included so re-registering a same-shaped corpus with edited
+    content invalidates any cached sessions keyed on the old fingerprint.
+    """
+    digest = hashlib.sha1()
+    digest.update(dataset.name.encode("utf-8"))
+    digest.update(
+        f":{dataset.n_users}:{dataset.n_posts}:{dataset.n_threads}".encode()
+    )
+    for uid in sorted(dataset.user_ids()):
+        digest.update(uid.encode("utf-8"))
+        digest.update(b"\0")
+        for post in dataset.posts_of(uid):
+            digest.update(post.post_id.encode("utf-8"))
+            digest.update(b"\1")
+            digest.update(post.text.encode("utf-8"))
+            digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+class Engine:
+    """Session-based attack engine over a registry of named corpora.
+
+    ``max_sessions`` bounds the LRU cache of fitted sessions (each one pins
+    two UDA graphs plus dense similarity matrices); the least recently used
+    session is evicted when the cap is exceeded, so a long-running service
+    cannot be grown without bound by varying split parameters.
+    """
+
+    def __init__(
+        self,
+        extractor: "FeatureExtractor | None" = None,
+        max_sessions: int = 16,
+    ) -> None:
+        if max_sessions < 1:
+            raise ConfigError(f"max_sessions must be >= 1, got {max_sessions}")
+        self.extractor = extractor or FeatureExtractor()
+        self.max_sessions = max_sessions
+        self._corpora: dict = {}
+        self._fingerprints: dict = {}
+        self._sessions: OrderedDict = OrderedDict()
+        self._session_meta: dict = {}
+        self.attacks = 0
+        self.session_hits = 0
+        self.session_evictions = 0
+
+    # --- corpus registry ------------------------------------------------
+
+    def register(self, name: str, dataset: ForumDataset) -> dict:
+        """Register (or replace) a corpus under ``name``; returns a summary."""
+        if not name:
+            raise ConfigError("corpus name must be non-empty")
+        self._corpora[name] = dataset
+        self._fingerprints[name] = dataset_fingerprint(dataset)
+        return self.describe(name)
+
+    def generate(
+        self,
+        preset: str = "webmd",
+        users: int = 300,
+        seed: int = 0,
+        name: "str | None" = None,
+    ) -> dict:
+        """Generate a synthetic corpus from a preset and register it."""
+        from repro.datagen import healthboards_like, webmd_like
+
+        if preset not in PRESET_CHOICES:
+            raise ConfigError(
+                f"preset must be one of {PRESET_CHOICES}, got {preset!r}"
+            )
+        if users < 1:
+            raise ConfigError(f"users must be >= 1, got {users}")
+        maker = webmd_like if preset == "webmd" else healthboards_like
+        generated = maker(n_users=users, seed=seed)
+        return self.register(
+            name or f"{preset}-{users}-{seed}", generated.dataset
+        )
+
+    def corpus(self, name: str) -> ForumDataset:
+        if name not in self._corpora:
+            raise ConfigError(
+                f"unknown corpus {name!r}; registered: {sorted(self._corpora)}"
+            )
+        return self._corpora[name]
+
+    def describe(self, name: str) -> dict:
+        dataset = self.corpus(name)
+        return {
+            "corpus": name,
+            "name": dataset.name,
+            "fingerprint": self._fingerprints[name],
+            "users": dataset.n_users,
+            "posts": dataset.n_posts,
+            "threads": dataset.n_threads,
+        }
+
+    @property
+    def corpus_names(self) -> list:
+        return sorted(self._corpora)
+
+    # --- session cache --------------------------------------------------
+
+    def session_for(self, request: AttackRequest) -> AttackSession:
+        """The session serving ``request``'s (corpus, split) pair."""
+        dataset = self.corpus(request.corpus)
+        key = (self._fingerprints[request.corpus], request.split_key())
+        session = self._sessions.get(key)
+        if session is not None:
+            self.session_hits += 1
+            self._sessions.move_to_end(key)
+            return session
+        session = AttackSession.from_dataset(
+            dataset,
+            world=request.world,
+            aux_fraction=request.aux_fraction,
+            overlap_ratio=request.overlap_ratio,
+            split_seed=request.split_seed,
+            extractor=self.extractor,
+        )
+        self._sessions[key] = session
+        self._session_meta[key] = {
+            "corpus": request.corpus,
+            "world": request.world,
+            "param": request.split_key()[1],
+            "split_seed": request.split_seed,
+        }
+        while len(self._sessions) > self.max_sessions:
+            evicted, _ = self._sessions.popitem(last=False)
+            self._session_meta.pop(evicted, None)
+            self.session_evictions += 1
+        return session
+
+    # --- attack entry points --------------------------------------------
+
+    def attack(self, request) -> AttackReport:
+        """Run one attack; ``request`` may be an AttackRequest or a dict."""
+        if isinstance(request, dict):
+            request = AttackRequest.from_dict(request)
+        request.validate()
+        self.attacks += 1
+        return self.session_for(request).run(request)
+
+    def sweep(self, requests) -> list:
+        """Run a batch of variants; same-split requests share one session."""
+        return [self.attack(request) for request in requests]
+
+    def linkage(self, users: int = 300, seed: int = 0) -> dict:
+        """Run the NameLink/AvatarLink campaign; JSON-friendly summary."""
+        from repro.experiments.linkage_exp import run_linkage_experiment
+
+        if users < 1:
+            raise ConfigError(f"users must be >= 1, got {users}")
+        result = run_linkage_experiment(n_users=users, seed=seed)
+        report = result.report
+        return {
+            "users": report.n_users,
+            "name_linked": report.n_name_linked,
+            "avatar_targets": report.n_avatar_targets,
+            "avatar_linked": report.n_avatar_linked,
+            "avatar_link_rate": report.avatar_link_rate,
+            "overlap_both_tools": len(report.overlap_ids),
+            "multi_service_fraction": report.multi_service_fraction,
+            "name_precision": report.name_precision,
+            "avatar_precision": report.avatar_precision,
+            "summary": report.summary_lines(),
+        }
+
+    # --- introspection --------------------------------------------------
+
+    def stats(self) -> dict:
+        """Engine-wide, JSON-safe view of corpora, sessions, and caches."""
+        from repro import __version__
+
+        return {
+            "version": __version__,
+            "attacks": self.attacks,
+            "session_hits": self.session_hits,
+            "session_evictions": self.session_evictions,
+            "max_sessions": self.max_sessions,
+            "corpora": {name: self.describe(name) for name in self.corpus_names},
+            "sessions": [
+                {**self._session_meta[key], **session.stats()}
+                for key, session in self._sessions.items()
+            ],
+        }

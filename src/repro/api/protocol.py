@@ -1,0 +1,248 @@
+"""Declarative request/report protocol for the attack engine.
+
+:class:`AttackRequest` is the JSON-serializable description of one attack
+variant — which corpus, how to split it, and every knob of the two-phase
+De-Health pipeline.  :class:`AttackReport` carries the measurements back.
+Both round-trip through ``to_dict``/``from_dict`` so they can travel over
+the :mod:`repro.service` wire format unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+
+from repro.core.config import DeHealthConfig, SimilarityWeights
+from repro.errors import ConfigError
+
+#: Split worlds an :class:`AttackRequest` can ask for.
+WORLD_CHOICES: tuple = ("closed", "open")
+
+
+def _weights_tuple(value) -> tuple:
+    """Normalise any weights spelling to a ``(c1, c2, c3)`` float tuple."""
+    if isinstance(value, SimilarityWeights):
+        return (value.degree, value.distance, value.attribute)
+    if isinstance(value, dict):
+        unknown = set(value) - {"degree", "distance", "attribute"}
+        if unknown:
+            raise ConfigError(
+                f"unknown weight keys {sorted(unknown)}; "
+                "expected degree/distance/attribute"
+            )
+        return (
+            float(value.get("degree", 0.0)),
+            float(value.get("distance", 0.0)),
+            float(value.get("attribute", 0.0)),
+        )
+    try:
+        out = tuple(float(v) for v in value)
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(f"weights must be three numbers, got {value!r}") from exc
+    if len(out) != 3:
+        raise ConfigError(f"weights must have exactly 3 entries, got {len(out)}")
+    return out
+
+
+@dataclass(frozen=True)
+class AttackRequest:
+    """One attack variant: corpus reference + split spec + pipeline knobs.
+
+    ``corpus`` names a dataset registered with the :class:`~repro.api.Engine`;
+    ``world``/``aux_fraction``/``overlap_ratio``/``split_seed`` determine the
+    Δ1/Δ2 split (and therefore which cached :class:`~repro.api.AttackSession`
+    serves the request); everything else maps 1:1 onto
+    :class:`~repro.core.DeHealthConfig`.  ``ks`` lists the K values the
+    report's success rates are evaluated at (defaults to ``(1, 5, top_k)``);
+    ``refined=False`` stops after the Top-K phase.
+    """
+
+    corpus: str = "default"
+    world: str = "closed"
+    aux_fraction: float = 0.5
+    overlap_ratio: float = 0.5
+    split_seed: int = 0
+    top_k: int = 10
+    selection: str = "direct"
+    classifier: str = "smo"
+    weights: tuple = (0.05, 0.05, 0.90)
+    n_landmarks: int = 50  # matches the DeHealthConfig corpus-scale default
+    attribute_weight_cap: int = 64
+    filtering: bool = False
+    filter_epsilon: float = 0.01
+    filter_levels: int = 10
+    verification: "str | None" = None
+    verification_r: float = 0.25
+    false_addition_count: "int | None" = None
+    use_structural_features: bool = True
+    refined: bool = True
+    ks: tuple = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "weights", _weights_tuple(self.weights))
+        object.__setattr__(self, "ks", tuple(int(k) for k in self.ks))
+
+    # --- validation / conversion ---------------------------------------
+
+    def to_config(self) -> DeHealthConfig:
+        """The :class:`DeHealthConfig` this request describes (validated)."""
+        config = DeHealthConfig(
+            weights=SimilarityWeights(*self.weights),
+            n_landmarks=self.n_landmarks,
+            top_k=self.top_k,
+            selection=self.selection,
+            filtering=self.filtering,
+            filter_epsilon=self.filter_epsilon,
+            filter_levels=self.filter_levels,
+            classifier=self.classifier,
+            use_structural_features=self.use_structural_features,
+            verification=self.verification,
+            verification_r=self.verification_r,
+            false_addition_count=self.false_addition_count,
+            attribute_weight_cap=self.attribute_weight_cap,
+            seed=self.seed,
+        )
+        config.validate()
+        return config
+
+    def validate(self) -> "AttackRequest":
+        if self.world not in WORLD_CHOICES:
+            raise ConfigError(
+                f"world must be one of {WORLD_CHOICES}, got {self.world!r}"
+            )
+        if self.world == "closed" and not 0.0 < self.aux_fraction < 1.0:
+            raise ConfigError(
+                f"aux_fraction must be in (0, 1), got {self.aux_fraction}"
+            )
+        if self.world == "open" and not 0.0 < self.overlap_ratio <= 1.0:
+            raise ConfigError(
+                f"overlap_ratio must be in (0, 1], got {self.overlap_ratio}"
+            )
+        for k in self.ks:
+            if k < 1:
+                raise ConfigError(f"evaluation ks must be >= 1, got {k}")
+        self.to_config()
+        return self
+
+    def evaluation_ks(self) -> tuple:
+        """The K values the report's success rates cover, sorted, deduped."""
+        ks = self.ks or (1, 5, self.top_k)
+        return tuple(sorted(set(int(k) for k in ks)))
+
+    def split_key(self) -> tuple:
+        """Hashable identity of the split this request needs (sans corpus)."""
+        if self.world == "closed":
+            return ("closed", round(self.aux_fraction, 9), self.split_seed)
+        return ("open", round(self.overlap_ratio, 9), self.split_seed)
+
+    def variant(self, **changes) -> "AttackRequest":
+        """A copy with the given fields changed (sweep convenience)."""
+        return replace(self, **changes)
+
+    # --- wire format ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "corpus": self.corpus,
+            "world": self.world,
+            "aux_fraction": self.aux_fraction,
+            "overlap_ratio": self.overlap_ratio,
+            "split_seed": self.split_seed,
+            "top_k": self.top_k,
+            "selection": self.selection,
+            "classifier": self.classifier,
+            "weights": list(self.weights),
+            "n_landmarks": self.n_landmarks,
+            "attribute_weight_cap": self.attribute_weight_cap,
+            "filtering": self.filtering,
+            "filter_epsilon": self.filter_epsilon,
+            "filter_levels": self.filter_levels,
+            "verification": self.verification,
+            "verification_r": self.verification_r,
+            "false_addition_count": self.false_addition_count,
+            "use_structural_features": self.use_structural_features,
+            "refined": self.refined,
+            "ks": list(self.ks),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AttackRequest":
+        if not isinstance(payload, dict):
+            raise ConfigError(
+                f"attack request must be a JSON object, got {type(payload).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigError(f"unknown attack request fields: {sorted(unknown)}")
+        try:
+            return cls(**payload)
+        except (TypeError, ValueError) as exc:
+            if isinstance(exc, ConfigError):
+                raise
+            raise ConfigError(f"bad attack request: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class AttackReport:
+    """Measurements of one attack run, JSON-serializable.
+
+    ``success_rates`` maps K -> Top-K success rate (the Fig 3/5 data at the
+    requested ``ks``); the refined fields are ``None`` when the request set
+    ``refined=False``.  ``reused_fit`` records whether the serving session
+    already had its UDA graphs built (i.e. the expensive fit was shared).
+    """
+
+    request: AttackRequest
+    n_anonymized: int
+    n_auxiliary: int
+    n_evaluated: int
+    success_rates: dict = field(hash=False)
+    refined_accuracy: "float | None" = None
+    false_positive_rate: "float | None" = None
+    rejection_rate: "float | None" = None
+    n_correct: "int | None" = None
+    elapsed_ms: float = 0.0
+    reused_fit: bool = False
+
+    def success_rate(self, k: int) -> float:
+        return self.success_rates[int(k)]
+
+    def to_dict(self) -> dict:
+        return {
+            "request": self.request.to_dict(),
+            "n_anonymized": self.n_anonymized,
+            "n_auxiliary": self.n_auxiliary,
+            "n_evaluated": self.n_evaluated,
+            "success_rates": {str(k): v for k, v in self.success_rates.items()},
+            "refined_accuracy": self.refined_accuracy,
+            "false_positive_rate": self.false_positive_rate,
+            "rejection_rate": self.rejection_rate,
+            "n_correct": self.n_correct,
+            "elapsed_ms": self.elapsed_ms,
+            "reused_fit": self.reused_fit,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AttackReport":
+        if not isinstance(payload, dict):
+            raise ConfigError(
+                f"attack report must be a JSON object, got {type(payload).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigError(f"unknown attack report fields: {sorted(unknown)}")
+        data = dict(payload)
+        try:
+            data["request"] = AttackRequest.from_dict(data.get("request") or {})
+            data["success_rates"] = {
+                int(k): float(v)
+                for k, v in (data.get("success_rates") or {}).items()
+            }
+            return cls(**data)
+        except (TypeError, ValueError) as exc:
+            if isinstance(exc, ConfigError):
+                raise
+            raise ConfigError(f"bad attack report: {exc}") from exc

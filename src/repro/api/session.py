@@ -1,0 +1,172 @@
+"""Cache-aware execution of attack variants over one fixed Δ1/Δ2 split.
+
+An :class:`AttackSession` owns every expensive artifact of a graph pair —
+the extracted UDA graphs (feature extraction), the similarity component
+matrices, and the refined phase's per-user post matrices — so a sweep over
+``top_k``, ``selection``, ``classifier``, weights, or verification settings
+pays for each artifact exactly once.  Build/hit counters expose the reuse.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.api.protocol import AttackReport, AttackRequest
+from repro.core.pipeline import DeHealth
+from repro.core.similarity import SimilarityCache
+from repro.errors import ConfigError
+from repro.forum.models import ForumDataset
+from repro.forum.split import SplitResult, closed_world_split, open_world_split
+from repro.stylometry.extractor import FeatureExtractor
+
+
+class AttackSession:
+    """Runs :class:`AttackRequest` variants against one split, with caching.
+
+    The session is keyed by its split: every request routed here must agree
+    on the dataset and split parameters (the :class:`~repro.api.Engine`
+    guarantees that).  Only the attack knobs may vary between requests.
+    """
+
+    def __init__(
+        self,
+        split: SplitResult,
+        extractor: "FeatureExtractor | None" = None,
+        split_spec: "tuple | None" = None,
+    ) -> None:
+        self.split = split
+        # ``split_spec`` is the (world, param, seed) identity of the split
+        # when known (sessions built via from_dataset); ``run`` rejects
+        # requests whose split fields disagree with it, so reports never
+        # carry provenance for a split that was not actually used.  Direct
+        # constructor callers with custom splits leave it None.
+        self.split_spec = split_spec
+        self.extractor = extractor or FeatureExtractor()
+        self._graphs = None
+        self._similarity_cache = SimilarityCache()
+        self._post_caches: dict = {}
+        self.graph_builds = 0
+        self.graph_hits = 0
+        self.runs = 0
+
+    @classmethod
+    def from_dataset(
+        cls,
+        dataset: ForumDataset,
+        world: str = "closed",
+        aux_fraction: float = 0.5,
+        overlap_ratio: float = 0.5,
+        split_seed: int = 0,
+        extractor: "FeatureExtractor | None" = None,
+    ) -> "AttackSession":
+        """Split ``dataset`` per the spec and open a session over the split."""
+        if world == "closed":
+            split = closed_world_split(
+                dataset, aux_fraction=aux_fraction, seed=split_seed
+            )
+            spec = ("closed", round(aux_fraction, 9), split_seed)
+        elif world == "open":
+            split = open_world_split(
+                dataset, overlap_ratio=overlap_ratio, seed=split_seed
+            )
+            spec = ("open", round(overlap_ratio, 9), split_seed)
+        else:
+            raise ConfigError(f"world must be 'closed' or 'open', got {world!r}")
+        return cls(split, extractor=extractor, split_spec=spec)
+
+    # --- cached artifacts ----------------------------------------------
+
+    @property
+    def graphs(self) -> tuple:
+        """The (anonymized, auxiliary) UDA graph pair, built once."""
+        from repro.graph.uda import UDAGraph
+
+        if self._graphs is None:
+            self.graph_builds += 1
+            self._graphs = (
+                UDAGraph(self.split.anonymized, extractor=self.extractor),
+                UDAGraph(self.split.auxiliary, extractor=self.extractor),
+            )
+        else:
+            self.graph_hits += 1
+        return self._graphs
+
+    @property
+    def similarity_cache(self) -> SimilarityCache:
+        return self._similarity_cache
+
+    # --- execution ------------------------------------------------------
+
+    def run(self, request: AttackRequest) -> AttackReport:
+        """Execute one attack variant, reusing every cached artifact."""
+        request.validate()
+        if self.split_spec is not None and request.split_key() != self.split_spec:
+            raise ConfigError(
+                f"request split {request.split_key()} does not match this "
+                f"session's split {self.split_spec}"
+            )
+        started = time.perf_counter()
+        reused = self._graphs is not None
+        anonymized, auxiliary = self.graphs
+        caches = self._post_caches.setdefault(
+            request.use_structural_features, ({}, {})
+        )
+        attack = DeHealth(request.to_config()).fit(
+            anonymized,
+            auxiliary,
+            extractor=self.extractor,
+            similarity_cache=self._similarity_cache,
+            post_matrix_caches=caches,
+        )
+        truth = self.split.truth
+        topk = attack.top_k_result(truth)
+        success_rates = {
+            k: topk.success_rate(k) for k in request.evaluation_ks()
+        }
+        refined_accuracy = false_positive_rate = rejection_rate = None
+        n_correct = None
+        if request.refined:
+            result = attack.deanonymize()
+            refined_accuracy = result.accuracy(truth)
+            false_positive_rate = result.false_positive_rate(truth)
+            rejection_rate = result.rejection_rate()
+            n_correct = result.n_correct(truth)
+        self.runs += 1
+        return AttackReport(
+            request=request,
+            n_anonymized=anonymized.n_users,
+            n_auxiliary=auxiliary.n_users,
+            n_evaluated=topk.n_evaluated,
+            success_rates=success_rates,
+            refined_accuracy=refined_accuracy,
+            false_positive_rate=false_positive_rate,
+            rejection_rate=rejection_rate,
+            n_correct=n_correct,
+            elapsed_ms=(time.perf_counter() - started) * 1e3,
+            reused_fit=reused,
+        )
+
+    def sweep(self, requests) -> list:
+        """Run many variants in order; all expensive artifacts are shared."""
+        return [self.run(request) for request in requests]
+
+    # --- introspection --------------------------------------------------
+
+    def stats(self) -> dict:
+        """Cache counters: graph builds/hits and similarity builds/hits."""
+        sim = self._similarity_cache.counters()
+        return {
+            "runs": self.runs,
+            "graph_builds": self.graph_builds,
+            "graph_hits": self.graph_hits,
+            "similarity_builds": sim["builds"],
+            "similarity_hits": sim["hits"],
+            "n_anonymized": self.split.anonymized.n_users,
+            "n_auxiliary": self.split.auxiliary.n_users,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"AttackSession(anon={self.split.anonymized.n_users}, "
+            f"aux={self.split.auxiliary.n_users}, runs={self.runs})"
+        )

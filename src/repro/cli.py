@@ -4,31 +4,49 @@ Subcommands::
 
     repro-dehealth generate --users 300 --preset webmd --out corpus.jsonl
     repro-dehealth stats corpus.jsonl
-    repro-dehealth attack corpus.jsonl --top-k 10 --classifier knn
+    repro-dehealth attack corpus.jsonl --top-k 10 --classifier knn \
+        --selection matching --weights 0.05,0.05,0.9
     repro-dehealth linkage --users 500 --seed 7
+    repro-dehealth serve --port 8321 --corpus corpus.jsonl
 
-Every subcommand is deterministic under ``--seed``.
+Every subcommand is deterministic under ``--seed``.  ``generate``,
+``attack``, ``linkage``, and ``serve`` all route through the session-based
+:class:`repro.api.Engine`; ``serve`` exposes the same engine over the JSON
+service in :mod:`repro.service`.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
-from repro.core import DeHealth, DeHealthConfig
-from repro.datagen import healthboards_like, webmd_like
+from repro.api import AttackRequest, Engine
 from repro.experiments import run_fig1, run_fig2, run_fig7
-from repro.experiments.linkage_exp import run_linkage_experiment
-from repro.forum import closed_world_split, load_dataset, save_dataset
+from repro.forum import load_dataset, save_dataset
+
+
+def _parse_weights(text: str) -> tuple:
+    """``"c1,c2,c3"`` -> float triple (argparse ``type=``)."""
+    parts = text.split(",")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"--weights needs three comma-separated numbers, got {text!r}"
+        )
+    try:
+        return tuple(float(p) for p in parts)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad --weights {text!r}: {exc}") from exc
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    preset = webmd_like if args.preset == "webmd" else healthboards_like
-    generated = preset(n_users=args.users, seed=args.seed)
-    save_dataset(generated.dataset, args.out)
-    ds = generated.dataset
-    print(f"wrote {args.out}: {ds.n_users} users, {ds.n_posts} posts, "
-          f"{ds.n_threads} threads")
+    engine = Engine()
+    summary = engine.generate(
+        preset=args.preset, users=args.users, seed=args.seed, name="cli"
+    )
+    save_dataset(engine.corpus("cli"), args.out)
+    print(f"wrote {args.out}: {summary['users']} users, {summary['posts']} posts, "
+          f"{summary['threads']} threads")
     return 0
 
 
@@ -48,30 +66,57 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
-    dataset = load_dataset(args.corpus)
-    split = closed_world_split(dataset, aux_fraction=args.aux_fraction, seed=args.seed)
-    config = DeHealthConfig(
+    engine = Engine()
+    engine.register("cli", load_dataset(args.corpus))
+    request = AttackRequest(
+        corpus="cli",
+        world="closed",
+        aux_fraction=args.aux_fraction,
+        split_seed=args.seed,
         top_k=args.top_k,
-        n_landmarks=args.landmarks,
+        selection=args.selection,
         classifier=args.classifier,
+        weights=args.weights,
+        n_landmarks=args.landmarks,
+        refined=not args.skip_refined,
+        ks=tuple(sorted({1, 5, args.top_k})),
         seed=args.seed,
     )
-    attack = DeHealth(config)
-    attack.fit(split.anonymized, split.auxiliary)
-    topk = attack.top_k_result(split.truth)
-    print(f"anonymized users: {split.anonymized.n_users}")
+    report = engine.attack(request)
+    print(f"anonymized users: {report.n_anonymized}")
     for k in (1, 5, args.top_k):
-        print(f"top-{k} success: {topk.success_rate(k):.1%}")
+        print(f"top-{k} success: {report.success_rate(k):.1%}")
     if not args.skip_refined:
-        result = attack.deanonymize()
-        print(f"refined DA accuracy: {result.accuracy(split.truth):.1%}")
+        print(f"refined DA accuracy: {report.refined_accuracy:.1%}")
     return 0
 
 
 def _cmd_linkage(args: argparse.Namespace) -> int:
-    result = run_linkage_experiment(n_users=args.users, seed=args.seed)
-    for line in result.report.summary_lines():
+    result = Engine().linkage(users=args.users, seed=args.seed)
+    for line in result["summary"]:
         print(line)
+    return 0
+
+
+def build_engine_for_serve(corpus_paths) -> Engine:
+    """An engine pre-loaded with the ``--corpus`` files (name = file stem)."""
+    engine = Engine()
+    for path in corpus_paths or ():
+        name = Path(path).stem
+        if name in engine.corpus_names:
+            raise SystemExit(
+                f"error: duplicate corpus name {name!r} from {path}; "
+                "rename one of the files"
+            )
+        engine.register(name, load_dataset(path))
+    return engine
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import serve
+
+    engine = build_engine_for_serve(args.corpus)
+    serve(engine, host=args.host, port=args.port)
     return 0
 
 
@@ -101,6 +146,15 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument(
         "--classifier", choices=("knn", "smo", "rlsc", "centroid"), default="knn"
     )
+    attack.add_argument(
+        "--selection", choices=("direct", "matching"), default="direct",
+        help="Top-K candidate selection strategy",
+    )
+    attack.add_argument(
+        "--weights", type=_parse_weights, default=(0.05, 0.05, 0.90),
+        metavar="C1,C2,C3",
+        help="similarity weights: degree, distance, attribute",
+    )
     attack.add_argument("--seed", type=int, default=0)
     attack.add_argument(
         "--skip-refined", action="store_true",
@@ -112,6 +166,15 @@ def build_parser() -> argparse.ArgumentParser:
     linkage.add_argument("--users", type=int, default=500)
     linkage.add_argument("--seed", type=int, default=0)
     linkage.set_defaults(func=_cmd_linkage)
+
+    srv = sub.add_parser("serve", help="serve the JSON API (wsgiref)")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8321)
+    srv.add_argument(
+        "--corpus", action="append", default=[], metavar="PATH",
+        help="pre-load a JSONL corpus (repeatable; name = file stem)",
+    )
+    srv.set_defaults(func=_cmd_serve)
 
     return parser
 

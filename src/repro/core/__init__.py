@@ -12,7 +12,7 @@ from repro.core.filtering import FilterOutcome, filter_candidates
 from repro.core.pipeline import DeHealth
 from repro.core.refined import RefinedDeanonymizer
 from repro.core.results import DAResult, TopKResult
-from repro.core.similarity import SimilarityComputer
+from repro.core.similarity import SimilarityCache, SimilarityComputer
 from repro.core.topk import direct_top_k, matching_top_k
 from repro.core.verification import mean_verification
 
@@ -22,6 +22,7 @@ __all__ = [
     "DeHealthConfig",
     "FilterOutcome",
     "RefinedDeanonymizer",
+    "SimilarityCache",
     "SimilarityComputer",
     "SimilarityWeights",
     "StylometryBaseline",

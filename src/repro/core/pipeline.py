@@ -49,12 +49,20 @@ class DeHealth:
         anonymized: "ForumDataset | UDAGraph",
         auxiliary: "ForumDataset | UDAGraph",
         extractor: "FeatureExtractor | None" = None,
+        *,
+        similarity_cache=None,
+        post_matrix_caches: "tuple[dict, dict] | None" = None,
     ) -> "DeHealth":
         """Build UDA graphs for Δ1/Δ2 and prepare the similarity computer.
 
         Pre-built :class:`UDAGraph` instances are accepted directly, so
         parameter sweeps (over K, classifiers, weights) can share one
-        feature-extraction pass.
+        feature-extraction pass.  ``similarity_cache`` (a
+        :class:`~repro.core.similarity.SimilarityCache`) and
+        ``post_matrix_caches`` extend that sharing to the similarity
+        matrices and the refined phase's per-user post matrices — the hooks
+        :class:`repro.api.AttackSession` uses to make sweeps pay for each
+        expensive artifact once.
         """
         extractor = extractor or FeatureExtractor()
         self.anonymized = (
@@ -73,6 +81,7 @@ class DeHealth:
             weights=self.config.weights,
             n_landmarks=self.config.n_landmarks,
             attribute_weight_cap=self.config.attribute_weight_cap,
+            cache=similarity_cache,
         )
         self._refined = RefinedDeanonymizer(
             self.anonymized,
@@ -85,6 +94,7 @@ class DeHealth:
                 else None
             ),
             seed=self.config.seed,
+            post_matrix_caches=post_matrix_caches,
         )
         return self
 

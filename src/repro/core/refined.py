@@ -52,6 +52,7 @@ class RefinedDeanonymizer:
         use_structural_features: bool = True,
         false_addition_count: "int | None" = None,
         seed: int = 0,
+        post_matrix_caches: "tuple[dict, dict] | None" = None,
     ) -> None:
         self.anonymized = anonymized
         self.auxiliary = auxiliary
@@ -60,8 +61,13 @@ class RefinedDeanonymizer:
         self.false_addition_count = false_addition_count
         self.seed = seed
         self._rng = derive_rng(seed)
-        self._anon_cache: dict[str, np.ndarray] = {}
-        self._aux_cache: dict[str, np.ndarray] = {}
+        # ``post_matrix_caches`` lets a parameter sweep share the extracted
+        # per-user post matrices across deanonymizer instances; the cached
+        # matrices depend on ``use_structural_features``, so callers must
+        # key shared caches by that flag.
+        if post_matrix_caches is None:
+            post_matrix_caches = ({}, {})
+        self._anon_cache, self._aux_cache = post_matrix_caches
         make_classifier(classifier)  # fail fast on bad names
 
     # --- feature assembly -------------------------------------------------

@@ -65,8 +65,47 @@ def _pad_ncs(ncs: list, width: int) -> np.ndarray:
     return out
 
 
+class SimilarityCache:
+    """Shared store of similarity matrices for one anonymized/auxiliary pair.
+
+    Keys are ``(kind, *params)`` tuples — ``("degree",)``,
+    ``("distance", n_landmarks)``, ``("attribute", cap)`` and
+    ``("combined", (c1, c2, c3), n_landmarks, cap)`` — so any number of
+    :class:`SimilarityComputer` instances with different weights or knobs can
+    share one cache and each matrix is computed at most once.  Build/hit
+    counters per kind let callers assert reuse (parameter-sweep tests).
+    """
+
+    def __init__(self) -> None:
+        self._matrices: dict = {}
+        self.builds: dict = {}
+        self.hits: dict = {}
+
+    def get_or_build(self, key: tuple, build) -> np.ndarray:
+        kind = key[0]
+        if key in self._matrices:
+            self.hits[kind] = self.hits.get(kind, 0) + 1
+            return self._matrices[key]
+        self.builds[kind] = self.builds.get(kind, 0) + 1
+        matrix = build()
+        self._matrices[key] = matrix
+        return matrix
+
+    def has(self, *key) -> bool:
+        return tuple(key) in self._matrices
+
+    def counters(self) -> dict:
+        """``{"builds": {kind: n}, "hits": {kind: n}}`` snapshot."""
+        return {"builds": dict(self.builds), "hits": dict(self.hits)}
+
+
 class SimilarityComputer:
-    """Computes and caches the three similarity components for a graph pair."""
+    """Computes and caches the three similarity components for a graph pair.
+
+    Passing a shared :class:`SimilarityCache` lets several computers over the
+    same graph pair (e.g. a sweep over c1/c2/c3 weights) reuse component and
+    combined matrices instead of recomputing them.
+    """
 
     def __init__(
         self,
@@ -75,6 +114,7 @@ class SimilarityComputer:
         weights: "SimilarityWeights | None" = None,
         n_landmarks: int = 50,
         attribute_weight_cap: int = 64,
+        cache: "SimilarityCache | None" = None,
     ) -> None:
         self.anonymized = anonymized
         self.auxiliary = auxiliary
@@ -82,17 +122,15 @@ class SimilarityComputer:
         self.weights.validate()
         self.n_landmarks = n_landmarks
         self.attribute_weight_cap = attribute_weight_cap
-        self._degree: "np.ndarray | None" = None
-        self._distance: "np.ndarray | None" = None
-        self._attribute: "np.ndarray | None" = None
-        self._combined: "np.ndarray | None" = None
+        self.cache = cache or SimilarityCache()
 
     # --- components -----------------------------------------------------
 
     def degree_similarity(self) -> np.ndarray:
         """s^d: degree ratio + weighted-degree ratio + NCS cosine."""
-        if self._degree is not None:
-            return self._degree
+        return self.cache.get_or_build(("degree",), self._build_degree)
+
+    def _build_degree(self) -> np.ndarray:
         g1, g2 = self.anonymized, self.auxiliary
         component = _minmax_ratio_matrix(g1.degrees, g2.degrees)
         component += _minmax_ratio_matrix(g1.weighted_degrees, g2.weighted_degrees)
@@ -102,13 +140,15 @@ class SimilarityComputer:
             1,
         )
         component += _cosine_matrix(_pad_ncs(g1.ncs, width), _pad_ncs(g2.ncs, width))
-        self._degree = component
         return component
 
     def distance_similarity(self) -> np.ndarray:
         """s^s: cosine of landmark closeness vectors, hop + weighted."""
-        if self._distance is not None:
-            return self._distance
+        return self.cache.get_or_build(
+            ("distance", self.n_landmarks), self._build_distance
+        )
+
+    def _build_distance(self) -> np.ndarray:
         g1, g2 = self.anonymized, self.auxiliary
         h = min(self.n_landmarks, g1.n_users, g2.n_users)
         lm1 = select_landmarks(g1, h)
@@ -121,13 +161,15 @@ class SimilarityComputer:
             landmark_closeness(g1, lm1, weighted=True),
             landmark_closeness(g2, lm2, weighted=True),
         )
-        self._distance = component
         return component
 
     def attribute_similarity(self) -> np.ndarray:
         """s^a: Jaccard(A(u), A(v)) + weighted Jaccard(WA(u), WA(v))."""
-        if self._attribute is not None:
-            return self._attribute
+        return self.cache.get_or_build(
+            ("attribute", self.attribute_weight_cap), self._build_attribute
+        )
+
+    def _build_attribute(self) -> np.ndarray:
         W1 = self.anonymized.attr_weights.astype(np.int64).tocsr()
         W2 = self.auxiliary.attr_weights.astype(np.int64).tocsr()
         cap = self.attribute_weight_cap
@@ -162,10 +204,19 @@ class SimilarityComputer:
         wjac = np.ones_like(inter)
         np.divide(min_sum, max_sum, out=wjac, where=max_sum > 0)
 
-        self._attribute = jac + wjac
-        return self._attribute
+        return jac + wjac
 
     # --- combination ----------------------------------------------------
+
+    def combined_key(self) -> tuple:
+        """The cache key of this computer's combined matrix."""
+        w = self.weights
+        return (
+            "combined",
+            (w.degree, w.distance, w.attribute),
+            self.n_landmarks,
+            self.attribute_weight_cap,
+        )
 
     def combined(self) -> np.ndarray:
         """The full similarity matrix s_uv (anonymized rows, auxiliary cols).
@@ -173,8 +224,9 @@ class SimilarityComputer:
         Components with zero weight are skipped entirely — the c1=c2=0
         ablation never pays the landmark-Dijkstra cost.
         """
-        if self._combined is not None:
-            return self._combined
+        return self.cache.get_or_build(self.combined_key(), self._build_combined)
+
+    def _build_combined(self) -> np.ndarray:
         w = self.weights
         total = np.zeros((self.anonymized.n_users, self.auxiliary.n_users))
         if w.degree:
@@ -183,7 +235,6 @@ class SimilarityComputer:
             total += w.distance * self.distance_similarity()
         if w.attribute:
             total += w.attribute * self.attribute_similarity()
-        self._combined = total
         return total
 
     def score(self, anon_user: str, aux_user: str) -> float:

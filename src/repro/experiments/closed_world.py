@@ -16,11 +16,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core import DeHealth, DeHealthConfig, StylometryBaseline
+from repro.api import AttackRequest, AttackSession, Engine
+from repro.core import StylometryBaseline
 from repro.experiments.corpora import refined_closed_split, topk_corpus
-from repro.forum import closed_world_split
 from repro.forum.models import ForumDataset
-from repro.graph import UDAGraph
 from repro.stylometry import FeatureExtractor
 
 
@@ -52,23 +51,30 @@ def run_fig3(
     dataset = dataset or topk_corpus(which, n_users=n_users, seed=seed)
     if ks is None:
         ks = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
-    extractor = FeatureExtractor()
-    curves: list[TopKCurve] = []
-    for frac in aux_fractions:
-        split = closed_world_split(dataset, aux_fraction=frac, seed=seed + 17)
-        attack = DeHealth(DeHealthConfig(n_landmarks=n_landmarks))
-        attack.fit(split.anonymized, split.auxiliary, extractor=extractor)
-        result = attack.top_k_result(split.truth)
-        ks_arr = np.asarray(ks)
-        curves.append(
-            TopKCurve(
-                label=f"{dataset.name}-{int(frac * 100)}%",
-                ks=ks_arr,
-                cdf=result.cdf(ks_arr),
-                n_anonymized=result.n_evaluated,
-            )
+    engine = Engine()
+    engine.register("fig3", dataset)
+    reports = engine.sweep(
+        AttackRequest(
+            corpus="fig3",
+            world="closed",
+            aux_fraction=frac,
+            split_seed=seed + 17,
+            n_landmarks=n_landmarks,
+            refined=False,
+            ks=tuple(int(k) for k in ks),
         )
-    return curves
+        for frac in aux_fractions
+    )
+    ks_arr = np.asarray(ks)
+    return [
+        TopKCurve(
+            label=f"{dataset.name}-{int(frac * 100)}%",
+            ks=ks_arr,
+            cdf=np.array([report.success_rate(int(k)) for k in ks_arr]),
+            n_anonymized=report.n_evaluated,
+        )
+        for frac, report in zip(aux_fractions, reports)
+    ]
 
 
 @dataclass(frozen=True)
@@ -102,9 +108,8 @@ def run_fig4(
         split = refined_closed_split(
             n_users=n_users, posts_per_user=posts_per_user, seed=seed
         )
-        extractor = FeatureExtractor()
-        anon_uda = UDAGraph(split.anonymized, extractor=extractor)
-        aux_uda = UDAGraph(split.auxiliary, extractor=extractor)
+        session = AttackSession(split, extractor=FeatureExtractor())
+        anon_uda, aux_uda = session.graphs
         for classifier in classifiers:
             cells: list[RefinedAccuracyCell] = []
             baseline = StylometryBaseline(classifier=classifier, seed=seed)
@@ -117,24 +122,27 @@ def run_fig4(
                     accuracy=base_res.accuracy(split.truth),
                 )
             )
-            for k in k_values:
-                attack = DeHealth(
-                    DeHealthConfig(
-                        top_k=k,
-                        n_landmarks=n_landmarks,
-                        classifier=classifier,
-                        seed=seed,
-                    )
+            reports = session.sweep(
+                AttackRequest(
+                    # provenance: refined_closed_split is a 50% closed split
+                    world="closed",
+                    aux_fraction=0.5,
+                    split_seed=seed + 2,
+                    top_k=k,
+                    n_landmarks=n_landmarks,
+                    classifier=classifier,
+                    seed=seed,
                 )
-                attack.fit(anon_uda, aux_uda)
-                res = attack.deanonymize()
-                cells.append(
-                    RefinedAccuracyCell(
-                        method="dehealth",
-                        classifier=classifier,
-                        k=k,
-                        accuracy=res.accuracy(split.truth),
-                    )
+                for k in k_values
+            )
+            cells.extend(
+                RefinedAccuracyCell(
+                    method="dehealth",
+                    classifier=classifier,
+                    k=report.request.top_k,
+                    accuracy=report.refined_accuracy,
                 )
+                for report in reports
+            )
             results[(classifier, posts_per_user // 2)] = cells
     return results

@@ -13,10 +13,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import DeHealth, DeHealthConfig, StylometryBaseline
+from repro.api import AttackRequest, AttackSession, Engine
+from repro.core import StylometryBaseline
 from repro.experiments.closed_world import RefinedAccuracyCell, TopKCurve
 from repro.experiments.corpora import refined_open_split, topk_corpus
-from repro.forum import open_world_split
 from repro.forum.models import ForumDataset
 from repro.forum.split import GroundTruth
 from repro.graph import UDAGraph
@@ -36,23 +36,30 @@ def run_fig5(
     dataset = dataset or topk_corpus(which, n_users=n_users, seed=seed)
     if ks is None:
         ks = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
-    extractor = FeatureExtractor()
-    curves: list[TopKCurve] = []
-    for ratio in overlap_ratios:
-        split = open_world_split(dataset, overlap_ratio=ratio, seed=seed + 29)
-        attack = DeHealth(DeHealthConfig(n_landmarks=n_landmarks))
-        attack.fit(split.anonymized, split.auxiliary, extractor=extractor)
-        result = attack.top_k_result(split.truth)
-        ks_arr = np.asarray(ks)
-        curves.append(
-            TopKCurve(
-                label=f"{dataset.name}-{int(ratio * 100)}%",
-                ks=ks_arr,
-                cdf=result.cdf(ks_arr),
-                n_anonymized=result.n_evaluated,
-            )
+    engine = Engine()
+    engine.register("fig5", dataset)
+    reports = engine.sweep(
+        AttackRequest(
+            corpus="fig5",
+            world="open",
+            overlap_ratio=ratio,
+            split_seed=seed + 29,
+            n_landmarks=n_landmarks,
+            refined=False,
+            ks=tuple(int(k) for k in ks),
         )
-    return curves
+        for ratio in overlap_ratios
+    )
+    ks_arr = np.asarray(ks)
+    return [
+        TopKCurve(
+            label=f"{dataset.name}-{int(ratio * 100)}%",
+            ks=ks_arr,
+            cdf=np.array([report.success_rate(int(k)) for k in ks_arr]),
+            n_anonymized=report.n_evaluated,
+        )
+        for ratio, report in zip(overlap_ratios, reports)
+    ]
 
 
 def _baseline_open_world(
@@ -100,41 +107,43 @@ def run_fig6(
             posts_per_user=posts_per_user,
             seed=seed,
         )
-        extractor = FeatureExtractor()
-        anon_uda = UDAGraph(split.anonymized, extractor=extractor)
-        aux_uda = UDAGraph(split.auxiliary, extractor=extractor)
+        session = AttackSession(split, extractor=FeatureExtractor())
+        anon_uda, aux_uda = session.graphs
         for classifier in classifiers:
             cells = [
                 _baseline_open_world(
                     classifier, anon_uda, aux_uda, split.truth, seed
                 )
             ]
-            for k in k_values:
-                attack = DeHealth(
-                    DeHealthConfig(
-                        top_k=k,
-                        n_landmarks=n_landmarks,
-                        classifier=classifier,
-                        # filtering is the paper's optional optimisation;
-                        # with 5-candidate sets it costs more truth
-                        # containment than it saves (ablation bench), so
-                        # the Fig-6 runs leave it off
-                        filtering=False,
-                        verification="mean",
-                        verification_r=verification_r,
-                        seed=seed,
-                    )
+            reports = session.sweep(
+                AttackRequest(
+                    # provenance: refined_open_split's actual parameters
+                    world="open",
+                    overlap_ratio=ratio,
+                    split_seed=seed + 3,
+                    top_k=k,
+                    n_landmarks=n_landmarks,
+                    classifier=classifier,
+                    # filtering is the paper's optional optimisation;
+                    # with 5-candidate sets it costs more truth
+                    # containment than it saves (ablation bench), so
+                    # the Fig-6 runs leave it off
+                    filtering=False,
+                    verification="mean",
+                    verification_r=verification_r,
+                    seed=seed,
                 )
-                attack.fit(anon_uda, aux_uda)
-                res = attack.deanonymize()
-                cells.append(
-                    RefinedAccuracyCell(
-                        method="dehealth",
-                        classifier=classifier,
-                        k=k,
-                        accuracy=res.accuracy(split.truth),
-                        false_positive_rate=res.false_positive_rate(split.truth),
-                    )
+                for k in k_values
+            )
+            cells.extend(
+                RefinedAccuracyCell(
+                    method="dehealth",
+                    classifier=classifier,
+                    k=report.request.top_k,
+                    accuracy=report.refined_accuracy,
+                    false_positive_rate=report.false_positive_rate,
                 )
+                for report in reports
+            )
             results[(ratio, classifier)] = cells
     return results

@@ -1,0 +1,29 @@
+"""JSON service layer over the attack engine (stdlib WSGI, no dependencies).
+
+Usage::
+
+    from repro.api import Engine
+    from repro.service import create_app, serve
+
+    engine = Engine()
+    engine.generate(preset="webmd", users=300, name="demo")
+    serve(engine, host="127.0.0.1", port=8321)      # blocking
+
+or mount :func:`create_app`'s return value under any WSGI server.  The
+in-process client in :mod:`repro.service.testing` drives the app without
+sockets for tests and examples.
+"""
+
+from repro.service.app import DeHealthApp, MAX_SWEEP_REQUESTS, create_app, expand_grid
+from repro.service.server import serve
+from repro.service.testing import ServiceResponse, call_app
+
+__all__ = [
+    "DeHealthApp",
+    "MAX_SWEEP_REQUESTS",
+    "ServiceResponse",
+    "call_app",
+    "create_app",
+    "expand_grid",
+    "serve",
+]

@@ -1,0 +1,242 @@
+"""Stdlib-WSGI JSON service over the attack engine.
+
+Routes (all request/response bodies are JSON):
+
+=======  ============  ====================================================
+method   path          behaviour
+=======  ============  ====================================================
+GET      /healthz      liveness + version
+GET      /stats        engine stats: corpora, sessions, cache counters
+POST     /generate     generate + register a synthetic corpus
+POST     /attack       run one :class:`~repro.api.AttackRequest`
+POST     /sweep        run a batch (explicit list or base × grid expansion)
+POST     /linkage      run the NameLink/AvatarLink campaign
+=======  ============  ====================================================
+
+Errors come back as ``{"error": {"type": ..., "message": ...}}`` built on
+the :mod:`repro.errors` hierarchy: :class:`~repro.errors.ConfigError` (and
+malformed JSON) map to 400, :class:`~repro.errors.NotFittedError` to 409,
+any other :class:`~repro.errors.ReproError` to 422, unknown routes to 404,
+wrong methods to 405, and unexpected failures to 500.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+
+from repro.api.engine import Engine
+from repro.api.protocol import AttackRequest
+from repro.errors import ConfigError, NotFittedError, ReproError
+
+_STATUS_LINES = {
+    200: "200 OK",
+    400: "400 Bad Request",
+    404: "404 Not Found",
+    405: "405 Method Not Allowed",
+    409: "409 Conflict",
+    422: "422 Unprocessable Entity",
+    500: "500 Internal Server Error",
+}
+
+#: Hard cap on expanded sweep size, so one request cannot wedge the worker.
+MAX_SWEEP_REQUESTS = 256
+
+
+def _error_status(exc: Exception) -> int:
+    if isinstance(exc, ConfigError):
+        return 400
+    if isinstance(exc, NotFittedError):
+        return 409
+    if isinstance(exc, ReproError):
+        return 422
+    return 500
+
+
+def expand_grid(base: dict, grid: dict) -> list:
+    """Cartesian-product expansion of ``grid`` values over a ``base`` request.
+
+    ``{"base": {"corpus": "c"}, "grid": {"top_k": [5, 10], "classifier":
+    ["knn", "smo"]}}`` yields four requests.  Keys are validated by
+    :meth:`AttackRequest.from_dict`, so typos fail with a 400.
+    """
+    if not isinstance(base, dict):
+        raise ConfigError(
+            f"sweep base must be a JSON object, got {type(base).__name__}"
+        )
+    if not isinstance(grid, dict) or not grid:
+        raise ConfigError("sweep grid must be a non-empty JSON object")
+    names = sorted(grid)
+    value_lists = []
+    size = 1
+    for name in names:
+        values = grid[name]
+        if not isinstance(values, list) or not values:
+            raise ConfigError(f"grid value for {name!r} must be a non-empty list")
+        value_lists.append(values)
+        size *= len(values)
+        # reject oversized grids before materializing the product — one
+        # request must not be able to wedge the single-threaded worker
+        if size > MAX_SWEEP_REQUESTS:
+            raise ConfigError(
+                f"sweep grid expands to {size}+ requests, exceeding the cap "
+                f"of {MAX_SWEEP_REQUESTS}"
+            )
+    requests = []
+    for combo in itertools.product(*value_lists):
+        payload = dict(base)
+        payload.update(dict(zip(names, combo)))
+        requests.append(AttackRequest.from_dict(payload))
+    return requests
+
+
+class DeHealthApp:
+    """WSGI application exposing an :class:`~repro.api.Engine` as JSON routes."""
+
+    def __init__(self, engine: "Engine | None" = None) -> None:
+        self.engine = engine or Engine()
+        self._routes = {
+            ("GET", "/healthz"): self._healthz,
+            ("GET", "/stats"): self._stats,
+            ("POST", "/generate"): self._generate,
+            ("POST", "/attack"): self._attack,
+            ("POST", "/sweep"): self._sweep,
+            ("POST", "/linkage"): self._linkage,
+        }
+        self._paths = {path for _, path in self._routes}
+
+    # --- WSGI entry -----------------------------------------------------
+
+    def __call__(self, environ, start_response):
+        method = environ.get("REQUEST_METHOD", "GET").upper()
+        path = environ.get("PATH_INFO", "/") or "/"
+        try:
+            handler = self._routes.get((method, path))
+            if handler is None:
+                if path in self._paths:
+                    status, payload = 405, self._error_payload(
+                        "MethodNotAllowed", f"{method} not allowed on {path}"
+                    )
+                else:
+                    status, payload = 404, self._error_payload(
+                        "NotFound", f"no route for {path}"
+                    )
+            else:
+                status, payload = handler(environ)
+        except Exception as exc:  # noqa: BLE001 — mapped to structured errors
+            status = _error_status(exc)
+            payload = self._error_payload(type(exc).__name__, str(exc))
+        body = json.dumps(payload, indent=None, sort_keys=True).encode("utf-8")
+        start_response(
+            _STATUS_LINES[status],
+            [
+                ("Content-Type", "application/json; charset=utf-8"),
+                ("Content-Length", str(len(body))),
+            ],
+        )
+        return [body]
+
+    @staticmethod
+    def _error_payload(kind: str, message: str) -> dict:
+        return {"error": {"type": kind, "message": message}}
+
+    @staticmethod
+    def _read_json(environ) -> dict:
+        try:
+            length = int(environ.get("CONTENT_LENGTH") or 0)
+        except (TypeError, ValueError):
+            length = 0
+        raw = environ["wsgi.input"].read(length) if length > 0 else b""
+        if not raw:
+            return {}
+        try:
+            payload = json.loads(raw)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ConfigError(f"malformed JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ConfigError(
+                f"JSON body must be an object, got {type(payload).__name__}"
+            )
+        return payload
+
+    @staticmethod
+    def _only_keys(payload: dict, allowed: tuple) -> None:
+        unknown = set(payload) - set(allowed)
+        if unknown:
+            raise ConfigError(
+                f"unknown fields: {sorted(unknown)}; allowed: {sorted(allowed)}"
+            )
+
+    # --- handlers -------------------------------------------------------
+
+    def _healthz(self, environ) -> tuple:
+        from repro import __version__
+
+        return 200, {
+            "status": "ok",
+            "version": __version__,
+            "corpora": self.engine.corpus_names,
+        }
+
+    def _stats(self, environ) -> tuple:
+        return 200, self.engine.stats()
+
+    def _generate(self, environ) -> tuple:
+        body = self._read_json(environ)
+        self._only_keys(body, ("preset", "users", "seed", "name"))
+        try:
+            users = int(body.get("users", 300))
+            seed = int(body.get("seed", 0))
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(f"users and seed must be integers: {exc}") from exc
+        summary = self.engine.generate(
+            preset=body.get("preset", "webmd"),
+            users=users,
+            seed=seed,
+            name=body.get("name"),
+        )
+        return 200, summary
+
+    def _attack(self, environ) -> tuple:
+        request = AttackRequest.from_dict(self._read_json(environ))
+        return 200, self.engine.attack(request).to_dict()
+
+    def _sweep(self, environ) -> tuple:
+        body = self._read_json(environ)
+        self._only_keys(body, ("requests", "base", "grid"))
+        if "requests" in body:
+            if "base" in body or "grid" in body:
+                raise ConfigError("pass either 'requests' or 'base'+'grid', not both")
+            specs = body["requests"]
+            if not isinstance(specs, list) or not specs:
+                raise ConfigError("'requests' must be a non-empty list")
+            requests = [AttackRequest.from_dict(spec) for spec in specs]
+        elif "grid" in body:
+            requests = expand_grid(body.get("base", {}), body["grid"])
+        else:
+            raise ConfigError("sweep body needs 'requests' or 'base'+'grid'")
+        if len(requests) > MAX_SWEEP_REQUESTS:
+            raise ConfigError(
+                f"sweep of {len(requests)} requests exceeds the cap of "
+                f"{MAX_SWEEP_REQUESTS}"
+            )
+        reports = self.engine.sweep(requests)
+        return 200, {
+            "count": len(reports),
+            "reports": [report.to_dict() for report in reports],
+        }
+
+    def _linkage(self, environ) -> tuple:
+        body = self._read_json(environ)
+        self._only_keys(body, ("users", "seed"))
+        try:
+            users = int(body.get("users", 300))
+            seed = int(body.get("seed", 0))
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(f"users and seed must be integers: {exc}") from exc
+        return 200, self.engine.linkage(users=users, seed=seed)
+
+
+def create_app(engine: "Engine | None" = None) -> DeHealthApp:
+    """Build the WSGI application (optionally over a pre-loaded engine)."""
+    return DeHealthApp(engine)

@@ -1,0 +1,43 @@
+"""Blocking wsgiref server for the De-Health JSON service.
+
+Only the standard library is used; for production put the app object behind
+any WSGI server (gunicorn, uwsgi, mod_wsgi) instead::
+
+    from repro.service import create_app
+    application = create_app()
+"""
+
+from __future__ import annotations
+
+import sys
+from wsgiref.simple_server import WSGIRequestHandler, make_server
+
+from repro.api.engine import Engine
+from repro.service.app import DeHealthApp, create_app
+
+
+class _QuietHandler(WSGIRequestHandler):
+    """Request logging to stderr without reverse-DNS lookups."""
+
+    def address_string(self):  # noqa: D102 — avoid slow getfqdn per request
+        return self.client_address[0]
+
+
+def serve(
+    engine: "Engine | None" = None,
+    host: str = "127.0.0.1",
+    port: int = 8321,
+    app: "DeHealthApp | None" = None,
+) -> None:
+    """Serve the JSON API until interrupted (blocking)."""
+    app = app or create_app(engine)
+    with make_server(host, port, app, handler_class=_QuietHandler) as httpd:
+        print(
+            f"repro-dehealth service on http://{host}:{port} "
+            f"(corpora: {app.engine.corpus_names or 'none'})",
+            file=sys.stderr,
+        )
+        try:
+            httpd.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down", file=sys.stderr)

@@ -1,0 +1,60 @@
+"""In-process WSGI client for tests and examples.
+
+Drives a :class:`~repro.service.DeHealthApp` without sockets: builds a
+minimal WSGI environ, invokes the app, and decodes the JSON response.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """Status code, response headers, and decoded JSON body."""
+
+    status: int
+    headers: dict
+    json: object
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+def call_app(app, method: str, path: str, body=None) -> ServiceResponse:
+    """Invoke ``app`` once; ``body`` (if given) is JSON-encoded."""
+    raw = b"" if body is None else json.dumps(body).encode("utf-8")
+    environ = {
+        "REQUEST_METHOD": method.upper(),
+        "PATH_INFO": path,
+        "QUERY_STRING": "",
+        "SERVER_NAME": "testserver",
+        "SERVER_PORT": "80",
+        "SERVER_PROTOCOL": "HTTP/1.1",
+        "CONTENT_TYPE": "application/json",
+        "CONTENT_LENGTH": str(len(raw)),
+        "wsgi.version": (1, 0),
+        "wsgi.url_scheme": "http",
+        "wsgi.input": io.BytesIO(raw),
+        "wsgi.errors": sys.stderr,
+        "wsgi.multithread": False,
+        "wsgi.multiprocess": False,
+        "wsgi.run_once": False,
+    }
+    captured: dict = {}
+
+    def start_response(status_line, headers, exc_info=None):
+        captured["status"] = int(status_line.split(" ", 1)[0])
+        captured["headers"] = dict(headers)
+
+    chunks = app(environ, start_response)
+    payload = b"".join(chunks)
+    return ServiceResponse(
+        status=captured["status"],
+        headers=captured["headers"],
+        json=json.loads(payload) if payload else None,
+    )

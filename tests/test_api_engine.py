@@ -1,0 +1,222 @@
+"""Engine/AttackSession behaviour: caching, sweeps, and pipeline parity."""
+
+import pytest
+
+from repro import DeHealth, DeHealthConfig
+from repro.api import AttackRequest, AttackSession, Engine, dataset_fingerprint
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def engine(tiny_corpus):
+    eng = Engine()
+    eng.register("tiny", tiny_corpus)
+    return eng
+
+
+def _request(**overrides) -> AttackRequest:
+    base = dict(
+        corpus="tiny",
+        aux_fraction=0.5,
+        split_seed=102,
+        top_k=5,
+        n_landmarks=5,
+        classifier="knn",
+        ks=(1, 5),
+    )
+    base.update(overrides)
+    return AttackRequest(**base)
+
+
+class TestRegistry:
+    def test_register_summary(self, engine, tiny_corpus):
+        summary = engine.describe("tiny")
+        assert summary["users"] == tiny_corpus.n_users
+        assert summary["fingerprint"] == dataset_fingerprint(tiny_corpus)
+
+    def test_unknown_corpus(self, engine):
+        with pytest.raises(ConfigError, match="unknown corpus"):
+            engine.attack(_request(corpus="nope"))
+
+    def test_generate_registers(self):
+        eng = Engine()
+        summary = eng.generate(preset="webmd", users=20, seed=1, name="g")
+        assert summary["users"] == 20
+        assert eng.corpus_names == ["g"]
+
+    def test_generate_bad_preset(self):
+        with pytest.raises(ConfigError, match="preset"):
+            Engine().generate(preset="reddit", users=10)
+
+    def test_fingerprint_distinguishes_content(self, tiny_corpus):
+        from repro.datagen import webmd_like
+
+        other = webmd_like(n_users=30, seed=7).dataset
+        assert dataset_fingerprint(tiny_corpus) != dataset_fingerprint(other)
+
+    def test_fingerprint_sees_post_text(self):
+        """Same shape (name, counts, ids), different text -> new fingerprint."""
+        from repro.forum import ForumDataset, Post, Thread, User
+
+        def build(text):
+            ds = ForumDataset("same")
+            ds.add_user(User(user_id="u1", username="a", profile={}))
+            ds.add_thread(
+                Thread(thread_id="t1", board="b", topic="x", starter_id="u1")
+            )
+            ds.add_post(
+                Post(post_id="p1", user_id="u1", thread_id="t1", board="b",
+                     text=text)
+            )
+            return ds
+
+        assert dataset_fingerprint(build("hello")) != dataset_fingerprint(
+            build("goodbye")
+        )
+
+
+class TestSweepCaching:
+    def test_sweep_fits_once(self, tiny_corpus):
+        """Acceptance: >=3 top_k/classifier variants, one extraction pass,
+        one combined-similarity computation."""
+        eng = Engine()
+        eng.register("tiny", tiny_corpus)
+        base = _request()
+        reports = eng.sweep(
+            [
+                base.variant(top_k=3),
+                base.variant(top_k=5),
+                base.variant(top_k=10, classifier="centroid"),
+            ]
+        )
+        assert len(reports) == 3
+        stats = eng.stats()
+        assert len(stats["sessions"]) == 1
+        session = stats["sessions"][0]
+        # feature extraction (UDA graph build) happened exactly once...
+        assert session["graph_builds"] == 1
+        # ...and the combined similarity matrix was computed exactly once,
+        # with every later variant hitting the cache.
+        assert session["similarity_builds"]["combined"] == 1
+        assert session["similarity_hits"]["combined"] >= 2
+        assert reports[0].reused_fit is False
+        assert all(r.reused_fit for r in reports[1:])
+
+    def test_same_split_reuses_session(self, engine):
+        engine.attack(_request(top_k=3, refined=False, ks=(1, 3)))
+        after_first = len(engine.stats()["sessions"])
+        hits_before = engine.session_hits
+        engine.attack(_request(top_k=7, refined=False, ks=(1, 7)))
+        assert len(engine.stats()["sessions"]) == after_first
+        assert engine.session_hits == hits_before + 1
+
+    def test_different_split_new_session(self, tiny_corpus):
+        eng = Engine()
+        eng.register("tiny", tiny_corpus)
+        eng.attack(_request(refined=False))
+        eng.attack(_request(refined=False, split_seed=103))
+        assert len(eng.stats()["sessions"]) == 2
+
+    def test_session_cache_evicts_lru(self, tiny_corpus):
+        eng = Engine(max_sessions=1)
+        eng.register("tiny", tiny_corpus)
+        eng.attack(_request(refined=False))
+        eng.attack(_request(refined=False, split_seed=103))
+        stats = eng.stats()
+        assert len(stats["sessions"]) == 1
+        assert stats["session_evictions"] == 1
+        with pytest.raises(ConfigError):
+            Engine(max_sessions=0)
+
+    def test_weight_sweep_shares_components(self, tiny_corpus):
+        eng = Engine()
+        eng.register("tiny", tiny_corpus)
+        base = _request(refined=False)
+        eng.sweep(
+            [
+                base.variant(weights=(0.05, 0.05, 0.9)),
+                base.variant(weights=(0.2, 0.2, 0.6)),
+            ]
+        )
+        session = eng.stats()["sessions"][0]
+        # two combined matrices (different weights) but each component once
+        assert session["similarity_builds"]["combined"] == 2
+        assert session["similarity_builds"]["degree"] == 1
+        assert session["similarity_builds"]["attribute"] == 1
+
+
+class TestSessionParity:
+    def test_matches_direct_pipeline(self, tiny_split):
+        """The session path must be numerically identical to DeHealth."""
+        session = AttackSession(tiny_split)
+        report = session.run(
+            AttackRequest(top_k=5, n_landmarks=5, classifier="knn", seed=3)
+        )
+        attack = DeHealth(
+            DeHealthConfig(top_k=5, n_landmarks=5, classifier="knn", seed=3)
+        )
+        attack.fit(*session.graphs)
+        topk = attack.top_k_result(tiny_split.truth)
+        assert report.success_rate(1) == topk.success_rate(1)
+        assert report.success_rate(5) == topk.success_rate(5)
+        result = attack.deanonymize()
+        assert report.refined_accuracy == result.accuracy(tiny_split.truth)
+        assert report.n_evaluated == topk.n_evaluated
+
+    def test_topk_only_skips_refined(self, tiny_split):
+        report = AttackSession(tiny_split).run(
+            AttackRequest(refined=False, n_landmarks=5)
+        )
+        assert report.refined_accuracy is None
+        assert report.n_correct is None
+        assert report.success_rates  # phase 1 still measured
+
+    def test_from_dataset_bad_world(self, tiny_corpus):
+        with pytest.raises(ConfigError, match="world"):
+            AttackSession.from_dataset(tiny_corpus, world="flat")
+
+    def test_split_provenance_enforced(self, tiny_corpus):
+        """A session built from a known spec rejects mismatched requests."""
+        session = AttackSession.from_dataset(
+            tiny_corpus, world="closed", aux_fraction=0.5, split_seed=102
+        )
+        with pytest.raises(ConfigError, match="does not match"):
+            session.run(_request(aux_fraction=0.7))
+        with pytest.raises(ConfigError, match="does not match"):
+            session.run(_request(world="open", overlap_ratio=0.5))
+        # matching requests run fine
+        session.run(_request(refined=False))
+
+    def test_custom_split_session_has_no_spec(self, tiny_split):
+        session = AttackSession(tiny_split)
+        assert session.split_spec is None
+        session.run(AttackRequest(refined=False, n_landmarks=5))  # unchecked
+
+    def test_run_validates_request(self, tiny_split):
+        with pytest.raises(ConfigError):
+            AttackSession(tiny_split).run(AttackRequest(top_k=0))
+
+    def test_attack_accepts_dict(self, engine):
+        report = engine.attack(
+            {
+                "corpus": "tiny",
+                "split_seed": 102,
+                "top_k": 3,
+                "n_landmarks": 5,
+                "refined": False,
+                "ks": [1, 3],
+            }
+        )
+        assert set(report.success_rates) == {1, 3}
+
+
+class TestLinkage:
+    def test_linkage_summary(self):
+        result = Engine().linkage(users=80, seed=11)
+        assert result["users"] == 80
+        assert any("NameLink" in line for line in result["summary"])
+        assert 0.0 <= result["avatar_link_rate"] <= 1.0
+
+    def test_linkage_validates(self):
+        with pytest.raises(ConfigError):
+            Engine().linkage(users=0)

@@ -1,0 +1,141 @@
+"""Serialization and validation of the AttackRequest/AttackReport protocol."""
+
+import json
+
+import pytest
+
+from repro.api import AttackReport, AttackRequest
+from repro.core import DeHealthConfig, SimilarityWeights
+from repro.errors import ConfigError
+
+
+class TestAttackRequest:
+    def test_roundtrip_through_json(self):
+        request = AttackRequest(
+            corpus="c",
+            world="open",
+            overlap_ratio=0.7,
+            top_k=7,
+            selection="matching",
+            classifier="rlsc",
+            weights=(0.1, 0.2, 0.7),
+            verification="mean",
+            ks=(1, 7),
+            seed=5,
+        )
+        wire = json.loads(json.dumps(request.to_dict()))
+        assert AttackRequest.from_dict(wire) == request
+
+    def test_weights_normalised_to_tuple(self):
+        assert AttackRequest(weights=[0.2, 0.3, 0.5]).weights == (0.2, 0.3, 0.5)
+        assert AttackRequest(
+            weights={"degree": 0.2, "distance": 0.3, "attribute": 0.5}
+        ).weights == (0.2, 0.3, 0.5)
+        assert AttackRequest(
+            weights=SimilarityWeights(0.2, 0.3, 0.5)
+        ).weights == (0.2, 0.3, 0.5)
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ConfigError):
+            AttackRequest(weights=(0.5, 0.5))
+        with pytest.raises(ConfigError):
+            AttackRequest(weights={"degre": 1.0})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigError, match="unknown attack request fields"):
+            AttackRequest.from_dict({"top_kk": 5})
+
+    def test_validate_world(self):
+        with pytest.raises(ConfigError, match="world"):
+            AttackRequest(world="flat").validate()
+
+    def test_validate_delegates_to_config(self):
+        with pytest.raises(ConfigError):
+            AttackRequest(top_k=0).validate()
+        with pytest.raises(ConfigError):
+            AttackRequest(classifier="gpt").validate()
+        with pytest.raises(ConfigError):
+            AttackRequest(selection="psychic").validate()
+
+    def test_to_config_mapping(self):
+        config = AttackRequest(
+            top_k=3,
+            selection="matching",
+            classifier="knn",
+            weights=(0.2, 0.3, 0.5),
+            n_landmarks=9,
+            verification="mean",
+            seed=11,
+        ).to_config()
+        assert isinstance(config, DeHealthConfig)
+        assert config.top_k == 3
+        assert config.selection == "matching"
+        assert config.weights == SimilarityWeights(0.2, 0.3, 0.5)
+        assert config.n_landmarks == 9
+        assert config.verification == "mean"
+        assert config.seed == 11
+
+    def test_false_addition_count_reaches_config(self):
+        config = AttackRequest(
+            verification="false_addition", false_addition_count=2
+        ).to_config()
+        assert config.verification == "false_addition"
+        assert config.false_addition_count == 2
+
+    def test_evaluation_ks_default_and_dedup(self):
+        assert AttackRequest(top_k=5).evaluation_ks() == (1, 5)
+        assert AttackRequest(ks=(10, 1, 10)).evaluation_ks() == (1, 10)
+
+    def test_split_key_ignores_irrelevant_axis(self):
+        closed = AttackRequest(world="closed", aux_fraction=0.6, overlap_ratio=0.9)
+        assert closed.split_key() == ("closed", 0.6, 0)
+        open_ = AttackRequest(world="open", overlap_ratio=0.9, split_seed=4)
+        assert open_.split_key() == ("open", 0.9, 4)
+
+    def test_variant(self):
+        base = AttackRequest(top_k=10)
+        assert base.variant(top_k=3).top_k == 3
+        assert base.variant(top_k=3).corpus == base.corpus
+
+
+class TestAttackReport:
+    def _report(self) -> AttackReport:
+        return AttackReport(
+            request=AttackRequest(top_k=5),
+            n_anonymized=20,
+            n_auxiliary=40,
+            n_evaluated=18,
+            success_rates={1: 0.25, 5: 0.5},
+            refined_accuracy=0.4,
+            false_positive_rate=0.1,
+            rejection_rate=0.2,
+            n_correct=8,
+            elapsed_ms=12.5,
+            reused_fit=True,
+        )
+
+    def test_roundtrip_through_json(self):
+        report = self._report()
+        wire = json.loads(json.dumps(report.to_dict()))
+        back = AttackReport.from_dict(wire)
+        assert back == report
+        assert back.success_rates == {1: 0.25, 5: 0.5}  # int keys restored
+
+    def test_success_rate_lookup(self):
+        assert self._report().success_rate(5) == 0.5
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigError, match="unknown attack report fields"):
+            AttackReport.from_dict({"bogus": 1})
+
+    def test_topk_only_report_roundtrip(self):
+        report = AttackReport(
+            request=AttackRequest(refined=False),
+            n_anonymized=5,
+            n_auxiliary=5,
+            n_evaluated=5,
+            success_rates={1: 1.0},
+        )
+        back = AttackReport.from_dict(json.loads(json.dumps(report.to_dict())))
+        assert back.refined_accuracy is None
+        assert back == report

@@ -20,6 +20,30 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["attack", "c.jsonl", "--classifier", "gpt"])
 
+    def test_attack_selection_choices(self):
+        args = build_parser().parse_args(
+            ["attack", "c.jsonl", "--selection", "matching"]
+        )
+        assert args.selection == "matching"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attack", "c.jsonl", "--selection", "psychic"])
+
+    def test_attack_weights_parsing(self):
+        args = build_parser().parse_args(
+            ["attack", "c.jsonl", "--weights", "0.2,0.3,0.5"]
+        )
+        assert args.weights == (0.2, 0.3, 0.5)
+        for bad in ("1,2", "a,b,c"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["attack", "c.jsonl", "--weights", bad])
+
+    def test_serve_args(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "9000", "--corpus", "a.jsonl", "--corpus", "b.jsonl"]
+        )
+        assert args.port == 9000
+        assert args.corpus == ["a.jsonl", "b.jsonl"]
+
 
 class TestCommands:
     def test_generate_and_stats(self, tmp_path, capsys):
@@ -63,8 +87,49 @@ class TestCommands:
         assert code == 0
         assert "refined DA accuracy" in capsys.readouterr().out
 
+    def test_attack_with_selection_and_weights(self, tmp_path, capsys):
+        out = tmp_path / "corpus.jsonl"
+        main(["generate", "--users", "50", "--seed", "8", "--out", str(out)])
+        capsys.readouterr()
+        code = main(
+            [
+                "attack", str(out),
+                "--top-k", "3",
+                "--landmarks", "5",
+                "--selection", "matching",
+                "--weights", "0.1,0.1,0.8",
+                "--seed", "9",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "top-3 success" in captured
+        assert "refined DA accuracy" in captured
+
     def test_linkage(self, capsys):
         code = main(["linkage", "--users", "80", "--seed", "11"])
         assert code == 0
         captured = capsys.readouterr().out
         assert "NameLink" in captured and "AvatarLink" in captured
+
+    def test_serve_engine_preload(self, tmp_path):
+        from repro.cli import build_engine_for_serve
+        from repro.service import call_app, create_app
+
+        out = tmp_path / "demo.jsonl"
+        main(["generate", "--users", "30", "--seed", "2", "--out", str(out)])
+        engine = build_engine_for_serve([str(out)])
+        res = call_app(create_app(engine), "GET", "/healthz")
+        assert res.json["corpora"] == ["demo"]
+
+    def test_serve_duplicate_corpus_name_rejected(self, tmp_path):
+        from repro.cli import build_engine_for_serve
+
+        out = tmp_path / "demo.jsonl"
+        main(["generate", "--users", "30", "--seed", "2", "--out", str(out)])
+        other = tmp_path / "sub"
+        other.mkdir()
+        dup = other / "demo.jsonl"
+        dup.write_bytes(out.read_bytes())
+        with pytest.raises(SystemExit, match="duplicate corpus name"):
+            build_engine_for_serve([str(out), str(dup)])

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import SimilarityComputer, SimilarityWeights
+from repro.core import SimilarityCache, SimilarityComputer, SimilarityWeights
 from repro.core.similarity import _cosine_matrix, _minmax_ratio_matrix
 from repro.forum import closed_world_split
 from repro.graph import UDAGraph
@@ -71,13 +71,31 @@ class TestComponents:
         )
         combined = sim.combined()
         # distance component never computed for the ablation
-        assert sim._distance is None
+        assert not sim.cache.has("distance", sim.n_landmarks)
         assert np.allclose(combined, sim.attribute_similarity())
 
     def test_cached(self, graph_pair):
         anon, aux = graph_pair
         sim = SimilarityComputer(anon, aux, n_landmarks=10)
         assert sim.combined() is sim.combined()
+
+    def test_shared_cache_across_weights(self, graph_pair):
+        anon, aux = graph_pair
+        cache = SimilarityCache()
+        a = SimilarityComputer(
+            anon, aux, weights=SimilarityWeights(0.2, 0.3, 0.5),
+            n_landmarks=10, cache=cache,
+        )
+        b = SimilarityComputer(
+            anon, aux, weights=SimilarityWeights(0.0, 0.0, 1.0),
+            n_landmarks=10, cache=cache,
+        )
+        # the two computers share component matrices but not combined ones
+        assert a.attribute_similarity() is b.attribute_similarity()
+        assert not np.allclose(a.combined(), b.combined())
+        counters = cache.counters()
+        assert counters["builds"]["attribute"] == 1
+        assert counters["builds"]["combined"] == 2
 
     def test_score_lookup(self, graph_pair, tiny_split):
         anon, aux = graph_pair
