@@ -4,39 +4,26 @@ The paper fixes (0.05, 0.05, 0.9) arguing the sparse, disconnected graphs
 make degree/distance weakly informative.  This ablation verifies that
 choice: attribute-dominated weightings should beat degree/distance-dominated
 ones on Top-K success.
+
+Runs through :func:`repro.experiments.run_weights_ablation` — the executor
+path — so all five weightings share one fitted session (one feature
+extraction, one set of component similarity matrices).
 """
 
-from repro.core import DeHealth, DeHealthConfig, SimilarityWeights
-from repro.experiments import format_table
-from repro.forum import closed_world_split
-from repro.graph import UDAGraph
-from repro.stylometry import FeatureExtractor
+from repro.experiments import ABLATION_WEIGHTINGS, format_table, run_weights_ablation
 
 from benchmarks.conftest import emit
 
-WEIGHTINGS = {
-    "paper (.05,.05,.9)": SimilarityWeights(0.05, 0.05, 0.90),
-    "uniform (1/3 each)": SimilarityWeights(1 / 3, 1 / 3, 1 / 3),
-    "degree only": SimilarityWeights(1.0, 0.0, 0.0),
-    "distance only": SimilarityWeights(0.0, 1.0, 0.0),
-    "attribute only": SimilarityWeights(0.0, 0.0, 1.0),
-}
-
 
 def test_ablation_similarity_weights(benchmark, webmd_corpus):
-    split = closed_world_split(webmd_corpus, aux_fraction=0.5, seed=8)
-    extractor = FeatureExtractor()
-    anon = UDAGraph(split.anonymized, extractor=extractor)
-    aux = UDAGraph(split.auxiliary, extractor=extractor)
-
     def run():
-        out = {}
-        for label, weights in WEIGHTINGS.items():
-            attack = DeHealth(DeHealthConfig(weights=weights, n_landmarks=50))
-            attack.fit(anon, aux)
-            res = attack.top_k_result(split.truth)
-            out[label] = {k: res.success_rate(k) for k in (1, 10, 50)}
-        return out
+        reports = run_weights_ablation(
+            webmd_corpus, split_seed=8, n_landmarks=50, ks=(1, 10, 50)
+        )
+        return {
+            label: {k: report.success_rate(k) for k in (1, 10, 50)}
+            for label, report in reports.items()
+        }
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     rows = [
@@ -47,6 +34,7 @@ def test_ablation_similarity_weights(benchmark, webmd_corpus):
         format_table(["weighting", "top-1", "top-10", "top-50"], rows),
     )
 
+    assert set(results) == set(ABLATION_WEIGHTINGS)
     paper = results["paper (.05,.05,.9)"]
     # the paper's weighting beats pure degree and pure distance
     assert paper[10] >= results["degree only"][10]

@@ -9,7 +9,11 @@ build on:
   (feature extraction, similarity matrices, and refined-phase post matrices
   are each computed once per session, however many variants run);
 * :class:`Engine` — corpus registry + session cache + batch entry points
-  (``attack``, ``sweep``, ``generate``, ``linkage``, ``stats``).
+  (``attack``, ``sweep``, ``generate``, ``linkage``, ``stats``);
+* :class:`SweepExecutor` — plans an attack matrix into per-split shards and
+  executes them across worker processes (``Engine.sweep(parallel=N)`` is
+  the front door); :func:`expand_matrix` is the shared matrix-spec grammar
+  and :func:`canonical_report_json` the golden-comparable serialization.
 
 Quickstart::
 
@@ -22,14 +26,38 @@ Quickstart::
 """
 
 from repro.api.engine import Engine, dataset_fingerprint
-from repro.api.protocol import AttackReport, AttackRequest, WORLD_CHOICES
+from repro.api.executor import (
+    BACKEND_CHOICES,
+    MAX_WORKERS,
+    SweepExecutor,
+    canonical_report_json,
+    expand_grid,
+    expand_matrix,
+    plan_shards,
+    resolve_workers,
+)
+from repro.api.protocol import (
+    AttackReport,
+    AttackRequest,
+    VOLATILE_REPORT_FIELDS,
+    WORLD_CHOICES,
+)
 from repro.api.session import AttackSession
 
 __all__ = [
     "AttackReport",
     "AttackRequest",
     "AttackSession",
+    "BACKEND_CHOICES",
     "Engine",
+    "MAX_WORKERS",
+    "SweepExecutor",
+    "VOLATILE_REPORT_FIELDS",
     "WORLD_CHOICES",
+    "canonical_report_json",
     "dataset_fingerprint",
+    "expand_grid",
+    "expand_matrix",
+    "plan_shards",
+    "resolve_workers",
 ]

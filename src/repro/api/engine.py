@@ -11,6 +11,7 @@ feature-extraction pass, one similarity computation.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 
 from repro.api.protocol import AttackReport, AttackRequest
@@ -63,6 +64,13 @@ class Engine:
             raise ConfigError(f"max_sessions must be >= 1, got {max_sessions}")
         self.extractor = extractor or FeatureExtractor()
         self.max_sessions = max_sessions
+        # Guards the registry and the session LRU: the threading WSGI
+        # server and thread-backend sweeps hit one engine concurrently, and
+        # the lookup-or-create in session_for must be atomic so each
+        # (corpus, split) pair gets exactly one session (one fit).
+        # Per-request *execution* happens outside this lock, under the
+        # session's own lock, so distinct splits run concurrently.
+        self._lock = threading.RLock()
         self._corpora: dict = {}
         self._fingerprints: dict = {}
         self._sessions: OrderedDict = OrderedDict()
@@ -77,9 +85,11 @@ class Engine:
         """Register (or replace) a corpus under ``name``; returns a summary."""
         if not name:
             raise ConfigError("corpus name must be non-empty")
-        self._corpora[name] = dataset
-        self._fingerprints[name] = dataset_fingerprint(dataset)
-        return self.describe(name)
+        fingerprint = dataset_fingerprint(dataset)
+        with self._lock:
+            self._corpora[name] = dataset
+            self._fingerprints[name] = fingerprint
+            return self.describe(name)
 
     def generate(
         self,
@@ -104,58 +114,73 @@ class Engine:
         )
 
     def corpus(self, name: str) -> ForumDataset:
-        if name not in self._corpora:
-            raise ConfigError(
-                f"unknown corpus {name!r}; registered: {sorted(self._corpora)}"
-            )
-        return self._corpora[name]
+        with self._lock:
+            if name not in self._corpora:
+                raise ConfigError(
+                    f"unknown corpus {name!r}; registered: {sorted(self._corpora)}"
+                )
+            return self._corpora[name]
+
+    def fingerprint(self, name: str) -> str:
+        """The registered content fingerprint of corpus ``name``."""
+        with self._lock:
+            self.corpus(name)
+            return self._fingerprints[name]
 
     def describe(self, name: str) -> dict:
-        dataset = self.corpus(name)
-        return {
-            "corpus": name,
-            "name": dataset.name,
-            "fingerprint": self._fingerprints[name],
-            "users": dataset.n_users,
-            "posts": dataset.n_posts,
-            "threads": dataset.n_threads,
-        }
+        with self._lock:
+            dataset = self.corpus(name)
+            return {
+                "corpus": name,
+                "name": dataset.name,
+                "fingerprint": self._fingerprints[name],
+                "users": dataset.n_users,
+                "posts": dataset.n_posts,
+                "threads": dataset.n_threads,
+            }
 
     @property
     def corpus_names(self) -> list:
-        return sorted(self._corpora)
+        with self._lock:
+            return sorted(self._corpora)
 
     # --- session cache --------------------------------------------------
 
     def session_for(self, request: AttackRequest) -> AttackSession:
-        """The session serving ``request``'s (corpus, split) pair."""
-        dataset = self.corpus(request.corpus)
-        key = (self._fingerprints[request.corpus], request.split_key())
-        session = self._sessions.get(key)
-        if session is not None:
-            self.session_hits += 1
-            self._sessions.move_to_end(key)
+        """The session serving ``request``'s (corpus, split) pair.
+
+        Lookup-or-create is atomic under the engine lock, so concurrent
+        callers agreeing on (corpus, split) always share one session — and
+        therefore one fit.
+        """
+        with self._lock:
+            dataset = self.corpus(request.corpus)
+            key = (self._fingerprints[request.corpus], request.split_key())
+            session = self._sessions.get(key)
+            if session is not None:
+                self.session_hits += 1
+                self._sessions.move_to_end(key)
+                return session
+            session = AttackSession.from_dataset(
+                dataset,
+                world=request.world,
+                aux_fraction=request.aux_fraction,
+                overlap_ratio=request.overlap_ratio,
+                split_seed=request.split_seed,
+                extractor=self.extractor,
+            )
+            self._sessions[key] = session
+            self._session_meta[key] = {
+                "corpus": request.corpus,
+                "world": request.world,
+                "param": request.split_key()[1],
+                "split_seed": request.split_seed,
+            }
+            while len(self._sessions) > self.max_sessions:
+                evicted, _ = self._sessions.popitem(last=False)
+                self._session_meta.pop(evicted, None)
+                self.session_evictions += 1
             return session
-        session = AttackSession.from_dataset(
-            dataset,
-            world=request.world,
-            aux_fraction=request.aux_fraction,
-            overlap_ratio=request.overlap_ratio,
-            split_seed=request.split_seed,
-            extractor=self.extractor,
-        )
-        self._sessions[key] = session
-        self._session_meta[key] = {
-            "corpus": request.corpus,
-            "world": request.world,
-            "param": request.split_key()[1],
-            "split_seed": request.split_seed,
-        }
-        while len(self._sessions) > self.max_sessions:
-            evicted, _ = self._sessions.popitem(last=False)
-            self._session_meta.pop(evicted, None)
-            self.session_evictions += 1
-        return session
 
     # --- attack entry points --------------------------------------------
 
@@ -164,12 +189,39 @@ class Engine:
         if isinstance(request, dict):
             request = AttackRequest.from_dict(request)
         request.validate()
-        self.attacks += 1
-        return self.session_for(request).run(request)
+        with self._lock:
+            self.attacks += 1
+            session = self.session_for(request)
+        # run outside the engine lock: requests on *different* splits
+        # proceed concurrently, same-split requests serialize on their
+        # session's own lock
+        return session.run(request)
 
-    def sweep(self, requests) -> list:
-        """Run a batch of variants; same-split requests share one session."""
-        return [self.attack(request) for request in requests]
+    def sweep(
+        self,
+        requests,
+        parallel: "int | None" = 1,
+        backend: str = "process",
+    ) -> list:
+        """Run a batch of variants; same-split requests share one session.
+
+        ``parallel`` is the worker count for the sharded executor
+        (``None``/0 = one worker per available core).  With ``parallel=1``
+        the sweep runs serially in-process; either way the whole batch is
+        validated up front and reports come back in input order, with every
+        non-volatile field identical between the two paths (see
+        :mod:`repro.api.executor` for the determinism guarantee).
+        """
+        from repro.api.executor import SweepExecutor
+
+        return SweepExecutor(self, workers=parallel, backend=backend).execute(
+            requests
+        )
+
+    def record_external_attacks(self, count: int) -> None:
+        """Fold attacks run outside this process (worker shards) into stats."""
+        with self._lock:
+            self.attacks += count
 
     def linkage(self, users: int = 300, seed: int = 0) -> dict:
         """Run the NameLink/AvatarLink campaign; JSON-friendly summary."""
@@ -198,15 +250,18 @@ class Engine:
         """Engine-wide, JSON-safe view of corpora, sessions, and caches."""
         from repro import __version__
 
-        return {
-            "version": __version__,
-            "attacks": self.attacks,
-            "session_hits": self.session_hits,
-            "session_evictions": self.session_evictions,
-            "max_sessions": self.max_sessions,
-            "corpora": {name: self.describe(name) for name in self.corpus_names},
-            "sessions": [
-                {**self._session_meta[key], **session.stats()}
-                for key, session in self._sessions.items()
-            ],
-        }
+        with self._lock:
+            return {
+                "version": __version__,
+                "attacks": self.attacks,
+                "session_hits": self.session_hits,
+                "session_evictions": self.session_evictions,
+                "max_sessions": self.max_sessions,
+                "corpora": {
+                    name: self.describe(name) for name in self.corpus_names
+                },
+                "sessions": [
+                    {**self._session_meta[key], **session.stats()}
+                    for key, session in self._sessions.items()
+                ],
+            }

@@ -17,6 +17,11 @@ from repro.errors import ConfigError
 #: Split worlds an :class:`AttackRequest` can ask for.
 WORLD_CHOICES: tuple = ("closed", "open")
 
+#: Report fields that vary run-to-run without changing the science:
+#: ``elapsed_ms`` is wall clock, ``reused_fit`` depends on scheduling.
+#: Canonical (golden-comparable) serialization drops them.
+VOLATILE_REPORT_FIELDS: tuple = ("elapsed_ms", "reused_fit")
+
 
 def _weights_tuple(value) -> tuple:
     """Normalise any weights spelling to a ``(c1, c2, c3)`` float tuple."""
@@ -223,6 +228,18 @@ class AttackReport:
             "elapsed_ms": self.elapsed_ms,
             "reused_fit": self.reused_fit,
         }
+
+    def canonical_dict(self) -> dict:
+        """The wire dict minus :data:`VOLATILE_REPORT_FIELDS`.
+
+        Two reports with equal canonical dicts agree on every measured
+        quantity; serial and parallel sweep execution are required to
+        produce equal canonical dicts for equal requests.
+        """
+        payload = self.to_dict()
+        for name in VOLATILE_REPORT_FIELDS:
+            payload.pop(name, None)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "AttackReport":

@@ -9,6 +9,7 @@ pays for each artifact exactly once.  Build/hit counters expose the reuse.
 
 from __future__ import annotations
 
+import threading
 import time
 
 from repro.api.protocol import AttackReport, AttackRequest
@@ -42,6 +43,10 @@ class AttackSession:
         # constructor callers with custom splits leave it None.
         self.split_spec = split_spec
         self.extractor = extractor or FeatureExtractor()
+        # One lock per session: concurrent callers (threaded sweeps, the
+        # threading WSGI server) serialize on the session so the fit and
+        # every artifact cache stay consistent — one fit per split, ever.
+        self._lock = threading.RLock()
         self._graphs = None
         self._similarity_cache = SimilarityCache()
         self._post_caches: dict = {}
@@ -81,15 +86,16 @@ class AttackSession:
         """The (anonymized, auxiliary) UDA graph pair, built once."""
         from repro.graph.uda import UDAGraph
 
-        if self._graphs is None:
-            self.graph_builds += 1
-            self._graphs = (
-                UDAGraph(self.split.anonymized, extractor=self.extractor),
-                UDAGraph(self.split.auxiliary, extractor=self.extractor),
-            )
-        else:
-            self.graph_hits += 1
-        return self._graphs
+        with self._lock:
+            if self._graphs is None:
+                self.graph_builds += 1
+                self._graphs = (
+                    UDAGraph(self.split.anonymized, extractor=self.extractor),
+                    UDAGraph(self.split.auxiliary, extractor=self.extractor),
+                )
+            else:
+                self.graph_hits += 1
+            return self._graphs
 
     @property
     def similarity_cache(self) -> SimilarityCache:
@@ -97,14 +103,21 @@ class AttackSession:
 
     # --- execution ------------------------------------------------------
 
-    def run(self, request: AttackRequest) -> AttackReport:
-        """Execute one attack variant, reusing every cached artifact."""
+    def _check_request(self, request: AttackRequest) -> None:
         request.validate()
         if self.split_spec is not None and request.split_key() != self.split_spec:
             raise ConfigError(
                 f"request split {request.split_key()} does not match this "
                 f"session's split {self.split_spec}"
             )
+
+    def run(self, request: AttackRequest) -> AttackReport:
+        """Execute one attack variant, reusing every cached artifact."""
+        self._check_request(request)
+        with self._lock:
+            return self._run_checked(request)
+
+    def _run_checked(self, request: AttackRequest) -> AttackReport:
         started = time.perf_counter()
         reused = self._graphs is not None
         anonymized, auxiliary = self.graphs
@@ -147,8 +160,19 @@ class AttackSession:
         )
 
     def sweep(self, requests) -> list:
-        """Run many variants in order; all expensive artifacts are shared."""
-        return [self.run(request) for request in requests]
+        """Run many variants in order; all expensive artifacts are shared.
+
+        The whole batch is validated before anything executes: a malformed
+        or wrong-split request anywhere in the batch raises
+        :class:`ConfigError` up front, instead of failing mid-sweep after
+        earlier reports (and their provenance) have already been produced
+        and are about to be thrown away.
+        """
+        requests = list(requests)
+        for request in requests:
+            self._check_request(request)
+        with self._lock:
+            return [self._run_checked(request) for request in requests]
 
     # --- introspection --------------------------------------------------
 

@@ -6,22 +6,27 @@ Subcommands::
     repro-dehealth stats corpus.jsonl
     repro-dehealth attack corpus.jsonl --top-k 10 --classifier knn \
         --selection matching --weights 0.05,0.05,0.9
+    repro-dehealth sweep corpus.jsonl --matrix matrix.json --workers 4
     repro-dehealth linkage --users 500 --seed 7
     repro-dehealth serve --port 8321 --corpus corpus.jsonl
 
 Every subcommand is deterministic under ``--seed``.  ``generate``,
-``attack``, ``linkage``, and ``serve`` all route through the session-based
-:class:`repro.api.Engine`; ``serve`` exposes the same engine over the JSON
-service in :mod:`repro.service`.
+``attack``, ``sweep``, ``linkage``, and ``serve`` all route through the
+session-based :class:`repro.api.Engine`; ``sweep`` shards its attack
+matrix across worker processes via :class:`repro.api.SweepExecutor`;
+``serve`` exposes the same engine over the JSON service in
+:mod:`repro.service`.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
-from repro.api import AttackRequest, Engine
+from repro.api import AttackRequest, Engine, canonical_report_json, expand_matrix
+from repro.errors import ConfigError
 from repro.experiments import run_fig1, run_fig2, run_fig7
 from repro.forum import load_dataset, save_dataset
 
@@ -88,6 +93,66 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         print(f"top-{k} success: {report.success_rate(k):.1%}")
     if not args.skip_refined:
         print(f"refined DA accuracy: {report.refined_accuracy:.1%}")
+    return 0
+
+
+def load_matrix_requests(path: str, default_corpus: str = "cli") -> list:
+    """Read a matrix-spec JSON file and expand it to attack requests.
+
+    The spec uses the same grammar as ``POST /sweep`` (``{"requests":
+    [...]}`` or ``{"base": {...}, "grid": {...}}``); any request that
+    doesn't name a corpus is pointed at ``default_corpus`` — the corpus
+    file the CLI just registered.
+    """
+    try:
+        spec = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read matrix file {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"error: matrix file {path} is not valid JSON: {exc}") from exc
+    if isinstance(spec, dict) and ("base" in spec or "grid" in spec):
+        spec = dict(spec)
+        base = dict(spec.get("base") or {})
+        base.setdefault("corpus", default_corpus)
+        spec["base"] = base
+    elif isinstance(spec, dict) and isinstance(spec.get("requests"), list):
+        spec = {
+            "requests": [
+                {"corpus": default_corpus, **item} if isinstance(item, dict) else item
+                for item in spec["requests"]
+            ]
+        }
+    try:
+        return expand_matrix(spec)
+    except ConfigError as exc:
+        raise SystemExit(f"error: bad matrix spec in {path}: {exc}") from exc
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    engine = Engine()
+    engine.register("cli", load_dataset(args.corpus))
+    requests = load_matrix_requests(args.matrix, default_corpus="cli")
+    reports = engine.sweep(requests, parallel=args.workers)
+    for report in reports:
+        request = report.request
+        knobs = (
+            f"split={request.world}/{request.split_key()[1]}/{request.split_seed} "
+            f"k={request.top_k} clf={request.classifier} sel={request.selection}"
+        )
+        rates = " ".join(
+            f"top-{k}={report.success_rate(k):.1%}"
+            for k in request.evaluation_ks()
+        )
+        line = f"{knobs}  {rates}"
+        if report.refined_accuracy is not None:
+            line += f"  refined={report.refined_accuracy:.1%}"
+        print(line)
+    print(f"{len(reports)} variants, workers={args.workers}")
+    if args.out:
+        Path(args.out).write_text(
+            canonical_report_json(reports, indent=2), encoding="utf-8"
+        )
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -161,6 +226,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="only run the Top-K phase",
     )
     attack.set_defaults(func=_cmd_attack)
+
+    sweep = sub.add_parser(
+        "sweep", help="run an attack matrix, sharded across worker processes"
+    )
+    sweep.add_argument("corpus", help="JSONL corpus path")
+    sweep.add_argument(
+        "--matrix", required=True, metavar="PATH",
+        help="matrix-spec JSON file: {'requests': [...]} or "
+             "{'base': {...}, 'grid': {...}} (cartesian product)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (one fitted session per split shard); "
+             "0 = one per available core",
+    )
+    sweep.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write merged reports as canonical JSON (deterministic, "
+             "timing fields dropped)",
+    )
+    sweep.set_defaults(func=_cmd_sweep)
 
     linkage = sub.add_parser("linkage", help="run the linkage attack campaign")
     linkage.add_argument("--users", type=int, default=500)

@@ -12,6 +12,13 @@ from repro.experiments.corpora import (
     refined_open_split,
     topk_corpus,
 )
+from repro.experiments.ablations import (
+    ABLATION_WEIGHTINGS,
+    run_selection_ablation,
+    run_weights_ablation,
+    selection_ablation_requests,
+    weights_ablation_requests,
+)
 from repro.experiments.corpus_stats import run_fig1, run_fig2, run_table1
 from repro.experiments.graph_exp import run_fig7, run_fig8
 from repro.experiments.closed_world import run_fig3, run_fig4
@@ -21,6 +28,7 @@ from repro.experiments.theory_exp import run_theory_validation
 from repro.experiments.reporting import format_table
 
 __all__ = [
+    "ABLATION_WEIGHTINGS",
     "format_table",
     "refined_closed_corpus",
     "refined_closed_split",
@@ -34,7 +42,11 @@ __all__ = [
     "run_fig7",
     "run_fig8",
     "run_linkage_experiment",
+    "run_selection_ablation",
     "run_table1",
     "run_theory_validation",
+    "run_weights_ablation",
+    "selection_ablation_requests",
     "topk_corpus",
+    "weights_ablation_requests",
 ]

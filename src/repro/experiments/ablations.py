@@ -1,0 +1,132 @@
+"""Attack-knob ablations expressed as executor matrices.
+
+The similarity-weight and selection-strategy ablations from the benchmark
+harness, restated as :class:`~repro.api.AttackRequest` matrices so they run
+through the sharded sweep executor like every other experiment: one fitted
+session serves all variants of a split, and ``workers=N`` shards any
+multi-split matrix across processes.  (The feature-category ablation stays
+in :mod:`repro.experiments.feature_ablation` — masking graph attributes is
+not an attack knob.)
+"""
+
+from __future__ import annotations
+
+from repro.api import AttackRequest, Engine
+from repro.forum.models import ForumDataset
+
+#: The weightings the similarity-weight ablation compares (paper §III-B
+#: fixes (0.05, 0.05, 0.9); the rest probe each component's contribution).
+ABLATION_WEIGHTINGS: dict = {
+    "paper (.05,.05,.9)": (0.05, 0.05, 0.90),
+    "uniform (1/3 each)": (1 / 3, 1 / 3, 1 / 3),
+    "degree only": (1.0, 0.0, 0.0),
+    "distance only": (0.0, 1.0, 0.0),
+    "attribute only": (0.0, 0.0, 1.0),
+}
+
+
+def weights_ablation_requests(
+    corpus: str = "ablation",
+    aux_fraction: float = 0.5,
+    split_seed: int = 8,
+    n_landmarks: int = 50,
+    ks: tuple = (1, 10, 50),
+    weightings: "dict | None" = None,
+) -> list:
+    """One Top-K-only request per weighting, all on one closed split."""
+    weightings = weightings or ABLATION_WEIGHTINGS
+    return [
+        AttackRequest(
+            corpus=corpus,
+            world="closed",
+            aux_fraction=aux_fraction,
+            split_seed=split_seed,
+            weights=weights,
+            n_landmarks=n_landmarks,
+            refined=False,
+            ks=tuple(int(k) for k in ks),
+        )
+        for weights in weightings.values()
+    ]
+
+
+def run_weights_ablation(
+    dataset: ForumDataset,
+    aux_fraction: float = 0.5,
+    split_seed: int = 8,
+    n_landmarks: int = 50,
+    ks: tuple = (1, 10, 50),
+    weightings: "dict | None" = None,
+    workers: int = 1,
+) -> dict:
+    """Similarity-weight ablation: ``{label: AttackReport}``.
+
+    All weightings share one split (one fit); the combined matrix is
+    re-weighted per variant from the cached component matrices.
+    """
+    weightings = weightings or ABLATION_WEIGHTINGS
+    engine = Engine()
+    engine.register("ablation", dataset)
+    reports = engine.sweep(
+        weights_ablation_requests(
+            aux_fraction=aux_fraction,
+            split_seed=split_seed,
+            n_landmarks=n_landmarks,
+            ks=ks,
+            weightings=weightings,
+        ),
+        parallel=workers,
+    )
+    return dict(zip(weightings, reports))
+
+
+def selection_ablation_requests(
+    corpus: str = "ablation",
+    aux_fraction: float = 0.5,
+    split_seed: int = 10,
+    top_k: int = 10,
+    n_landmarks: int = 50,
+    selections: tuple = ("direct", "matching"),
+    filtering_settings: tuple = (False, True),
+) -> list:
+    """Selection × filtering matrix on one closed split (Top-K only)."""
+    return [
+        AttackRequest(
+            corpus=corpus,
+            world="closed",
+            aux_fraction=aux_fraction,
+            split_seed=split_seed,
+            top_k=top_k,
+            selection=selection,
+            filtering=filtering,
+            n_landmarks=n_landmarks,
+            refined=False,
+            ks=(1, top_k),
+        )
+        for selection in selections
+        for filtering in filtering_settings
+    ]
+
+
+def run_selection_ablation(
+    dataset: ForumDataset,
+    aux_fraction: float = 0.5,
+    split_seed: int = 10,
+    top_k: int = 10,
+    n_landmarks: int = 50,
+    workers: int = 1,
+) -> dict:
+    """Selection-strategy ablation: ``{(selection, filtering): AttackReport}``."""
+    engine = Engine()
+    engine.register("ablation", dataset)
+    requests = selection_ablation_requests(
+        aux_fraction=aux_fraction,
+        split_seed=split_seed,
+        top_k=top_k,
+        n_landmarks=n_landmarks,
+    )
+    reports = engine.sweep(requests, parallel=workers)
+    return {
+        (request.selection, request.filtering): report
+        for request, report in zip(requests, reports)
+    }

@@ -16,9 +16,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.api import AttackRequest, AttackSession, Engine
+from repro.api import AttackRequest, Engine
 from repro.core import StylometryBaseline
-from repro.experiments.corpora import refined_closed_split, topk_corpus
+from repro.experiments.corpora import refined_closed_corpus, topk_corpus
 from repro.forum.models import ForumDataset
 from repro.stylometry import FeatureExtractor
 
@@ -46,24 +46,33 @@ def run_fig3(
     ks: "tuple | None" = None,
     n_landmarks: int = 50,
     seed: int = 0,
+    workers: int = 1,
 ) -> list[TopKCurve]:
-    """Fig 3: closed-world Top-K DA CDFs for each auxiliary fraction."""
+    """Fig 3: closed-world Top-K DA CDFs for each auxiliary fraction.
+
+    Each auxiliary fraction is its own split — its own shard — so
+    ``workers=N`` runs the fractions' fits concurrently via the sharded
+    executor with identical (canonical) reports.
+    """
     dataset = dataset or topk_corpus(which, n_users=n_users, seed=seed)
     if ks is None:
         ks = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
     engine = Engine()
     engine.register("fig3", dataset)
     reports = engine.sweep(
-        AttackRequest(
-            corpus="fig3",
-            world="closed",
-            aux_fraction=frac,
-            split_seed=seed + 17,
-            n_landmarks=n_landmarks,
-            refined=False,
-            ks=tuple(int(k) for k in ks),
-        )
-        for frac in aux_fractions
+        [
+            AttackRequest(
+                corpus="fig3",
+                world="closed",
+                aux_fraction=frac,
+                split_seed=seed + 17,
+                n_landmarks=n_landmarks,
+                refined=False,
+                ks=tuple(int(k) for k in ks),
+            )
+            for frac in aux_fractions
+        ],
+        parallel=workers,
     )
     ks_arr = np.asarray(ks)
     return [
@@ -95,6 +104,7 @@ def run_fig4(
     k_values: tuple = (5, 10, 15, 20),
     n_landmarks: int = 5,
     seed: int = 0,
+    workers: int = 1,
 ) -> dict:
     """Fig 4: refined closed-world DA accuracy grid.
 
@@ -102,13 +112,45 @@ def run_fig4(
     Stylometry baseline first, then De-Health at each K.  ``posts`` follows
     the paper's labels: the '-10' setting is 20 posts/user (10 train / 10
     test), '-20' is 40 posts/user.
+
+    The whole (posts × classifier × K) matrix goes through the sharded
+    executor — one shard per posts setting (each is its own corpus/split) —
+    so ``workers=N`` runs the settings concurrently.
     """
-    results: dict = {}
+    engine = Engine(extractor=FeatureExtractor())
+    requests: list[AttackRequest] = []
     for posts_per_user in posts_settings:
-        split = refined_closed_split(
-            n_users=n_users, posts_per_user=posts_per_user, seed=seed
+        # provenance: refined_closed_split == closed_world_split of this
+        # corpus at aux_fraction=0.5 with seed+2, which is exactly the
+        # split the engine derives from these request fields
+        engine.register(
+            f"fig4-{posts_per_user}",
+            refined_closed_corpus(
+                n_users=n_users, posts_per_user=posts_per_user, seed=seed
+            ),
         )
-        session = AttackSession(split, extractor=FeatureExtractor())
+        requests.extend(
+            AttackRequest(
+                corpus=f"fig4-{posts_per_user}",
+                world="closed",
+                aux_fraction=0.5,
+                split_seed=seed + 2,
+                top_k=k,
+                n_landmarks=n_landmarks,
+                classifier=classifier,
+                seed=seed,
+            )
+            for classifier in classifiers
+            for k in k_values
+        )
+    # thread backend so the workers' fitted sessions land in this engine's
+    # cache — the baseline loop below reuses their UDA graphs instead of
+    # re-fitting each split locally
+    reports = iter(engine.sweep(requests, parallel=workers, backend="thread"))
+
+    results: dict = {}
+    for index, posts_per_user in enumerate(posts_settings):
+        session = engine.session_for(requests[index * len(classifiers) * len(k_values)])
         anon_uda, aux_uda = session.graphs
         for classifier in classifiers:
             cells: list[RefinedAccuracyCell] = []
@@ -119,21 +161,8 @@ def run_fig4(
                     method="stylometry",
                     classifier=classifier,
                     k=None,
-                    accuracy=base_res.accuracy(split.truth),
+                    accuracy=base_res.accuracy(session.split.truth),
                 )
-            )
-            reports = session.sweep(
-                AttackRequest(
-                    # provenance: refined_closed_split is a 50% closed split
-                    world="closed",
-                    aux_fraction=0.5,
-                    split_seed=seed + 2,
-                    top_k=k,
-                    n_landmarks=n_landmarks,
-                    classifier=classifier,
-                    seed=seed,
-                )
-                for k in k_values
             )
             cells.extend(
                 RefinedAccuracyCell(
@@ -142,7 +171,7 @@ def run_fig4(
                     k=report.request.top_k,
                     accuracy=report.refined_accuracy,
                 )
-                for report in reports
+                for report in (next(reports) for _ in k_values)
             )
             results[(classifier, posts_per_user // 2)] = cells
     return results

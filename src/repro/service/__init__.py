@@ -14,16 +14,25 @@ in-process client in :mod:`repro.service.testing` drives the app without
 sockets for tests and examples.
 """
 
-from repro.service.app import DeHealthApp, MAX_SWEEP_REQUESTS, create_app, expand_grid
-from repro.service.server import serve
+from repro.service.app import (
+    DeHealthApp,
+    MAX_SERVICE_WORKERS,
+    MAX_SWEEP_REQUESTS,
+    create_app,
+    expand_grid,
+)
+from repro.service.server import ThreadingWSGIServer, make_service_server, serve
 from repro.service.testing import ServiceResponse, call_app
 
 __all__ = [
     "DeHealthApp",
+    "MAX_SERVICE_WORKERS",
     "MAX_SWEEP_REQUESTS",
     "ServiceResponse",
+    "ThreadingWSGIServer",
     "call_app",
     "create_app",
     "expand_grid",
+    "make_service_server",
     "serve",
 ]

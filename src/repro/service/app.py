@@ -9,7 +9,8 @@ GET      /healthz      liveness + version
 GET      /stats        engine stats: corpora, sessions, cache counters
 POST     /generate     generate + register a synthetic corpus
 POST     /attack       run one :class:`~repro.api.AttackRequest`
-POST     /sweep        run a batch (explicit list or base × grid expansion)
+POST     /sweep        run a matrix (explicit list or base × grid expansion);
+                       optional ``"workers": N`` shards it across threads
 POST     /linkage      run the NameLink/AvatarLink campaign
 =======  ============  ====================================================
 
@@ -22,10 +23,10 @@ wrong methods to 405, and unexpected failures to 500.
 
 from __future__ import annotations
 
-import itertools
 import json
 
 from repro.api.engine import Engine
+from repro.api.executor import MAX_WORKERS, expand_grid as _expand_grid, expand_matrix
 from repro.api.protocol import AttackRequest
 from repro.errors import ConfigError, NotFittedError, ReproError
 
@@ -41,6 +42,10 @@ _STATUS_LINES = {
 
 #: Hard cap on expanded sweep size, so one request cannot wedge the worker.
 MAX_SWEEP_REQUESTS = 256
+
+#: Cap on the per-request ``workers`` knob of ``POST /sweep``; the engine
+#: clamps again at :data:`repro.api.MAX_WORKERS`.
+MAX_SERVICE_WORKERS = min(8, MAX_WORKERS)
 
 
 def _error_status(exc: Exception) -> int:
@@ -58,36 +63,10 @@ def expand_grid(base: dict, grid: dict) -> list:
 
     ``{"base": {"corpus": "c"}, "grid": {"top_k": [5, 10], "classifier":
     ["knn", "smo"]}}`` yields four requests.  Keys are validated by
-    :meth:`AttackRequest.from_dict`, so typos fail with a 400.
+    :meth:`AttackRequest.from_dict`, so typos fail with a 400.  Delegates to
+    :func:`repro.api.executor.expand_grid` with the service-level size cap.
     """
-    if not isinstance(base, dict):
-        raise ConfigError(
-            f"sweep base must be a JSON object, got {type(base).__name__}"
-        )
-    if not isinstance(grid, dict) or not grid:
-        raise ConfigError("sweep grid must be a non-empty JSON object")
-    names = sorted(grid)
-    value_lists = []
-    size = 1
-    for name in names:
-        values = grid[name]
-        if not isinstance(values, list) or not values:
-            raise ConfigError(f"grid value for {name!r} must be a non-empty list")
-        value_lists.append(values)
-        size *= len(values)
-        # reject oversized grids before materializing the product — one
-        # request must not be able to wedge the single-threaded worker
-        if size > MAX_SWEEP_REQUESTS:
-            raise ConfigError(
-                f"sweep grid expands to {size}+ requests, exceeding the cap "
-                f"of {MAX_SWEEP_REQUESTS}"
-            )
-    requests = []
-    for combo in itertools.product(*value_lists):
-        payload = dict(base)
-        payload.update(dict(zip(names, combo)))
-        requests.append(AttackRequest.from_dict(payload))
-    return requests
+    return _expand_grid(base, grid, max_requests=MAX_SWEEP_REQUESTS)
 
 
 class DeHealthApp:
@@ -203,26 +182,23 @@ class DeHealthApp:
 
     def _sweep(self, environ) -> tuple:
         body = self._read_json(environ)
-        self._only_keys(body, ("requests", "base", "grid"))
-        if "requests" in body:
-            if "base" in body or "grid" in body:
-                raise ConfigError("pass either 'requests' or 'base'+'grid', not both")
-            specs = body["requests"]
-            if not isinstance(specs, list) or not specs:
-                raise ConfigError("'requests' must be a non-empty list")
-            requests = [AttackRequest.from_dict(spec) for spec in specs]
-        elif "grid" in body:
-            requests = expand_grid(body.get("base", {}), body["grid"])
-        else:
-            raise ConfigError("sweep body needs 'requests' or 'base'+'grid'")
-        if len(requests) > MAX_SWEEP_REQUESTS:
+        self._only_keys(body, ("requests", "base", "grid", "workers"))
+        workers = body.pop("workers", 1)
+        if workers is None or isinstance(workers, bool) or not isinstance(workers, int):
+            raise ConfigError(f"workers must be an integer, got {workers!r}")
+        if not 1 <= workers <= MAX_SERVICE_WORKERS:
             raise ConfigError(
-                f"sweep of {len(requests)} requests exceeds the cap of "
-                f"{MAX_SWEEP_REQUESTS}"
+                f"workers must be in [1, {MAX_SERVICE_WORKERS}], got {workers}"
             )
-        reports = self.engine.sweep(requests)
+        requests = expand_matrix(body, max_requests=MAX_SWEEP_REQUESTS)
+        # thread backend, deliberately: the server is multi-threaded, and
+        # forking a multi-threaded process (the process backend's fork
+        # start method) can deadlock the children; threads also land the
+        # fitted sessions in this engine's cache for later requests.
+        reports = self.engine.sweep(requests, parallel=workers, backend="thread")
         return 200, {
             "count": len(reports),
+            "workers": workers,
             "reports": [report.to_dict() for report in reports],
         }
 

@@ -1,7 +1,10 @@
-"""Blocking wsgiref server for the De-Health JSON service.
+"""Stdlib WSGI servers for the De-Health JSON service.
 
-Only the standard library is used; for production put the app object behind
-any WSGI server (gunicorn, uwsgi, mod_wsgi) instead::
+The default server is a :class:`ThreadingWSGIServer` — a wsgiref server
+with :class:`socketserver.ThreadingMixIn`, so slow sweeps don't block
+health checks and overlapping ``/sweep`` requests execute concurrently
+(the engine and its sessions are lock-protected).  For production put the
+app object behind any WSGI server (gunicorn, uwsgi, mod_wsgi) instead::
 
     from repro.service import create_app
     application = create_app()
@@ -10,10 +13,17 @@ any WSGI server (gunicorn, uwsgi, mod_wsgi) instead::
 from __future__ import annotations
 
 import sys
-from wsgiref.simple_server import WSGIRequestHandler, make_server
+from socketserver import ThreadingMixIn
+from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
 
 from repro.api.engine import Engine
 from repro.service.app import DeHealthApp, create_app
+
+
+class ThreadingWSGIServer(ThreadingMixIn, WSGIServer):
+    """wsgiref server handling each request in its own daemon thread."""
+
+    daemon_threads = True
 
 
 class _QuietHandler(WSGIRequestHandler):
@@ -23,18 +33,42 @@ class _QuietHandler(WSGIRequestHandler):
         return self.client_address[0]
 
 
+def make_service_server(
+    engine: "Engine | None" = None,
+    host: str = "127.0.0.1",
+    port: int = 8321,
+    app: "DeHealthApp | None" = None,
+    threaded: bool = True,
+):
+    """A ready-to-run WSGI server over the JSON app (``port=0`` = ephemeral).
+
+    Returns the ``httpd`` object so callers (tests, embedding processes)
+    control its lifecycle: ``httpd.serve_forever()`` in a thread,
+    ``httpd.shutdown()`` to stop, ``httpd.server_address`` for the bound
+    port.  ``threaded=False`` falls back to the single-threaded server.
+    """
+    app = app or create_app(engine)
+    server_class = ThreadingWSGIServer if threaded else WSGIServer
+    return make_server(
+        host, port, app, server_class=server_class, handler_class=_QuietHandler
+    )
+
+
 def serve(
     engine: "Engine | None" = None,
     host: str = "127.0.0.1",
     port: int = 8321,
     app: "DeHealthApp | None" = None,
+    threaded: bool = True,
 ) -> None:
     """Serve the JSON API until interrupted (blocking)."""
     app = app or create_app(engine)
-    with make_server(host, port, app, handler_class=_QuietHandler) as httpd:
+    httpd = make_service_server(host=host, port=port, app=app, threaded=threaded)
+    with httpd:
         print(
             f"repro-dehealth service on http://{host}:{port} "
-            f"(corpora: {app.engine.corpus_names or 'none'})",
+            f"({'threaded' if threaded else 'single-threaded'}; "
+            f"corpora: {app.engine.corpus_names or 'none'})",
             file=sys.stderr,
         )
         try:

@@ -15,6 +15,12 @@ def extractor() -> FeatureExtractor:
 
 
 @pytest.fixture(scope="session")
+def small_corpus() -> ForumDataset:
+    """An extra-small corpus (50 users) for executor/concurrency tests."""
+    return webmd_like(n_users=50, seed=77).dataset
+
+
+@pytest.fixture(scope="session")
 def tiny_corpus() -> ForumDataset:
     """A small generated corpus with co-posting structure (120 users)."""
     return webmd_like(n_users=120, seed=101).dataset

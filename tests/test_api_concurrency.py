@@ -1,0 +1,161 @@
+"""Thread-safety of the engine and the threading WSGI server.
+
+The contract under concurrency: per (corpus, split) pair there is exactly
+one session and exactly one fit, no matter how many threads race on it,
+and every report equals its serial-execution counterpart (no cache
+corruption).
+"""
+
+import json
+import threading
+import urllib.request
+
+from repro.api import AttackRequest, Engine
+from repro.service import make_service_server
+
+N_THREADS = 6
+
+
+def _request(**overrides) -> AttackRequest:
+    base = dict(
+        corpus="small",
+        aux_fraction=0.5,
+        split_seed=7,
+        top_k=3,
+        n_landmarks=3,
+        classifier="knn",
+        refined=False,
+        ks=(1, 3),
+    )
+    base.update(overrides)
+    return AttackRequest(**base)
+
+
+def _hammer(engine, requests):
+    """Run one request per thread, all released simultaneously."""
+    barrier = threading.Barrier(len(requests))
+    results = [None] * len(requests)
+    errors = []
+
+    def work(index, request):
+        try:
+            barrier.wait()
+            results[index] = engine.attack(request)
+        except Exception as exc:  # noqa: BLE001 — surfaced via the assert
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=work, args=(i, r))
+        for i, r in enumerate(requests)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, errors
+    return results
+
+
+class TestEngineThreadSafety:
+    def test_same_split_fits_exactly_once(self, small_corpus):
+        engine = Engine()
+        engine.register("small", small_corpus)
+        requests = [_request(top_k=k) for k in range(2, 2 + N_THREADS)]
+        reports = _hammer(engine, requests)
+        stats = engine.stats()
+        assert len(stats["sessions"]) == 1
+        assert stats["sessions"][0]["graph_builds"] == 1
+        assert stats["sessions"][0]["similarity_builds"]["combined"] == 1
+        assert stats["attacks"] == N_THREADS
+        # no corruption: each report equals its serial counterpart
+        serial_engine = Engine()
+        serial_engine.register("small", small_corpus)
+        for request, report in zip(requests, reports):
+            assert (
+                report.canonical_dict()
+                == serial_engine.attack(request).canonical_dict()
+            )
+
+    def test_different_splits_one_fit_each(self, small_corpus):
+        engine = Engine()
+        engine.register("small", small_corpus)
+        seeds = [7, 8, 9]
+        requests = [
+            _request(split_seed=seeds[i % len(seeds)], top_k=3 + i // len(seeds))
+            for i in range(N_THREADS)
+        ]
+        _hammer(engine, requests)
+        stats = engine.stats()
+        assert len(stats["sessions"]) == len(seeds)
+        for session in stats["sessions"]:
+            assert session["graph_builds"] == 1
+
+    def test_duplicate_requests_agree(self, small_corpus):
+        engine = Engine()
+        engine.register("small", small_corpus)
+        reports = _hammer(engine, [_request()] * N_THREADS)
+        canonical = {json.dumps(r.canonical_dict(), sort_keys=True) for r in reports}
+        assert len(canonical) == 1
+
+
+class TestThreadingServer:
+    def test_overlapping_sweeps_round_trip(self, small_corpus):
+        """Real sockets, concurrent /sweep requests, one engine."""
+        engine = Engine()
+        engine.register("small", small_corpus)
+        httpd = make_service_server(engine, port=0)
+        server_thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        server_thread.start()
+        host, port = httpd.server_address
+        base_url = f"http://{host}:{port}"
+        try:
+            barrier = threading.Barrier(3)
+            outcomes = [None] * 3
+
+            def post_sweep(index, split_seed):
+                body = json.dumps(
+                    {
+                        "base": {
+                            "corpus": "small",
+                            "split_seed": split_seed,
+                            "n_landmarks": 3,
+                            "refined": False,
+                            "ks": [1, 3],
+                        },
+                        "grid": {"top_k": [3, 5]},
+                    }
+                ).encode()
+                req = urllib.request.Request(
+                    f"{base_url}/sweep",
+                    data=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                barrier.wait()
+                with urllib.request.urlopen(req, timeout=60) as res:
+                    outcomes[index] = (res.status, json.loads(res.read()))
+
+            threads = [
+                threading.Thread(target=post_sweep, args=(i, 7 + i))
+                for i in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            for status, payload in outcomes:
+                assert status == 200
+                assert payload["count"] == 2
+                assert len(payload["reports"]) == 2
+            # three distinct splits -> three sessions, one fit each
+            with urllib.request.urlopen(f"{base_url}/stats", timeout=30) as res:
+                stats = json.loads(res.read())
+            assert len(stats["sessions"]) == 3
+            assert all(s["graph_builds"] == 1 for s in stats["sessions"])
+            # liveness survives the load
+            with urllib.request.urlopen(f"{base_url}/healthz", timeout=30) as res:
+                assert res.status == 200
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            server_thread.join(timeout=10)

@@ -210,6 +210,47 @@ class TestSessionParity:
         assert set(report.success_rates) == {1, 3}
 
 
+class TestSweepBatchValidation:
+    def test_session_sweep_validates_batch_up_front(self, tiny_corpus):
+        """A mixed-split batch must raise before anything runs — previously
+        the mismatch raised mid-sweep and the earlier reports were lost."""
+        session = AttackSession.from_dataset(
+            tiny_corpus, world="closed", aux_fraction=0.5, split_seed=102
+        )
+        good = _request(refined=False)
+        bad = _request(refined=False, aux_fraction=0.7)  # different split
+        with pytest.raises(ConfigError, match="does not match"):
+            session.sweep([good, good, bad])
+        assert session.runs == 0
+        assert session.graph_builds == 0  # not even the fit started
+
+    def test_session_sweep_validates_knobs_up_front(self, tiny_split):
+        session = AttackSession(tiny_split)
+        with pytest.raises(ConfigError):
+            session.sweep(
+                [AttackRequest(refined=False, n_landmarks=5), AttackRequest(top_k=0)]
+            )
+        assert session.runs == 0
+
+    def test_engine_sweep_validates_corpus_up_front(self, tiny_corpus):
+        eng = Engine()
+        eng.register("tiny", tiny_corpus)
+        with pytest.raises(ConfigError, match="unknown corpus"):
+            eng.sweep([_request(refined=False), _request(corpus="ghost")])
+        assert eng.attacks == 0
+        assert eng.stats()["sessions"] == []
+
+    def test_valid_sweep_still_runs(self, tiny_corpus):
+        session = AttackSession.from_dataset(
+            tiny_corpus, world="closed", aux_fraction=0.5, split_seed=102
+        )
+        reports = session.sweep(
+            [_request(refined=False), _request(refined=False, top_k=3, ks=(1, 3))]
+        )
+        assert len(reports) == 2
+        assert session.runs == 2
+
+
 class TestLinkage:
     def test_linkage_summary(self):
         result = Engine().linkage(users=80, seed=11)

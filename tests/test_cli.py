@@ -37,6 +37,17 @@ class TestParser:
             with pytest.raises(SystemExit):
                 build_parser().parse_args(["attack", "c.jsonl", "--weights", bad])
 
+    def test_sweep_args(self):
+        args = build_parser().parse_args(
+            ["sweep", "c.jsonl", "--matrix", "m.json", "--workers", "4",
+             "--out", "r.json"]
+        )
+        assert args.matrix == "m.json"
+        assert args.workers == 4
+        assert args.out == "r.json"
+        with pytest.raises(SystemExit):  # --matrix is required
+            build_parser().parse_args(["sweep", "c.jsonl"])
+
     def test_serve_args(self):
         args = build_parser().parse_args(
             ["serve", "--port", "9000", "--corpus", "a.jsonl", "--corpus", "b.jsonl"]
@@ -105,6 +116,71 @@ class TestCommands:
         captured = capsys.readouterr().out
         assert "top-3 success" in captured
         assert "refined DA accuracy" in captured
+
+    def test_sweep_grid_matrix(self, tmp_path, capsys):
+        import json
+
+        corpus = tmp_path / "corpus.jsonl"
+        main(["generate", "--users", "50", "--seed", "8", "--out", str(corpus)])
+        capsys.readouterr()
+        matrix = tmp_path / "matrix.json"
+        matrix.write_text(
+            json.dumps(
+                {
+                    "base": {"n_landmarks": 5, "refined": False, "ks": [1, 5]},
+                    "grid": {"top_k": [3, 5], "split_seed": [1, 2]},
+                }
+            )
+        )
+        out = tmp_path / "reports.json"
+        code = main(
+            ["sweep", str(corpus), "--matrix", str(matrix),
+             "--workers", "2", "--out", str(out)]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "4 variants, workers=2" in captured
+        reports = json.loads(out.read_text())
+        assert len(reports) == 4
+        # canonical output: deterministic, volatile fields dropped
+        assert all("elapsed_ms" not in r for r in reports)
+        assert [r["request"]["top_k"] for r in reports] == [3, 5, 3, 5]
+
+    def test_sweep_explicit_requests_matrix(self, tmp_path, capsys):
+        import json
+
+        corpus = tmp_path / "corpus.jsonl"
+        main(["generate", "--users", "50", "--seed", "8", "--out", str(corpus)])
+        capsys.readouterr()
+        matrix = tmp_path / "matrix.json"
+        matrix.write_text(
+            json.dumps(
+                {
+                    "requests": [
+                        {"top_k": 3, "n_landmarks": 5, "refined": False,
+                         "ks": [1, 3]},
+                    ]
+                }
+            )
+        )
+        code = main(["sweep", str(corpus), "--matrix", str(matrix)])
+        assert code == 0
+        assert "1 variants, workers=1" in capsys.readouterr().out
+
+    def test_sweep_bad_matrix_file(self, tmp_path):
+        corpus = tmp_path / "corpus.jsonl"
+        main(["generate", "--users", "30", "--seed", "2", "--out", str(corpus)])
+        missing = tmp_path / "nope.json"
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["sweep", str(corpus), "--matrix", str(missing)])
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            main(["sweep", str(corpus), "--matrix", str(bad)])
+        empty_grid = tmp_path / "empty_grid.json"
+        empty_grid.write_text('{"grid": {"top_k": []}}')
+        with pytest.raises(SystemExit, match="bad matrix spec"):
+            main(["sweep", str(corpus), "--matrix", str(empty_grid)])
 
     def test_linkage(self, capsys):
         code = main(["linkage", "--users", "80", "--seed", "11"])

@@ -108,6 +108,37 @@ class TestRoutes:
         assert session["graph_builds"] == 1
         assert session["similarity_builds"]["combined"] == 1
 
+    def test_sweep_workers_knob(self, tiny_corpus):
+        """`workers: N` shards the sweep; reports match the serial path on
+        every non-volatile field."""
+        body = {
+            "base": {**ATTACK_BODY, "refined": False},
+            "grid": {"top_k": [3, 5], "split_seed": [102, 103]},
+        }
+        serial_engine = Engine()
+        serial_engine.register("tiny", tiny_corpus)
+        serial = call_app(create_app(serial_engine), "POST", "/sweep", body)
+        parallel_engine = Engine()
+        parallel_engine.register("tiny", tiny_corpus)
+        parallel = call_app(
+            create_app(parallel_engine), "POST", "/sweep", {**body, "workers": 2}
+        )
+        assert serial.status == parallel.status == 200
+        assert serial.json["workers"] == 1
+        assert parallel.json["workers"] == 2
+        assert parallel.json["count"] == 4
+
+        def canonical(payload):
+            from repro.api import VOLATILE_REPORT_FIELDS
+
+            reports = [dict(r) for r in payload["reports"]]
+            for report in reports:
+                for name in VOLATILE_REPORT_FIELDS:
+                    report.pop(name, None)
+            return reports
+
+        assert canonical(serial.json) == canonical(parallel.json)
+
     def test_stats(self, app):
         res = call_app(app, "GET", "/stats")
         assert res.status == 200
@@ -193,6 +224,18 @@ class TestErrors:
             ).status
             == 400
         )
+
+    def test_sweep_bad_workers_400(self, app):
+        from repro.service import MAX_SERVICE_WORKERS
+
+        body = {
+            "base": {**ATTACK_BODY, "refined": False},
+            "grid": {"top_k": [3]},
+        }
+        for workers in (0, -1, "four", 2.5, None, MAX_SERVICE_WORKERS + 1, True):
+            res = call_app(app, "POST", "/sweep", {**body, "workers": workers})
+            assert res.status == 400, workers
+            assert "workers" in res.json["error"]["message"]
 
     def test_sweep_cap(self, app):
         res = call_app(
