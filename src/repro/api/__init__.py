@@ -26,6 +26,7 @@ Quickstart::
 """
 
 from repro.api.engine import Engine, dataset_fingerprint
+from repro.core.config import BLOCKING_CHOICES
 from repro.api.executor import (
     BACKEND_CHOICES,
     MAX_WORKERS,
@@ -49,6 +50,7 @@ __all__ = [
     "AttackRequest",
     "AttackSession",
     "BACKEND_CHOICES",
+    "BLOCKING_CHOICES",
     "Engine",
     "MAX_WORKERS",
     "SweepExecutor",

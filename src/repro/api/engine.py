@@ -251,17 +251,19 @@ class Engine:
         from repro import __version__
 
         with self._lock:
+            sessions = [
+                {**self._session_meta[key], **session.stats()}
+                for key, session in self._sessions.items()
+            ]
             return {
                 "version": __version__,
                 "attacks": self.attacks,
                 "session_hits": self.session_hits,
                 "session_evictions": self.session_evictions,
                 "max_sessions": self.max_sessions,
+                "cache_bytes": sum(s["similarity_bytes"] for s in sessions),
                 "corpora": {
                     name: self.describe(name) for name in self.corpus_names
                 },
-                "sessions": [
-                    {**self._session_meta[key], **session.stats()}
-                    for key, session in self._sessions.items()
-                ],
+                "sessions": sessions,
             }

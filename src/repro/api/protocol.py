@@ -59,6 +59,12 @@ class AttackRequest:
     :class:`~repro.core.DeHealthConfig`.  ``ks`` lists the K values the
     report's success rates are evaluated at (defaults to ``(1, 5, top_k)``);
     ``refined=False`` stops after the Top-K phase.
+
+    ``blocking`` selects the candidate-generation policy of the Top-K
+    phase (``"none"`` = exact dense scoring; see
+    :mod:`repro.core.blocking`).  The blocking fields serialize only when
+    a policy is active, so default (dense) requests keep their historical
+    wire format — and the golden canonical report JSON — byte-identical.
     """
 
     corpus: str = "default"
@@ -81,11 +87,22 @@ class AttackRequest:
     use_structural_features: bool = True
     refined: bool = True
     ks: tuple = ()
+    blocking: str = "none"
+    blocking_band_width: float = 1.0
+    blocking_min_shared: int = 1
+    blocking_keep: float = 0.2
     seed: int = 0
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "weights", _weights_tuple(self.weights))
         object.__setattr__(self, "ks", tuple(int(k) for k in self.ks))
+        if self.blocking == "none":
+            # normalize inert policy parameters so equal-behaviour requests
+            # compare equal and to_dict/from_dict stays a strict round-trip
+            # (the blocking fields are omitted from the wire when "none")
+            object.__setattr__(self, "blocking_band_width", 1.0)
+            object.__setattr__(self, "blocking_min_shared", 1)
+            object.__setattr__(self, "blocking_keep", 0.2)
 
     # --- validation / conversion ---------------------------------------
 
@@ -105,6 +122,10 @@ class AttackRequest:
             verification_r=self.verification_r,
             false_addition_count=self.false_addition_count,
             attribute_weight_cap=self.attribute_weight_cap,
+            blocking=self.blocking,
+            blocking_band_width=self.blocking_band_width,
+            blocking_min_shared=self.blocking_min_shared,
+            blocking_keep=self.blocking_keep,
             seed=self.seed,
         )
         config.validate()
@@ -147,7 +168,7 @@ class AttackRequest:
     # --- wire format ----------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "corpus": self.corpus,
             "world": self.world,
             "aux_fraction": self.aux_fraction,
@@ -170,6 +191,15 @@ class AttackRequest:
             "ks": list(self.ks),
             "seed": self.seed,
         }
+        # The blocking fields are serialized only when a policy is active:
+        # default (dense) requests keep the pre-blocking wire format, so
+        # checked-in goldens and external clients are unaffected.
+        if self.blocking != "none":
+            payload["blocking"] = self.blocking
+            payload["blocking_band_width"] = self.blocking_band_width
+            payload["blocking_min_shared"] = self.blocking_min_shared
+            payload["blocking_keep"] = self.blocking_keep
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "AttackRequest":

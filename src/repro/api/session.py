@@ -176,8 +176,23 @@ class AttackSession:
 
     # --- introspection --------------------------------------------------
 
+    def clear_similarity_cache(self) -> int:
+        """Drop cached similarity artifacts (matrices, masks, pair scores).
+
+        Returns how many entries were dropped.  The UDA graphs and post
+        matrices stay; the next request rebuilds what it needs.
+        """
+        with self._lock:
+            return self._similarity_cache.clear()
+
     def stats(self) -> dict:
-        """Cache counters: graph builds/hits and similarity builds/hits."""
+        """Cache counters: graph builds/hits, similarity builds/hits/bytes.
+
+        Deliberately does **not** take the session lock — ``Engine.stats``
+        calls this under the engine lock, and waiting on a session mid-fit
+        would stall every other engine operation.  The cache snapshots its
+        own state under an internal mutex.
+        """
         sim = self._similarity_cache.counters()
         return {
             "runs": self.runs,
@@ -185,6 +200,8 @@ class AttackSession:
             "graph_hits": self.graph_hits,
             "similarity_builds": sim["builds"],
             "similarity_hits": sim["hits"],
+            "similarity_entries": sim["entries"],
+            "similarity_bytes": sim["bytes"],
             "n_anonymized": self.split.anonymized.n_users,
             "n_auxiliary": self.split.auxiliary.n_users,
         }

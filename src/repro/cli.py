@@ -25,7 +25,13 @@ import json
 import sys
 from pathlib import Path
 
-from repro.api import AttackRequest, Engine, canonical_report_json, expand_matrix
+from repro.api import (
+    BLOCKING_CHOICES,
+    AttackRequest,
+    Engine,
+    canonical_report_json,
+    expand_matrix,
+)
 from repro.errors import ConfigError
 from repro.experiments import run_fig1, run_fig2, run_fig7
 from repro.forum import load_dataset, save_dataset
@@ -85,6 +91,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         n_landmarks=args.landmarks,
         refined=not args.skip_refined,
         ks=tuple(sorted({1, 5, args.top_k})),
+        blocking=args.blocking,
         seed=args.seed,
     )
     report = engine.attack(request)
@@ -132,6 +139,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     engine = Engine()
     engine.register("cli", load_dataset(args.corpus))
     requests = load_matrix_requests(args.matrix, default_corpus="cli")
+    if args.blocking is not None:
+        # CLI override: force one candidate-blocking policy onto every
+        # variant of the matrix (matrix-spec fields win when unset).
+        requests = [r.variant(blocking=args.blocking) for r in requests]
     reports = engine.sweep(requests, parallel=args.workers)
     for report in reports:
         request = report.request
@@ -225,6 +236,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--skip-refined", action="store_true",
         help="only run the Top-K phase",
     )
+    attack.add_argument(
+        "--blocking", choices=BLOCKING_CHOICES, default="none",
+        help="candidate-blocking policy for the Top-K phase "
+             "(none = exact dense scoring)",
+    )
     attack.set_defaults(func=_cmd_attack)
 
     sweep = sub.add_parser(
@@ -245,6 +261,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", metavar="PATH", default=None,
         help="write merged reports as canonical JSON (deterministic, "
              "timing fields dropped)",
+    )
+    sweep.add_argument(
+        "--blocking", choices=BLOCKING_CHOICES, default=None,
+        help="force a candidate-blocking policy onto every matrix variant "
+             "(default: whatever the matrix spec says)",
     )
     sweep.set_defaults(func=_cmd_sweep)
 

@@ -7,7 +7,15 @@ verification schemes (false addition, mean-verification).
 """
 
 from repro.core.baseline import StylometryBaseline
-from repro.core.config import DeHealthConfig, SimilarityWeights
+from repro.core.blocking import (
+    CandidateMask,
+    SparseSimilarity,
+    attr_index_candidates,
+    build_candidates,
+    degree_band_candidates,
+    union_candidates,
+)
+from repro.core.config import BLOCKING_CHOICES, DeHealthConfig, SimilarityWeights
 from repro.core.filtering import FilterOutcome, filter_candidates
 from repro.core.pipeline import DeHealth
 from repro.core.refined import RefinedDeanonymizer
@@ -17,6 +25,8 @@ from repro.core.topk import direct_top_k, matching_top_k
 from repro.core.verification import mean_verification
 
 __all__ = [
+    "BLOCKING_CHOICES",
+    "CandidateMask",
     "DAResult",
     "DeHealth",
     "DeHealthConfig",
@@ -25,10 +35,15 @@ __all__ = [
     "SimilarityCache",
     "SimilarityComputer",
     "SimilarityWeights",
+    "SparseSimilarity",
     "StylometryBaseline",
     "TopKResult",
+    "attr_index_candidates",
+    "build_candidates",
+    "degree_band_candidates",
     "direct_top_k",
     "filter_candidates",
     "matching_top_k",
     "mean_verification",
+    "union_candidates",
 ]

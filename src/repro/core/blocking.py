@@ -1,0 +1,386 @@
+"""Candidate generation ("blocking") for the Top-K DA phase.
+
+Dense structural similarity scores every ``(anonymized, auxiliary)`` pair —
+``n1 × n2`` memory and compute, a hard wall at WebMD scale.  Production
+entity-resolution systems prune the pair space with a *blocking* stage
+before scoring; this module provides that stage for De-Health:
+
+* ``"none"`` — no blocking; the pipeline keeps the exact dense path
+  (numerically identical to scoring every pair);
+* ``"degree_band"`` — bucket users of both graphs into logarithmic degree
+  bands; a pair is a candidate iff the bands are within ``radius`` of each
+  other.  Cheap and attribute-free, but a weak pruner on degree-homogeneous
+  forum graphs;
+* ``"attr_index"`` — an inverted index over attribute slots generates the
+  pairs sharing at least ``min_shared`` attributes; each candidate pair is
+  ranked by its binary attribute Jaccard (the unweighted half of the
+  paper's ``s^a``, computable from the index counts alone) and only the
+  top ``keep_fraction`` of each anonymized user's column set is retained;
+* ``"union"`` — the union of the two masks above: the recall-safe policy
+  (a true match missed by one blocker is usually caught by the other).
+
+Every policy produces a :class:`CandidateMask` — a per-anonymized-user
+candidate column set stored as a boolean CSR matrix — which the sparse
+scoring path in :mod:`repro.core.similarity` evaluates pair-by-pair
+(:class:`SparseSimilarity`), never materializing an ``n1 × n2`` matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.config import BLOCKING_CHOICES
+from repro.errors import ConfigError
+from repro.graph.uda import UDAGraph
+
+#: Row-chunk size (anonymized users per block) for the inverted-index
+#: sweep — bounds peak memory of candidate generation itself.
+_ATTR_CHUNK_ROWS = 256
+
+
+class CandidateMask:
+    """Per-anonymized-user candidate columns as a boolean CSR matrix.
+
+    Rows are anonymized users, columns auxiliary users; a stored ``True``
+    at ``(i, j)`` marks the pair for scoring.  The matrix is kept
+    canonical (sorted indices, no duplicates, no explicit zeros), so the
+    CSR data order is a stable COO enumeration of the candidate pairs.
+    """
+
+    def __init__(self, matrix: sparse.spmatrix) -> None:
+        csr = sparse.csr_matrix(matrix, dtype=bool)
+        csr.eliminate_zeros()
+        csr.sum_duplicates()
+        csr.sort_indices()
+        self.matrix = csr
+
+    # --- geometry -------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple:
+        return self.matrix.shape
+
+    @property
+    def n_pairs(self) -> int:
+        """Number of candidate pairs (pairs the scorer will evaluate)."""
+        return int(self.matrix.nnz)
+
+    @property
+    def n_total_pairs(self) -> int:
+        return int(self.shape[0]) * int(self.shape[1])
+
+    @property
+    def density(self) -> float:
+        """Fraction of the full pair space kept (1.0 = no pruning)."""
+        total = self.n_total_pairs
+        return self.n_pairs / total if total else 0.0
+
+    @property
+    def nbytes(self) -> int:
+        m = self.matrix
+        return int(m.data.nbytes + m.indices.nbytes + m.indptr.nbytes)
+
+    # --- access ---------------------------------------------------------
+
+    def row_cols(self, i: int) -> np.ndarray:
+        """Sorted candidate column indices of row ``i``."""
+        m = self.matrix
+        return m.indices[m.indptr[i] : m.indptr[i + 1]]
+
+    def pair_arrays(self) -> tuple:
+        """``(rows, cols)`` of every candidate pair, in CSR data order."""
+        m = self.matrix
+        rows = np.repeat(
+            np.arange(m.shape[0], dtype=np.int64), np.diff(m.indptr)
+        )
+        return rows, m.indices.astype(np.int64, copy=False)
+
+    def contains(self, i: int, j: int) -> bool:
+        cols = self.row_cols(i)
+        pos = np.searchsorted(cols, j)
+        return bool(pos < len(cols) and cols[pos] == j)
+
+    def __or__(self, other: "CandidateMask") -> "CandidateMask":
+        if self.shape != other.shape:
+            raise ConfigError(
+                f"cannot union masks of shapes {self.shape} and {other.shape}"
+            )
+        return CandidateMask(self.matrix.maximum(other.matrix))
+
+    def __repr__(self) -> str:
+        return (
+            f"CandidateMask(shape={self.shape}, pairs={self.n_pairs}, "
+            f"density={self.density:.3f})"
+        )
+
+
+class SparseSimilarity:
+    """Similarity scores evaluated only at a :class:`CandidateMask`'s pairs.
+
+    Conceptually this is the dense similarity matrix with every unscored
+    (pruned) pair pinned at ``floor`` — an explicit value strictly outside
+    the candidate set's competition.  All combined similarity components
+    are non-negative, so the default floor of 0.0 never outranks a scored
+    pair.  ``values`` is aligned with the mask's CSR data order (the order
+    :meth:`CandidateMask.pair_arrays` enumerates).
+    """
+
+    def __init__(
+        self,
+        mask: CandidateMask,
+        values: np.ndarray,
+        floor: float = 0.0,
+    ) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (mask.n_pairs,):
+            raise ConfigError(
+                f"{values.shape[0] if values.ndim == 1 else values.shape} "
+                f"values for a mask of {mask.n_pairs} pairs"
+            )
+        self.mask = mask
+        self.values = values
+        self.floor = float(floor)
+
+    # --- geometry -------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple:
+        return self.mask.shape
+
+    @property
+    def n_pairs(self) -> int:
+        return self.mask.n_pairs
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the score values only.
+
+        The mask is a shared object (one mask serves every component's
+        pair values in a :class:`~repro.core.similarity.SimilarityCache`)
+        and is accounted once by whoever owns it, not once per score set.
+        """
+        return int(self.values.nbytes)
+
+    # --- row access -----------------------------------------------------
+
+    def row(self, i: int) -> tuple:
+        """``(cols, values)`` of the scored pairs in row ``i``."""
+        m = self.mask.matrix
+        lo, hi = m.indptr[i], m.indptr[i + 1]
+        return m.indices[lo:hi], self.values[lo:hi]
+
+    def dense_row(self, i: int) -> np.ndarray:
+        """Row ``i`` as a dense vector, unscored pairs filled with floor."""
+        out = np.full(self.shape[1], self.floor, dtype=np.float64)
+        cols, vals = self.row(i)
+        out[cols] = vals
+        return out
+
+    def scores_at(self, i: int, cols) -> np.ndarray:
+        """Scores of row ``i`` at ``cols`` (floor for unscored columns)."""
+        row_cols, vals = self.row(i)
+        cols = np.asarray(cols, dtype=np.int64)
+        pos = np.searchsorted(row_cols, cols)
+        pos_clipped = np.minimum(pos, max(len(row_cols) - 1, 0))
+        out = np.full(cols.shape, self.floor, dtype=np.float64)
+        if len(row_cols):
+            hit = row_cols[pos_clipped] == cols
+            out[hit] = vals[pos_clipped[hit]]
+        return out
+
+    # --- aggregates -----------------------------------------------------
+
+    def _has_unscored(self) -> bool:
+        return self.n_pairs < self.mask.n_total_pairs
+
+    def max(self) -> float:
+        """Max over the conceptual floor-filled matrix."""
+        best = self.values.max() if len(self.values) else -np.inf
+        if self._has_unscored():
+            best = max(best, self.floor)
+        return float(best)
+
+    def min(self) -> float:
+        """Min over the conceptual floor-filled matrix."""
+        worst = self.values.min() if len(self.values) else np.inf
+        if self._has_unscored():
+            worst = min(worst, self.floor)
+        return float(worst)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize the floor-filled dense matrix (test/debug helper)."""
+        out = np.full(self.shape, self.floor, dtype=np.float64)
+        rows, cols = self.mask.pair_arrays()
+        out[rows, cols] = self.values
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"SparseSimilarity(shape={self.shape}, pairs={self.n_pairs}, "
+            f"floor={self.floor})"
+        )
+
+
+# --- policies -----------------------------------------------------------
+
+
+def _degree_bands(degrees: np.ndarray, band_width: float) -> np.ndarray:
+    """Logarithmic degree band per user: ``floor(log2(1 + d) / width)``."""
+    return np.floor(np.log2(1.0 + degrees.astype(np.float64)) / band_width).astype(
+        np.int64
+    )
+
+
+def degree_band_candidates(
+    anonymized: UDAGraph,
+    auxiliary: UDAGraph,
+    band_width: float = 1.0,
+    radius: int = 1,
+) -> CandidateMask:
+    """Pairs whose log-degree bands differ by at most ``radius``.
+
+    The same user's degree drifts between the Δ1/Δ2 splits (it depends on
+    which co-thread posts landed on each side), so candidate bands must be
+    generous: with the default width (log2) and radius 1 a degree-``d``
+    user keeps every auxiliary user within roughly a 4× degree range.
+    """
+    if band_width <= 0:
+        raise ConfigError(f"band_width must be > 0, got {band_width}")
+    if radius < 0:
+        raise ConfigError(f"radius must be >= 0, got {radius}")
+    b1 = _degree_bands(anonymized.degrees, band_width)
+    b2 = _degree_bands(auxiliary.degrees, band_width)
+    order = np.argsort(b2, kind="stable")
+    sorted_b2 = b2[order]
+    # per anon user: auxiliary columns whose band is in [b - r, b + r]
+    lo = np.searchsorted(sorted_b2, b1 - radius, side="left")
+    hi = np.searchsorted(sorted_b2, b1 + radius, side="right")
+    counts = hi - lo
+    indptr = np.zeros(len(b1) + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    indices = np.concatenate(
+        [order[l:h] for l, h in zip(lo, hi)]
+    ) if indptr[-1] else np.empty(0, dtype=np.int64)
+    matrix = sparse.csr_matrix(
+        (np.ones(indptr[-1], dtype=bool), indices, indptr),
+        shape=(len(b1), len(b2)),
+    )
+    return CandidateMask(matrix)
+
+
+def attr_index_candidates(
+    anonymized: UDAGraph,
+    auxiliary: UDAGraph,
+    min_shared: int = 1,
+    keep_fraction: float = 0.2,
+) -> CandidateMask:
+    """Inverted-index blocking over attribute slots, Jaccard-ranked.
+
+    The inverted index (one sparse boolean matmul per row chunk) yields,
+    for every anonymized user, the auxiliary users sharing at least
+    ``min_shared`` attribute slots together with the shared-slot counts.
+    Those counts give each pair's binary attribute Jaccard — the
+    unweighted half of the paper's ``s^a``, free at this point — and each
+    user keeps at most ``ceil(keep_fraction × n2)`` columns, best Jaccard
+    first (rows with fewer index-generated candidates keep them all), so
+    the mask never exceeds that fraction of the full pair space.  Peak
+    memory is one row chunk, never ``n1 × n2``.
+    """
+    if min_shared < 1:
+        raise ConfigError(f"min_shared must be >= 1, got {min_shared}")
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ConfigError(
+            f"keep_fraction must be in (0, 1], got {keep_fraction}"
+        )
+    B1 = (anonymized.attr_weights > 0).astype(np.float64).tocsr()
+    B2 = (auxiliary.attr_weights > 0).astype(np.float64).tocsr()
+    n1, n2 = B1.shape[0], B2.shape[0]
+    sizes1 = np.asarray(B1.sum(axis=1)).ravel()
+    sizes2 = np.asarray(B2.sum(axis=1)).ravel()
+    B2T = B2.T.tocsc()
+    keep = max(1, int(np.ceil(keep_fraction * n2)))
+
+    row_cols: list = []  # one sorted int64 array per anonymized row
+    for start in range(0, n1, _ATTR_CHUNK_ROWS):
+        stop = min(start + _ATTR_CHUNK_ROWS, n1)
+        inter = (B1[start:stop] @ B2T).tocsr()  # shared-slot counts, sparse
+        for local in range(stop - start):
+            lo, hi = inter.indptr[local], inter.indptr[local + 1]
+            cols = inter.indices[lo:hi]
+            counts = inter.data[lo:hi]
+            eligible = counts >= min_shared
+            cols = cols[eligible]
+            counts = counts[eligible]
+            if len(cols) > keep:
+                union = sizes1[start + local] + sizes2[cols] - counts
+                jaccard = np.divide(
+                    counts,
+                    union,
+                    out=np.ones_like(counts, dtype=np.float64),
+                    where=union > 0,
+                )
+                top = np.argpartition(-jaccard, keep - 1)[:keep]
+                cols = cols[top]
+            row_cols.append(np.sort(cols).astype(np.int64, copy=False))
+    counts_per_row = np.array([len(c) for c in row_cols], dtype=np.int64)
+    indptr = np.zeros(n1 + 1, dtype=np.int64)
+    np.cumsum(counts_per_row, out=indptr[1:])
+    indices = (
+        np.concatenate(row_cols) if indptr[-1] else np.empty(0, dtype=np.int64)
+    )
+    matrix = sparse.csr_matrix(
+        (np.ones(indptr[-1], dtype=bool), indices, indptr),
+        shape=(n1, n2),
+    )
+    return CandidateMask(matrix)
+
+
+def union_candidates(
+    anonymized: UDAGraph,
+    auxiliary: UDAGraph,
+    band_width: float = 1.0,
+    radius: int = 1,
+    min_shared: int = 1,
+    keep_fraction: float = 0.2,
+) -> CandidateMask:
+    """Union of the degree-band and attribute-index masks (recall-safe)."""
+    return degree_band_candidates(
+        anonymized, auxiliary, band_width=band_width, radius=radius
+    ) | attr_index_candidates(
+        anonymized, auxiliary, min_shared=min_shared, keep_fraction=keep_fraction
+    )
+
+
+def build_candidates(
+    anonymized: UDAGraph,
+    auxiliary: UDAGraph,
+    policy: str,
+    band_width: float = 1.0,
+    radius: int = 1,
+    min_shared: int = 1,
+    keep_fraction: float = 0.2,
+) -> "CandidateMask | None":
+    """Build the candidate mask for ``policy`` (``None`` for ``"none"``)."""
+    if policy == "none":
+        return None
+    if policy == "degree_band":
+        return degree_band_candidates(
+            anonymized, auxiliary, band_width=band_width, radius=radius
+        )
+    if policy == "attr_index":
+        return attr_index_candidates(
+            anonymized, auxiliary, min_shared=min_shared, keep_fraction=keep_fraction
+        )
+    if policy == "union":
+        return union_candidates(
+            anonymized,
+            auxiliary,
+            band_width=band_width,
+            radius=radius,
+            min_shared=min_shared,
+            keep_fraction=keep_fraction,
+        )
+    raise ConfigError(
+        f"blocking policy must be one of {BLOCKING_CHOICES}, got {policy!r}"
+    )

@@ -15,6 +15,9 @@ SELECTION_CHOICES: tuple[str, ...] = ("direct", "matching")
 #: Open-world verification schemes (``None`` disables verification).
 VERIFICATION_CHOICES: tuple[str, ...] = ("mean", "false_addition")
 
+#: Candidate-blocking policies (``"none"`` = exact dense scoring).
+BLOCKING_CHOICES: tuple[str, ...] = ("none", "degree_band", "attr_index", "union")
+
 
 @dataclass(frozen=True)
 class SimilarityWeights:
@@ -47,6 +50,19 @@ class DeHealthConfig:
     ``n_landmarks`` is the paper's ħ (50 for corpus-scale runs, 5 for the
     small refined-DA experiments); ``verification=None`` corresponds to the
     closed-world setting.
+
+    ``blocking`` selects the candidate-generation policy of the Top-K
+    phase: ``"none"`` scores every (anonymized, auxiliary) pair with the
+    exact dense matrices; ``"degree_band"``, ``"attr_index"``, and
+    ``"union"`` prune the pair space first and score only candidate pairs
+    (see :mod:`repro.core.blocking`).  ``blocking_band_width`` is the
+    log2-degree band width of the degree blocker, ``blocking_min_shared``
+    the minimum shared-attribute count of the inverted-index blocker, and
+    ``blocking_keep`` bounds how many candidates the index blocker may
+    retain per anonymized user: a cap of ``ceil(blocking_keep × n2)``
+    auxiliary columns (so the whole mask never exceeds that fraction of
+    the full pair space; rows with fewer index-generated candidates keep
+    them all).
     """
 
     weights: SimilarityWeights = field(default_factory=SimilarityWeights)
@@ -62,6 +78,10 @@ class DeHealthConfig:
     verification_r: float = 0.25
     false_addition_count: "int | None" = None
     attribute_weight_cap: int = 64
+    blocking: str = "none"
+    blocking_band_width: float = 1.0
+    blocking_min_shared: int = 1
+    blocking_keep: float = 0.2
     seed: int = 0
 
     def validate(self) -> None:
@@ -96,4 +116,20 @@ class DeHealthConfig:
         if self.attribute_weight_cap < 1:
             raise ConfigError(
                 f"attribute_weight_cap must be >= 1, got {self.attribute_weight_cap}"
+            )
+        if self.blocking not in BLOCKING_CHOICES:
+            raise ConfigError(
+                f"blocking must be one of {BLOCKING_CHOICES}, got {self.blocking!r}"
+            )
+        if self.blocking_band_width <= 0:
+            raise ConfigError(
+                f"blocking_band_width must be > 0, got {self.blocking_band_width}"
+            )
+        if self.blocking_min_shared < 1:
+            raise ConfigError(
+                f"blocking_min_shared must be >= 1, got {self.blocking_min_shared}"
+            )
+        if not 0.0 < self.blocking_keep <= 1.0:
+            raise ConfigError(
+                f"blocking_keep must be in (0, 1], got {self.blocking_keep}"
             )

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.blocking import SparseSimilarity
 from repro.errors import ConfigError
 
 
@@ -44,8 +45,16 @@ def filter_candidates(
 
     Parameters mirror the paper: ``epsilon`` (ε) lifts the lower threshold
     above the global minimum, ``levels`` (l) is the threshold vector length.
+
+    ``S`` may be a dense matrix or a
+    :class:`~repro.core.blocking.SparseSimilarity`; on the sparse form the
+    global extrema are taken over the conceptual floor-filled matrix (the
+    floor stands in for the pruned pairs' similarity) and candidate scores
+    are looked up pair-by-pair.
     """
-    S = np.asarray(S, dtype=np.float64)
+    is_sparse = isinstance(S, SparseSimilarity)
+    if not is_sparse:
+        S = np.asarray(S, dtype=np.float64)
     if levels < 2:
         raise ConfigError(f"levels must be >= 2, got {levels}")
     if epsilon < 0:
@@ -72,7 +81,7 @@ def filter_candidates(
         if not cand:
             kept.append(None)
             continue
-        scores = S[row, cand]
+        scores = S.scores_at(row, cand) if is_sparse else S[row, cand]
         chosen = None
         for t in thresholds:
             surviving = [c for c, s in zip(cand, scores) if s >= t]

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.blocking import SparseSimilarity
 from repro.core.config import DeHealthConfig
 from repro.core.filtering import filter_candidates
 from repro.core.refined import RefinedDeanonymizer
@@ -82,6 +83,10 @@ class DeHealth:
             n_landmarks=self.config.n_landmarks,
             attribute_weight_cap=self.config.attribute_weight_cap,
             cache=similarity_cache,
+            blocking=self.config.blocking,
+            blocking_band_width=self.config.blocking_band_width,
+            blocking_min_shared=self.config.blocking_min_shared,
+            blocking_keep=self.config.blocking_keep,
         )
         self._refined = RefinedDeanonymizer(
             self.anonymized,
@@ -104,18 +109,49 @@ class DeHealth:
 
     # --- phase 1: Top-K DA ----------------------------------------------
 
-    def similarity_matrix(self) -> np.ndarray:
+    def similarity_scores(self):
+        """The scored similarity: a dense matrix (``blocking="none"``) or a
+        :class:`~repro.core.blocking.SparseSimilarity` over candidate pairs.
+        """
         self._require_fit()
-        return self.similarity.combined()
+        return self.similarity.scores()
+
+    def similarity_matrix(self) -> np.ndarray:
+        """The full similarity matrix, densified if blocking is active.
+
+        With a blocking policy, pruned pairs come back at the sparse floor;
+        prefer :meth:`similarity_scores` to keep the memory win.
+        """
+        self._require_fit()
+        S = self.similarity.scores()
+        return S.to_dense() if isinstance(S, SparseSimilarity) else S
+
+    def blocking_stats(self) -> dict:
+        """Pair-space accounting: pairs scored vs the full pair space."""
+        self._require_fit()
+        n1 = self.anonymized.n_users
+        n2 = self.auxiliary.n_users
+        total = n1 * n2
+        mask = self.similarity.candidate_mask()
+        pairs = total if mask is None else mask.n_pairs
+        return {
+            "policy": self.config.blocking,
+            "n_pairs": pairs,
+            "n_total_pairs": total,
+            "pair_fraction": pairs / total if total else 0.0,
+        }
 
     def top_k_candidates(self, k: "int | None" = None) -> dict:
         """Candidate sets Cu: anonymized id -> list of auxiliary ids.
 
-        A user filtered to ⊥ by Algorithm 2 maps to ``None``.
+        A user filtered to ⊥ by Algorithm 2 maps to ``None``; a user whose
+        row the blocking policy left without any scored pair maps to an
+        empty list (both are treated as ⊥ by the refined phase, with
+        distinct provenance in the result details).
         """
         self._require_fit()
         k = k or self.config.top_k
-        S = self.similarity_matrix()
+        S = self.similarity_scores()
         if self.config.selection == "matching":
             cols = matching_top_k(S, k)
         else:
@@ -127,7 +163,13 @@ class DeHealth:
                 epsilon=self.config.filter_epsilon,
                 levels=self.config.filter_levels,
             )
-            cols = outcome.kept
+            # rows blocking pruned to nothing went into the filter empty;
+            # restore them as empty lists so they keep their own
+            # provenance instead of counting as Algorithm-2 ⊥
+            cols = [
+                [] if kept is None and not original else kept
+                for kept, original in zip(outcome.kept, cols)
+            ]
         aux_ids = self.auxiliary.users
         out: dict = {}
         for i, anon in enumerate(self.anonymized.users):
@@ -139,7 +181,7 @@ class DeHealth:
         """Rank of every anonymized user's true mapping (Fig 3 / Fig 5 data)."""
         self._require_fit()
         ranks = true_match_ranks(
-            self.similarity_matrix(),
+            self.similarity_scores(),
             self.anonymized.users,
             self.auxiliary.users,
             truth.mapping,
@@ -152,25 +194,37 @@ class DeHealth:
         """Run both phases and return user-level DA decisions."""
         self._require_fit()
         candidates = self.top_k_candidates(k)
-        S = self.similarity_matrix()
+        S = self.similarity_scores()
+        sparse_scores = isinstance(S, SparseSimilarity)
         aux_index = {u: j for j, u in enumerate(self.auxiliary.users)}
 
         predictions: dict = {}
         details: dict = {}
         for i, anon in enumerate(self.anonymized.users):
             cand = candidates[anon]
-            if cand is None:
+            if not cand:
+                # None = Algorithm-2 ⊥; [] = blocking (or matching-column
+                # exhaustion) left nothing to classify.  The empty-list
+                # reason matches what RefinedDeanonymizer reports for the
+                # same situation, keeping provenance accurate either way.
                 predictions[anon] = None
-                details[anon] = {"reason": "filtered to bottom"}
+                details[anon] = {
+                    "reason": (
+                        "filtered to bottom"
+                        if cand is None
+                        else "empty candidate set"
+                    )
+                }
                 continue
             winner, info = self._refined.deanonymize_user(anon, cand)
             if winner is not None and self.config.verification == "mean":
+                row = S.dense_row(i) if sparse_scores else S[i]
                 accepted = mean_verification(
-                    S[i],
+                    row,
                     [aux_index[c] for c in cand],
                     aux_index[winner],
                     r=self.config.verification_r,
-                    floor=float(S[i].min()),
+                    floor=float(row.min()),
                 )
                 if not accepted:
                     info = {**info, "rejected_by": "mean_verification"}

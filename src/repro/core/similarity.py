@@ -9,20 +9,49 @@
 * ``s^a`` — attribute similarity: Jaccard of A(u)/A(v) plus weighted Jaccard
   of WA(u)/WA(v).
 
-All three components are computed as dense (n1 × n2) matrices with fully
-vectorised NumPy/SciPy code; the weighted Jaccard uses a level-set
-decomposition (Σ min(a,b) = Σ_t |{a ≥ t} ∩ {b ≥ t}| for integer weights) so
-it reduces to a short series of sparse boolean matmuls.
+The three components can be evaluated two ways:
+
+* **dense** — full (n1 × n2) matrices with fully vectorised NumPy/SciPy
+  code; the weighted Jaccard uses a level-set decomposition
+  (Σ min(a,b) = Σ_t |{a ≥ t} ∩ {b ≥ t}| for integer weights) so it reduces
+  to a short series of sparse boolean matmuls.  This is the exact path and
+  the default (``blocking="none"``).
+* **sparse / pair-level** — when a blocking policy
+  (:mod:`repro.core.blocking`) prunes the pair space, every component is
+  evaluated only at the surviving candidate pairs (pairwise min/max
+  ratios, chunked cosine over COO index pairs, and the weighted Jaccard
+  accumulated row-by-row against the auxiliary CSR weights), producing a
+  :class:`~repro.core.blocking.SparseSimilarity` instead of an
+  ``n1 × n2`` array.  Memory scales with the number of candidate pairs.
 """
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 from scipy import sparse
 
+from repro.core.blocking import CandidateMask, SparseSimilarity, build_candidates
 from repro.core.config import SimilarityWeights
 from repro.graph.landmarks import landmark_closeness, select_landmarks
 from repro.graph.uda import UDAGraph
+
+#: Pair-chunk size for the chunked cosine kernels (bounds peak memory of
+#: the gathered row blocks at ``chunk × vector_width`` floats).
+_COSINE_CHUNK_PAIRS = 1 << 18
+
+#: Anonymized-row chunk for the gather-based pairwise attribute sweep.
+_ATTR_PAIR_CHUNK_ROWS = 256
+
+#: Mask density at which the pairwise attribute sweep switches from the
+#: per-pair gather (cost ∝ nonzeros under surviving pairs) to the chunked
+#: dense level-set kernel sampled at the mask (cost ∝ full pair space at
+#: BLAS speed, memory still one chunk).
+_ATTR_GATHER_MAX_DENSITY = 0.25
+
+#: Cell budget (rows × n2) per chunk of the blockwise attribute sweep.
+_ATTR_BLOCK_TARGET_CELLS = 1 << 22
 
 
 def _minmax_ratio_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -65,6 +94,91 @@ def _pad_ncs(ncs: list, width: int) -> np.ndarray:
     return out
 
 
+# --- pairwise (masked) kernels ------------------------------------------
+
+
+def _minmax_ratio_pairs(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise min/max ratio over gathered pair values (0/0 -> 1)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    lo = np.minimum(a, b)
+    hi = np.maximum(a, b)
+    out = np.ones_like(hi)
+    np.divide(lo, hi, out=out, where=hi > 0)
+    return out
+
+
+def _cosine_pairs(
+    A: np.ndarray, B: np.ndarray, rows: np.ndarray, cols: np.ndarray
+) -> np.ndarray:
+    """Cosine at the given (row, col) pairs, same zero conventions as dense.
+
+    Gathers row blocks of at most :data:`_COSINE_CHUNK_PAIRS` pairs, so
+    peak memory is bounded regardless of how many pairs are scored.
+    """
+    An, a_zero = _row_normalize(A)
+    Bn, b_zero = _row_normalize(B)
+    out = np.empty(len(rows), dtype=np.float64)
+    for start in range(0, len(rows), _COSINE_CHUNK_PAIRS):
+        stop = start + _COSINE_CHUNK_PAIRS
+        out[start:stop] = np.einsum(
+            "ij,ij->i", An[rows[start:stop]], Bn[cols[start:stop]]
+        )
+    az = a_zero[rows]
+    bz = b_zero[cols]
+    if az.any() or bz.any():
+        out[az | bz] = 0.0
+        out[az & bz] = 1.0
+    return out
+
+
+def _attribute_dense_block(
+    W1: sparse.csr_matrix, W2: sparse.csr_matrix, cap: int
+) -> np.ndarray:
+    """Jaccard + weighted Jaccard of capped weight rows, as a dense block.
+
+    ``W1`` may be any row slice of the anonymized weights; the dense path
+    passes all rows at once, the blocked path one bounded chunk at a time.
+    The Σ min(w1, w2) numerator uses the level-set decomposition with the
+    per-level products accumulated as sparse matrices and densified once —
+    one ``(rows × n2)`` materialization instead of up to ``cap``.  Every
+    level contributes exact small integers, so the sparse accumulation is
+    bit-identical to summing dense levels.
+    """
+    B1 = (W1 > 0).astype(np.float64)
+    B2 = (W2 > 0).astype(np.float64)
+    sizes1 = np.asarray(B1.sum(axis=1)).ravel()
+    sizes2 = np.asarray(B2.sum(axis=1)).ravel()
+    inter = np.asarray((B1 @ B2.T).todense())
+    union = sizes1[:, None] + sizes2[None, :] - inter
+    jac = np.ones_like(inter)
+    np.divide(inter, union, out=jac, where=union > 0)
+
+    level_acc: "sparse.spmatrix | None" = None
+    level = 1
+    L1, L2 = W1, W2
+    while level <= cap and L1.nnz and L2.nnz:
+        B1t = (L1 >= level).astype(np.float64)
+        B2t = (L2 >= level).astype(np.float64)
+        if B1t.nnz == 0 or B2t.nnz == 0:
+            break
+        product = B1t @ B2t.T
+        level_acc = product if level_acc is None else level_acc + product
+        level += 1
+    min_sum = (
+        np.asarray(level_acc.todense())
+        if level_acc is not None
+        else np.zeros_like(inter)
+    )
+    sum1 = np.asarray(W1.sum(axis=1)).ravel().astype(np.float64)
+    sum2 = np.asarray(W2.sum(axis=1)).ravel().astype(np.float64)
+    max_sum = sum1[:, None] + sum2[None, :] - min_sum
+    wjac = np.ones_like(inter)
+    np.divide(min_sum, max_sum, out=wjac, where=max_sum > 0)
+
+    return jac + wjac
+
+
 class SimilarityCache:
     """Shared store of similarity matrices for one anonymized/auxiliary pair.
 
@@ -72,31 +186,84 @@ class SimilarityCache:
     ``("distance", n_landmarks)``, ``("attribute", cap)`` and
     ``("combined", (c1, c2, c3), n_landmarks, cap)`` — so any number of
     :class:`SimilarityComputer` instances with different weights or knobs can
-    share one cache and each matrix is computed at most once.  Build/hit
-    counters per kind let callers assert reuse (parameter-sweep tests).
+    share one cache and each matrix is computed at most once.  Sparse-path
+    entries additionally carry the blocking-policy key (``("blocking", ...)``
+    masks, ``("degree_pairs", ...)`` / ``("combined_pairs", ...)`` pair
+    values), so dense and blocked variants never collide.  Build/hit
+    counters per kind let callers assert reuse (parameter-sweep tests);
+    entry/byte accounting lets long-lived sessions report and bound their
+    memory footprint.
     """
 
     def __init__(self) -> None:
         self._matrices: dict = {}
         self.builds: dict = {}
         self.hits: dict = {}
+        # Protects dict mutation vs the snapshot reads (counters/nbytes):
+        # writers are already serialized by their session's lock, but a
+        # stats poll must be able to read consistently without waiting on
+        # a session mid-fit.  Builds happen outside this mutex.
+        self._mutex = threading.Lock()
 
     def get_or_build(self, key: tuple, build) -> np.ndarray:
         kind = key[0]
         if key in self._matrices:
-            self.hits[kind] = self.hits.get(kind, 0) + 1
+            with self._mutex:
+                self.hits[kind] = self.hits.get(kind, 0) + 1
             return self._matrices[key]
-        self.builds[kind] = self.builds.get(kind, 0) + 1
+        with self._mutex:
+            self.builds[kind] = self.builds.get(kind, 0) + 1
         matrix = build()
-        self._matrices[key] = matrix
+        with self._mutex:
+            self._matrices[key] = matrix
         return matrix
 
     def has(self, *key) -> bool:
         return tuple(key) in self._matrices
 
+    def clear(self) -> int:
+        """Drop every cached entry; returns how many were dropped.
+
+        Build/hit counters are cumulative and survive the clear (they
+        describe history, not contents).
+        """
+        with self._mutex:
+            dropped = len(self._matrices)
+            self._matrices.clear()
+        return dropped
+
+    @property
+    def entries(self) -> int:
+        return len(self._matrices)
+
+    @staticmethod
+    def _entry_nbytes(value) -> int:
+        if sparse.issparse(value):
+            parts = (
+                getattr(value, "data", None),
+                getattr(value, "indices", None),
+                getattr(value, "indptr", None),
+            )
+            return sum(int(p.nbytes) for p in parts if p is not None)
+        nbytes = getattr(value, "nbytes", None)
+        return int(nbytes) if nbytes is not None else 0
+
+    def nbytes(self) -> int:
+        """Total bytes held by cached entries (dense, sparse, and masks)."""
+        with self._mutex:
+            return sum(self._entry_nbytes(v) for v in self._matrices.values())
+
     def counters(self) -> dict:
-        """``{"builds": {kind: n}, "hits": {kind: n}}`` snapshot."""
-        return {"builds": dict(self.builds), "hits": dict(self.hits)}
+        """Builds/hits per kind plus entry and byte totals."""
+        with self._mutex:
+            builds = dict(self.builds)
+            hits = dict(self.hits)
+        return {
+            "builds": builds,
+            "hits": hits,
+            "entries": self.entries,
+            "bytes": self.nbytes(),
+        }
 
 
 class SimilarityComputer:
@@ -105,6 +272,11 @@ class SimilarityComputer:
     Passing a shared :class:`SimilarityCache` lets several computers over the
     same graph pair (e.g. a sweep over c1/c2/c3 weights) reuse component and
     combined matrices instead of recomputing them.
+
+    ``blocking`` selects the scoring path: ``"none"`` keeps the exact dense
+    matrices, any other policy builds a candidate mask
+    (:func:`repro.core.blocking.build_candidates`) and scores only the
+    masked pairs (:meth:`combined_sparse`); :meth:`scores` dispatches.
     """
 
     def __init__(
@@ -115,6 +287,10 @@ class SimilarityComputer:
         n_landmarks: int = 50,
         attribute_weight_cap: int = 64,
         cache: "SimilarityCache | None" = None,
+        blocking: str = "none",
+        blocking_band_width: float = 1.0,
+        blocking_min_shared: int = 1,
+        blocking_keep: float = 0.2,
     ) -> None:
         self.anonymized = anonymized
         self.auxiliary = auxiliary
@@ -123,6 +299,10 @@ class SimilarityComputer:
         self.n_landmarks = n_landmarks
         self.attribute_weight_cap = attribute_weight_cap
         self.cache = cache or SimilarityCache()
+        self.blocking = blocking
+        self.blocking_band_width = blocking_band_width
+        self.blocking_min_shared = blocking_min_shared
+        self.blocking_keep = blocking_keep
 
     # --- components -----------------------------------------------------
 
@@ -130,16 +310,41 @@ class SimilarityComputer:
         """s^d: degree ratio + weighted-degree ratio + NCS cosine."""
         return self.cache.get_or_build(("degree",), self._build_degree)
 
-    def _build_degree(self) -> np.ndarray:
+    def _ncs_padded(self) -> tuple:
+        """Zero-padded NCS matrices for both graphs, shared width.
+
+        Single source of the padding setup for the dense and pair kernels
+        — they must stay numerically identical position-by-position.
+        """
         g1, g2 = self.anonymized, self.auxiliary
-        component = _minmax_ratio_matrix(g1.degrees, g2.degrees)
-        component += _minmax_ratio_matrix(g1.weighted_degrees, g2.weighted_degrees)
         width = max(
             max((len(v) for v in g1.ncs), default=0),
             max((len(v) for v in g2.ncs), default=0),
             1,
         )
-        component += _cosine_matrix(_pad_ncs(g1.ncs, width), _pad_ncs(g2.ncs, width))
+        return _pad_ncs(g1.ncs, width), _pad_ncs(g2.ncs, width)
+
+    def _landmark_vectors(self) -> tuple:
+        """Landmark-closeness matrices (hop and weighted) for both graphs.
+
+        Single source of the landmark setup for the dense and pair kernels.
+        """
+        g1, g2 = self.anonymized, self.auxiliary
+        h = min(self.n_landmarks, g1.n_users, g2.n_users)
+        lm1 = select_landmarks(g1, h)
+        lm2 = select_landmarks(g2, h)
+        return (
+            landmark_closeness(g1, lm1, weighted=False),
+            landmark_closeness(g2, lm2, weighted=False),
+            landmark_closeness(g1, lm1, weighted=True),
+            landmark_closeness(g2, lm2, weighted=True),
+        )
+
+    def _build_degree(self) -> np.ndarray:
+        g1, g2 = self.anonymized, self.auxiliary
+        component = _minmax_ratio_matrix(g1.degrees, g2.degrees)
+        component += _minmax_ratio_matrix(g1.weighted_degrees, g2.weighted_degrees)
+        component += _cosine_matrix(*self._ncs_padded())
         return component
 
     def distance_similarity(self) -> np.ndarray:
@@ -149,18 +354,9 @@ class SimilarityComputer:
         )
 
     def _build_distance(self) -> np.ndarray:
-        g1, g2 = self.anonymized, self.auxiliary
-        h = min(self.n_landmarks, g1.n_users, g2.n_users)
-        lm1 = select_landmarks(g1, h)
-        lm2 = select_landmarks(g2, h)
-        component = _cosine_matrix(
-            landmark_closeness(g1, lm1, weighted=False),
-            landmark_closeness(g2, lm2, weighted=False),
-        )
-        component += _cosine_matrix(
-            landmark_closeness(g1, lm1, weighted=True),
-            landmark_closeness(g2, lm2, weighted=True),
-        )
+        hop1, hop2, w1, w2 = self._landmark_vectors()
+        component = _cosine_matrix(hop1, hop2)
+        component += _cosine_matrix(w1, w2)
         return component
 
     def attribute_similarity(self) -> np.ndarray:
@@ -169,42 +365,17 @@ class SimilarityComputer:
             ("attribute", self.attribute_weight_cap), self._build_attribute
         )
 
-    def _build_attribute(self) -> np.ndarray:
-        W1 = self.anonymized.attr_weights.astype(np.int64).tocsr()
-        W2 = self.auxiliary.attr_weights.astype(np.int64).tocsr()
+    def _capped_attr_weights(self) -> tuple:
         cap = self.attribute_weight_cap
-        W1 = W1.copy()
-        W2 = W2.copy()
+        W1 = self.anonymized.attr_weights.astype(np.int64).tocsr().copy()
+        W2 = self.auxiliary.attr_weights.astype(np.int64).tocsr().copy()
         W1.data = np.minimum(W1.data, cap)
         W2.data = np.minimum(W2.data, cap)
+        return W1, W2
 
-        B1 = (W1 > 0).astype(np.float64)
-        B2 = (W2 > 0).astype(np.float64)
-        sizes1 = np.asarray(B1.sum(axis=1)).ravel()
-        sizes2 = np.asarray(B2.sum(axis=1)).ravel()
-        inter = np.asarray((B1 @ B2.T).todense())
-        union = sizes1[:, None] + sizes2[None, :] - inter
-        jac = np.ones_like(inter)
-        np.divide(inter, union, out=jac, where=union > 0)
-
-        # Σ min(w1, w2) via level sets over integer weights
-        min_sum = np.zeros_like(inter)
-        level = 1
-        L1, L2 = W1, W2
-        while level <= cap and L1.nnz and L2.nnz:
-            B1t = (L1 >= level).astype(np.float64)
-            B2t = (L2 >= level).astype(np.float64)
-            if B1t.nnz == 0 or B2t.nnz == 0:
-                break
-            min_sum += np.asarray((B1t @ B2t.T).todense())
-            level += 1
-        sum1 = np.asarray(W1.sum(axis=1)).ravel().astype(np.float64)
-        sum2 = np.asarray(W2.sum(axis=1)).ravel().astype(np.float64)
-        max_sum = sum1[:, None] + sum2[None, :] - min_sum
-        wjac = np.ones_like(inter)
-        np.divide(min_sum, max_sum, out=wjac, where=max_sum > 0)
-
-        return jac + wjac
+    def _build_attribute(self) -> np.ndarray:
+        W1, W2 = self._capped_attr_weights()
+        return _attribute_dense_block(W1, W2, self.attribute_weight_cap)
 
     # --- combination ----------------------------------------------------
 
@@ -237,9 +408,221 @@ class SimilarityComputer:
             total += w.attribute * self.attribute_similarity()
         return total
 
-    def score(self, anon_user: str, aux_user: str) -> float:
-        """Similarity of one pair, by user id."""
-        S = self.combined()
-        return float(
-            S[self.anonymized.index[anon_user], self.auxiliary.index[aux_user]]
+    # --- blocking / sparse pair scoring ---------------------------------
+
+    def blocking_key(self) -> tuple:
+        """Hashable identity of the blocking policy and its parameters."""
+        if self.blocking == "none":
+            return ("none",)
+        if self.blocking == "degree_band":
+            return ("degree_band", self.blocking_band_width)
+        if self.blocking == "attr_index":
+            return ("attr_index", self.blocking_min_shared, self.blocking_keep)
+        return (
+            "union",
+            self.blocking_band_width,
+            self.blocking_min_shared,
+            self.blocking_keep,
         )
+
+    def candidate_mask(self) -> "CandidateMask | None":
+        """The cached candidate mask of this computer's blocking policy."""
+        if self.blocking == "none":
+            return None
+        return self.cache.get_or_build(
+            ("blocking",) + self.blocking_key(), self._build_mask
+        )
+
+    def _build_mask(self) -> CandidateMask:
+        return build_candidates(
+            self.anonymized,
+            self.auxiliary,
+            self.blocking,
+            band_width=self.blocking_band_width,
+            min_shared=self.blocking_min_shared,
+            keep_fraction=self.blocking_keep,
+        )
+
+    def degree_pairs(self) -> np.ndarray:
+        """s^d at the masked pairs only (CSR data order of the mask)."""
+        return self.cache.get_or_build(
+            ("degree_pairs",) + self.blocking_key(), self._build_degree_pairs
+        )
+
+    def _build_degree_pairs(self) -> np.ndarray:
+        g1, g2 = self.anonymized, self.auxiliary
+        rows, cols = self.candidate_mask().pair_arrays()
+        vals = _minmax_ratio_pairs(g1.degrees[rows], g2.degrees[cols])
+        vals += _minmax_ratio_pairs(
+            g1.weighted_degrees[rows], g2.weighted_degrees[cols]
+        )
+        ncs1, ncs2 = self._ncs_padded()
+        vals += _cosine_pairs(ncs1, ncs2, rows, cols)
+        return vals
+
+    def distance_pairs(self) -> np.ndarray:
+        """s^s at the masked pairs only."""
+        return self.cache.get_or_build(
+            ("distance_pairs", self.n_landmarks) + self.blocking_key(),
+            self._build_distance_pairs,
+        )
+
+    def _build_distance_pairs(self) -> np.ndarray:
+        rows, cols = self.candidate_mask().pair_arrays()
+        hop1, hop2, w1, w2 = self._landmark_vectors()
+        vals = _cosine_pairs(hop1, hop2, rows, cols)
+        vals += _cosine_pairs(w1, w2, rows, cols)
+        return vals
+
+    def attribute_pairs(self) -> np.ndarray:
+        """s^a at the masked pairs only."""
+        return self.cache.get_or_build(
+            ("attribute_pairs", self.attribute_weight_cap) + self.blocking_key(),
+            self._build_attribute_pairs,
+        )
+
+    def _build_attribute_pairs(self) -> np.ndarray:
+        """Jaccard + weighted Jaccard per candidate pair, strategy-switched.
+
+        Two evaluation strategies, both bounded-memory:
+
+        * **gather** (sparse masks) — for each pair, the auxiliary CSR row
+          is gathered and compared against the anonymized user's weight
+          row directly; cost scales with the nonzeros under surviving
+          pairs, the right asymptotics when blocking prunes hard;
+        * **blockwise** (dense-ish masks) — the dense level-set kernel runs
+          on bounded anonymized-row chunks and each chunk block is sampled
+          at the mask positions before being discarded; cost matches the
+          dense path (BLAS-speed sparse matmuls) while peak memory stays
+          one chunk, which wins when the mask retains most pairs.
+        """
+        W1, W2 = self._capped_attr_weights()
+        mask = self.candidate_mask()
+        if mask.density >= _ATTR_GATHER_MAX_DENSITY:
+            return self._attribute_pairs_blockwise(W1, W2, mask.matrix)
+        return self._attribute_pairs_gather(W1, W2, mask.matrix)
+
+    def _attribute_pairs_blockwise(
+        self,
+        W1: sparse.csr_matrix,
+        W2: sparse.csr_matrix,
+        mask: sparse.csr_matrix,
+    ) -> np.ndarray:
+        n1, n2 = mask.shape
+        chunk = max(1, _ATTR_BLOCK_TARGET_CELLS // max(n2, 1))
+        out = np.empty(mask.nnz, dtype=np.float64)
+        for start in range(0, n1, chunk):
+            stop = min(start + chunk, n1)
+            lo, hi = mask.indptr[start], mask.indptr[stop]
+            if lo == hi:
+                continue
+            block = _attribute_dense_block(
+                W1[start:stop], W2, self.attribute_weight_cap
+            )
+            local_rows = (
+                np.repeat(
+                    np.arange(start, stop, dtype=np.int64),
+                    np.diff(mask.indptr[start : stop + 1]),
+                )
+                - start
+            )
+            out[lo:hi] = block[local_rows, mask.indices[lo:hi]]
+        return out
+
+    def _attribute_pairs_gather(
+        self,
+        W1: sparse.csr_matrix,
+        W2: sparse.csr_matrix,
+        mask: sparse.csr_matrix,
+    ) -> np.ndarray:
+        n1 = W1.shape[0]
+        sizes1 = np.asarray((W1 > 0).sum(axis=1)).ravel().astype(np.float64)
+        sizes2 = np.asarray((W2 > 0).sum(axis=1)).ravel().astype(np.float64)
+        sum1 = np.asarray(W1.sum(axis=1)).ravel().astype(np.float64)
+        sum2 = np.asarray(W2.sum(axis=1)).ravel().astype(np.float64)
+
+        out = np.empty(mask.nnz, dtype=np.float64)
+        for start in range(0, n1, _ATTR_PAIR_CHUNK_ROWS):
+            stop = min(start + _ATTR_PAIR_CHUNK_ROWS, n1)
+            lo, hi = mask.indptr[start], mask.indptr[stop]
+            if lo == hi:
+                continue
+            cols = mask.indices[lo:hi]
+            pair_rows = np.repeat(
+                np.arange(start, stop, dtype=np.int64),
+                np.diff(mask.indptr[start : stop + 1]),
+            )
+            W1d = W1[start:stop].toarray()
+            sub = W2[cols]  # one sparse row per pair, in pair order
+            w1_at = W1d[
+                np.repeat(pair_rows - start, np.diff(sub.indptr)),
+                sub.indices,
+            ]
+            shared = (w1_at > 0).astype(np.float64)
+            min_vals = np.minimum(sub.data, w1_at).astype(np.float64)
+            inter = np.asarray(
+                sparse.csr_matrix(
+                    (shared, sub.indices, sub.indptr), shape=sub.shape
+                ).sum(axis=1)
+            ).ravel()
+            min_sum = np.asarray(
+                sparse.csr_matrix(
+                    (min_vals, sub.indices, sub.indptr), shape=sub.shape
+                ).sum(axis=1)
+            ).ravel()
+            union = sizes1[pair_rows] + sizes2[cols] - inter
+            jac = np.ones_like(inter)
+            np.divide(inter, union, out=jac, where=union > 0)
+            max_sum = sum1[pair_rows] + sum2[cols] - min_sum
+            wjac = np.ones_like(inter)
+            np.divide(min_sum, max_sum, out=wjac, where=max_sum > 0)
+            out[lo:hi] = jac + wjac
+        return out
+
+    def combined_sparse(self) -> SparseSimilarity:
+        """The combined similarity at the masked pairs only.
+
+        Requires a blocking policy other than ``"none"``.  Unscored pairs
+        carry the explicit floor 0.0 — strictly below any scored pair's
+        possible value, since every component is non-negative.
+        """
+        if self.blocking == "none":
+            raise ValueError(
+                "combined_sparse() needs a blocking policy; "
+                "use combined() for the dense path"
+            )
+        w = self.weights
+        key = (
+            "combined_pairs",
+            (w.degree, w.distance, w.attribute),
+            self.n_landmarks,
+            self.attribute_weight_cap,
+        ) + self.blocking_key()
+        return self.cache.get_or_build(key, self._build_combined_sparse)
+
+    def _build_combined_sparse(self) -> SparseSimilarity:
+        w = self.weights
+        mask = self.candidate_mask()
+        total = np.zeros(mask.n_pairs, dtype=np.float64)
+        if w.degree:
+            total += w.degree * self.degree_pairs()
+        if w.distance:
+            total += w.distance * self.distance_pairs()
+        if w.attribute:
+            total += w.attribute * self.attribute_pairs()
+        return SparseSimilarity(mask, total)
+
+    def scores(self):
+        """Dense matrix or :class:`SparseSimilarity`, per the blocking policy."""
+        if self.blocking == "none":
+            return self.combined()
+        return self.combined_sparse()
+
+    def score(self, anon_user: str, aux_user: str) -> float:
+        """Similarity of one pair, by user id (floor if pruned by blocking)."""
+        i = self.anonymized.index[anon_user]
+        j = self.auxiliary.index[aux_user]
+        S = self.scores()
+        if isinstance(S, SparseSimilarity):
+            return float(S.scores_at(i, [j])[0])
+        return float(S[i, j])

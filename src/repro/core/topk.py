@@ -8,6 +8,13 @@ Two strategies from the paper:
   matching on the complete bipartite similarity graph, give every matched
   anonymized user its partner as a candidate, remove those edges, and
   repeat K times.
+
+Every entry point accepts either a dense ``(n1 × n2)`` similarity matrix
+or a :class:`~repro.core.blocking.SparseSimilarity` (pair-level scores
+over a candidate mask).  On the sparse form, selection considers only the
+scored pairs: a pruned pair sits at the explicit floor and can never enter
+a candidate set, and a user whose row was pruned empty yields an empty
+candidate list.
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 from scipy.optimize import linear_sum_assignment
 
+from repro.core.blocking import SparseSimilarity
 from repro.errors import ConfigError
 
 
@@ -27,8 +35,22 @@ def _check(S: np.ndarray, k: int) -> np.ndarray:
     return S
 
 
-def direct_top_k(S: np.ndarray, k: int) -> list[list[int]]:
-    """Per-row indices of the K highest-scoring columns, best first."""
+def _check_sparse(S: SparseSimilarity, k: int) -> SparseSimilarity:
+    if S.shape[0] == 0 or S.shape[1] == 0:
+        raise ConfigError(f"similarity must be non-empty 2-D, got {S.shape}")
+    if k < 1:
+        raise ConfigError(f"K must be >= 1, got {k}")
+    return S
+
+
+def direct_top_k(S, k: int) -> list[list[int]]:
+    """Per-row indices of the K highest-scoring columns, best first.
+
+    On a :class:`SparseSimilarity`, only scored (candidate) pairs compete;
+    rows with fewer than K candidates return all of them, best first.
+    """
+    if isinstance(S, SparseSimilarity):
+        return _direct_top_k_sparse(_check_sparse(S, k), k)
     S = _check(S, k)
     k = min(k, S.shape[1])
     part = np.argpartition(-S, k - 1, axis=1)[:, :k]
@@ -40,7 +62,19 @@ def direct_top_k(S: np.ndarray, k: int) -> list[list[int]]:
     return out
 
 
-def matching_top_k(S: np.ndarray, k: int) -> list[list[int]]:
+def _direct_top_k_sparse(S: SparseSimilarity, k: int) -> list[list[int]]:
+    out: list[list[int]] = []
+    for i in range(S.shape[0]):
+        cols, vals = S.row(i)
+        if len(cols) > k:
+            part = np.argpartition(-vals, k - 1)[:k]
+            cols, vals = cols[part], vals[part]
+        order = np.argsort(-vals, kind="stable")
+        out.append([int(c) for c in cols[order]])
+    return out
+
+
+def matching_top_k(S, k: int) -> list[list[int]]:
     """Repeated maximum-weight bipartite matching (paper Steps 1–4).
 
     Each round assigns every anonymized user at most one distinct auxiliary
@@ -48,13 +82,35 @@ def matching_top_k(S: np.ndarray, k: int) -> list[list[int]]:
     user has K candidates (or the columns are exhausted).  Unlike direct
     selection, two anonymized users cannot claim the same auxiliary user in
     the same round, which spreads candidates across contested columns.
+
+    On a :class:`SparseSimilarity` the pruned pairs are masked out of the
+    assignment (they can never be selected), but the dense assignment
+    solver still materializes one ``n1 × n2`` cost matrix — matching
+    selection does not yet benefit from blocking's memory reduction.
     """
-    S = _check(S, k)
-    n1, n2 = S.shape
-    k = min(k, n2)
-    masked = S.copy()
-    candidates: list[list[int]] = [[] for _ in range(n1)]
     neg_inf = -1e18
+    if isinstance(S, SparseSimilarity):
+        _check_sparse(S, k)
+        dense = np.full(S.shape, neg_inf, dtype=np.float64)
+        rows, cols = S.mask.pair_arrays()
+        dense[rows, cols] = S.values
+        # one dense matrix only: the assignment rounds mutate it, and the
+        # final per-row ordering reads the true scores back off S
+        return _matching_rounds(dense, k, neg_inf, S.scores_at)
+    S = _check(S, k)
+    return _matching_rounds(
+        S.copy(), k, neg_inf, lambda r, cand: S[r, cand]
+    )
+
+
+def _matching_rounds(
+    masked: np.ndarray, k: int, neg_inf: float, scores_at
+) -> list[list[int]]:
+    """Assignment rounds over ``masked`` (mutated); ``scores_at(row, cols)``
+    returns the *unmutated* scores used to order each candidate list."""
+    n1, n2 = masked.shape
+    k = min(k, n2)
+    candidates: list[list[int]] = [[] for _ in range(n1)]
     for _ in range(k):
         rows, cols = linear_sum_assignment(masked, maximize=True)
         progressed = False
@@ -68,12 +124,16 @@ def matching_top_k(S: np.ndarray, k: int) -> list[list[int]]:
             break
     # order each candidate list by true score, best first
     for r in range(n1):
-        candidates[r].sort(key=lambda c: -S[r, c])
+        cand = candidates[r]
+        if len(cand) > 1:
+            scores = np.asarray(scores_at(r, cand), dtype=np.float64)
+            order = np.argsort(-scores, kind="stable")
+            candidates[r] = [cand[i] for i in order]
     return candidates
 
 
 def true_match_ranks(
-    S: np.ndarray,
+    S,
     anon_ids: list[str],
     aux_ids: list[str],
     truth_mapping: dict,
@@ -85,7 +145,13 @@ def true_match_ranks(
     scores count as ranked ahead).  Users without a true mapping map to
     ``None``.  This is exactly what the Fig 3 / Fig 5 CDFs integrate: the
     Top-K DA of user u succeeds iff rank(u) <= K.
+
+    On a :class:`SparseSimilarity`, unscored pairs count at the floor: a
+    true match pruned by blocking ranks behind every scored pair and ties
+    (pessimistically) with all other unscored pairs.
     """
+    if isinstance(S, SparseSimilarity):
+        return _true_match_ranks_sparse(S, anon_ids, aux_ids, truth_mapping)
     S = np.asarray(S, dtype=np.float64)
     if S.shape != (len(anon_ids), len(aux_ids)):
         raise ConfigError(
@@ -101,4 +167,32 @@ def true_match_ranks(
             continue
         score = S[i, aux_index[target]]
         ranks[anon] = int((S[i] >= score).sum())
+    return ranks
+
+
+def _true_match_ranks_sparse(
+    S: SparseSimilarity,
+    anon_ids: list[str],
+    aux_ids: list[str],
+    truth_mapping: dict,
+) -> dict:
+    if S.shape != (len(anon_ids), len(aux_ids)):
+        raise ConfigError(
+            f"similarity shape {S.shape} does not match id lists "
+            f"({len(anon_ids)}, {len(aux_ids)})"
+        )
+    aux_index = {u: j for j, u in enumerate(aux_ids)}
+    n2 = S.shape[1]
+    ranks: dict = {}
+    for i, anon in enumerate(anon_ids):
+        target = truth_mapping.get(anon)
+        if target is None or target not in aux_index:
+            ranks[anon] = None
+            continue
+        cols, vals = S.row(i)
+        score = float(S.scores_at(i, [aux_index[target]])[0])
+        rank = int((vals >= score).sum())
+        if S.floor >= score:
+            rank += n2 - len(cols)  # unscored pairs tie in (pessimistic)
+        ranks[anon] = rank
     return ranks

@@ -24,11 +24,14 @@ from repro.experiments.graph_exp import run_fig7, run_fig8
 from repro.experiments.closed_world import run_fig3, run_fig4
 from repro.experiments.open_world import run_fig5, run_fig6
 from repro.experiments.linkage_exp import run_linkage_experiment
+from repro.experiments.scaling import PolicyScaling, ScalingResult, run_scaling
 from repro.experiments.theory_exp import run_theory_validation
 from repro.experiments.reporting import format_table
 
 __all__ = [
     "ABLATION_WEIGHTINGS",
+    "PolicyScaling",
+    "ScalingResult",
     "format_table",
     "refined_closed_corpus",
     "refined_closed_split",
@@ -42,6 +45,7 @@ __all__ = [
     "run_fig7",
     "run_fig8",
     "run_linkage_experiment",
+    "run_scaling",
     "run_selection_ablation",
     "run_table1",
     "run_theory_validation",

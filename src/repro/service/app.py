@@ -7,12 +7,19 @@ method   path          behaviour
 =======  ============  ====================================================
 GET      /healthz      liveness + version
 GET      /stats        engine stats: corpora, sessions, cache counters
+                       (per-session similarity builds/hits/entries/bytes)
 POST     /generate     generate + register a synthetic corpus
 POST     /attack       run one :class:`~repro.api.AttackRequest`
 POST     /sweep        run a matrix (explicit list or base × grid expansion);
                        optional ``"workers": N`` shards it across threads
 POST     /linkage      run the NameLink/AvatarLink campaign
 =======  ============  ====================================================
+
+``/attack`` and ``/sweep`` accept the full request schema, including the
+candidate-blocking knobs (``"blocking"``: ``none`` | ``degree_band`` |
+``attr_index`` | ``union`` plus ``blocking_band_width`` /
+``blocking_min_shared`` / ``blocking_keep``); blocked variants score only
+candidate pairs instead of the dense ``n1 × n2`` matrix.
 
 Errors come back as ``{"error": {"type": ..., "message": ...}}`` built on
 the :mod:`repro.errors` hierarchy: :class:`~repro.errors.ConfigError` (and

@@ -8,7 +8,11 @@ serial execution, parallel execution, and the checked-in files under
 
     PYTHONPATH=src python tests/goldens.py --write
 
-and review the diff like any other code change.
+and review the diff like any other code change.  ``--check`` is the CI
+drift gate: a read-only comparison that exits non-zero on any mismatch,
+so dense-path regressions fail fast before the full suite runs::
+
+    PYTHONPATH=src python tests/goldens.py --check
 """
 
 from __future__ import annotations
@@ -109,7 +113,14 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--write", action="store_true", help="regenerate tests/golden/*.json"
     )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="read-only drift gate: exit 1 if any golden mismatches",
+    )
     args = parser.parse_args(argv)
+    if args.write and args.check:
+        parser.error("--write and --check are mutually exclusive")
+    stale = 0
     for name in MATRICES:
         text = compute_golden(name)
         path = golden_path(name)
@@ -118,12 +129,12 @@ def main(argv=None) -> int:
             path.write_text(text, encoding="utf-8")
             print(f"wrote {path}")
         else:
-            status = (
-                "match"
-                if path.exists() and path.read_text(encoding="utf-8") == text
-                else "STALE"
-            )
-            print(f"{path}: {status}")
+            fresh = path.exists() and path.read_text(encoding="utf-8") == text
+            stale += 0 if fresh else 1
+            print(f"{path}: {'match' if fresh else 'STALE'}")
+    if args.check and stale:
+        print(f"{stale} golden(s) drifted; regenerate with --write if intended")
+        return 1
     return 0
 
 

@@ -144,6 +144,44 @@ class TestSweepCaching:
         assert session["similarity_builds"]["degree"] == 1
         assert session["similarity_builds"]["attribute"] == 1
 
+    def test_stats_expose_cache_entries_and_bytes(self, tiny_corpus):
+        eng = Engine()
+        eng.register("tiny", tiny_corpus)
+        eng.attack(_request(refined=False))
+        stats = eng.stats()
+        session = stats["sessions"][0]
+        assert session["similarity_entries"] > 0
+        assert session["similarity_bytes"] > 0
+        assert stats["cache_bytes"] == session["similarity_bytes"]
+
+    def test_blocked_and_dense_variants_share_one_session(self, tiny_corpus):
+        eng = Engine()
+        eng.register("tiny", tiny_corpus)
+        dense = eng.attack(_request(refined=False))
+        blocked = eng.attack(
+            _request(refined=False, blocking="union", blocking_keep=0.5)
+        )
+        stats = eng.stats()
+        assert len(stats["sessions"]) == 1  # blocking is not a split axis
+        session = stats["sessions"][0]
+        assert session["similarity_builds"]["combined"] == 1
+        assert session["similarity_builds"]["combined_pairs"] == 1
+        assert session["similarity_builds"]["blocking"] == 1
+        assert blocked.n_anonymized == dense.n_anonymized
+        assert set(blocked.success_rates) == set(dense.success_rates)
+        assert all(0.0 <= rate <= 1.0 for rate in blocked.success_rates.values())
+
+    def test_clear_similarity_cache(self, tiny_corpus):
+        eng = Engine()
+        eng.register("tiny", tiny_corpus)
+        request = _request(refined=False)
+        eng.attack(request)
+        session = eng.session_for(request)
+        assert session.clear_similarity_cache() > 0
+        assert eng.stats()["cache_bytes"] == 0
+        eng.attack(request)  # rebuilds transparently
+        assert eng.stats()["cache_bytes"] > 0
+
 
 class TestSessionParity:
     def test_matches_direct_pipeline(self, tiny_split):

@@ -97,6 +97,39 @@ class TestAttackRequest:
         assert base.variant(top_k=3).top_k == 3
         assert base.variant(top_k=3).corpus == base.corpus
 
+    def test_blocking_fields_omitted_at_default(self):
+        # dense (default) requests keep the pre-blocking wire format, so
+        # golden canonical JSON and external clients see no new fields
+        wire = AttackRequest().to_dict()
+        assert "blocking" not in wire
+        assert not any(key.startswith("blocking") for key in wire)
+
+    def test_inert_blocking_params_normalized(self):
+        # blocking="none" ignores the policy params, so they normalize to
+        # defaults: equal-behaviour requests compare equal and the wire
+        # round-trip is a strict identity even with the fields omitted
+        request = AttackRequest(blocking="none", blocking_keep=0.5)
+        assert request == AttackRequest()
+        assert AttackRequest.from_dict(request.to_dict()) == request
+
+    def test_blocking_roundtrip_when_active(self):
+        request = AttackRequest(
+            blocking="attr_index", blocking_keep=0.3, blocking_min_shared=2
+        )
+        wire = json.loads(json.dumps(request.to_dict()))
+        assert wire["blocking"] == "attr_index"
+        assert wire["blocking_keep"] == 0.3
+        assert AttackRequest.from_dict(wire) == request
+
+    def test_blocking_reaches_config_and_validates(self):
+        config = AttackRequest(blocking="union", blocking_band_width=2.0).to_config()
+        assert config.blocking == "union"
+        assert config.blocking_band_width == 2.0
+        with pytest.raises(ConfigError, match="blocking"):
+            AttackRequest(blocking="lsh").validate()
+        with pytest.raises(ConfigError, match="blocking_keep"):
+            AttackRequest(blocking="attr_index", blocking_keep=0.0).validate()
+
 
 class TestAttackReport:
     def _report(self) -> AttackReport:

@@ -98,6 +98,27 @@ class TestCommands:
         assert code == 0
         assert "refined DA accuracy" in capsys.readouterr().out
 
+    def test_attack_with_blocking(self, tmp_path, capsys):
+        out = tmp_path / "corpus.jsonl"
+        main(["generate", "--users", "50", "--seed", "8", "--out", str(out)])
+        capsys.readouterr()
+        code = main(
+            [
+                "attack", str(out),
+                "--top-k", "3",
+                "--landmarks", "5",
+                "--seed", "9",
+                "--blocking", "union",
+                "--skip-refined",
+            ]
+        )
+        assert code == 0
+        assert "top-3 success" in capsys.readouterr().out
+
+    def test_attack_blocking_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attack", "c.jsonl", "--blocking", "lsh"])
+
     def test_attack_with_selection_and_weights(self, tmp_path, capsys):
         out = tmp_path / "corpus.jsonl"
         main(["generate", "--users", "50", "--seed", "8", "--out", str(out)])
@@ -145,6 +166,30 @@ class TestCommands:
         # canonical output: deterministic, volatile fields dropped
         assert all("elapsed_ms" not in r for r in reports)
         assert [r["request"]["top_k"] for r in reports] == [3, 5, 3, 5]
+
+    def test_sweep_blocking_override(self, tmp_path, capsys):
+        import json
+
+        corpus = tmp_path / "corpus.jsonl"
+        main(["generate", "--users", "50", "--seed", "8", "--out", str(corpus)])
+        capsys.readouterr()
+        matrix = tmp_path / "matrix.json"
+        matrix.write_text(
+            json.dumps(
+                {
+                    "base": {"n_landmarks": 5, "refined": False, "ks": [1, 5]},
+                    "grid": {"top_k": [3, 5]},
+                }
+            )
+        )
+        out = tmp_path / "reports.json"
+        code = main(
+            ["sweep", str(corpus), "--matrix", str(matrix),
+             "--blocking", "attr_index", "--out", str(out)]
+        )
+        assert code == 0
+        reports = json.loads(out.read_text())
+        assert [r["request"]["blocking"] for r in reports] == ["attr_index"] * 2
 
     def test_sweep_explicit_requests_matrix(self, tmp_path, capsys):
         import json

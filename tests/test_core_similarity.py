@@ -106,6 +106,44 @@ class TestComponents:
             sim.combined()[0, 0]
         )
 
+    def test_cache_entry_and_byte_accounting(self, graph_pair):
+        anon, aux = graph_pair
+        cache = SimilarityCache()
+        assert cache.entries == 0 and cache.nbytes() == 0
+        sim = SimilarityComputer(anon, aux, n_landmarks=10, cache=cache)
+        combined = sim.combined()
+        counters = cache.counters()
+        assert counters["entries"] == cache.entries > 0
+        # the combined matrix alone accounts for part of the byte total
+        assert counters["bytes"] >= combined.nbytes > 0
+
+    def test_cache_clear_drops_entries_keeps_counters(self, graph_pair):
+        anon, aux = graph_pair
+        cache = SimilarityCache()
+        sim = SimilarityComputer(anon, aux, n_landmarks=10, cache=cache)
+        sim.combined()
+        builds_before = dict(cache.builds)
+        dropped = cache.clear()
+        assert dropped > 0
+        assert cache.entries == 0 and cache.nbytes() == 0
+        assert cache.builds == builds_before  # history survives the clear
+        sim.combined()  # rebuilds from scratch
+        assert cache.builds["combined"] == builds_before["combined"] + 1
+
+    def test_cache_accounts_sparse_entries(self, graph_pair):
+        anon, aux = graph_pair
+        cache = SimilarityCache()
+        sim = SimilarityComputer(
+            anon, aux, n_landmarks=10, cache=cache,
+            blocking="attr_index", blocking_keep=0.5,
+        )
+        sim.combined_sparse()
+        assert cache.has("blocking", *sim.blocking_key())
+        assert cache.nbytes() > 0
+        counters = cache.counters()
+        assert counters["builds"]["combined_pairs"] == 1
+        assert counters["builds"]["blocking"] == 1
+
 
 class TestSignal:
     def test_true_pairs_scored_above_average(self, graph_pair, tiny_split):

@@ -118,6 +118,32 @@ class TestTheoryValidation:
         assert exacts == sorted(exacts)
 
 
+class TestScaling:
+    def test_run_scaling_rows_and_gates(self):
+        from repro.experiments import run_scaling
+
+        result = run_scaling(
+            n_users=50, seed=1, top_k=3, n_landmarks=5,
+            policies=("none", "attr_index"), blocking_keep=0.5,
+        )
+        assert [row.policy for row in result.rows] == ["none", "attr_index"]
+        dense = result.row("none")
+        attr = result.row("attr_index")
+        assert dense.pair_fraction == 1.0 and dense.topk_recall == 1.0
+        assert attr.n_pairs < dense.n_pairs
+        assert attr.matrix_bytes < dense.matrix_bytes
+        assert 0.0 <= attr.topk_recall <= 1.0
+        table = result.table()
+        assert "attr_index" in table and "pair_frac" in table
+
+    def test_run_scaling_rejects_unknown_policy(self):
+        from repro.errors import ConfigError
+        from repro.experiments import run_scaling
+
+        with pytest.raises(ConfigError, match="policy"):
+            run_scaling(n_users=20, policies=("lsh",))
+
+
 class TestReporting:
     def test_format_table(self):
         text = format_table(

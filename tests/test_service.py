@@ -108,6 +108,33 @@ class TestRoutes:
         assert session["graph_builds"] == 1
         assert session["similarity_builds"]["combined"] == 1
 
+    def test_attack_with_blocking_and_cache_stats(self, tiny_corpus):
+        engine = Engine()
+        engine.register("tiny", tiny_corpus)
+        app = create_app(engine)
+        res = call_app(
+            app,
+            "POST",
+            "/attack",
+            {**ATTACK_BODY, "refined": False, "blocking": "union",
+             "blocking_keep": 0.5},
+        )
+        assert res.status == 200
+        assert res.json["request"]["blocking"] == "union"
+        stats = call_app(app, "GET", "/stats").json
+        session = stats["sessions"][0]
+        assert session["similarity_builds"]["blocking"] == 1
+        assert session["similarity_builds"]["combined_pairs"] == 1
+        assert session["similarity_entries"] > 0
+        assert stats["cache_bytes"] == session["similarity_bytes"] > 0
+
+    def test_attack_bad_blocking_is_400(self, app):
+        res = call_app(
+            app, "POST", "/attack", {**ATTACK_BODY, "blocking": "lsh"}
+        )
+        assert res.status == 400
+        assert "blocking" in res.json["error"]["message"]
+
     def test_sweep_workers_knob(self, tiny_corpus):
         """`workers: N` shards the sweep; reports match the serial path on
         every non-volatile field."""
