@@ -27,6 +27,7 @@ Quickstart::
 
 from repro.api.engine import Engine, dataset_fingerprint
 from repro.core.config import BLOCKING_CHOICES
+from repro.stylometry import ExtractionCache, MAX_EXTRACT_WORKERS
 from repro.api.executor import (
     BACKEND_CHOICES,
     MAX_WORKERS,
@@ -52,6 +53,8 @@ __all__ = [
     "BACKEND_CHOICES",
     "BLOCKING_CHOICES",
     "Engine",
+    "ExtractionCache",
+    "MAX_EXTRACT_WORKERS",
     "MAX_WORKERS",
     "SweepExecutor",
     "VOLATILE_REPORT_FIELDS",

@@ -18,6 +18,7 @@ from repro.api.protocol import AttackReport, AttackRequest
 from repro.api.session import AttackSession
 from repro.errors import ConfigError
 from repro.forum.models import ForumDataset
+from repro.stylometry.cache import ExtractionCache
 from repro.stylometry.extractor import FeatureExtractor
 
 #: Corpus presets :meth:`Engine.generate` accepts.
@@ -53,17 +54,36 @@ class Engine:
     two UDA graphs plus dense similarity matrices); the least recently used
     session is evicted when the cap is exceeded, so a long-running service
     cannot be grown without bound by varying split parameters.
+
+    The engine's default extractor carries a shared
+    :class:`~repro.stylometry.ExtractionCache`, so every session — and
+    every shard of a serial or thread-backend sweep — extracts each
+    distinct post exactly once, however many splits re-partition the same
+    corpus.
+
+    ``cache_budget_bytes`` bounds the total bytes of the per-session
+    similarity caches plus the shared extraction cache: after each attack,
+    least-recently-used sessions' similarity caches are dropped first, then
+    the extraction cache, until the total fits.  ``None`` (the default)
+    disables eviction — current behavior unchanged.
     """
 
     def __init__(
         self,
         extractor: "FeatureExtractor | None" = None,
         max_sessions: int = 16,
+        cache_budget_bytes: "int | None" = None,
     ) -> None:
         if max_sessions < 1:
             raise ConfigError(f"max_sessions must be >= 1, got {max_sessions}")
-        self.extractor = extractor or FeatureExtractor()
+        if cache_budget_bytes is not None and cache_budget_bytes < 0:
+            raise ConfigError(
+                f"cache_budget_bytes must be >= 0 or None, got {cache_budget_bytes}"
+            )
+        self.extractor = extractor or FeatureExtractor(cache=ExtractionCache())
         self.max_sessions = max_sessions
+        self.cache_budget_bytes = cache_budget_bytes
+        self.cache_budget_evictions = 0
         # Guards the registry and the session LRU: the threading WSGI
         # server and thread-backend sweeps hit one engine concurrently, and
         # the lookup-or-create in session_for must be atomic so each
@@ -168,6 +188,7 @@ class Engine:
                 overlap_ratio=request.overlap_ratio,
                 split_seed=request.split_seed,
                 extractor=self.extractor,
+                extract_workers=request.extract_workers,
             )
             self._sessions[key] = session
             self._session_meta[key] = {
@@ -195,7 +216,9 @@ class Engine:
         # run outside the engine lock: requests on *different* splits
         # proceed concurrently, same-split requests serialize on their
         # session's own lock
-        return session.run(request)
+        report = session.run(request)
+        self.enforce_cache_budget()
+        return report
 
     def sweep(
         self,
@@ -222,6 +245,64 @@ class Engine:
         """Fold attacks run outside this process (worker shards) into stats."""
         with self._lock:
             self.attacks += count
+
+    # --- cache budget -----------------------------------------------------
+
+    def _extraction_cache(self) -> "ExtractionCache | None":
+        return getattr(self.extractor, "cache", None)
+
+    def _cache_bytes_total(self) -> int:
+        """Accounted cache bytes: per-session similarity + shared extraction."""
+        total = sum(
+            session.similarity_cache.nbytes()
+            for session in self._sessions.values()
+        )
+        extraction = self._extraction_cache()
+        return total + (extraction.nbytes() if extraction is not None else 0)
+
+    def enforce_cache_budget(self) -> int:
+        """Evict caches until accounted bytes fit ``cache_budget_bytes``.
+
+        Eviction order is least-recently-used session first (the session
+        LRU the engine already maintains), similarity caches before the
+        shared extraction cache — a hot session's matrices survive as long
+        as anything colder can be dropped instead.  One exception keeps
+        that promise honest: when the extraction cache *alone* exceeds the
+        budget, no amount of session eviction can help, so it is dropped
+        first instead of churning every session's matrices pointlessly.
+        Returns the number of caches cleared.  No-op when no budget is
+        set.  Best-effort by design: a session mid-fit may re-insert an
+        entry right after the sweep, which the next enforcement pass will
+        see.
+        """
+        if self.cache_budget_bytes is None:
+            return 0
+        cleared = 0
+        with self._lock:
+            budget = self.cache_budget_bytes
+            extraction = self._extraction_cache()
+            if (
+                extraction is not None
+                and extraction.nbytes() > budget
+                and self._cache_bytes_total() > budget
+            ):
+                extraction.clear()
+                cleared += 1
+            for session in list(self._sessions.values()):
+                if self._cache_bytes_total() <= budget:
+                    break
+                if session.similarity_cache.nbytes() > 0:
+                    session.drop_caches()
+                    cleared += 1
+            if (
+                extraction is not None
+                and extraction.nbytes() > 0
+                and self._cache_bytes_total() > budget
+            ):
+                extraction.clear()
+                cleared += 1
+            self.cache_budget_evictions += cleared
+        return cleared
 
     def linkage(self, users: int = 300, seed: int = 0) -> dict:
         """Run the NameLink/AvatarLink campaign; JSON-friendly summary."""
@@ -255,6 +336,7 @@ class Engine:
                 {**self._session_meta[key], **session.stats()}
                 for key, session in self._sessions.items()
             ]
+            extraction = self._extraction_cache()
             return {
                 "version": __version__,
                 "attacks": self.attacks,
@@ -262,6 +344,11 @@ class Engine:
                 "session_evictions": self.session_evictions,
                 "max_sessions": self.max_sessions,
                 "cache_bytes": sum(s["similarity_bytes"] for s in sessions),
+                "cache_budget_bytes": self.cache_budget_bytes,
+                "cache_budget_evictions": self.cache_budget_evictions,
+                "extraction": (
+                    extraction.counters() if extraction is not None else None
+                ),
                 "corpora": {
                     name: self.describe(name) for name in self.corpus_names
                 },

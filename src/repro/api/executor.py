@@ -35,12 +35,12 @@ from __future__ import annotations
 
 import itertools
 import json
-import os
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, ThreadPoolExecutor, wait
 
 from repro.api.protocol import AttackReport, AttackRequest
 from repro.api.session import AttackSession
 from repro.errors import ConfigError
+from repro.utils.workers import available_workers
 
 #: Executor backends ``SweepExecutor`` accepts.  ``process`` gives true
 #: multi-core parallelism (one fitted session per worker process);
@@ -56,13 +56,10 @@ def resolve_workers(workers: "int | None") -> int:
     """Clamp a worker-count request to ``[1, MAX_WORKERS]``.
 
     ``None`` or 0 means "use every core the scheduler gives us"
-    (``os.process_cpu_count`` semantics via ``sched_getaffinity``).
+    (:func:`repro.utils.workers.available_workers`).
     """
     if workers is None or workers == 0:
-        try:
-            workers = len(os.sched_getaffinity(0))
-        except AttributeError:  # pragma: no cover — non-Linux fallback
-            workers = os.cpu_count() or 1
+        workers = available_workers()
     try:
         workers = int(workers)
     except (TypeError, ValueError) as exc:
@@ -191,6 +188,7 @@ def _run_shard(dataset, request_payloads: list, extractor) -> list:
         overlap_ratio=first.overlap_ratio,
         split_seed=first.split_seed,
         extractor=extractor,
+        extract_workers=first.extract_workers,
     )
     return [session.run(request).to_dict() for request in requests]
 

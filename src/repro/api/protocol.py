@@ -65,6 +65,11 @@ class AttackRequest:
     :mod:`repro.core.blocking`).  The blocking fields serialize only when
     a policy is active, so default (dense) requests keep their historical
     wire format — and the golden canonical report JSON — byte-identical.
+
+    ``extract_workers`` is the process-pool width of the phase-0 feature
+    extraction (``1`` = serial, ``0`` = one per core).  A pure
+    performance knob — extraction is byte-identical at any width — so it
+    too serializes only when non-default.
     """
 
     corpus: str = "default"
@@ -91,6 +96,7 @@ class AttackRequest:
     blocking_band_width: float = 1.0
     blocking_min_shared: int = 1
     blocking_keep: float = 0.2
+    extract_workers: int = 1
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -126,6 +132,7 @@ class AttackRequest:
             blocking_band_width=self.blocking_band_width,
             blocking_min_shared=self.blocking_min_shared,
             blocking_keep=self.blocking_keep,
+            extract_workers=self.extract_workers,
             seed=self.seed,
         )
         config.validate()
@@ -199,6 +206,10 @@ class AttackRequest:
             payload["blocking_band_width"] = self.blocking_band_width
             payload["blocking_min_shared"] = self.blocking_min_shared
             payload["blocking_keep"] = self.blocking_keep
+        # Performance knob, not science: serialized only when non-default,
+        # so default requests keep the historical wire format.
+        if self.extract_workers != 1:
+            payload["extract_workers"] = self.extract_workers
         return payload
 
     @classmethod

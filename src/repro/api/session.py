@@ -34,6 +34,7 @@ class AttackSession:
         split: SplitResult,
         extractor: "FeatureExtractor | None" = None,
         split_spec: "tuple | None" = None,
+        extract_workers: int = 1,
     ) -> None:
         self.split = split
         # ``split_spec`` is the (world, param, seed) identity of the split
@@ -43,6 +44,10 @@ class AttackSession:
         # constructor callers with custom splits leave it None.
         self.split_spec = split_spec
         self.extractor = extractor or FeatureExtractor()
+        # Pool width of the phase-0 extraction when this session builds its
+        # UDA graphs; a pure performance knob (output is byte-identical at
+        # any width), so requests differing only here share the session.
+        self.extract_workers = extract_workers
         # One lock per session: concurrent callers (threaded sweeps, the
         # threading WSGI server) serialize on the session so the fit and
         # every artifact cache stay consistent — one fit per split, ever.
@@ -63,6 +68,7 @@ class AttackSession:
         overlap_ratio: float = 0.5,
         split_seed: int = 0,
         extractor: "FeatureExtractor | None" = None,
+        extract_workers: int = 1,
     ) -> "AttackSession":
         """Split ``dataset`` per the spec and open a session over the split."""
         if world == "closed":
@@ -77,7 +83,12 @@ class AttackSession:
             spec = ("open", round(overlap_ratio, 9), split_seed)
         else:
             raise ConfigError(f"world must be 'closed' or 'open', got {world!r}")
-        return cls(split, extractor=extractor, split_spec=spec)
+        return cls(
+            split,
+            extractor=extractor,
+            split_spec=spec,
+            extract_workers=extract_workers,
+        )
 
     # --- cached artifacts ----------------------------------------------
 
@@ -90,8 +101,16 @@ class AttackSession:
             if self._graphs is None:
                 self.graph_builds += 1
                 self._graphs = (
-                    UDAGraph(self.split.anonymized, extractor=self.extractor),
-                    UDAGraph(self.split.auxiliary, extractor=self.extractor),
+                    UDAGraph(
+                        self.split.anonymized,
+                        extractor=self.extractor,
+                        extract_workers=self.extract_workers,
+                    ),
+                    UDAGraph(
+                        self.split.auxiliary,
+                        extractor=self.extractor,
+                        extract_workers=self.extract_workers,
+                    ),
                 )
             else:
                 self.graph_hits += 1
@@ -184,6 +203,17 @@ class AttackSession:
         """
         with self._lock:
             return self._similarity_cache.clear()
+
+    def drop_caches(self) -> int:
+        """Budget-eviction entry: clear the similarity cache *without* the
+        session lock.
+
+        The engine's byte-budget enforcer runs under the engine lock and
+        must not wait on a session mid-fit; the similarity cache is
+        internally synchronized, so clearing it directly is safe — at
+        worst an in-flight build re-inserts its one entry afterwards.
+        """
+        return self._similarity_cache.clear()
 
     def stats(self) -> dict:
         """Cache counters: graph builds/hits, similarity builds/hits/bytes.

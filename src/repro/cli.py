@@ -92,6 +92,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         refined=not args.skip_refined,
         ks=tuple(sorted({1, 5, args.top_k})),
         blocking=args.blocking,
+        extract_workers=args.extract_workers,
         seed=args.seed,
     )
     report = engine.attack(request)
@@ -143,6 +144,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         # CLI override: force one candidate-blocking policy onto every
         # variant of the matrix (matrix-spec fields win when unset).
         requests = [r.variant(blocking=args.blocking) for r in requests]
+    if args.extract_workers is not None:
+        requests = [
+            r.variant(extract_workers=args.extract_workers) for r in requests
+        ]
     reports = engine.sweep(requests, parallel=args.workers)
     for report in reports:
         request = report.request
@@ -174,9 +179,17 @@ def _cmd_linkage(args: argparse.Namespace) -> int:
     return 0
 
 
-def build_engine_for_serve(corpus_paths) -> Engine:
-    """An engine pre-loaded with the ``--corpus`` files (name = file stem)."""
-    engine = Engine()
+def build_engine_for_serve(
+    corpus_paths, cache_budget_mb: "float | None" = None
+) -> Engine:
+    """An engine pre-loaded with the ``--corpus`` files (name = file stem).
+
+    ``cache_budget_mb`` caps the engine's similarity + extraction cache
+    bytes (LRU eviction) — long-running servers should set it, since the
+    shared extraction cache otherwise grows with every distinct post seen.
+    """
+    budget = None if cache_budget_mb is None else int(cache_budget_mb * 1e6)
+    engine = Engine(cache_budget_bytes=budget)
     for path in corpus_paths or ():
         name = Path(path).stem
         if name in engine.corpus_names:
@@ -191,7 +204,9 @@ def build_engine_for_serve(corpus_paths) -> Engine:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import serve
 
-    engine = build_engine_for_serve(args.corpus)
+    engine = build_engine_for_serve(
+        args.corpus, cache_budget_mb=args.cache_budget_mb
+    )
     serve(engine, host=args.host, port=args.port)
     return 0
 
@@ -241,6 +256,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="candidate-blocking policy for the Top-K phase "
              "(none = exact dense scoring)",
     )
+    attack.add_argument(
+        "--extract-workers", type=int, default=1, metavar="N",
+        help="process-pool width of phase-0 feature extraction "
+             "(1 = serial, 0 = one per core; output is byte-identical)",
+    )
     attack.set_defaults(func=_cmd_attack)
 
     sweep = sub.add_parser(
@@ -267,6 +287,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="force a candidate-blocking policy onto every matrix variant "
              "(default: whatever the matrix spec says)",
     )
+    sweep.add_argument(
+        "--extract-workers", type=int, default=None, metavar="N",
+        help="force an extraction pool width onto every matrix variant "
+             "(1 = serial, 0 = one per core; output is byte-identical)",
+    )
     sweep.set_defaults(func=_cmd_sweep)
 
     linkage = sub.add_parser("linkage", help="run the linkage attack campaign")
@@ -280,6 +305,11 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument(
         "--corpus", action="append", default=[], metavar="PATH",
         help="pre-load a JSONL corpus (repeatable; name = file stem)",
+    )
+    srv.add_argument(
+        "--cache-budget-mb", type=float, default=None, metavar="MB",
+        help="evict similarity/extraction caches (LRU) past this many "
+             "megabytes; default: unlimited",
     )
     srv.set_defaults(func=_cmd_serve)
 

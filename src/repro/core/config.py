@@ -63,6 +63,11 @@ class DeHealthConfig:
     auxiliary columns (so the whole mask never exceeds that fraction of
     the full pair space; rows with fewer index-generated candidates keep
     them all).
+
+    ``extract_workers`` is the process-pool width of the phase-0 feature
+    extraction (``1`` = in-process serial, ``0`` = one worker per
+    available core).  A pure performance knob: extraction output is
+    byte-identical at any width.
     """
 
     weights: SimilarityWeights = field(default_factory=SimilarityWeights)
@@ -82,6 +87,7 @@ class DeHealthConfig:
     blocking_band_width: float = 1.0
     blocking_min_shared: int = 1
     blocking_keep: float = 0.2
+    extract_workers: int = 1
     seed: int = 0
 
     def validate(self) -> None:
@@ -132,4 +138,8 @@ class DeHealthConfig:
         if not 0.0 < self.blocking_keep <= 1.0:
             raise ConfigError(
                 f"blocking_keep must be in (0, 1], got {self.blocking_keep}"
+            )
+        if self.extract_workers < 0:
+            raise ConfigError(
+                f"extract_workers must be >= 0, got {self.extract_workers}"
             )

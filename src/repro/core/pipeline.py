@@ -66,15 +66,16 @@ class DeHealth:
         expensive artifact once.
         """
         extractor = extractor or FeatureExtractor()
+        workers = self.config.extract_workers
         self.anonymized = (
             anonymized
             if isinstance(anonymized, UDAGraph)
-            else UDAGraph(anonymized, extractor=extractor)
+            else UDAGraph(anonymized, extractor=extractor, extract_workers=workers)
         )
         self.auxiliary = (
             auxiliary
             if isinstance(auxiliary, UDAGraph)
-            else UDAGraph(auxiliary, extractor=extractor)
+            else UDAGraph(auxiliary, extractor=extractor, extract_workers=workers)
         )
         self.similarity = SimilarityComputer(
             self.anonymized,

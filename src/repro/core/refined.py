@@ -73,7 +73,8 @@ class RefinedDeanonymizer:
     # --- feature assembly -------------------------------------------------
 
     def _post_matrix(self, uda: UDAGraph, cache: dict, user_id: str) -> np.ndarray:
-        if user_id not in cache:
+        matrix = cache.get(user_id)
+        if matrix is None:
             texts = uda.dataset.post_texts_of(user_id)
             matrix = uda.extractor.extract_matrix(texts).toarray()
             if self.use_structural_features:
@@ -81,7 +82,7 @@ class RefinedDeanonymizer:
                     [matrix, self._structural_row(uda, user_id, len(texts))]
                 )
             cache[user_id] = matrix
-        return cache[user_id]
+        return matrix
 
     def _structural_row(
         self, uda: UDAGraph, user_id: str, n_rows: int

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import numpy as np
 from scipy.optimize import linear_sum_assignment
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import min_weight_full_bipartite_matching
 
 from repro.core.blocking import SparseSimilarity
 from repro.errors import ConfigError
@@ -83,31 +85,30 @@ def matching_top_k(S, k: int) -> list[list[int]]:
     selection, two anonymized users cannot claim the same auxiliary user in
     the same round, which spreads candidates across contested columns.
 
-    On a :class:`SparseSimilarity` the pruned pairs are masked out of the
-    assignment (they can never be selected), but the dense assignment
-    solver still materializes one ``n1 × n2`` cost matrix — matching
-    selection does not yet benefit from blocking's memory reduction.
+    On a :class:`SparseSimilarity` the assignment runs on the sparse
+    candidate graph itself (``scipy.sparse.csgraph``'s full bipartite
+    matching over only the scored pairs), so blocking's memory win covers
+    matching selection: no ``n1 × n2`` matrix is materialized.  When a
+    round's remaining candidate graph has no perfect matching of the
+    smaller side, that round and the rest fall back to the dense
+    assignment solver — the only case that still densifies.
     """
     neg_inf = -1e18
     if isinstance(S, SparseSimilarity):
         _check_sparse(S, k)
-        dense = np.full(S.shape, neg_inf, dtype=np.float64)
-        rows, cols = S.mask.pair_arrays()
-        dense[rows, cols] = S.values
-        # one dense matrix only: the assignment rounds mutate it, and the
-        # final per-row ordering reads the true scores back off S
-        return _matching_rounds(dense, k, neg_inf, S.scores_at)
+        return _matching_top_k_sparse(S, k, neg_inf)
     S = _check(S, k)
-    return _matching_rounds(
-        S.copy(), k, neg_inf, lambda r, cand: S[r, cand]
+    return _order_candidates(
+        _matching_rounds(S.copy(), k, neg_inf), lambda r, cand: S[r, cand]
     )
 
 
-def _matching_rounds(
-    masked: np.ndarray, k: int, neg_inf: float, scores_at
-) -> list[list[int]]:
-    """Assignment rounds over ``masked`` (mutated); ``scores_at(row, cols)``
-    returns the *unmutated* scores used to order each candidate list."""
+def _matching_rounds(masked: np.ndarray, k: int, neg_inf: float) -> list[list[int]]:
+    """Dense assignment rounds over ``masked`` (mutated in place).
+
+    Returns raw per-row candidate lists in round order; callers order them
+    by true score via :func:`_order_candidates`.
+    """
     n1, n2 = masked.shape
     k = min(k, n2)
     candidates: list[list[int]] = [[] for _ in range(n1)]
@@ -122,14 +123,86 @@ def _matching_rounds(
             progressed = True
         if not progressed:
             break
-    # order each candidate list by true score, best first
-    for r in range(n1):
-        cand = candidates[r]
+    return candidates
+
+
+def _order_candidates(candidates: list, scores_at) -> list[list[int]]:
+    """Order each candidate list by true score (``scores_at(row, cols)``),
+    best first, with stable tie-breaking on round order."""
+    for r, cand in enumerate(candidates):
         if len(cand) > 1:
             scores = np.asarray(scores_at(r, cand), dtype=np.float64)
             order = np.argsort(-scores, kind="stable")
             candidates[r] = [cand[i] for i in order]
     return candidates
+
+
+def _sparse_matching_fallback(
+    S: SparseSimilarity, k_remaining: int, alive: np.ndarray, neg_inf: float
+) -> list[list[int]]:
+    """Finish the assignment rounds densely once no perfect matching exists.
+
+    The dense solver's semantics differ exactly here: rows left without
+    real edges absorb masked (``neg_inf``) assignments and are skipped,
+    while every row that still has candidates keeps getting them.  This is
+    the only sparse-matching path that materializes an ``n1 × n2`` array.
+    """
+    rows, cols = S.mask.pair_arrays()
+    dense = np.full(S.shape, neg_inf, dtype=np.float64)
+    dense[rows[alive], cols[alive]] = S.values[alive]
+    return _matching_rounds(dense, k_remaining, neg_inf)
+
+
+def _matching_top_k_sparse(
+    S: SparseSimilarity, k: int, neg_inf: float
+) -> list[list[int]]:
+    """Assignment rounds on the candidate graph, no densification.
+
+    Each round solves a maximum-weight *full* matching of the smaller side
+    over the still-alive candidate pairs.  Edge weights are shifted to be
+    strictly positive — a full matching has fixed cardinality, so a uniform
+    shift never changes which matching is maximal, and it keeps genuine
+    0.0 scores from being dropped as missing edges by the CSR solver.
+    Matches the dense solver pair-for-pair whenever each round's graph
+    admits a perfect matching (the dense optimum then uses no masked edge).
+    """
+    n1, n2 = S.shape
+    k = min(k, n2)
+    m = S.mask.matrix
+    pair_rows, pair_cols = S.mask.pair_arrays()
+    values = S.values
+    shifted = (
+        values - (values.min() if len(values) else 0.0) + 1.0
+    )
+    alive = np.ones(len(values), dtype=bool)
+    candidates: list[list[int]] = [[] for _ in range(n1)]
+    indptr_full = m.indptr
+    indices_full = m.indices
+    for round_no in range(k):
+        if not alive.any():
+            break
+        row_counts = np.bincount(pair_rows[alive], minlength=n1)
+        indptr = np.zeros(n1 + 1, dtype=np.int64)
+        np.cumsum(row_counts, out=indptr[1:])
+        biadj = csr_matrix(
+            (shifted[alive], pair_cols[alive], indptr), shape=(n1, n2)
+        )
+        try:
+            r_ind, c_ind = min_weight_full_bipartite_matching(
+                biadj, maximize=True
+            )
+        except ValueError:
+            # no perfect matching of the smaller side remains
+            rest = _sparse_matching_fallback(S, k - round_no, alive, neg_inf)
+            for r, extra in enumerate(rest):
+                candidates[r].extend(extra)
+            break
+        for r, c in zip(r_ind, c_ind):
+            candidates[r].append(int(c))
+            lo, hi = indptr_full[r], indptr_full[r + 1]
+            pos = lo + np.searchsorted(indices_full[lo:hi], c)
+            alive[pos] = False
+    return _order_candidates(candidates, S.scores_at)
 
 
 def true_match_ranks(

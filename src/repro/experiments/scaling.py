@@ -15,6 +15,11 @@ candidate-blocking layer buys:
 
 Graphs are built once and shared across policies, so the measurement
 isolates the scoring stage — exactly the stage blocking restructures.
+The phase-0 extraction that feeds those graphs is measured too
+(``extraction_s`` / ``extraction_stats``): it runs through a shared
+:class:`~repro.stylometry.ExtractionCache`, so the auxiliary/anonymized
+sides never re-extract a shared post, and ``extract_workers`` fans the
+cold extraction across a process pool.
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ from repro.errors import ConfigError
 from repro.experiments.reporting import format_table
 from repro.forum.split import closed_world_split
 from repro.graph.uda import UDAGraph
+from repro.stylometry import ExtractionCache, FeatureExtractor
 
 
 @dataclass(frozen=True)
@@ -52,6 +58,8 @@ class ScalingResult:
     n_auxiliary: int
     top_k: int
     rows: list = field(hash=False)
+    extraction_s: float = 0.0
+    extraction_stats: "dict | None" = field(default=None, hash=False)
 
     def row(self, policy: str) -> PolicyScaling:
         for row in self.rows:
@@ -92,6 +100,7 @@ def run_scaling(
     policies: tuple = BLOCKING_CHOICES,
     weights: "SimilarityWeights | None" = None,
     blocking_keep: float = 0.2,
+    extract_workers: int = 1,
 ) -> ScalingResult:
     """Score one synthetic world under every requested blocking policy.
 
@@ -108,8 +117,15 @@ def run_scaling(
         n_users=n_users, seed=seed, min_posts_per_user=min_posts_per_user
     ).dataset
     split = closed_world_split(dataset, aux_fraction=aux_fraction, seed=split_seed)
-    anonymized = UDAGraph(split.anonymized)
-    auxiliary = UDAGraph(split.auxiliary)
+    extractor = FeatureExtractor(cache=ExtractionCache())
+    extraction_started = time.perf_counter()
+    anonymized = UDAGraph(
+        split.anonymized, extractor=extractor, extract_workers=extract_workers
+    )
+    auxiliary = UDAGraph(
+        split.auxiliary, extractor=extractor, extract_workers=extract_workers
+    )
+    extraction_s = time.perf_counter() - extraction_started
     total_pairs = anonymized.n_users * auxiliary.n_users
 
     def run_policy(policy: str) -> tuple:
@@ -165,4 +181,6 @@ def run_scaling(
         n_auxiliary=auxiliary.n_users,
         top_k=top_k,
         rows=rows,
+        extraction_s=extraction_s,
+        extraction_stats=extractor.cache.counters(),
     )

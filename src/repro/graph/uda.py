@@ -10,6 +10,8 @@ in array form indexed by a stable user ordering.
 
 from __future__ import annotations
 
+from collections import Counter
+
 import numpy as np
 from scipy import sparse
 
@@ -45,11 +47,13 @@ class UDAGraph:
         dataset: ForumDataset,
         extractor: "FeatureExtractor | None" = None,
         with_attributes: bool = True,
+        extract_workers: int = 1,
     ) -> None:
         if dataset.n_users == 0:
             raise EmptyDatasetError("cannot build a UDA graph without users")
         self.dataset = dataset
         self.extractor = extractor or FeatureExtractor()
+        self.extract_workers = extract_workers
         self.users: list[str] = sorted(dataset.user_ids())
         self.index: dict[str, int] = {u: i for i, u in enumerate(self.users)}
         self.graph: nx.Graph = build_correlation_graph(dataset)
@@ -80,15 +84,31 @@ class UDAGraph:
             )
 
     def _build_attributes(self) -> sparse.csr_matrix:
+        """One batched extraction pass over every user's posts.
+
+        Posts are flattened in user order (so parallel chunking follows
+        user boundaries closely), extracted once via the extractor's
+        cache-aware batch path, and aggregated back into per-user
+        A(u)/WA(u) rows — numerically identical to per-user
+        :meth:`~repro.stylometry.FeatureExtractor.attribute_profile` calls.
+        """
+        texts_per_user = [self.dataset.post_texts_of(u) for u in self.users]
+        flat = [text for texts in texts_per_user for text in texts]
+        rows = self.extractor.extract_rows(
+            flat, workers=self.extract_workers, copy=False
+        )
         indptr = [0]
         indices: list[int] = []
         data: list[int] = []
-        for u in self.users:
-            profile = self.extractor.attribute_profile(
-                self.dataset.post_texts_of(u)
-            )
-            indices.extend(int(s) for s in profile.slots)
-            data.extend(int(w) for w in profile.weights)
+        pos = 0
+        for texts in texts_per_user:
+            post_counts: Counter = Counter()
+            for row in rows[pos : pos + len(texts)]:
+                post_counts.update(row.keys())
+            pos += len(texts)
+            slots = sorted(post_counts)
+            indices.extend(slots)
+            data.extend(post_counts[s] for s in slots)
             indptr.append(len(indices))
         return sparse.csr_matrix(
             (data, indices, indptr),

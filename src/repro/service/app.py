@@ -19,7 +19,13 @@ POST     /linkage      run the NameLink/AvatarLink campaign
 candidate-blocking knobs (``"blocking"``: ``none`` | ``degree_band`` |
 ``attr_index`` | ``union`` plus ``blocking_band_width`` /
 ``blocking_min_shared`` / ``blocking_keep``); blocked variants score only
-candidate pairs instead of the dense ``n1 × n2`` matrix.
+candidate pairs instead of the dense ``n1 × n2`` matrix.  They also accept
+``"extract_workers"`` (process-pool width of phase-0 feature extraction;
+byte-identical output at any width — the extractor switches to the
+fork-safe spawn start method under this threaded server).  ``GET /stats``
+reports the engine's shared extraction-cache counters
+(hits/misses/builds/entries/bytes) alongside the per-session similarity
+cache accounting and the ``cache_budget_bytes`` eviction counters.
 
 Errors come back as ``{"error": {"type": ..., "message": ...}}`` built on
 the :mod:`repro.errors` hierarchy: :class:`~repro.errors.ConfigError` (and

@@ -5,15 +5,26 @@ lexical (length, word length, vocabulary richness, letter/digit frequency,
 uppercase percentage, special characters, word shape), syntactic
 (punctuation, function words, POS tags, POS tag bigrams), and idiosyncratic
 (misspellings).  :class:`FeatureSpace` fixes the slot layout;
-:class:`FeatureExtractor` maps post text to vectors over it.
+:class:`FeatureExtractor` maps post text to vectors over it;
+:class:`ExtractionCache` memoizes extracted rows by post content so
+re-fits, sweeps, and executor shards extract each distinct post once.
 """
 
+from repro.stylometry.cache import ExtractionCache
 from repro.stylometry.features import FeatureSpace, default_feature_space
-from repro.stylometry.extractor import FeatureExtractor, UserAttributeProfile
+from repro.stylometry.extractor import (
+    FeatureExtractor,
+    MAX_EXTRACT_WORKERS,
+    UserAttributeProfile,
+    resolve_extract_workers,
+)
 
 __all__ = [
+    "ExtractionCache",
     "FeatureExtractor",
     "FeatureSpace",
+    "MAX_EXTRACT_WORKERS",
     "UserAttributeProfile",
     "default_feature_space",
+    "resolve_extract_workers",
 ]

@@ -1,0 +1,119 @@
+"""Content-keyed cache of extracted post feature rows.
+
+Feature extraction is a pure function of the post text (the tokenizer,
+tagger, and Table-I counters are all deterministic), so the extracted
+sparse row can be memoized on the post content itself.  The
+:class:`ExtractionCache` mirrors the similarity layer's
+:class:`~repro.core.similarity.SimilarityCache`: hit/miss/build counters
+let tests assert reuse ("an executor sweep extracts each distinct post
+exactly once"), and entry/byte accounting lets long-running engines report
+and bound their memory footprint.
+
+The cache key is the post text itself — the exact content fingerprint.
+Python caches each string's hash after the first lookup and the dict key
+holds a *reference* to the already-in-memory post string, so keying by
+content costs no copies and no re-hashing on repeat lookups (a digest
+would re-scan the text every time).
+
+Cached rows are shared objects: callers must treat them as read-only.
+:meth:`repro.stylometry.FeatureExtractor.extract_sparse` hands out
+defensive copies; the batched internal paths read without copying.
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: Estimated bytes per cached ``slot -> value`` pair (int key + float value
+#: in a dict) plus fixed per-entry overhead.  An estimate, deliberately:
+#: exact ``sys.getsizeof`` walks would cost more than the entries are worth.
+_BYTES_PER_SLOT = 16
+_BYTES_PER_ENTRY = 96
+
+
+class ExtractionCache:
+    """Post text -> extracted sparse feature row, with reuse accounting.
+
+    Thread-safe: dict reads/writes are GIL-atomic and the counters are
+    guarded by an internal mutex, so thread-backend sweep shards can share
+    one cache through their engine's extractor.  Two threads racing on the
+    same text may both extract it; both ``put`` the identical row, so the
+    stored value is unaffected (the race costs one redundant extraction,
+    never correctness).
+    """
+
+    def __init__(self) -> None:
+        self._rows: dict = {}
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.builds = 0
+        self._mutex = threading.Lock()
+
+    # --- access ---------------------------------------------------------
+
+    def get(self, text: str) -> "dict | None":
+        """The cached row for ``text``, or ``None`` (counted as hit/miss)."""
+        row = self._rows.get(text)
+        with self._mutex:
+            if row is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+        return row
+
+    def put(self, text: str, row: dict) -> None:
+        """Store the extracted ``row`` for ``text`` (first writer wins).
+
+        Check and insert happen under the mutex so two threads racing on
+        the same post cannot double-count ``builds`` or inflate the byte
+        accounting — the loser's redundant row is simply discarded.
+        """
+        with self._mutex:
+            if text in self._rows:
+                return
+            self._rows[text] = row
+            self.builds += 1
+            self._bytes += (
+                _BYTES_PER_ENTRY + _BYTES_PER_SLOT * len(row) + len(text)
+            )
+
+    def clear(self) -> int:
+        """Drop every cached row; returns how many were dropped.
+
+        Hit/miss/build counters are cumulative and survive the clear (they
+        describe history, not contents).
+        """
+        with self._mutex:
+            dropped = len(self._rows)
+            self._rows.clear()
+            self._bytes = 0
+        return dropped
+
+    # --- accounting -----------------------------------------------------
+
+    @property
+    def entries(self) -> int:
+        return len(self._rows)
+
+    def nbytes(self) -> int:
+        """Estimated bytes held by cached rows (keys are shared references)."""
+        with self._mutex:
+            return self._bytes
+
+    def counters(self) -> dict:
+        """Hits/misses/builds plus entry and byte totals, JSON-safe."""
+        with self._mutex:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "builds": self.builds,
+                "entries": len(self._rows),
+                "bytes": self._bytes,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"ExtractionCache(entries={self.entries}, "
+            f"bytes={self.nbytes()}, hits={self.hits}, misses={self.misses})"
+        )

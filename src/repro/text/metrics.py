@@ -41,7 +41,16 @@ def hapax_legomena(words: Iterable[str]) -> int:
 
 def vocabulary_richness(words: list[str]) -> dict[str, float]:
     """All five Table-I richness features in one pass."""
-    counts = Counter(words)
+    return vocabulary_richness_from_counts(Counter(words))
+
+
+def vocabulary_richness_from_counts(counts: "Counter[str]") -> dict[str, float]:
+    """Richness features from a pre-built word-count table.
+
+    Extraction already counts words once per post; this entry point lets it
+    reuse that table instead of re-counting.  Numerically identical to
+    :func:`vocabulary_richness` on the same multiset of words.
+    """
     n = sum(counts.values())
     freq_of_freq = Counter(counts.values())
     if n < 2:

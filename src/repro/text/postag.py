@@ -157,18 +157,56 @@ class POSTagger:
          ('new', 'JJ'), ('medication', 'NN'), ('.', 'PUNCT')]
     """
 
-    def __init__(self, extra_lexicon: dict[str, str] | None = None) -> None:
+    def __init__(
+        self,
+        extra_lexicon: dict[str, str] | None = None,
+        memoize: bool = True,
+    ) -> None:
         self._lexicon = dict(_CLOSED_CLASS)
         if extra_lexicon:
             for word, tag in extra_lexicon.items():
                 if tag not in PENN_TAGS:
                     raise ValueError(f"unknown POS tag {tag!r} for word {word!r}")
                 self._lexicon[word.lower()] = tag
+        # The lexicon + suffix stages are a pure function of (surface word,
+        # mid-sentence flag), so each distinct word is classified once and
+        # memoized; the Brill contextual patches stay per-sequence.  The
+        # memo is bounded by the vocabulary, not the corpus.
+        self._memo: "dict | None" = {} if memoize else None
 
     def tag(self, tokens: list[Token]) -> list[str]:
         """Tag pre-tokenized input; returns one tag per token."""
-        tags = [self._initial_tag(tok, i) for i, tok in enumerate(tokens)]
-        self._apply_context_rules(tokens, tags)
+        return self.tag_scan(
+            [t.text for t in tokens], [t.kind for t in tokens]
+        )
+
+    def tag_scan(self, surfaces: list[str], kinds: list[str]) -> list[str]:
+        """Tag pre-scanned parallel surface/kind lists (hot-loop entry).
+
+        Same output as :meth:`tag` on the equivalent :class:`Token` list;
+        :func:`repro.text.tokenize.scan` produces the input shape.
+        """
+        memo = self._memo
+        tags: list[str] = []
+        add = tags.append
+        for i, (word, kind) in enumerate(zip(surfaces, kinds)):
+            if kind == "word":
+                if memo is None:
+                    add(self._classify_word(word, i > 0))
+                    continue
+                key = (word, i > 0)
+                tag = memo.get(key)
+                if tag is None:
+                    tag = self._classify_word(word, i > 0)
+                    memo[key] = tag
+                add(tag)
+            elif kind == "number":
+                add("CD")
+            elif kind == "punct":
+                add("PUNCT")
+            else:
+                add("SYM")
+        self._apply_context_rules(surfaces, tags)
         return tags
 
     def tag_text(self, text: str) -> list[tuple[str, str]]:
@@ -176,24 +214,20 @@ class POSTagger:
         tokens = tokenize(text)
         return list(zip((t.text for t in tokens), self.tag(tokens)))
 
-    def _initial_tag(self, token: Token, position: int) -> str:
-        if token.kind == "number":
-            return "CD"
-        if token.kind in ("punct", "symbol"):
-            return "PUNCT" if token.kind == "punct" else "SYM"
-        word = token.text
+    def _classify_word(self, word: str, mid: bool) -> str:
+        """Lexicon + shape + suffix classification of one word token."""
         lower = word.lower()
         if lower in self._lexicon:
             return self._lexicon[lower]
         # Mid-sentence capitalisation marks a proper noun.
-        if position > 0 and word[0].isupper():
+        if mid and word[0].isupper():
             return "NNPS" if word.endswith("s") and len(word) > 3 else "NNP"
         for suffix, tag in _SUFFIX_RULES:
             if lower.endswith(suffix) and len(lower) > len(suffix) + 1:
                 return tag
         return "NN"
 
-    def _apply_context_rules(self, tokens: list[Token], tags: list[str]) -> None:
+    def _apply_context_rules(self, surfaces: list[str], tags: list[str]) -> None:
         """Brill-style patches that fix the most damaging lexicon guesses."""
         for i in range(1, len(tags)):
             prev, cur = tags[i - 1], tags[i]
@@ -202,7 +236,7 @@ class POSTagger:
                 tags[i] = "NN"
             # TO + noun-guess that the lexicon knows as a base verb → VB
             elif prev == "TO" and cur in ("VBP", "NN"):
-                lower = tokens[i].text.lower()
+                lower = surfaces[i].lower()
                 if self._lexicon.get(lower, "").startswith("VB"):
                     tags[i] = "VB"
             # modal + anything verb-ish → base form
@@ -210,7 +244,7 @@ class POSTagger:
                 tags[i] = "VB"
             # be/have + VBD → VBN ("was prescribed")
             elif prev in ("VBD", "VBZ", "VBP") and cur == "VBD":
-                lower_prev = tokens[i - 1].text.lower()
+                lower_prev = surfaces[i - 1].lower()
                 if lower_prev in ("is", "are", "was", "were", "be", "been",
                                   "am", "has", "have", "had"):
                     tags[i] = "VBN"

@@ -24,7 +24,7 @@ _TOKEN_RE = re.compile(
 _SENTENCE_RE = re.compile(r"(?<=[.!?])[\s ]+")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Token:
     """One token with its surface ``text`` and coarse ``kind``.
 
@@ -35,13 +35,32 @@ class Token:
     kind: str
 
 
+#: Group index -> token kind for :data:`_TOKEN_RE`'s four alternatives.
+_GROUP_KINDS = (None, "word", "number", "punct", "symbol")
+
+
+def scan(text: str) -> tuple[list[str], list[str]]:
+    """Token surfaces and kinds as parallel lists.
+
+    The allocation-light core of :func:`tokenize`: identical
+    classification, but no per-token objects — the extraction hot loop
+    consumes these lists directly.
+    """
+    surfaces: list[str] = []
+    kinds: list[str] = []
+    add_surface = surfaces.append
+    add_kind = kinds.append
+    group_kinds = _GROUP_KINDS
+    for match in _TOKEN_RE.finditer(text):
+        add_surface(match.group())
+        add_kind(group_kinds[match.lastindex])
+    return surfaces, kinds
+
+
 def tokenize(text: str) -> list[Token]:
     """Split ``text`` into classified tokens, preserving every non-space char."""
-    tokens: list[Token] = []
-    for match in _TOKEN_RE.finditer(text):
-        kind = match.lastgroup or "symbol"
-        tokens.append(Token(match.group(), kind))
-    return tokens
+    surfaces, kinds = scan(text)
+    return [Token(s, k) for s, k in zip(surfaces, kinds)]
 
 
 def tokenize_words(text: str, lowercase: bool = False) -> list[str]:

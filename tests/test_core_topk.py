@@ -2,9 +2,15 @@
 
 import numpy as np
 import pytest
+from scipy import sparse
 
 from repro.core import direct_top_k, matching_top_k
-from repro.core.topk import true_match_ranks
+from repro.core.blocking import CandidateMask, SparseSimilarity
+from repro.core.topk import (
+    _matching_rounds,
+    _order_candidates,
+    true_match_ranks,
+)
 from repro.errors import ConfigError
 
 S = np.array(
@@ -76,6 +82,92 @@ class TestMatchingTopK:
         out = matching_top_k(contested, 1)
         # direct selection would give both rows column 0; matching cannot
         assert out[0] != out[1]
+
+
+def _sparse_from(dense: np.ndarray, keep: np.ndarray) -> SparseSimilarity:
+    """SparseSimilarity holding ``dense``'s values at the ``keep`` mask."""
+    mask = CandidateMask(sparse.csr_matrix(keep))
+    rows, cols = mask.pair_arrays()
+    return SparseSimilarity(mask, dense[rows, cols])
+
+
+def _legacy_matching_oracle(S: SparseSimilarity, k: int) -> list:
+    """The pre-sparse-assignment semantics: densify with a -inf floor and
+    run the dense rounds — the reference the sparse solver must match."""
+    neg_inf = -1e18
+    rows, cols = S.mask.pair_arrays()
+    dense = np.full(S.shape, neg_inf, dtype=np.float64)
+    dense[rows, cols] = S.values
+    return _order_candidates(_matching_rounds(dense, k, neg_inf), S.scores_at)
+
+
+class TestSparseMatching:
+    """matching_top_k on SparseSimilarity: sparse assignment, no densify."""
+
+    def test_floor_free_world_equals_dense(self):
+        """On a mask keeping every pair, sparse matching == dense matching."""
+        rng = np.random.RandomState(42)
+        for n1, n2, k in ((5, 5, 3), (4, 7, 4), (7, 4, 2), (6, 6, 6)):
+            dense = rng.rand(n1, n2)
+            full = _sparse_from(dense, np.ones((n1, n2), dtype=bool))
+            assert matching_top_k(full, k) == matching_top_k(dense, k)
+
+    def test_blocked_masks_equal_legacy_semantics(self):
+        """Random partial masks (fallback included) match the old densify
+        path exactly — seeded continuous scores make optima unique."""
+        rng = np.random.RandomState(9)
+        for trial in range(25):
+            n1, n2 = rng.randint(3, 10), rng.randint(3, 10)
+            dense = rng.rand(n1, n2)
+            keep = rng.rand(n1, n2) < rng.uniform(0.3, 0.95)
+            if not keep.any():
+                continue
+            S = _sparse_from(dense, keep)
+            k = int(rng.randint(1, 5))
+            assert matching_top_k(S, k) == _legacy_matching_oracle(S, k), trial
+
+    def test_no_dense_allocation_when_matchings_exist(self, monkeypatch):
+        """A blocked world whose rounds all admit perfect matchings never
+        touches the dense fallback (the only densifying path)."""
+        import repro.core.topk as topk_mod
+
+        def _boom(*args, **kwargs):  # pragma: no cover — must not run
+            raise AssertionError("sparse matching densified")
+
+        monkeypatch.setattr(topk_mod, "_sparse_matching_fallback", _boom)
+        rng = np.random.RandomState(3)
+        # block-diagonal candidate mask: full 6x6 blocks stay 6-regular,
+        # so every one of the k <= 6 rounds has a perfect matching
+        blocks = 3
+        size = 6
+        n = blocks * size
+        keep = np.zeros((n, n), dtype=bool)
+        for b in range(blocks):
+            sl = slice(b * size, (b + 1) * size)
+            keep[sl, sl] = True
+        dense = rng.rand(n, n)
+        S = _sparse_from(dense, keep)
+        out = matching_top_k(S, 4)
+        for i, cand in enumerate(out):
+            assert len(cand) == 4
+            assert all(keep[i, c] for c in cand)
+
+    def test_empty_row_falls_back_and_matches_legacy(self):
+        rng = np.random.RandomState(17)
+        dense = rng.rand(5, 5)
+        keep = np.ones((5, 5), dtype=bool)
+        keep[2, :] = False  # no candidates: perfect matching impossible
+        S = _sparse_from(dense, keep)
+        out = matching_top_k(S, 2)
+        assert out == _legacy_matching_oracle(S, 2)
+        assert out[2] == []
+
+    def test_zero_scores_are_real_edges(self):
+        """A genuine 0.0 score is a selectable candidate, not a pruned pair."""
+        dense = np.array([[0.0, 0.5], [0.5, 0.0]])
+        S = _sparse_from(dense, np.ones((2, 2), dtype=bool))
+        out = matching_top_k(S, 2)
+        assert out == [[1, 0], [0, 1]]
 
 
 class TestTrueMatchRanks:
