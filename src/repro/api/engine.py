@@ -252,10 +252,10 @@ class Engine:
         return getattr(self.extractor, "cache", None)
 
     def _cache_bytes_total(self) -> int:
-        """Accounted cache bytes: per-session similarity + shared extraction."""
+        """Accounted cache bytes: per-session similarity matrices + refined
+        post matrices, plus the shared extraction cache."""
         total = sum(
-            session.similarity_cache.nbytes()
-            for session in self._sessions.values()
+            session.cache_nbytes() for session in self._sessions.values()
         )
         extraction = self._extraction_cache()
         return total + (extraction.nbytes() if extraction is not None else 0)
@@ -291,7 +291,7 @@ class Engine:
             for session in list(self._sessions.values()):
                 if self._cache_bytes_total() <= budget:
                     break
-                if session.similarity_cache.nbytes() > 0:
+                if session.cache_nbytes() > 0:
                     session.drop_caches()
                     cleared += 1
             if (
@@ -337,6 +337,19 @@ class Engine:
                 for key, session in self._sessions.items()
             ]
             extraction = self._extraction_cache()
+            # engine-wide per-policy blocking view: every session's mask
+            # builds folded together, so a long-running `serve` can watch
+            # candidate generation without walking the session list
+            blocking: dict = {}
+            for stats in sessions:
+                for entry in stats["blocking"]:
+                    agg = blocking.setdefault(
+                        entry["policy"],
+                        {"masks_built": 0, "candidates": 0, "generation_s": 0.0},
+                    )
+                    agg["masks_built"] += entry["masks_built"]
+                    agg["candidates"] += entry["candidates"]
+                    agg["generation_s"] += entry["generation_s"]
             return {
                 "version": __version__,
                 "attacks": self.attacks,
@@ -344,8 +357,12 @@ class Engine:
                 "session_evictions": self.session_evictions,
                 "max_sessions": self.max_sessions,
                 "cache_bytes": sum(s["similarity_bytes"] for s in sessions),
+                "post_matrix_bytes": sum(
+                    s["post_matrix_bytes"] for s in sessions
+                ),
                 "cache_budget_bytes": self.cache_budget_bytes,
                 "cache_budget_evictions": self.cache_budget_evictions,
+                "blocking": blocking,
                 "extraction": (
                     extraction.counters() if extraction is not None else None
                 ),

@@ -61,10 +61,15 @@ class AttackRequest:
     ``refined=False`` stops after the Top-K phase.
 
     ``blocking`` selects the candidate-generation policy of the Top-K
-    phase (``"none"`` = exact dense scoring; see
+    phase (``"none"`` = exact dense scoring; single policies or ``"+"``
+    composites like ``"lsh+degree_band"``; see
     :mod:`repro.core.blocking`).  The blocking fields serialize only when
-    a policy is active, so default (dense) requests keep their historical
-    wire format — and the golden canonical report JSON — byte-identical.
+    a policy is active — and the ANN knobs (``blocking_lsh_bands`` /
+    ``blocking_lsh_rows`` for ``lsh``, ``blocking_ann_m`` /
+    ``blocking_ann_ef`` for ``ann_graph``, ``blocking_seed`` for either)
+    only when their policy atom is — so default (dense) requests keep
+    their historical wire format — and the golden canonical report JSON —
+    byte-identical.
 
     ``extract_workers`` is the process-pool width of the phase-0 feature
     extraction (``1`` = serial, ``0`` = one per core).  A pure
@@ -96,19 +101,47 @@ class AttackRequest:
     blocking_band_width: float = 1.0
     blocking_min_shared: int = 1
     blocking_keep: float = 0.2
+    blocking_lsh_bands: int = 48
+    blocking_lsh_rows: int = 6
+    blocking_ann_m: int = 12
+    blocking_ann_ef: int = 48
+    blocking_seed: int = 0
     extract_workers: int = 1
     seed: int = 0
+
+    def _blocking_atoms(self) -> set:
+        """The policy atoms named by ``blocking``, leniently split.
+
+        Validation happens in :meth:`validate` (via the config); this
+        helper only decides which knobs are *relevant*, so construction of
+        a not-yet-validated request never raises.
+        """
+        if not isinstance(self.blocking, str):
+            return set()
+        return {part.strip() for part in self.blocking.split("+")}
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "weights", _weights_tuple(self.weights))
         object.__setattr__(self, "ks", tuple(int(k) for k in self.ks))
-        if self.blocking == "none":
-            # normalize inert policy parameters so equal-behaviour requests
-            # compare equal and to_dict/from_dict stays a strict round-trip
-            # (the blocking fields are omitted from the wire when "none")
+        # normalize inert policy parameters so equal-behaviour requests
+        # compare equal and to_dict/from_dict stays a strict round-trip
+        # (a knob is omitted from the wire whenever no active policy atom
+        # reads it)
+        atoms = self._blocking_atoms()
+        if not atoms & {"degree_band", "union"}:
             object.__setattr__(self, "blocking_band_width", 1.0)
+        if not atoms & {"attr_index", "union"}:
             object.__setattr__(self, "blocking_min_shared", 1)
+        if not atoms & {"attr_index", "union", "lsh", "ann_graph"}:
             object.__setattr__(self, "blocking_keep", 0.2)
+        if "lsh" not in atoms:
+            object.__setattr__(self, "blocking_lsh_bands", 48)
+            object.__setattr__(self, "blocking_lsh_rows", 6)
+        if "ann_graph" not in atoms:
+            object.__setattr__(self, "blocking_ann_m", 12)
+            object.__setattr__(self, "blocking_ann_ef", 48)
+        if not atoms & {"lsh", "ann_graph"}:
+            object.__setattr__(self, "blocking_seed", 0)
 
     # --- validation / conversion ---------------------------------------
 
@@ -132,6 +165,11 @@ class AttackRequest:
             blocking_band_width=self.blocking_band_width,
             blocking_min_shared=self.blocking_min_shared,
             blocking_keep=self.blocking_keep,
+            blocking_lsh_bands=self.blocking_lsh_bands,
+            blocking_lsh_rows=self.blocking_lsh_rows,
+            blocking_ann_m=self.blocking_ann_m,
+            blocking_ann_ef=self.blocking_ann_ef,
+            blocking_seed=self.blocking_seed,
             extract_workers=self.extract_workers,
             seed=self.seed,
         )
@@ -200,12 +238,26 @@ class AttackRequest:
         }
         # The blocking fields are serialized only when a policy is active:
         # default (dense) requests keep the pre-blocking wire format, so
-        # checked-in goldens and external clients are unaffected.
+        # checked-in goldens and external clients are unaffected.  The ANN
+        # knobs are likewise scoped to their own policies, so attr_index /
+        # degree_band requests keep their pre-ANN wire format.
         if self.blocking != "none":
             payload["blocking"] = self.blocking
-            payload["blocking_band_width"] = self.blocking_band_width
-            payload["blocking_min_shared"] = self.blocking_min_shared
-            payload["blocking_keep"] = self.blocking_keep
+            atoms = self._blocking_atoms()
+            if atoms & {"degree_band", "union"}:
+                payload["blocking_band_width"] = self.blocking_band_width
+            if atoms & {"attr_index", "union"}:
+                payload["blocking_min_shared"] = self.blocking_min_shared
+            if atoms & {"attr_index", "union", "lsh", "ann_graph"}:
+                payload["blocking_keep"] = self.blocking_keep
+            if "lsh" in atoms:
+                payload["blocking_lsh_bands"] = self.blocking_lsh_bands
+                payload["blocking_lsh_rows"] = self.blocking_lsh_rows
+            if "ann_graph" in atoms:
+                payload["blocking_ann_m"] = self.blocking_ann_m
+                payload["blocking_ann_ef"] = self.blocking_ann_ef
+            if atoms & {"lsh", "ann_graph"}:
+                payload["blocking_seed"] = self.blocking_seed
         # Performance knob, not science: serialized only when non-default,
         # so default requests keep the historical wire format.
         if self.extract_workers != 1:

@@ -21,6 +21,58 @@ from repro.forum.split import SplitResult, closed_world_split, open_world_split
 from repro.stylometry.extractor import FeatureExtractor
 
 
+class PostMatrixCache(dict):
+    """Per-user post-matrix store with O(1) byte accounting.
+
+    A plain dict to its consumer (:class:`~repro.core.RefinedDeanonymizer`
+    reads and writes it like any cache), plus a running byte total so the
+    engine's ``cache_budget_bytes`` enforcement can account the refined
+    phase's matrices without iterating a dict that another thread may be
+    filling mid-run.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.nbytes_total = 0
+
+    def __setitem__(self, key, value) -> None:
+        previous = self.get(key)
+        if previous is not None:
+            self.nbytes_total -= int(previous.nbytes)
+        self.nbytes_total += int(value.nbytes)
+        super().__setitem__(key, value)
+
+    def __delitem__(self, key) -> None:
+        previous = self.get(key)
+        if previous is not None:
+            self.nbytes_total -= int(previous.nbytes)
+        super().__delitem__(key)
+
+    def pop(self, key, *default):
+        if key in self:
+            self.nbytes_total -= int(self[key].nbytes)
+        return super().pop(key, *default)
+
+    def popitem(self):
+        key, value = super().popitem()
+        self.nbytes_total -= int(value.nbytes)
+        return key, value
+
+    def setdefault(self, key, default=None):
+        if key not in self:
+            self[key] = default  # route through __setitem__ accounting
+            return default
+        return self[key]
+
+    def update(self, *args, **kwargs) -> None:
+        for key, value in dict(*args, **kwargs).items():
+            self[key] = value  # route through __setitem__ accounting
+
+    def clear(self) -> None:
+        self.nbytes_total = 0
+        super().clear()
+
+
 class AttackSession:
     """Runs :class:`AttackRequest` variants against one split, with caching.
 
@@ -141,7 +193,7 @@ class AttackSession:
         reused = self._graphs is not None
         anonymized, auxiliary = self.graphs
         caches = self._post_caches.setdefault(
-            request.use_structural_features, ({}, {})
+            request.use_structural_features, (PostMatrixCache(), PostMatrixCache())
         )
         attack = DeHealth(request.to_config()).fit(
             anonymized,
@@ -204,16 +256,43 @@ class AttackSession:
         with self._lock:
             return self._similarity_cache.clear()
 
+    def post_matrix_entries(self) -> int:
+        """Cached per-user post matrices across both sides and flag values."""
+        return sum(
+            len(cache)
+            for caches in list(self._post_caches.values())
+            for cache in caches
+        )
+
+    def post_matrix_nbytes(self) -> int:
+        """Bytes held by the refined phase's cached post matrices."""
+        return sum(
+            cache.nbytes_total
+            for caches in list(self._post_caches.values())
+            for cache in caches
+        )
+
+    def cache_nbytes(self) -> int:
+        """Budget-accounted bytes: similarity cache + post matrices."""
+        return self._similarity_cache.nbytes() + self.post_matrix_nbytes()
+
     def drop_caches(self) -> int:
-        """Budget-eviction entry: clear the similarity cache *without* the
-        session lock.
+        """Budget-eviction entry: clear the similarity and post-matrix
+        caches *without* the session lock.
 
         The engine's byte-budget enforcer runs under the engine lock and
         must not wait on a session mid-fit; the similarity cache is
-        internally synchronized, so clearing it directly is safe — at
-        worst an in-flight build re-inserts its one entry afterwards.
+        internally synchronized and the post-matrix caches tolerate a
+        racing re-insert (worst case, one matrix is re-extracted), so
+        clearing them directly is safe — at worst an in-flight build
+        re-inserts its entries afterwards.
         """
-        return self._similarity_cache.clear()
+        dropped = self._similarity_cache.clear()
+        for caches in list(self._post_caches.values()):
+            for cache in caches:
+                dropped += len(cache)
+                cache.clear()
+        return dropped
 
     def stats(self) -> dict:
         """Cache counters: graph builds/hits, similarity builds/hits/bytes.
@@ -232,6 +311,9 @@ class AttackSession:
             "similarity_hits": sim["hits"],
             "similarity_entries": sim["entries"],
             "similarity_bytes": sim["bytes"],
+            "post_matrix_entries": self.post_matrix_entries(),
+            "post_matrix_bytes": self.post_matrix_nbytes(),
+            "blocking": self._similarity_cache.blocking_stats(),
             "n_anonymized": self.split.anonymized.n_users,
             "n_auxiliary": self.split.auxiliary.n_users,
         }

@@ -37,6 +37,22 @@ from repro.experiments import run_fig1, run_fig2, run_fig7
 from repro.forum import load_dataset, save_dataset
 
 
+def _parse_blocking_arg(text: str) -> str:
+    """Validated blocking policy spec (argparse ``type=``).
+
+    Accepts any :data:`~repro.api.BLOCKING_CHOICES` member or a
+    ``"+"``-composite like ``lsh+degree_band``; rejects unknown policies
+    at parse time so typos fail before a corpus is loaded.
+    """
+    from repro.core.config import parse_blocking
+
+    try:
+        parse_blocking(text)
+    except ConfigError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+    return text
+
+
 def _parse_weights(text: str) -> tuple:
     """``"c1,c2,c3"`` -> float triple (argparse ``type=``)."""
     parts = text.split(",")
@@ -92,6 +108,12 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         refined=not args.skip_refined,
         ks=tuple(sorted({1, 5, args.top_k})),
         blocking=args.blocking,
+        blocking_keep=args.blocking_keep,
+        blocking_lsh_bands=args.lsh_bands,
+        blocking_lsh_rows=args.lsh_rows,
+        blocking_ann_m=args.ann_m,
+        blocking_ann_ef=args.ann_ef,
+        blocking_seed=args.blocking_seed,
         extract_workers=args.extract_workers,
         seed=args.seed,
     )
@@ -252,9 +274,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="only run the Top-K phase",
     )
     attack.add_argument(
-        "--blocking", choices=BLOCKING_CHOICES, default="none",
-        help="candidate-blocking policy for the Top-K phase "
-             "(none = exact dense scoring)",
+        "--blocking", type=_parse_blocking_arg, default="none",
+        metavar="POLICY",
+        help="candidate-blocking policy for the Top-K phase: one of "
+             f"{'|'.join(BLOCKING_CHOICES)} or a '+'-composite like "
+             "lsh+degree_band (none = exact dense scoring)",
+    )
+    attack.add_argument(
+        "--blocking-keep", type=float, default=0.2, metavar="F",
+        help="per-user candidate cap as a fraction of the auxiliary side "
+             "(attr_index/lsh/ann_graph policies)",
+    )
+    attack.add_argument(
+        "--lsh-bands", type=int, default=48, metavar="B",
+        help="LSH bucket bands (blocking=lsh)",
+    )
+    attack.add_argument(
+        "--lsh-rows", type=int, default=6, metavar="R",
+        help="SimHash bits per LSH band (blocking=lsh)",
+    )
+    attack.add_argument(
+        "--ann-m", type=int, default=12, metavar="M",
+        help="NSW edges per node (blocking=ann_graph)",
+    )
+    attack.add_argument(
+        "--ann-ef", type=int, default=48, metavar="EF",
+        help="NSW search beam width (blocking=ann_graph)",
+    )
+    attack.add_argument(
+        "--blocking-seed", type=int, default=0, metavar="S",
+        help="seed of the LSH hyperplanes / ANN insertion order",
     )
     attack.add_argument(
         "--extract-workers", type=int, default=1, metavar="N",
@@ -283,9 +332,11 @@ def build_parser() -> argparse.ArgumentParser:
              "timing fields dropped)",
     )
     sweep.add_argument(
-        "--blocking", choices=BLOCKING_CHOICES, default=None,
+        "--blocking", type=_parse_blocking_arg, default=None,
+        metavar="POLICY",
         help="force a candidate-blocking policy onto every matrix variant "
-             "(default: whatever the matrix spec says)",
+             f"({'|'.join(BLOCKING_CHOICES)} or a '+'-composite; "
+             "default: whatever the matrix spec says)",
     )
     sweep.add_argument(
         "--extract-workers", type=int, default=None, metavar="N",

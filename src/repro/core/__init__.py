@@ -9,13 +9,22 @@ verification schemes (false addition, mean-verification).
 from repro.core.baseline import StylometryBaseline
 from repro.core.blocking import (
     CandidateMask,
+    NSWIndex,
     SparseSimilarity,
+    ann_graph_candidates,
     attr_index_candidates,
     build_candidates,
     degree_band_candidates,
+    lsh_signature_bits,
+    lsh_candidates,
     union_candidates,
 )
-from repro.core.config import BLOCKING_CHOICES, DeHealthConfig, SimilarityWeights
+from repro.core.config import (
+    BLOCKING_CHOICES,
+    DeHealthConfig,
+    SimilarityWeights,
+    parse_blocking,
+)
 from repro.core.filtering import FilterOutcome, filter_candidates
 from repro.core.pipeline import DeHealth
 from repro.core.refined import RefinedDeanonymizer
@@ -31,6 +40,7 @@ __all__ = [
     "DeHealth",
     "DeHealthConfig",
     "FilterOutcome",
+    "NSWIndex",
     "RefinedDeanonymizer",
     "SimilarityCache",
     "SimilarityComputer",
@@ -38,12 +48,16 @@ __all__ = [
     "SparseSimilarity",
     "StylometryBaseline",
     "TopKResult",
+    "ann_graph_candidates",
     "attr_index_candidates",
     "build_candidates",
     "degree_band_candidates",
     "direct_top_k",
     "filter_candidates",
+    "lsh_signature_bits",
+    "lsh_candidates",
     "matching_top_k",
     "mean_verification",
+    "parse_blocking",
     "union_candidates",
 ]

@@ -17,7 +17,21 @@ before scoring; this module provides that stage for De-Health:
   paper's ``s^a``, computable from the index counts alone) and only the
   top ``keep_fraction`` of each anonymized user's column set is retained;
 * ``"union"`` — the union of the two masks above: the recall-safe policy
-  (a true match missed by one blocker is usually caught by the other).
+  (a true match missed by one blocker is usually caught by the other);
+* ``"lsh"`` — banded random-hyperplane (SimHash) signatures over the
+  per-user attribute-profile vectors; candidates are the union of
+  band-bucket collisions, ranked by how many bands collide, with the same
+  per-row ``keep_fraction`` cap.  Cost is ``O((n1 + n2) · d · bits)`` for
+  the signatures plus the collisions actually emitted — no ``n1 × n2``
+  work anywhere;
+* ``"ann_graph"`` — a small NSW-style (navigable-small-world) greedy
+  search index built over the auxiliary profiles, queried per anonymized
+  row for its nearest neighbours under cosine.  The high-recall
+  alternative when signature bucketing is too coarse.
+
+Composite policies are spelled ``"a+b"`` (e.g. ``"lsh+degree_band"``):
+the masks of the parts are OR-ed, the recall-safe composition with the
+existing exact blockers.
 
 Every policy produces a :class:`CandidateMask` — a per-anonymized-user
 candidate column set stored as a boolean CSR matrix — which the sparse
@@ -27,16 +41,27 @@ scoring path in :mod:`repro.core.similarity` evaluates pair-by-pair
 
 from __future__ import annotations
 
+import heapq
+
 import numpy as np
 from scipy import sparse
 
-from repro.core.config import BLOCKING_CHOICES
+from repro.core.config import BLOCKING_CHOICES, parse_blocking
 from repro.errors import ConfigError
 from repro.graph.uda import UDAGraph
 
 #: Row-chunk size (anonymized users per block) for the inverted-index
 #: sweep — bounds peak memory of candidate generation itself.
 _ATTR_CHUNK_ROWS = 256
+
+#: Bits per LSH band must pack into one uint64 bucket key.
+MAX_LSH_ROWS = 62
+
+#: Minimum width of the LSH ranking signature: when ``bands × rows`` is
+#: smaller, extra (non-banded) hyperplane bits are appended so the hamming
+#: re-rank of colliding pairs stays a sharp cosine proxy even under coarse
+#: bucketing.  Linear cost, so generously sized.
+LSH_RANK_BITS = 512
 
 
 class CandidateMask:
@@ -48,12 +73,15 @@ class CandidateMask:
     CSR data order is a stable COO enumeration of the candidate pairs.
     """
 
-    def __init__(self, matrix: sparse.spmatrix) -> None:
+    def __init__(self, matrix: sparse.spmatrix, meta: "dict | None" = None) -> None:
         csr = sparse.csr_matrix(matrix, dtype=bool)
         csr.eliminate_zeros()
         csr.sum_duplicates()
         csr.sort_indices()
         self.matrix = csr
+        #: Policy-specific generation accounting (e.g. the LSH collision
+        #: counts) — free-form, JSON-safe, surfaced through blocking stats.
+        self.meta: dict = dict(meta or {})
 
     # --- geometry -------------------------------------------------------
 
@@ -106,7 +134,9 @@ class CandidateMask:
             raise ConfigError(
                 f"cannot union masks of shapes {self.shape} and {other.shape}"
             )
-        return CandidateMask(self.matrix.maximum(other.matrix))
+        return CandidateMask(
+            self.matrix.maximum(other.matrix), meta={**self.meta, **other.meta}
+        )
 
     def __repr__(self) -> str:
         return (
@@ -352,6 +382,399 @@ def union_candidates(
     )
 
 
+# --- approximate-nearest-neighbour policies -----------------------------
+
+
+def _profile_matrix(graph: UDAGraph) -> sparse.csr_matrix:
+    """Per-user profile vectors the ANN policies hash/search over.
+
+    The attribute weight rows with a ``log1p`` temper: the *set* of
+    exhibited stylometric attributes carries the identity signal, so heavy
+    posters must not dominate the hyperplane projections linearly.
+    """
+    W = graph.attr_weights.astype(np.float32).tocsr().copy()
+    W.data = np.log1p(W.data)
+    return W
+
+
+#: Memo of seeded hyperplane matrices keyed ``(d, bits, seed)``.  The
+#: Gaussian draw is deterministic, so sharing it across calls (sweep
+#: variants, re-fits) is free; the bound keeps at most a few MB alive.
+_PLANES_MEMO: dict = {}
+_PLANES_MEMO_MAX = 4
+
+
+def _hyperplanes(d: int, bits: int, seed: int) -> np.ndarray:
+    """The seeded ``(d, bits)`` float32 Gaussian hyperplane matrix."""
+    key = (d, bits, seed)
+    planes = _PLANES_MEMO.get(key)
+    if planes is None:
+        rng = np.random.default_rng(np.random.PCG64(seed))
+        planes = rng.standard_normal((d, bits), dtype=np.float32)
+        while len(_PLANES_MEMO) >= _PLANES_MEMO_MAX:
+            # concurrent sessions may race here; eviction is best-effort
+            try:
+                _PLANES_MEMO.pop(next(iter(_PLANES_MEMO)))
+            except (StopIteration, KeyError):  # pragma: no cover
+                break
+        _PLANES_MEMO[key] = planes
+    return planes
+
+
+def _popcount(words: np.ndarray) -> np.ndarray:
+    """Element-wise population count of a uint64 array (shape-preserving)."""
+    if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+        return np.bitwise_count(words)
+    # numpy 1.x fallback: expand each uint64 into its 8 bytes on a new
+    # trailing axis, unpack to bits, and sum that axis away again
+    expanded = words.reshape(words.shape + (1,)).view(np.uint8)
+    return np.unpackbits(expanded, axis=-1).sum(axis=-1, dtype=np.int64)
+
+
+def lsh_signature_bits(
+    X1: sparse.spmatrix,
+    X2: sparse.spmatrix,
+    bands: int,
+    rows: int,
+    seed: int = 0,
+) -> tuple:
+    """Centered SimHash bit signatures for both sides.
+
+    Both matrices are projected onto the *same* seeded Gaussian
+    hyperplanes and thresholded at the joint mean projection (equivalent
+    to mean-centering the profile vectors before hashing — essential on
+    stylometric profiles, where every user shares the common language
+    backbone and raw cosines bunch together).  The first ``bands × rows``
+    bits feed the band buckets; the signature is padded to at least
+    :data:`LSH_RANK_BITS` total bits so the hamming re-rank of colliding
+    pairs stays sharp under coarse bucketing.  Deterministic across runs
+    and processes: the hyperplanes come from a ``PCG64(seed)`` stream and
+    every operation is pure NumPy.  Cost is ``O((nnz(X1) + nnz(X2)) ·
+    bits)`` — linear in the number of users, never quadratic.
+    """
+    if bands < 1:
+        raise ConfigError(f"lsh_bands must be >= 1, got {bands}")
+    if not 1 <= rows <= MAX_LSH_ROWS:
+        raise ConfigError(
+            f"lsh_rows must be in [1, {MAX_LSH_ROWS}], got {rows}"
+        )
+    if bands * (1 << rows) > (1 << 64):
+        # the composite bucket keys pack (band, key) into one uint64:
+        # band offsets beyond 2^64 would wrap and alias distinct bands
+        raise ConfigError(
+            f"lsh_bands × 2^lsh_rows must fit in 64 bits, "
+            f"got {bands} × 2^{rows}"
+        )
+    X1 = sparse.csr_matrix(X1, dtype=np.float32)
+    X2 = sparse.csr_matrix(X2, dtype=np.float32)
+    if X1.shape[1] != X2.shape[1]:
+        raise ConfigError(
+            f"profile widths differ: {X1.shape[1]} vs {X2.shape[1]}"
+        )
+    total_bits = max(LSH_RANK_BITS, bands * rows)
+    # float32 throughout: sign bits only need the projection's sign, and
+    # the narrower dtype halves the matmul bandwidth of the hot step
+    planes = _hyperplanes(X1.shape[1], total_bits, seed)
+    proj1 = np.asarray(X1 @ planes)
+    proj2 = np.asarray(X2 @ planes)
+    n = proj1.shape[0] + proj2.shape[0]
+    center = (
+        proj1.sum(axis=0, dtype=np.float64)
+        + proj2.sum(axis=0, dtype=np.float64)
+    ) / max(n, 1)
+    center = center.astype(np.float32)
+    return proj1 >= center, proj2 >= center
+
+
+def _band_keys(bits: np.ndarray, bands: int, rows: int) -> np.ndarray:
+    """``(n, bands)`` uint64 bucket keys from a signature bit matrix."""
+    weights = np.uint64(1) << np.arange(rows, dtype=np.uint64)
+    keys = np.empty((bits.shape[0], bands), dtype=np.uint64)
+    for band in range(bands):
+        block = bits[:, band * rows : (band + 1) * rows]
+        keys[:, band] = block.astype(np.uint64) @ weights
+    return keys
+
+
+def _packed_signatures(bits: np.ndarray) -> np.ndarray:
+    """Pack signature bits into ``(n, ceil(bits/64))`` uint64 words."""
+    n, total = bits.shape
+    words = int(np.ceil(total / 64)) or 1
+    padded = np.zeros((n, words * 64), dtype=np.uint8)
+    padded[:, :total] = bits
+    weights = np.uint64(1) << np.arange(64, dtype=np.uint64)
+    return padded.reshape(n, words, 64).astype(np.uint64) @ weights
+
+
+def lsh_candidates(
+    anonymized: UDAGraph,
+    auxiliary: UDAGraph,
+    bands: int = 48,
+    rows: int = 6,
+    keep_fraction: float = 0.2,
+    seed: int = 0,
+) -> CandidateMask:
+    """Banded SimHash blocking: candidates = band-bucket collisions.
+
+    Both sides are signed with the *same* seeded, mean-centered
+    hyperplanes (:func:`lsh_signature_bits`); a pair is a candidate iff at
+    least one band's bucket keys agree.  Colliding pairs are ranked by the
+    hamming agreement of their *full* signatures — a sharp, cheap cosine
+    proxy computed only at collisions — and each anonymized user keeps at
+    most ``ceil(keep_fraction × n2)`` columns.  The whole computation is
+    signatures (linear) + sort/searchsorted per band + the collisions
+    actually emitted — no ``n1 × n2`` array or loop exists anywhere, so
+    cost and memory scale sub-quadratically whenever the buckets do their
+    job.  ``meta`` records ``lsh_collision_touches`` (band-level
+    emissions, the true generation cost) and ``lsh_distinct_pairs``
+    (unique pairs before the per-row cap).
+    """
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ConfigError(
+            f"keep_fraction must be in (0, 1], got {keep_fraction}"
+        )
+    bits1, bits2 = lsh_signature_bits(
+        _profile_matrix(anonymized),
+        _profile_matrix(auxiliary),
+        bands,
+        rows,
+        seed=seed,
+    )
+    keys1 = _band_keys(bits1, bands, rows)
+    keys2 = _band_keys(bits2, bands, rows)
+    n1, n2 = keys1.shape[0], keys2.shape[0]
+
+    # One composite sort serves every band: keys of band b live in the
+    # disjoint uint64 range [b·2^rows, (b+1)·2^rows), so a single
+    # argsort + searchsorted over the band-major flattening replaces the
+    # per-band loop entirely.
+    band_offsets = (
+        np.arange(bands, dtype=np.uint64) << np.uint64(rows)
+    )[:, None]
+    comp1 = (keys1.T + band_offsets).ravel()  # (bands · n1,) band-major
+    comp2 = (keys2.T + band_offsets).ravel()  # (bands · n2,)
+    order = np.argsort(comp2, kind="stable")
+    sorted_keys = comp2[order]
+    lo = np.searchsorted(sorted_keys, comp1, side="left")
+    hi = np.searchsorted(sorted_keys, comp1, side="right")
+    counts = hi - lo
+    touches = int(counts.sum())
+
+    if not touches:
+        matrix = sparse.csr_matrix((n1, n2), dtype=bool)
+        return CandidateMask(
+            matrix, meta={"lsh_collision_touches": 0, "lsh_distinct_pairs": 0}
+        )
+    # vectorized multi-slice gather: for every (band, anonymized-row)
+    # query, the positions [lo, hi) of its bucket, without a Python loop
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    within = np.arange(touches, dtype=np.int64) - np.repeat(
+        offsets[:-1], counts
+    )
+    flat_pos = order[np.repeat(lo, counts) + within]
+    pair_cols = flat_pos % n2  # order indexes the band-major flattening
+    pair_rows = np.repeat(
+        np.tile(np.arange(n1, dtype=np.int64), bands), counts
+    )
+    # dedup across bands: encoded pair ids sort row-major, so one sort +
+    # neighbour-diff yields the distinct pairs in CSR order (cost
+    # ∝ touches · log touches, never n1 × n2)
+    encoded = pair_rows * np.int64(n2) + pair_cols
+    encoded.sort(kind="quicksort")
+    first = np.empty(len(encoded), dtype=bool)
+    first[0] = True
+    np.not_equal(encoded[1:], encoded[:-1], out=first[1:])
+    encoded = encoded[first]
+    distinct = len(encoded)
+    flat_rows = encoded // np.int64(n2)
+    flat_cols = encoded % np.int64(n2)
+    # hamming agreement of the full signatures at the distinct pairs only:
+    # total bits minus popcount of the XOR-ed packed signature words
+    packed1 = _packed_signatures(bits1)
+    packed2 = _packed_signatures(bits2)
+    disagreements = _popcount(
+        packed1[flat_rows] ^ packed2[flat_cols]
+    ).sum(axis=1)
+    agreement = bits1.shape[1] - disagreements.astype(np.int64)
+
+    per_row = np.bincount(flat_rows, minlength=n1).astype(np.int64)
+    row_starts = np.zeros(n1 + 1, dtype=np.int64)
+    np.cumsum(per_row, out=row_starts[1:])
+    keep = max(1, int(np.ceil(keep_fraction * n2)))
+    row_cols: list = []
+    for i in range(n1):
+        lo_i, hi_i = row_starts[i], row_starts[i + 1]
+        cols = flat_cols[lo_i:hi_i]
+        if len(cols) > keep:
+            top = np.argpartition(-agreement[lo_i:hi_i], keep - 1)[:keep]
+            cols = np.sort(cols[top])
+        row_cols.append(cols)
+    counts_per_row = np.array([len(c) for c in row_cols], dtype=np.int64)
+    indptr = np.zeros(n1 + 1, dtype=np.int64)
+    np.cumsum(counts_per_row, out=indptr[1:])
+    indices = (
+        np.concatenate(row_cols) if indptr[-1] else np.empty(0, dtype=np.int64)
+    )
+    matrix = sparse.csr_matrix(
+        (np.ones(indptr[-1], dtype=bool), indices, indptr), shape=(n1, n2)
+    )
+    return CandidateMask(
+        matrix,
+        meta={
+            "lsh_collision_touches": touches,
+            "lsh_distinct_pairs": distinct,
+        },
+    )
+
+
+class NSWIndex:
+    """A navigable-small-world greedy-search index over profile vectors.
+
+    NumPy-only approximation of HNSW's layer 0: nodes are inserted in a
+    seeded random order, each connecting bidirectionally to its ``m``
+    nearest already-inserted nodes (found by the same greedy search that
+    serves queries); neighbour lists are pruned to ``2 m`` best edges.
+    Queries run a best-first beam of width ``ef`` from a fixed entry
+    point.  Similarity is cosine (rows are L2-normalized once at build).
+    Everything — insertion order, heap tie-breaks (by node id), float
+    kernels — is deterministic across runs and processes.
+    """
+
+    def __init__(
+        self,
+        profiles: sparse.spmatrix,
+        m: int = 12,
+        ef: int = 48,
+        seed: int = 0,
+    ) -> None:
+        if m < 1:
+            raise ConfigError(f"ann_m must be >= 1, got {m}")
+        if ef < 1:
+            raise ConfigError(f"ann_ef must be >= 1, got {ef}")
+        self.m = m
+        self.ef = ef
+        X = sparse.csr_matrix(profiles, dtype=np.float64)
+        norms = np.sqrt(np.asarray(X.multiply(X).sum(axis=1)).ravel())
+        scale = np.divide(
+            1.0, norms, out=np.zeros_like(norms), where=norms > 0
+        )
+        self.X = sparse.csr_matrix(X.multiply(scale[:, None]))
+        self.n = X.shape[0]
+        self.neighbors: list = [[] for _ in range(self.n)]
+        rng = np.random.default_rng(np.random.PCG64(seed))
+        self._order = rng.permutation(self.n)
+        self._entry = int(self._order[0]) if self.n else 0
+        self._build()
+
+    # --- construction ---------------------------------------------------
+
+    def _build(self) -> None:
+        max_degree = 2 * self.m
+        for rank in range(1, self.n):
+            node = int(self._order[rank])
+            q = self.X[node].toarray().ravel()
+            found = self.search(q, ef=max(self.ef, self.m))
+            links = [j for _, j in found[: self.m]]
+            self.neighbors[node] = links
+            for j in links:
+                self.neighbors[j].append(node)
+                if len(self.neighbors[j]) > max_degree:
+                    self.neighbors[j] = self._prune(j, max_degree)
+
+    def _prune(self, node: int, max_degree: int) -> list:
+        """Keep the ``max_degree`` highest-similarity edges of ``node``."""
+        cand = sorted(set(self.neighbors[node]))
+        sims = np.asarray(
+            self.X[cand] @ self.X[node].toarray().ravel()
+        ).ravel()
+        ranked = sorted(zip(-sims, cand))  # ties break on node id
+        return [j for _, j in ranked[:max_degree]]
+
+    # --- search ---------------------------------------------------------
+
+    def search(self, q: np.ndarray, ef: "int | None" = None) -> list:
+        """Greedy best-first beam: ``[(similarity, node), ...]`` desc.
+
+        Returns at most ``ef`` results.  ``q`` must be an L2-normalized
+        dense vector (or the zero vector, which matches nothing and simply
+        walks the graph deterministically).
+        """
+        if not self.n:
+            return []
+        ef = ef or self.ef
+        entry = self._entry
+        sim_entry = float((self.X[entry] @ q)[0])
+        visited = {entry}
+        candidates = [(-sim_entry, entry)]  # max-heap via negation
+        results = [(sim_entry, entry)]  # min-heap, bounded at ef
+        while candidates:
+            neg_sim, node = heapq.heappop(candidates)
+            if -neg_sim < results[0][0] and len(results) >= ef:
+                break
+            fresh = [j for j in self.neighbors[node] if j not in visited]
+            if not fresh:
+                continue
+            visited.update(fresh)
+            sims = np.asarray(self.X[fresh] @ q).ravel()
+            for j, sim in zip(fresh, sims):
+                sim = float(sim)
+                if len(results) < ef or sim > results[0][0]:
+                    heapq.heappush(candidates, (-sim, j))
+                    heapq.heappush(results, (sim, j))
+                    if len(results) > ef:
+                        heapq.heappop(results)
+        return sorted(results, key=lambda pair: (-pair[0], pair[1]))
+
+
+def ann_graph_candidates(
+    anonymized: UDAGraph,
+    auxiliary: UDAGraph,
+    m: int = 12,
+    ef: int = 48,
+    keep_fraction: float = 0.2,
+    seed: int = 0,
+) -> CandidateMask:
+    """NSW greedy-search blocking: per-row nearest profiles as candidates.
+
+    An :class:`NSWIndex` is built over the auxiliary profile vectors and
+    queried once per anonymized row; each row keeps its ``min(ef,
+    ceil(keep_fraction × n2))`` best-found neighbours.  Build and query
+    cost scale with ``(n1 + n2) · ef``-ish graph walks — never ``n1 × n2``
+    — making this the high-recall sub-quadratic alternative when LSH
+    bucketing is too coarse for the corpus.  ``meta`` records the index's
+    edge count.
+    """
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ConfigError(
+            f"keep_fraction must be in (0, 1], got {keep_fraction}"
+        )
+    index = NSWIndex(_profile_matrix(auxiliary), m=m, ef=ef, seed=seed)
+    X1 = _profile_matrix(anonymized)
+    norms = np.sqrt(np.asarray(X1.multiply(X1).sum(axis=1)).ravel())
+    n1, n2 = X1.shape[0], index.n
+    keep = min(ef, max(1, int(np.ceil(keep_fraction * n2))))
+
+    row_cols: list = []
+    for i in range(n1):
+        q = X1[i].toarray().ravel()
+        if norms[i] > 0:
+            q = q / norms[i]
+        found = index.search(q, ef=ef)
+        cols = np.array(sorted(j for _, j in found[:keep]), dtype=np.int64)
+        row_cols.append(cols)
+    counts_per_row = np.array([len(c) for c in row_cols], dtype=np.int64)
+    indptr = np.zeros(n1 + 1, dtype=np.int64)
+    np.cumsum(counts_per_row, out=indptr[1:])
+    indices = (
+        np.concatenate(row_cols) if indptr[-1] else np.empty(0, dtype=np.int64)
+    )
+    matrix = sparse.csr_matrix(
+        (np.ones(indptr[-1], dtype=bool), indices, indptr), shape=(n1, n2)
+    )
+    edges = sum(len(links) for links in index.neighbors)
+    return CandidateMask(matrix, meta={"ann_graph_edges": edges})
+
+
 def build_candidates(
     anonymized: UDAGraph,
     auxiliary: UDAGraph,
@@ -360,27 +783,66 @@ def build_candidates(
     radius: int = 1,
     min_shared: int = 1,
     keep_fraction: float = 0.2,
+    lsh_bands: int = 48,
+    lsh_rows: int = 6,
+    ann_m: int = 12,
+    ann_ef: int = 48,
+    seed: int = 0,
 ) -> "CandidateMask | None":
-    """Build the candidate mask for ``policy`` (``None`` for ``"none"``)."""
-    if policy == "none":
+    """Build the candidate mask for ``policy`` (``None`` for ``"none"``).
+
+    ``policy`` may be a single policy name or a ``"+"``-joined composite
+    (``"lsh+degree_band"``): composite masks are the element-wise OR of
+    their parts, the recall-safe composition.
+    """
+    atoms = parse_blocking(policy)
+    if atoms == ("none",):
         return None
-    if policy == "degree_band":
-        return degree_band_candidates(
-            anonymized, auxiliary, band_width=band_width, radius=radius
+
+    def build_atom(atom: str) -> CandidateMask:
+        if atom == "degree_band":
+            return degree_band_candidates(
+                anonymized, auxiliary, band_width=band_width, radius=radius
+            )
+        if atom == "attr_index":
+            return attr_index_candidates(
+                anonymized,
+                auxiliary,
+                min_shared=min_shared,
+                keep_fraction=keep_fraction,
+            )
+        if atom == "union":
+            return union_candidates(
+                anonymized,
+                auxiliary,
+                band_width=band_width,
+                radius=radius,
+                min_shared=min_shared,
+                keep_fraction=keep_fraction,
+            )
+        if atom == "lsh":
+            return lsh_candidates(
+                anonymized,
+                auxiliary,
+                bands=lsh_bands,
+                rows=lsh_rows,
+                keep_fraction=keep_fraction,
+                seed=seed,
+            )
+        if atom == "ann_graph":
+            return ann_graph_candidates(
+                anonymized,
+                auxiliary,
+                m=ann_m,
+                ef=ann_ef,
+                keep_fraction=keep_fraction,
+                seed=seed,
+            )
+        raise ConfigError(
+            f"blocking policy must be one of {BLOCKING_CHOICES}, got {policy!r}"
         )
-    if policy == "attr_index":
-        return attr_index_candidates(
-            anonymized, auxiliary, min_shared=min_shared, keep_fraction=keep_fraction
-        )
-    if policy == "union":
-        return union_candidates(
-            anonymized,
-            auxiliary,
-            band_width=band_width,
-            radius=radius,
-            min_shared=min_shared,
-            keep_fraction=keep_fraction,
-        )
-    raise ConfigError(
-        f"blocking policy must be one of {BLOCKING_CHOICES}, got {policy!r}"
-    )
+
+    mask = build_atom(atoms[0])
+    for atom in atoms[1:]:
+        mask = mask | build_atom(atom)
+    return mask

@@ -16,7 +16,46 @@ SELECTION_CHOICES: tuple[str, ...] = ("direct", "matching")
 VERIFICATION_CHOICES: tuple[str, ...] = ("mean", "false_addition")
 
 #: Candidate-blocking policies (``"none"`` = exact dense scoring).
-BLOCKING_CHOICES: tuple[str, ...] = ("none", "degree_band", "attr_index", "union")
+#: Policies other than ``"none"`` may be composed with ``"+"``
+#: (``"lsh+degree_band"``): the composite mask is the OR of the parts.
+BLOCKING_CHOICES: tuple[str, ...] = (
+    "none",
+    "degree_band",
+    "attr_index",
+    "union",
+    "lsh",
+    "ann_graph",
+)
+
+
+def parse_blocking(policy) -> tuple:
+    """Split a blocking policy spec into its validated atoms.
+
+    ``"attr_index"`` -> ``("attr_index",)``; ``"lsh+degree_band"`` ->
+    ``("lsh", "degree_band")``.  ``"none"`` cannot be composed, every atom
+    must be a :data:`BLOCKING_CHOICES` member, and duplicates are
+    rejected.  Raises :class:`~repro.errors.ConfigError` otherwise.
+    """
+    if not isinstance(policy, str) or not policy:
+        raise ConfigError(
+            f"blocking policy must be one of {BLOCKING_CHOICES} "
+            f"(optionally '+'-composed), got {policy!r}"
+        )
+    atoms = tuple(part.strip() for part in policy.split("+"))
+    for atom in atoms:
+        if atom not in BLOCKING_CHOICES:
+            raise ConfigError(
+                f"blocking policy must be one of {BLOCKING_CHOICES} "
+                f"(optionally '+'-composed), got {policy!r}"
+            )
+    if len(atoms) > 1 and "none" in atoms:
+        raise ConfigError(
+            f"blocking 'none' cannot be composed with other policies, "
+            f"got {policy!r}"
+        )
+    if len(set(atoms)) != len(atoms):
+        raise ConfigError(f"blocking composite repeats a policy: {policy!r}")
+    return atoms
 
 
 @dataclass(frozen=True)
@@ -64,6 +103,19 @@ class DeHealthConfig:
     the full pair space; rows with fewer index-generated candidates keep
     them all).
 
+    The approximate-nearest-neighbour policies make candidate generation
+    itself sub-quadratic: ``"lsh"`` hashes every user's attribute-profile
+    vector into ``blocking_lsh_bands`` bucket keys of ``blocking_lsh_rows``
+    SimHash bits each (candidates = band-bucket collisions, ranked by
+    full-signature hamming agreement under the same ``blocking_keep``
+    cap); ``"ann_graph"`` builds an NSW greedy-search index over the
+    auxiliary profiles (``blocking_ann_m`` edges per node) and
+    beam-searches it per anonymized row (width ``blocking_ann_ef``).
+    Both are seeded by ``blocking_seed`` and deterministic across runs
+    and processes.  Policies compose with ``"+"``
+    (``"lsh+degree_band"``): the masks are OR-ed, the recall-safe
+    combination.
+
     ``extract_workers`` is the process-pool width of the phase-0 feature
     extraction (``1`` = in-process serial, ``0`` = one worker per
     available core).  A pure performance knob: extraction output is
@@ -87,6 +139,11 @@ class DeHealthConfig:
     blocking_band_width: float = 1.0
     blocking_min_shared: int = 1
     blocking_keep: float = 0.2
+    blocking_lsh_bands: int = 48
+    blocking_lsh_rows: int = 6
+    blocking_ann_m: int = 12
+    blocking_ann_ef: int = 48
+    blocking_seed: int = 0
     extract_workers: int = 1
     seed: int = 0
 
@@ -123,10 +180,7 @@ class DeHealthConfig:
             raise ConfigError(
                 f"attribute_weight_cap must be >= 1, got {self.attribute_weight_cap}"
             )
-        if self.blocking not in BLOCKING_CHOICES:
-            raise ConfigError(
-                f"blocking must be one of {BLOCKING_CHOICES}, got {self.blocking!r}"
-            )
+        parse_blocking(self.blocking)
         if self.blocking_band_width <= 0:
             raise ConfigError(
                 f"blocking_band_width must be > 0, got {self.blocking_band_width}"
@@ -138,6 +192,29 @@ class DeHealthConfig:
         if not 0.0 < self.blocking_keep <= 1.0:
             raise ConfigError(
                 f"blocking_keep must be in (0, 1], got {self.blocking_keep}"
+            )
+        if self.blocking_lsh_bands < 1:
+            raise ConfigError(
+                f"blocking_lsh_bands must be >= 1, got {self.blocking_lsh_bands}"
+            )
+        if not 1 <= self.blocking_lsh_rows <= 62:
+            raise ConfigError(
+                f"blocking_lsh_rows must be in [1, 62], got {self.blocking_lsh_rows}"
+            )
+        if self.blocking_lsh_bands * (1 << self.blocking_lsh_rows) > (1 << 64):
+            # composite bucket keys pack (band, key) into one uint64
+            raise ConfigError(
+                f"blocking_lsh_bands × 2^blocking_lsh_rows must fit in 64 "
+                f"bits, got {self.blocking_lsh_bands} × "
+                f"2^{self.blocking_lsh_rows}"
+            )
+        if self.blocking_ann_m < 1:
+            raise ConfigError(
+                f"blocking_ann_m must be >= 1, got {self.blocking_ann_m}"
+            )
+        if self.blocking_ann_ef < 1:
+            raise ConfigError(
+                f"blocking_ann_ef must be >= 1, got {self.blocking_ann_ef}"
             )
         if self.extract_workers < 0:
             raise ConfigError(

@@ -88,6 +88,11 @@ class DeHealth:
             blocking_band_width=self.config.blocking_band_width,
             blocking_min_shared=self.config.blocking_min_shared,
             blocking_keep=self.config.blocking_keep,
+            blocking_lsh_bands=self.config.blocking_lsh_bands,
+            blocking_lsh_rows=self.config.blocking_lsh_rows,
+            blocking_ann_m=self.config.blocking_ann_m,
+            blocking_ann_ef=self.config.blocking_ann_ef,
+            blocking_seed=self.config.blocking_seed,
         )
         self._refined = RefinedDeanonymizer(
             self.anonymized,

@@ -28,12 +28,13 @@ The three components can be evaluated two ways:
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 from scipy import sparse
 
 from repro.core.blocking import CandidateMask, SparseSimilarity, build_candidates
-from repro.core.config import SimilarityWeights
+from repro.core.config import SimilarityWeights, parse_blocking
 from repro.graph.landmarks import landmark_closeness, select_landmarks
 from repro.graph.uda import UDAGraph
 
@@ -199,6 +200,7 @@ class SimilarityCache:
         self._matrices: dict = {}
         self.builds: dict = {}
         self.hits: dict = {}
+        self._blocking_stats: dict = {}
         # Protects dict mutation vs the snapshot reads (counters/nbytes):
         # writers are already serialized by their session's lock, but a
         # stats poll must be able to read consistently without waiting on
@@ -265,6 +267,43 @@ class SimilarityCache:
             "bytes": self.nbytes(),
         }
 
+    # --- blocking observability -----------------------------------------
+
+    def record_blocking(
+        self, policy: str, mask: "CandidateMask", generation_s: float
+    ) -> None:
+        """Fold one candidate-mask build into the per-policy accounting.
+
+        Cumulative (like build/hit counters, the totals survive
+        :meth:`clear`), so a long-running service reports every mask a
+        policy ever generated, not just the currently cached one.  Meta
+        counters (collision touches, distinct pairs, graph edges) are
+        numeric per-build counts and accumulate the same way;
+        ``n_total_pairs`` is the world geometry — identical for every
+        build of this graph pair — and is simply recorded.
+        """
+        with self._mutex:
+            entry = self._blocking_stats.setdefault(
+                policy,
+                {
+                    "policy": policy,
+                    "masks_built": 0,
+                    "candidates": 0,
+                    "generation_s": 0.0,
+                },
+            )
+            entry["masks_built"] += 1
+            entry["candidates"] += mask.n_pairs
+            entry["generation_s"] += generation_s
+            entry["n_total_pairs"] = mask.n_total_pairs
+            for key, value in mask.meta.items():
+                entry[key] = entry.get(key, 0) + value
+
+    def blocking_stats(self) -> list:
+        """Per-policy candidate-generation stats, JSON-safe."""
+        with self._mutex:
+            return [dict(entry) for entry in self._blocking_stats.values()]
+
 
 class SimilarityComputer:
     """Computes and caches the three similarity components for a graph pair.
@@ -291,6 +330,11 @@ class SimilarityComputer:
         blocking_band_width: float = 1.0,
         blocking_min_shared: int = 1,
         blocking_keep: float = 0.2,
+        blocking_lsh_bands: int = 48,
+        blocking_lsh_rows: int = 6,
+        blocking_ann_m: int = 12,
+        blocking_ann_ef: int = 48,
+        blocking_seed: int = 0,
     ) -> None:
         self.anonymized = anonymized
         self.auxiliary = auxiliary
@@ -303,6 +347,11 @@ class SimilarityComputer:
         self.blocking_band_width = blocking_band_width
         self.blocking_min_shared = blocking_min_shared
         self.blocking_keep = blocking_keep
+        self.blocking_lsh_bands = blocking_lsh_bands
+        self.blocking_lsh_rows = blocking_lsh_rows
+        self.blocking_ann_m = blocking_ann_m
+        self.blocking_ann_ef = blocking_ann_ef
+        self.blocking_seed = blocking_seed
 
     # --- components -----------------------------------------------------
 
@@ -410,20 +459,46 @@ class SimilarityComputer:
 
     # --- blocking / sparse pair scoring ---------------------------------
 
+    def _atom_key(self, atom: str) -> tuple:
+        if atom == "degree_band":
+            return ("degree_band", self.blocking_band_width)
+        if atom == "attr_index":
+            return ("attr_index", self.blocking_min_shared, self.blocking_keep)
+        if atom == "union":
+            return (
+                "union",
+                self.blocking_band_width,
+                self.blocking_min_shared,
+                self.blocking_keep,
+            )
+        if atom == "lsh":
+            return (
+                "lsh",
+                self.blocking_lsh_bands,
+                self.blocking_lsh_rows,
+                self.blocking_keep,
+                self.blocking_seed,
+            )
+        return (
+            "ann_graph",
+            self.blocking_ann_m,
+            self.blocking_ann_ef,
+            self.blocking_keep,
+            self.blocking_seed,
+        )
+
     def blocking_key(self) -> tuple:
-        """Hashable identity of the blocking policy and its parameters."""
+        """Hashable identity of the blocking policy and its parameters.
+
+        Composite policies concatenate their atoms' keys, so any distinct
+        parameterization — of any part — lands in its own cache slot.
+        """
         if self.blocking == "none":
             return ("none",)
-        if self.blocking == "degree_band":
-            return ("degree_band", self.blocking_band_width)
-        if self.blocking == "attr_index":
-            return ("attr_index", self.blocking_min_shared, self.blocking_keep)
-        return (
-            "union",
-            self.blocking_band_width,
-            self.blocking_min_shared,
-            self.blocking_keep,
-        )
+        key: tuple = ()
+        for atom in parse_blocking(self.blocking):
+            key += self._atom_key(atom)
+        return key
 
     def candidate_mask(self) -> "CandidateMask | None":
         """The cached candidate mask of this computer's blocking policy."""
@@ -434,14 +509,24 @@ class SimilarityComputer:
         )
 
     def _build_mask(self) -> CandidateMask:
-        return build_candidates(
+        started = time.perf_counter()
+        mask = build_candidates(
             self.anonymized,
             self.auxiliary,
             self.blocking,
             band_width=self.blocking_band_width,
             min_shared=self.blocking_min_shared,
             keep_fraction=self.blocking_keep,
+            lsh_bands=self.blocking_lsh_bands,
+            lsh_rows=self.blocking_lsh_rows,
+            ann_m=self.blocking_ann_m,
+            ann_ef=self.blocking_ann_ef,
+            seed=self.blocking_seed,
         )
+        self.cache.record_blocking(
+            self.blocking, mask, time.perf_counter() - started
+        )
+        return mask
 
     def degree_pairs(self) -> np.ndarray:
         """s^d at the masked pairs only (CSR data order of the mask)."""

@@ -8,10 +8,18 @@ candidate-blocking layer buys:
   every ``n1 × n2`` pair);
 * ``matrix_bytes`` — bytes held by the similarity cache after scoring
   (dense matrices vs masks + pair arrays), the peak-memory proxy;
+* ``generation_s`` — wall time of candidate generation alone (mask
+  construction; 0 for the dense path).  The quantity the ANN policies
+  (``lsh``, ``ann_graph``) exist to bend: ``attr_index`` touches every
+  attribute-slot collision, the ANN policies only signature buckets or
+  graph walks;
 * ``elapsed_s`` — wall time of candidate generation + scoring + top-k;
 * ``topk_recall`` — fraction of the dense top-K candidate pairs the
   blocked run also surfaces (1.0 = blocking lost nothing the dense
-  ranking cared about).
+  ranking cared about);
+* ``true_match_recall`` — blocked top-K true-match hits over dense top-K
+  true-match hits: the attack-level recall (can exceed 1.0 — pruning
+  confusers sometimes promotes the true match into the top K).
 
 Graphs are built once and shared across policies, so the measurement
 isolates the scoring stage — exactly the stage blocking restructures.
@@ -27,7 +35,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.core.config import BLOCKING_CHOICES, SimilarityWeights
+from repro.core.config import BLOCKING_CHOICES, SimilarityWeights, parse_blocking
 from repro.core.similarity import SimilarityCache, SimilarityComputer
 from repro.core.topk import direct_top_k
 from repro.datagen import webmd_like
@@ -48,6 +56,9 @@ class PolicyScaling:
     matrix_bytes: int
     elapsed_s: float
     topk_recall: float
+    generation_s: float = 0.0
+    true_match_recall: float = 1.0
+    meta: "dict | None" = field(default=None, hash=False)
 
 
 @dataclass(frozen=True)
@@ -69,7 +80,8 @@ class ScalingResult:
 
     def table(self) -> str:
         header = (
-            "policy", "pairs", "pair_frac", "matrix_MB", "seconds", "recall"
+            "policy", "pairs", "pair_frac", "matrix_MB", "gen_s",
+            "seconds", "recall", "tm_recall",
         )
         body = [
             (
@@ -77,8 +89,10 @@ class ScalingResult:
                 str(row.n_pairs),
                 f"{row.pair_fraction:.3f}",
                 f"{row.matrix_bytes / 1e6:.2f}",
+                f"{row.generation_s:.3f}",
                 f"{row.elapsed_s:.2f}",
                 f"{row.topk_recall:.3f}",
+                f"{row.true_match_recall:.3f}",
             )
             for row in self.rows
         ]
@@ -100,19 +114,22 @@ def run_scaling(
     policies: tuple = BLOCKING_CHOICES,
     weights: "SimilarityWeights | None" = None,
     blocking_keep: float = 0.2,
+    lsh_bands: int = 48,
+    lsh_rows: int = 6,
+    ann_m: int = 12,
+    ann_ef: int = 48,
+    blocking_seed: int = 0,
     extract_workers: int = 1,
 ) -> ScalingResult:
     """Score one synthetic world under every requested blocking policy.
 
     The dense path (``"none"``) always runs — it is the recall reference —
     even when not listed in ``policies``; listed policies report in input
-    order with ``"none"`` first.
+    order with ``"none"`` first.  ``policies`` entries may be single
+    policies or ``"+"`` composites.
     """
     for policy in policies:
-        if policy not in BLOCKING_CHOICES:
-            raise ConfigError(
-                f"policy must be one of {BLOCKING_CHOICES}, got {policy!r}"
-            )
+        parse_blocking(policy)
     dataset = webmd_like(
         n_users=n_users, seed=seed, min_posts_per_user=min_posts_per_user
     ).dataset
@@ -128,6 +145,14 @@ def run_scaling(
     extraction_s = time.perf_counter() - extraction_started
     total_pairs = anonymized.n_users * auxiliary.n_users
 
+    aux_index = {u: j for j, u in enumerate(auxiliary.users)}
+    truth_cols = {
+        i: aux_index[target]
+        for i, anon in enumerate(anonymized.users)
+        for target in [split.truth.mapping.get(anon)]
+        if target in aux_index
+    }
+
     def run_policy(policy: str) -> tuple:
         cache = SimilarityCache()
         computer = SimilarityComputer(
@@ -138,29 +163,42 @@ def run_scaling(
             cache=cache,
             blocking=policy,
             blocking_keep=blocking_keep,
+            blocking_lsh_bands=lsh_bands,
+            blocking_lsh_rows=lsh_rows,
+            blocking_ann_m=ann_m,
+            blocking_ann_ef=ann_ef,
+            blocking_seed=blocking_seed,
+        )
+        generation_started = time.perf_counter()
+        mask = computer.candidate_mask()  # None for the dense path
+        generation_s = (
+            time.perf_counter() - generation_started if mask is not None else 0.0
         )
         started = time.perf_counter()
         scores = computer.scores()
         topk = _topk_sets(scores, top_k)
-        elapsed = time.perf_counter() - started
-        mask = computer.candidate_mask()
+        elapsed = generation_s + (time.perf_counter() - started)
         n_pairs = total_pairs if mask is None else mask.n_pairs
-        return topk, PolicyScaling(
+        tm_hits = sum(1 for i, col in truth_cols.items() if col in topk[i])
+        return topk, tm_hits, PolicyScaling(
             policy=policy,
             n_pairs=n_pairs,
             pair_fraction=n_pairs / total_pairs if total_pairs else 0.0,
             matrix_bytes=cache.nbytes(),
             elapsed_s=elapsed,
             topk_recall=1.0,  # provisional; rewritten against the dense sets
+            generation_s=generation_s,
+            true_match_recall=1.0,  # provisional, same
+            meta=dict(mask.meta) if mask is not None else None,
         )
 
-    dense_topk, dense_row = run_policy("none")
+    dense_topk, dense_tm_hits, dense_row = run_policy("none")
     rows = []
     for policy in ("none",) + tuple(p for p in policies if p != "none"):
         if policy == "none":
             rows.append(dense_row)
             continue
-        blocked_topk, row = run_policy(policy)
+        blocked_topk, tm_hits, row = run_policy(policy)
         hits = total = 0
         for dense_set, blocked_set in zip(dense_topk, blocked_topk):
             total += len(dense_set)
@@ -174,6 +212,11 @@ def run_scaling(
                 matrix_bytes=row.matrix_bytes,
                 elapsed_s=row.elapsed_s,
                 topk_recall=recall,
+                generation_s=row.generation_s,
+                true_match_recall=(
+                    tm_hits / dense_tm_hits if dense_tm_hits else 1.0
+                ),
+                meta=row.meta,
             )
         )
     return ScalingResult(

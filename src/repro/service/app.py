@@ -17,15 +17,23 @@ POST     /linkage      run the NameLink/AvatarLink campaign
 
 ``/attack`` and ``/sweep`` accept the full request schema, including the
 candidate-blocking knobs (``"blocking"``: ``none`` | ``degree_band`` |
-``attr_index`` | ``union`` plus ``blocking_band_width`` /
-``blocking_min_shared`` / ``blocking_keep``); blocked variants score only
-candidate pairs instead of the dense ``n1 × n2`` matrix.  They also accept
-``"extract_workers"`` (process-pool width of phase-0 feature extraction;
-byte-identical output at any width — the extractor switches to the
-fork-safe spawn start method under this threaded server).  ``GET /stats``
-reports the engine's shared extraction-cache counters
-(hits/misses/builds/entries/bytes) alongside the per-session similarity
-cache accounting and the ``cache_budget_bytes`` eviction counters.
+``attr_index`` | ``union`` | ``lsh`` | ``ann_graph`` or a ``"+"``
+composite like ``"lsh+degree_band"``, plus ``blocking_band_width`` /
+``blocking_min_shared`` / ``blocking_keep`` and the ANN knobs
+``blocking_lsh_bands`` / ``blocking_lsh_rows`` / ``blocking_ann_m`` /
+``blocking_ann_ef`` / ``blocking_seed``); blocked variants score only
+candidate pairs instead of the dense ``n1 × n2`` matrix, and the ANN
+policies generate those candidates sub-quadratically (SimHash band
+buckets / NSW greedy search).  They also accept ``"extract_workers"``
+(process-pool width of phase-0 feature extraction; byte-identical output
+at any width — the extractor switches to the fork-safe spawn start method
+under this threaded server).  ``GET /stats`` reports the engine's shared
+extraction-cache counters (hits/misses/builds/entries/bytes) alongside
+the per-session similarity cache accounting, the refined phase's
+post-matrix cache bytes (``post_matrix_bytes``, budget-accounted), the
+``cache_budget_bytes`` eviction counters, and per-policy blocking stats
+(``blocking``: masks built, candidates generated, generation wall time
+per policy — per session and aggregated engine-wide).
 
 Errors come back as ``{"error": {"type": ..., "message": ...}}`` built on
 the :mod:`repro.errors` hierarchy: :class:`~repro.errors.ConfigError` (and

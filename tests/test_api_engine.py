@@ -299,3 +299,111 @@ class TestLinkage:
     def test_linkage_validates(self):
         with pytest.raises(ConfigError):
             Engine().linkage(users=0)
+
+
+class TestPostMatrixAccounting:
+    """The refined phase's per-user post matrices are budget-accounted."""
+
+    def test_refined_attack_populates_post_matrix_stats(self, tiny_corpus):
+        eng = Engine()
+        eng.register("tiny", tiny_corpus)
+        eng.attack(_request(split_seed=310))
+        stats = eng.stats()
+        session = stats["sessions"][0]
+        assert session["post_matrix_entries"] > 0
+        assert session["post_matrix_bytes"] > 0
+        assert stats["post_matrix_bytes"] == session["post_matrix_bytes"]
+
+    def test_unrefined_attack_keeps_post_caches_empty(self, tiny_corpus):
+        eng = Engine()
+        eng.register("tiny", tiny_corpus)
+        eng.attack(_request(split_seed=311, refined=False))
+        session = eng.stats()["sessions"][0]
+        assert session["post_matrix_entries"] == 0
+        assert session["post_matrix_bytes"] == 0
+
+    def test_drop_caches_clears_post_matrices(self, tiny_corpus):
+        session = AttackSession.from_dataset(
+            tiny_corpus, aux_fraction=0.5, split_seed=312
+        )
+        session.run(_request(split_seed=312))
+        assert session.post_matrix_nbytes() > 0
+        assert session.cache_nbytes() >= session.post_matrix_nbytes()
+        dropped = session.drop_caches()
+        assert dropped > 0
+        assert session.post_matrix_nbytes() == 0
+        assert session.post_matrix_entries() == 0
+
+    def test_budget_evicts_post_matrices(self, tiny_corpus):
+        """A budget below the post-matrix bytes forces their eviction."""
+        eng = Engine()
+        eng.register("tiny", tiny_corpus)
+        eng.attack(_request(split_seed=313))
+        post_bytes = eng.stats()["post_matrix_bytes"]
+        assert post_bytes > 0
+        eng.cache_budget_bytes = 1
+        eng.enforce_cache_budget()
+        stats = eng.stats()
+        assert stats["post_matrix_bytes"] == 0
+        assert stats["cache_budget_evictions"] >= 1
+
+
+class TestPostMatrixCacheMutators:
+    def test_all_mutators_keep_byte_accounting_exact(self):
+        import numpy as np
+
+        from repro.api.session import PostMatrixCache
+
+        cache = PostMatrixCache()
+        a = np.zeros((3, 4))
+        b = np.zeros((2, 2))
+        cache["a"] = a
+        cache.update({"b": b})
+        assert cache.nbytes_total == a.nbytes + b.nbytes
+        cache["a"] = b  # replacement re-accounts
+        assert cache.nbytes_total == 2 * b.nbytes
+        cache.setdefault("a", a)  # present: no change
+        assert cache.nbytes_total == 2 * b.nbytes
+        cache.pop("a")
+        assert cache.nbytes_total == b.nbytes
+        del cache["b"]
+        assert cache.nbytes_total == 0
+        cache.setdefault("c", a)
+        assert cache.nbytes_total == a.nbytes
+        cache.popitem()
+        assert cache.nbytes_total == 0 and len(cache) == 0
+
+
+class TestBlockingStats:
+    """Per-policy candidate-generation observability on stats surfaces."""
+
+    def test_session_and_engine_blocking_stats(self, tiny_corpus):
+        eng = Engine()
+        eng.register("tiny", tiny_corpus)
+        eng.attack(
+            _request(split_seed=320, refined=False, blocking="attr_index")
+        )
+        eng.attack(
+            _request(split_seed=320, refined=False, blocking="lsh", top_k=3)
+        )
+        stats = eng.stats()
+        session = stats["sessions"][0]
+        by_policy = {entry["policy"]: entry for entry in session["blocking"]}
+        assert by_policy["attr_index"]["masks_built"] == 1
+        assert by_policy["attr_index"]["candidates"] > 0
+        assert by_policy["attr_index"]["generation_s"] >= 0.0
+        assert by_policy["lsh"]["masks_built"] == 1
+        assert by_policy["lsh"]["lsh_collision_touches"] > 0
+        # engine-level aggregate mirrors the single session here
+        assert stats["blocking"]["lsh"]["candidates"] == by_policy["lsh"][
+            "candidates"
+        ]
+        assert stats["blocking"]["attr_index"]["masks_built"] == 1
+
+    def test_dense_attacks_report_no_blocking(self, tiny_corpus):
+        eng = Engine()
+        eng.register("tiny", tiny_corpus)
+        eng.attack(_request(split_seed=321, refined=False))
+        stats = eng.stats()
+        assert stats["blocking"] == {}
+        assert stats["sessions"][0]["blocking"] == []

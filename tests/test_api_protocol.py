@@ -126,9 +126,85 @@ class TestAttackRequest:
         assert config.blocking == "union"
         assert config.blocking_band_width == 2.0
         with pytest.raises(ConfigError, match="blocking"):
-            AttackRequest(blocking="lsh").validate()
+            AttackRequest(blocking="bogus").validate()
         with pytest.raises(ConfigError, match="blocking_keep"):
             AttackRequest(blocking="attr_index", blocking_keep=0.0).validate()
+
+    def test_ann_knobs_omitted_for_non_ann_policies(self):
+        # attr_index/degree_band requests keep their pre-ANN wire format:
+        # the lsh/ann knobs only travel with their own policy atoms
+        wire = AttackRequest(blocking="attr_index").to_dict()
+        assert "blocking_lsh_bands" not in wire
+        assert "blocking_ann_m" not in wire
+        assert "blocking_seed" not in wire
+
+    def test_classic_knobs_scoped_to_their_atoms(self):
+        # band_width/min_shared are inert for lsh/ann_graph: normalized
+        # away and off the wire, so equal-behaviour requests compare equal
+        assert AttackRequest(
+            blocking="lsh", blocking_band_width=2.0
+        ) == AttackRequest(blocking="lsh")
+        wire = AttackRequest(blocking="lsh").to_dict()
+        assert "blocking_band_width" not in wire
+        assert "blocking_min_shared" not in wire
+        assert "blocking_keep" in wire  # lsh reads the cap
+        wire = AttackRequest(blocking="degree_band").to_dict()
+        assert "blocking_band_width" in wire
+        assert "blocking_keep" not in wire  # degree_band has no cap
+
+    def test_lsh_roundtrip_with_knobs(self):
+        request = AttackRequest(
+            blocking="lsh",
+            blocking_lsh_bands=24,
+            blocking_lsh_rows=4,
+            blocking_keep=0.1,
+            blocking_seed=9,
+        )
+        wire = json.loads(json.dumps(request.to_dict()))
+        assert wire["blocking"] == "lsh"
+        assert wire["blocking_lsh_bands"] == 24
+        assert wire["blocking_lsh_rows"] == 4
+        assert wire["blocking_seed"] == 9
+        assert "blocking_ann_m" not in wire
+        assert AttackRequest.from_dict(wire) == request
+        config = request.to_config()
+        assert config.blocking_lsh_bands == 24
+        assert config.blocking_seed == 9
+
+    def test_ann_graph_roundtrip_with_knobs(self):
+        request = AttackRequest(
+            blocking="ann_graph", blocking_ann_m=6, blocking_ann_ef=32
+        )
+        wire = json.loads(json.dumps(request.to_dict()))
+        assert wire["blocking_ann_m"] == 6
+        assert wire["blocking_ann_ef"] == 32
+        assert "blocking_lsh_bands" not in wire
+        assert AttackRequest.from_dict(wire) == request
+
+    def test_composite_policy_roundtrip(self):
+        request = AttackRequest(
+            blocking="lsh+degree_band",
+            blocking_lsh_bands=32,
+            blocking_band_width=2.0,
+        )
+        wire = json.loads(json.dumps(request.to_dict()))
+        assert wire["blocking"] == "lsh+degree_band"
+        assert wire["blocking_lsh_bands"] == 32
+        assert wire["blocking_band_width"] == 2.0
+        assert AttackRequest.from_dict(wire) == request
+        request.validate()
+        with pytest.raises(ConfigError, match="blocking"):
+            AttackRequest(blocking="lsh+bogus").validate()
+
+    def test_inert_ann_knobs_normalized(self):
+        # knobs of inactive policies normalize to defaults, so requests
+        # that behave identically compare equal (and hit the same session)
+        assert AttackRequest(blocking_lsh_bands=99) == AttackRequest()
+        assert AttackRequest(
+            blocking="attr_index", blocking_ann_ef=99
+        ) == AttackRequest(blocking="attr_index")
+        with_seed = AttackRequest(blocking="lsh", blocking_seed=3)
+        assert with_seed != AttackRequest(blocking="lsh")
 
 
 class TestAttackReport:

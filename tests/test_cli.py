@@ -117,7 +117,7 @@ class TestCommands:
 
     def test_attack_blocking_choices(self):
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["attack", "c.jsonl", "--blocking", "lsh"])
+            build_parser().parse_args(["attack", "c.jsonl", "--blocking", "bogus"])
 
     def test_attack_with_selection_and_weights(self, tmp_path, capsys):
         out = tmp_path / "corpus.jsonl"

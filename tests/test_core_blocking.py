@@ -15,6 +15,8 @@ masks and scores.
 """
 
 import random
+import subprocess
+import sys
 
 import numpy as np
 import pytest
@@ -23,16 +25,21 @@ from scipy import sparse
 from repro.core import (
     DeHealth,
     DeHealthConfig,
+    NSWIndex,
     SimilarityComputer,
+    ann_graph_candidates,
     attr_index_candidates,
     build_candidates,
     degree_band_candidates,
     direct_top_k,
     filter_candidates,
+    lsh_candidates,
+    lsh_signature_bits,
     matching_top_k,
+    parse_blocking,
     union_candidates,
 )
-from repro.core.blocking import CandidateMask, SparseSimilarity
+from repro.core.blocking import CandidateMask, SparseSimilarity, _profile_matrix
 from repro.core.topk import true_match_ranks
 from repro.datagen import webmd_like
 from repro.errors import ConfigError
@@ -40,6 +47,8 @@ from repro.forum.split import closed_world_split
 from repro.graph.uda import UDAGraph
 
 POLICIES = ("degree_band", "attr_index", "union")
+ANN_POLICIES = ("lsh", "ann_graph")
+ALL_POLICIES = POLICIES + ANN_POLICIES
 
 #: Per-policy knobs for the recall gate — generous enough that the true
 #: match always survives on the rich corpora below (verified property).
@@ -47,6 +56,14 @@ GATE_KNOBS = {
     "degree_band": {"band_width": 2.0},
     "attr_index": {"keep_fraction": 0.7},
     "union": {"band_width": 1.0, "keep_fraction": 0.3},
+    # lsh: 2-bit bands make a bucket collision near-certain for any pair
+    # with correlated profiles; no per-row cap, so the gate isolates the
+    # bucketing itself
+    "lsh": {"lsh_bands": 64, "lsh_rows": 2, "keep_fraction": 1.0},
+    # ann_graph: a beam wider than the auxiliary side walks the whole
+    # (connected-by-construction) NSW graph — exhaustive, so the gate
+    # isolates graph connectivity
+    "ann_graph": {"ann_ef": 256, "keep_fraction": 1.0},
 }
 
 
@@ -107,11 +124,11 @@ class TestCandidateMask:
     def test_build_candidates_dispatch(self, small_world):
         _, g1, g2 = small_world
         assert build_candidates(g1, g2, "none") is None
-        for policy in POLICIES:
+        for policy in ALL_POLICIES:
             mask = build_candidates(g1, g2, policy)
             assert isinstance(mask, CandidateMask)
-        with pytest.raises(ConfigError, match="blocking policy"):
-            build_candidates(g1, g2, "lsh")
+        with pytest.raises(ConfigError, match="blocking"):
+            build_candidates(g1, g2, "simhashx")
 
     def test_parameter_validation(self, small_world):
         _, g1, g2 = small_world
@@ -123,6 +140,47 @@ class TestCandidateMask:
             attr_index_candidates(g1, g2, keep_fraction=0.0)
         with pytest.raises(ConfigError):
             attr_index_candidates(g1, g2, keep_fraction=1.5)
+        with pytest.raises(ConfigError):
+            lsh_candidates(g1, g2, bands=0)
+        with pytest.raises(ConfigError):
+            lsh_candidates(g1, g2, rows=0)
+        with pytest.raises(ConfigError):
+            lsh_candidates(g1, g2, rows=63)
+        with pytest.raises(ConfigError):
+            lsh_candidates(g1, g2, keep_fraction=0.0)
+        with pytest.raises(ConfigError):
+            ann_graph_candidates(g1, g2, m=0)
+        with pytest.raises(ConfigError):
+            ann_graph_candidates(g1, g2, ef=0)
+        # composite uint64 bucket keys: band offsets must not wrap
+        with pytest.raises(ConfigError, match="64 bits"):
+            lsh_candidates(g1, g2, bands=8, rows=62)
+        with pytest.raises(ConfigError, match="64 bits"):
+            DeHealthConfig(
+                blocking="lsh", blocking_lsh_bands=8, blocking_lsh_rows=62
+            ).validate()
+
+    def test_parse_blocking_composites(self):
+        assert parse_blocking("lsh") == ("lsh",)
+        assert parse_blocking("lsh+degree_band") == ("lsh", "degree_band")
+        with pytest.raises(ConfigError, match="blocking"):
+            parse_blocking("lsh+bogus")
+        with pytest.raises(ConfigError, match="none"):
+            parse_blocking("none+lsh")
+        with pytest.raises(ConfigError, match="repeats"):
+            parse_blocking("lsh+lsh")
+        with pytest.raises(ConfigError, match="blocking"):
+            parse_blocking("")
+
+    def test_composite_mask_is_or_of_parts(self, small_world):
+        _, g1, g2 = small_world
+        composite = build_candidates(g1, g2, "lsh+degree_band")
+        lsh = build_candidates(g1, g2, "lsh")
+        band = build_candidates(g1, g2, "degree_band")
+        expected = lsh.matrix.maximum(band.matrix)
+        assert (composite.matrix != expected).nnz == 0
+        # meta of both parts survives the union
+        assert "lsh_collision_touches" in composite.meta
 
 
 class TestDenseIdentity:
@@ -139,7 +197,7 @@ class TestDenseIdentity:
     # kernel; 0.1 drops the attr_index/union masks below the gather
     # threshold so the per-pair gather kernel gets identity coverage too
     @pytest.mark.parametrize("keep", (0.5, 0.1))
-    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
     def test_masked_scores_match_dense_at_pairs(self, small_world, policy, keep):
         _, g1, g2 = small_world
         dense = SimilarityComputer(g1, g2, n_landmarks=5).combined()
@@ -150,7 +208,7 @@ class TestDenseIdentity:
         rows, cols = scores.mask.pair_arrays()
         assert np.allclose(scores.values, dense[rows, cols])
 
-    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("policy", ALL_POLICIES + ("lsh+degree_band",))
     def test_blocked_pipeline_runs_end_to_end(self, small_world, policy):
         split, g1, g2 = small_world
         config = DeHealthConfig(
@@ -170,7 +228,7 @@ class TestRecallGate:
     """Seeded stdlib-random draws of rich ground-truth corpora: every
     policy's candidate set must contain every user's true match."""
 
-    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
     def test_true_match_always_survives(self, policy):
         rng = random.Random(20260730)
         for corpus_seed in rng.sample(range(10), 3):
@@ -272,3 +330,132 @@ class TestSparseConsumers:
         dense = S.to_dense()
         assert dense.shape == (2, 3)
         assert dense[0, 1] == 0.0 and dense[1, 1] == 2.0
+
+
+#: Subprocess oracle for cross-process determinism: rebuilds the same
+#: world, hashes the LSH mask's CSR structure, prints the digest.
+_SUBPROCESS_DIGEST_SCRIPT = """
+import hashlib
+from repro.core import lsh_candidates
+from repro.datagen import webmd_like
+from repro.forum.split import closed_world_split
+from repro.graph.uda import UDAGraph
+
+corpus = webmd_like(n_users=40, seed=3, min_posts_per_user=2).dataset
+split = closed_world_split(corpus, aux_fraction=0.5, seed=11)
+mask = lsh_candidates(UDAGraph(split.anonymized), UDAGraph(split.auxiliary))
+digest = hashlib.sha256()
+digest.update(mask.matrix.indptr.tobytes())
+digest.update(mask.matrix.indices.tobytes())
+print(digest.hexdigest())
+"""
+
+
+class TestANNPolicies:
+    """LSH and NSW-graph candidate generation: determinism, caps, and the
+    no-dense-materialization guarantee."""
+
+    def test_lsh_signature_bits_shape_and_determinism(self, small_world):
+        _, g1, g2 = small_world
+        X1, X2 = _profile_matrix(g1), _profile_matrix(g2)
+        bits1, bits2 = lsh_signature_bits(X1, X2, bands=8, rows=4, seed=7)
+        # padded to the ranking width, never below bands*rows
+        from repro.core.blocking import LSH_RANK_BITS
+
+        assert bits1.shape == (g1.n_users, max(LSH_RANK_BITS, 32))
+        assert bits2.shape[0] == g2.n_users
+        again1, again2 = lsh_signature_bits(X1, X2, bands=8, rows=4, seed=7)
+        assert np.array_equal(bits1, again1)
+        assert np.array_equal(bits2, again2)
+        other1, _ = lsh_signature_bits(X1, X2, bands=8, rows=4, seed=8)
+        assert not np.array_equal(bits1, other1)
+
+    def test_lsh_mask_deterministic_across_runs(self, small_world):
+        _, g1, g2 = small_world
+        a = lsh_candidates(g1, g2)
+        b = lsh_candidates(g1, g2)
+        assert (a.matrix != b.matrix).nnz == 0
+        assert a.meta == b.meta
+
+    def test_lsh_mask_deterministic_across_processes(self, small_world):
+        _, g1, g2 = small_world
+        mask = lsh_candidates(g1, g2)
+        import hashlib
+
+        digest = hashlib.sha256()
+        digest.update(mask.matrix.indptr.tobytes())
+        digest.update(mask.matrix.indices.tobytes())
+        # the small_world fixture is built from the same corpus parameters
+        # the subprocess script uses, so equal digests mean the signatures,
+        # buckets, and cap selection all replay bit-identically elsewhere
+        result = subprocess.run(
+            [sys.executable, "-c", _SUBPROCESS_DIGEST_SCRIPT],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert result.stdout.strip() == digest.hexdigest()
+
+    def test_lsh_respects_keep_fraction(self, small_world):
+        _, g1, g2 = small_world
+        keep = 0.25
+        mask = lsh_candidates(g1, g2, keep_fraction=keep)
+        cap = int(np.ceil(keep * g2.n_users))
+        assert np.diff(mask.matrix.indptr).max() <= cap
+        assert mask.meta["lsh_collision_touches"] >= mask.meta[
+            "lsh_distinct_pairs"
+        ] >= mask.n_pairs
+
+    def test_ann_graph_respects_caps(self, small_world):
+        _, g1, g2 = small_world
+        mask = ann_graph_candidates(g1, g2, ef=6, keep_fraction=0.9)
+        assert np.diff(mask.matrix.indptr).max() <= 6  # ef < keep cap
+        mask = ann_graph_candidates(g1, g2, ef=64, keep_fraction=0.1)
+        cap = int(np.ceil(0.1 * g2.n_users))
+        assert np.diff(mask.matrix.indptr).max() <= cap
+        assert mask.meta["ann_graph_edges"] > 0
+
+    def test_ann_graph_deterministic_across_runs(self, small_world):
+        _, g1, g2 = small_world
+        a = ann_graph_candidates(g1, g2)
+        b = ann_graph_candidates(g1, g2)
+        assert (a.matrix != b.matrix).nnz == 0
+
+    def test_nsw_exhaustive_search_is_exact(self, small_world):
+        """A beam wider than the graph walks every (connected) node, so
+        the search must return the exact cosine ranking."""
+        _, _, g2 = small_world
+        X = _profile_matrix(g2)
+        index = NSWIndex(X, m=4, ef=8, seed=0)
+        dense = np.asarray(X.todense(), dtype=np.float64)
+        norms = np.linalg.norm(dense, axis=1)
+        unit = dense / np.maximum(norms, 1e-12)[:, None]
+        rng = random.Random(13)
+        for node in rng.sample(range(g2.n_users), 5):
+            q = unit[node]
+            found = index.search(q, ef=4 * g2.n_users)
+            sims = unit @ q
+            best = int(np.lexsort((np.arange(len(sims)), -sims))[0])
+            assert found[0][1] == best
+
+    def test_no_dense_pair_allocation(self, small_world, monkeypatch):
+        """Neither ANN policy may materialize an (n1, n2) array — the
+        no-quadratic-memory guarantee, asserted at the allocator."""
+        _, g1, g2 = small_world
+        n1, n2 = g1.n_users, g2.n_users
+        offenders: list = []
+
+        def guard(name, real):
+            def wrapped(shape, *args, **kwargs):
+                dims = shape if isinstance(shape, tuple) else (shape,)
+                if tuple(dims) == (n1, n2):
+                    offenders.append((name, dims))
+                return real(shape, *args, **kwargs)
+
+            return wrapped
+
+        for name in ("zeros", "empty", "ones", "full"):
+            monkeypatch.setattr(np, name, guard(name, getattr(np, name)))
+        lsh_candidates(g1, g2)
+        ann_graph_candidates(g1, g2, ef=8)
+        assert offenders == []

@@ -141,7 +141,7 @@ class TestScaling:
         from repro.experiments import run_scaling
 
         with pytest.raises(ConfigError, match="policy"):
-            run_scaling(n_users=20, policies=("lsh",))
+            run_scaling(n_users=20, policies=("bogus",))
 
 
 class TestReporting:

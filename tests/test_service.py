@@ -130,7 +130,7 @@ class TestRoutes:
 
     def test_attack_bad_blocking_is_400(self, app):
         res = call_app(
-            app, "POST", "/attack", {**ATTACK_BODY, "blocking": "lsh"}
+            app, "POST", "/attack", {**ATTACK_BODY, "blocking": "bogus"}
         )
         assert res.status == 400
         assert "blocking" in res.json["error"]["message"]
@@ -297,3 +297,46 @@ class TestGridExpansion:
             expand_grid({}, {"top_k": []})
         with pytest.raises(ConfigError):
             expand_grid({}, {"not_a_field": [1]})
+
+
+class TestBlockingObservability:
+    """GET /stats surfaces per-policy blocking and post-matrix accounting."""
+
+    def test_stats_report_blocking_and_post_matrices(self, tiny_corpus):
+        engine = Engine()
+        engine.register("tiny", tiny_corpus)
+        app = create_app(engine)
+        body = {
+            **ATTACK_BODY,
+            "split_seed": 401,
+            "blocking": "lsh",
+            "blocking_lsh_bands": 24,
+            "blocking_seed": 2,
+        }
+        res = call_app(app, "POST", "/attack", body)
+        assert res.status == 200
+        assert res.json["request"]["blocking"] == "lsh"
+        assert res.json["request"]["blocking_lsh_bands"] == 24
+        stats = call_app(app, "GET", "/stats").json
+        assert stats["blocking"]["lsh"]["masks_built"] == 1
+        assert stats["blocking"]["lsh"]["candidates"] > 0
+        assert stats["blocking"]["lsh"]["generation_s"] >= 0.0
+        assert stats["post_matrix_bytes"] > 0  # refined ran by default
+        session = stats["sessions"][0]
+        assert session["post_matrix_entries"] > 0
+        by_policy = {e["policy"]: e for e in session["blocking"]}
+        assert by_policy["lsh"]["lsh_collision_touches"] > 0
+
+    def test_attack_accepts_composite_policy(self, tiny_corpus):
+        engine = Engine()
+        engine.register("tiny", tiny_corpus)
+        app = create_app(engine)
+        body = {
+            **ATTACK_BODY,
+            "split_seed": 402,
+            "refined": False,
+            "blocking": "lsh+degree_band",
+        }
+        res = call_app(app, "POST", "/attack", body)
+        assert res.status == 200
+        assert res.json["request"]["blocking"] == "lsh+degree_band"
