@@ -39,10 +39,12 @@ from repro.api.executor import (
     resolve_workers,
 )
 from repro.api.protocol import (
+    DEFAULT_TENANT,
     AttackReport,
     AttackRequest,
     VOLATILE_REPORT_FIELDS,
     WORLD_CHOICES,
+    request_hash,
 )
 from repro.api.session import AttackSession
 
@@ -52,6 +54,7 @@ __all__ = [
     "AttackSession",
     "BACKEND_CHOICES",
     "BLOCKING_CHOICES",
+    "DEFAULT_TENANT",
     "Engine",
     "ExtractionCache",
     "MAX_EXTRACT_WORKERS",
@@ -64,5 +67,6 @@ __all__ = [
     "expand_grid",
     "expand_matrix",
     "plan_shards",
+    "request_hash",
     "resolve_workers",
 ]

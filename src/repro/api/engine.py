@@ -14,7 +14,12 @@ import hashlib
 import threading
 from collections import OrderedDict
 
-from repro.api.protocol import AttackReport, AttackRequest
+from repro.api.protocol import (
+    DEFAULT_TENANT,
+    AttackReport,
+    AttackRequest,
+    request_hash,
+)
 from repro.api.session import AttackSession
 from repro.errors import ConfigError
 from repro.forum.models import ForumDataset
@@ -66,6 +71,16 @@ class Engine:
     least-recently-used sessions' similarity caches are dropped first, then
     the extraction cache, until the total fits.  ``None`` (the default)
     disables eviction — current behavior unchanged.
+
+    ``store`` plugs in a :class:`repro.store.StateStore`: registered
+    corpora and finished reports are persisted through it, the registry is
+    rehydrated from it on construction (no re-upload after a restart), and
+    — when the store is *file-backed* — an attack whose ``(corpus
+    fingerprint, request hash)`` pair already has a stored report returns
+    that report without fitting anything, which is how resumed sweeps skip
+    already-completed shards.  ``None`` (the default) keeps the engine
+    purely in-memory; with an in-memory store, reports are recorded for
+    observability but never short-circuit execution.
     """
 
     def __init__(
@@ -73,6 +88,7 @@ class Engine:
         extractor: "FeatureExtractor | None" = None,
         max_sessions: int = 16,
         cache_budget_bytes: "int | None" = None,
+        store=None,
     ) -> None:
         if max_sessions < 1:
             raise ConfigError(f"max_sessions must be >= 1, got {max_sessions}")
@@ -84,6 +100,9 @@ class Engine:
         self.max_sessions = max_sessions
         self.cache_budget_bytes = cache_budget_bytes
         self.cache_budget_evictions = 0
+        self.store = None
+        self.report_reuses = 0
+        self._tenant_usage: dict = {}
         # Guards the registry and the session LRU: the threading WSGI
         # server and thread-backend sweeps hit one engine concurrently, and
         # the lookup-or-create in session_for must be atomic so each
@@ -98,17 +117,63 @@ class Engine:
         self.attacks = 0
         self.session_hits = 0
         self.session_evictions = 0
+        if store is not None:
+            self.attach_store(store)
+
+    # --- durable state --------------------------------------------------
+
+    def attach_store(self, store) -> int:
+        """Adopt a :class:`repro.store.StateStore` and rehydrate from it.
+
+        Every corpus the store holds lands in the in-memory registry
+        (fitting stays on demand — only the corpus bytes were persisted);
+        corpora registered *before* attaching are written through.  Returns
+        the number of corpora rehydrated.  The service layer uses this to
+        give store-less engines its own (possibly in-memory) state.
+        """
+        with self._lock:
+            if self.store is not None and self.store is not store:
+                raise ConfigError("engine already has a different state store")
+            self.store = store
+            for name in sorted(self._corpora):
+                store.corpora.put(name, self._corpora[name], self._fingerprints[name])
+            rehydrated = 0
+            for name, fingerprint, dataset in store.corpora.load_all():
+                if name not in self._corpora:
+                    self._corpora[name] = dataset
+                    self._fingerprints[name] = fingerprint
+                    rehydrated += 1
+            return rehydrated
+
+    def _note_tenant_use(self, tenant: str, key, reused: bool) -> None:
+        """Per-tenant accounting (caller holds the engine lock)."""
+        usage = self._tenant_usage.setdefault(
+            tenant, {"attacks": 0, "report_reuses": 0, "sessions": set()}
+        )
+        if reused:
+            usage["report_reuses"] += 1
+        else:
+            usage["attacks"] += 1
+        if key is not None:
+            usage["sessions"].add(key)
 
     # --- corpus registry ------------------------------------------------
 
     def register(self, name: str, dataset: ForumDataset) -> dict:
-        """Register (or replace) a corpus under ``name``; returns a summary."""
+        """Register (or replace) a corpus under ``name``; returns a summary.
+
+        With a state store attached the corpus is also persisted (canonical
+        JSONL keyed by fingerprint); re-registering an identical corpus is
+        a cheap no-op on the store side.
+        """
         if not name:
             raise ConfigError("corpus name must be non-empty")
         fingerprint = dataset_fingerprint(dataset)
         with self._lock:
             self._corpora[name] = dataset
             self._fingerprints[name] = fingerprint
+            if self.store is not None:
+                self.store.corpora.put(name, dataset, fingerprint)
             return self.describe(name)
 
     def generate(
@@ -205,26 +270,73 @@ class Engine:
 
     # --- attack entry points --------------------------------------------
 
-    def attack(self, request) -> AttackReport:
-        """Run one attack; ``request`` may be an AttackRequest or a dict."""
+    def attack(self, request, tenant: str = DEFAULT_TENANT) -> AttackReport:
+        """Run one attack; ``request`` may be an AttackRequest or a dict.
+
+        With a *persistent* store attached, a request whose report is
+        already stored for this tenant returns the stored report (counted
+        in ``report_reuses``) without touching a session — the
+        restart/resume fast path.  Freshly computed reports are persisted
+        (idempotently) before returning.
+        """
         if isinstance(request, dict):
             request = AttackRequest.from_dict(request)
         request.validate()
+        fingerprint = None
+        if self.store is not None:
+            fingerprint = self.fingerprint(request.corpus)
+            if self.store.persistent:
+                stored = self.store.reports.lookup(
+                    fingerprint, request, tenant=tenant
+                )
+                if stored is not None:
+                    with self._lock:
+                        self.attacks += 1
+                        self.report_reuses += 1
+                        key = (fingerprint, request.split_key())
+                        self._note_tenant_use(tenant, key, reused=True)
+                    self.store.bump_tenant(tenant, "attacks")
+                    return stored
         with self._lock:
             self.attacks += 1
             session = self.session_for(request)
+            self._note_tenant_use(
+                tenant,
+                (self._fingerprints[request.corpus], request.split_key()),
+                reused=False,
+            )
         # run outside the engine lock: requests on *different* splits
         # proceed concurrently, same-split requests serialize on their
         # session's own lock
         report = session.run(request)
+        if self.store is not None:
+            self.store.reports.record(report, fingerprint, tenant=tenant)
+            self.store.bump_tenant(tenant, "attacks")
         self.enforce_cache_budget()
         return report
+
+    def record_reports(self, reports, tenant: str = DEFAULT_TENANT) -> int:
+        """Persist already-computed reports (idempotent); returns new rows.
+
+        The process-backend sweep executor computes reports in worker
+        processes that have no store handle, so the parent records the
+        merged batch here.  No-op without a store.
+        """
+        if self.store is None:
+            return 0
+        recorded = 0
+        for report in reports:
+            fingerprint = self.fingerprint(report.request.corpus)
+            if self.store.reports.record(report, fingerprint, tenant=tenant):
+                recorded += 1
+        return recorded
 
     def sweep(
         self,
         requests,
         parallel: "int | None" = 1,
         backend: str = "process",
+        tenant: str = DEFAULT_TENANT,
     ) -> list:
         """Run a batch of variants; same-split requests share one session.
 
@@ -237,9 +349,9 @@ class Engine:
         """
         from repro.api.executor import SweepExecutor
 
-        return SweepExecutor(self, workers=parallel, backend=backend).execute(
-            requests
-        )
+        return SweepExecutor(
+            self, workers=parallel, backend=backend, tenant=tenant
+        ).execute(requests)
 
     def record_external_attacks(self, count: int) -> None:
         """Fold attacks run outside this process (worker shards) into stats."""
@@ -350,12 +462,37 @@ class Engine:
                     agg["masks_built"] += entry["masks_built"]
                     agg["candidates"] += entry["candidates"]
                     agg["generation_s"] += entry["generation_s"]
+            # per-tenant view: attack/reuse counters plus cache-byte
+            # attribution — every still-live session a tenant has touched
+            # contributes its bytes to that tenant (overlapping tenants
+            # each see the shared session's full bytes; the engine-wide
+            # totals above remain the non-overlapping truth)
+            tenants = {
+                tenant: {
+                    "attacks": usage["attacks"],
+                    "report_reuses": usage["report_reuses"],
+                    "sessions": sum(
+                        1 for key in usage["sessions"] if key in self._sessions
+                    ),
+                    "cache_bytes": sum(
+                        self._sessions[key].cache_nbytes()
+                        for key in usage["sessions"]
+                        if key in self._sessions
+                    ),
+                }
+                for tenant, usage in sorted(self._tenant_usage.items())
+            }
             return {
                 "version": __version__,
                 "attacks": self.attacks,
+                "report_reuses": self.report_reuses,
                 "session_hits": self.session_hits,
                 "session_evictions": self.session_evictions,
                 "max_sessions": self.max_sessions,
+                "store": (
+                    None if self.store is None else self.store.describe()
+                ),
+                "tenants": tenants,
                 "cache_bytes": sum(s["similarity_bytes"] for s in sessions),
                 "post_matrix_bytes": sum(
                     s["post_matrix_bytes"] for s in sessions

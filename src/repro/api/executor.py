@@ -37,7 +37,7 @@ import itertools
 import json
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, ThreadPoolExecutor, wait
 
-from repro.api.protocol import AttackReport, AttackRequest
+from repro.api.protocol import DEFAULT_TENANT, AttackReport, AttackRequest
 from repro.api.session import AttackSession
 from repro.errors import ConfigError
 from repro.utils.workers import available_workers
@@ -228,6 +228,7 @@ class SweepExecutor:
         engine,
         workers: "int | None" = 1,
         backend: str = "process",
+        tenant: str = DEFAULT_TENANT,
     ) -> None:
         if backend not in BACKEND_CHOICES:
             raise ConfigError(
@@ -236,6 +237,9 @@ class SweepExecutor:
         self.engine = engine
         self.workers = resolve_workers(workers)
         self.backend = "serial" if self.workers == 1 else backend
+        # reports computed through the engine are attributed (and, with a
+        # state store, persisted) under this tenant
+        self.tenant = tenant
 
     # -- planning --------------------------------------------------------
 
@@ -275,14 +279,14 @@ class SweepExecutor:
         merged: list = [None] * n_requests
         for _, members in shards:
             for index, request in members:
-                merged[index] = self.engine.attack(request)
+                merged[index] = self.engine.attack(request, tenant=self.tenant)
         return merged
 
     def _shard_thread(self, members) -> list:
         """Thread-backend shard: one engine session, run in input order."""
         reports = []
         for _, request in members:
-            reports.append(self.engine.attack(request))
+            reports.append(self.engine.attack(request, tenant=self.tenant))
         return [report.to_dict() for report in reports]
 
     def _execute_pool(self, shards, n_requests: int, pool_cls) -> list:
@@ -316,4 +320,7 @@ class SweepExecutor:
                     merged[index] = AttackReport.from_dict(payload)
         if pool_cls is ProcessPoolExecutor:
             self.engine.record_external_attacks(n_requests)
+            # worker processes had no store handle: persist the merged
+            # batch from the parent (idempotent; no-op without a store)
+            self.engine.record_reports(merged, tenant=self.tenant)
         return merged

@@ -9,6 +9,8 @@ the :mod:`repro.service` wire format unchanged.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field, fields, replace
 
 from repro.core.config import DeHealthConfig, SimilarityWeights
@@ -16,6 +18,12 @@ from repro.errors import ConfigError
 
 #: Split worlds an :class:`AttackRequest` can ask for.
 WORLD_CHOICES: tuple = ("closed", "open")
+
+#: Tenant every engine/service/store entry point assumes when none is
+#: given (the ``X-Tenant`` header at the service layer).  Defined here —
+#: the lowest layer that speaks tenancy — so the engine, the service, and
+#: :mod:`repro.store` agree without import cycles.
+DEFAULT_TENANT = "default"
 
 #: Report fields that vary run-to-run without changing the science:
 #: ``elapsed_ms`` is wall clock, ``reused_fit`` depends on scheduling.
@@ -280,6 +288,22 @@ class AttackRequest:
             if isinstance(exc, ConfigError):
                 raise
             raise ConfigError(f"bad attack request: {exc}") from exc
+
+
+def request_hash(request: AttackRequest) -> str:
+    """Content hash of a request's wire form (the report-dedup key).
+
+    Computed over the sorted-key JSON of :meth:`AttackRequest.to_dict`, so
+    two requests hash equal exactly when they serialize equal — inert
+    knobs are already normalized away by ``__post_init__``, and the
+    default wire format keeps historical hashes stable.  The
+    :class:`~repro.store.AttackReportStore` keys stored reports on
+    ``(tenant, corpus fingerprint, request_hash)``.
+    """
+    payload = json.dumps(
+        request.to_dict(), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
 
 
 @dataclass(frozen=True)

@@ -8,14 +8,20 @@ Subcommands::
         --selection matching --weights 0.05,0.05,0.9
     repro-dehealth sweep corpus.jsonl --matrix matrix.json --workers 4
     repro-dehealth linkage --users 500 --seed 7
-    repro-dehealth serve --port 8321 --corpus corpus.jsonl
+    repro-dehealth serve --port 8321 --corpus corpus.jsonl \
+        --state-dir ./state --job-workers 2
+    repro-dehealth reports ./state --limit 20
+    repro-dehealth jobs ./state --id 1f0c2a9b
 
 Every subcommand is deterministic under ``--seed``.  ``generate``,
 ``attack``, ``sweep``, ``linkage``, and ``serve`` all route through the
 session-based :class:`repro.api.Engine`; ``sweep`` shards its attack
 matrix across worker processes via :class:`repro.api.SweepExecutor`;
 ``serve`` exposes the same engine over the JSON service in
-:mod:`repro.service`.
+:mod:`repro.service` — with ``--state-dir`` it persists corpora, attack
+reports, and background jobs to sqlite and resumes them across restarts.
+``reports`` and ``jobs`` inspect such a state directory offline (they
+only read; a live server's rows are left untouched).
 """
 
 from __future__ import annotations
@@ -224,13 +230,79 @@ def build_engine_for_serve(
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.service import serve
+    from repro.service import create_app, serve
 
     engine = build_engine_for_serve(
         args.corpus, cache_budget_mb=args.cache_budget_mb
     )
-    serve(engine, host=args.host, port=args.port)
+    if args.state_dir:
+        from repro.store import StateStore
+
+        # attach before create_app so registered --corpus files are written
+        # through and previously persisted corpora rehydrate
+        engine.attach_store(StateStore.at_dir(args.state_dir))
+    app = create_app(engine, job_workers=args.job_workers)
+    serve(app=app, host=args.host, port=args.port)
     return 0
+
+
+def _open_state(state_dir: str):
+    """Open an existing service state database (never creates one)."""
+    from repro.store import STATE_DB_FILENAME, StateStore
+
+    db_path = Path(state_dir) / STATE_DB_FILENAME
+    if not db_path.exists():
+        raise SystemExit(f"error: no state database at {db_path}")
+    return StateStore.at_dir(state_dir)
+
+
+def _cmd_reports(args: argparse.Namespace) -> int:
+    state = _open_state(args.state_dir)
+    try:
+        if args.id is not None:
+            payload = state.reports.fetch(args.id, tenant=None)
+            if payload is None:
+                raise SystemExit(f"error: no stored report with id {args.id}")
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        rows = state.reports.list(
+            tenant=args.tenant, fingerprint=args.fingerprint, limit=args.limit
+        )
+        for row in rows:
+            print(
+                f"#{row['id']} tenant={row['tenant']} corpus={row['corpus']} "
+                f"fingerprint={row['fingerprint'][:12]} "
+                f"request={row['request_hash']}"
+            )
+        print(f"{len(rows)} report(s) in {args.state_dir}")
+        return 0
+    finally:
+        state.close()
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    state = _open_state(args.state_dir)
+    try:
+        if args.id is not None:
+            payload = state.jobs.get(args.id, tenant=None)
+            if payload is None:
+                raise SystemExit(f"error: no job with id {args.id!r}")
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        rows = state.jobs.list(tenant=args.tenant, limit=args.limit)
+        for row in rows:
+            line = (
+                f"{row['job_id']} tenant={row['tenant']} kind={row['kind']} "
+                f"state={row['state']} "
+                f"shards={row['shards_done']}/{row['shards_total']}"
+            )
+            if row["error"]:
+                line += f" error={row['error']!r}"
+            print(line)
+        print(f"{len(rows)} job(s) in {args.state_dir}")
+        return 0
+    finally:
+        state.close()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -362,7 +434,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="evict similarity/extraction caches (LRU) past this many "
              "megabytes; default: unlimited",
     )
+    srv.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help="persist corpora, attack reports, and background jobs to a "
+             "sqlite database in DIR; restarts rehydrate corpora and serve "
+             "stored reports without re-fitting (default: in-memory only)",
+    )
+    srv.add_argument(
+        "--job-workers", type=int, default=2, metavar="N",
+        help="worker threads of the background job pool "
+             "(async /attack and /sweep requests)",
+    )
     srv.set_defaults(func=_cmd_serve)
+
+    reports = sub.add_parser(
+        "reports", help="list/inspect attack reports stored by serve --state-dir"
+    )
+    reports.add_argument("state_dir", help="the server's --state-dir")
+    reports.add_argument(
+        "--id", type=int, default=None, help="print one stored report as JSON"
+    )
+    reports.add_argument(
+        "--tenant", default=None, help="only this tenant (default: all)"
+    )
+    reports.add_argument(
+        "--fingerprint", default=None, help="only this corpus fingerprint"
+    )
+    reports.add_argument("--limit", type=int, default=50)
+    reports.set_defaults(func=_cmd_reports)
+
+    jobs = sub.add_parser(
+        "jobs", help="list/inspect background jobs stored by serve --state-dir"
+    )
+    jobs.add_argument("state_dir", help="the server's --state-dir")
+    jobs.add_argument(
+        "--id", default=None, help="print one job (state, progress, result) as JSON"
+    )
+    jobs.add_argument(
+        "--tenant", default=None, help="only this tenant (default: all)"
+    )
+    jobs.add_argument("--limit", type=int, default=50)
+    jobs.set_defaults(func=_cmd_jobs)
 
     return parser
 

@@ -30,3 +30,15 @@ class GraphError(ReproError, ValueError):
 
 class LinkageError(ReproError, ValueError):
     """A linkage-attack component was queried with invalid input."""
+
+
+class QuotaExceededError(ReproError, RuntimeError):
+    """A per-tenant or service-wide quota (job queue depth, ...) was hit.
+
+    The service layer maps this to HTTP 429 so well-behaved clients can
+    back off and retry instead of wedging the worker pool.
+    """
+
+
+class StoreError(ReproError, RuntimeError):
+    """The durable state store was used incorrectly (closed handle, ...)."""

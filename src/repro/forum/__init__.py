@@ -8,7 +8,12 @@ from repro.forum.split import (
     open_world_split,
     select_users_with_posts,
 )
-from repro.forum.store import load_dataset, save_dataset
+from repro.forum.store import (
+    dumps_dataset,
+    load_dataset,
+    loads_dataset,
+    save_dataset,
+)
 
 __all__ = [
     "ForumDataset",
@@ -18,7 +23,9 @@ __all__ = [
     "Thread",
     "User",
     "closed_world_split",
+    "dumps_dataset",
     "load_dataset",
+    "loads_dataset",
     "open_world_split",
     "save_dataset",
     "select_users_with_posts",

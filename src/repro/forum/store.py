@@ -7,6 +7,12 @@ a single pass and stay diff-able.  Format::
     {"kind": "user", ...}
     {"kind": "thread", ...}
     {"kind": "post", ...}
+
+:func:`dumps_dataset`/:func:`loads_dataset` are the string-level codec —
+the file helpers and the sqlite-backed
+:class:`~repro.store.CorpusStore` both build on them, so a corpus
+round-trips byte-identically whether it lives on disk or in the service
+state database.
 """
 
 from __future__ import annotations
@@ -17,74 +23,76 @@ from pathlib import Path
 from repro.forum.models import ForumDataset, Post, Thread, User
 
 
-def save_dataset(dataset: ForumDataset, path: "str | Path") -> None:
-    """Write ``dataset`` to ``path`` as JSONL."""
-    path = Path(path)
-    with path.open("w", encoding="utf-8") as fh:
-        fh.write(json.dumps({"kind": "meta", "name": dataset.name}) + "\n")
-        for user in dataset.users():
-            fh.write(
-                json.dumps(
-                    {
-                        "kind": "user",
-                        "user_id": user.user_id,
-                        "username": user.username,
-                        "profile": user.profile,
-                        "avatar_id": user.avatar_id,
-                    }
-                )
-                + "\n"
+def dumps_dataset(dataset: ForumDataset) -> str:
+    """Serialize ``dataset`` to its canonical JSONL text.
+
+    Record order is deterministic (meta, users, threads, posts — each in
+    the dataset's insertion order), so equal datasets produce identical
+    text and the text is a stable fingerprinting substrate.
+    """
+    lines = [json.dumps({"kind": "meta", "name": dataset.name})]
+    for user in dataset.users():
+        lines.append(
+            json.dumps(
+                {
+                    "kind": "user",
+                    "user_id": user.user_id,
+                    "username": user.username,
+                    "profile": user.profile,
+                    "avatar_id": user.avatar_id,
+                }
             )
-        for thread in dataset.threads():
-            fh.write(
-                json.dumps(
-                    {
-                        "kind": "thread",
-                        "thread_id": thread.thread_id,
-                        "board": thread.board,
-                        "topic": thread.topic,
-                        "starter_id": thread.starter_id,
-                    }
-                )
-                + "\n"
+        )
+    for thread in dataset.threads():
+        lines.append(
+            json.dumps(
+                {
+                    "kind": "thread",
+                    "thread_id": thread.thread_id,
+                    "board": thread.board,
+                    "topic": thread.topic,
+                    "starter_id": thread.starter_id,
+                }
             )
-        for post in dataset.posts():
-            fh.write(
-                json.dumps(
-                    {
-                        "kind": "post",
-                        "post_id": post.post_id,
-                        "user_id": post.user_id,
-                        "thread_id": post.thread_id,
-                        "board": post.board,
-                        "text": post.text,
-                        "created_at": post.created_at,
-                    }
-                )
-                + "\n"
+        )
+    for post in dataset.posts():
+        lines.append(
+            json.dumps(
+                {
+                    "kind": "post",
+                    "post_id": post.post_id,
+                    "user_id": post.user_id,
+                    "thread_id": post.thread_id,
+                    "board": post.board,
+                    "text": post.text,
+                    "created_at": post.created_at,
+                }
             )
+        )
+    return "\n".join(lines) + "\n"
 
 
-def load_dataset(path: "str | Path") -> ForumDataset:
-    """Read a dataset previously written by :func:`save_dataset`."""
-    path = Path(path)
+def loads_dataset(text: str, source: str = "<string>") -> ForumDataset:
+    """Parse JSONL text previously produced by :func:`dumps_dataset`.
+
+    ``source`` names the origin in error messages (a path, a store key).
+    """
     dataset: ForumDataset | None = None
     pending: list[dict] = []
-    with path.open("r", encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            record = json.loads(line)
-            kind = record.pop("kind", None)
-            if kind == "meta":
-                dataset = ForumDataset(record["name"])
-            elif kind in ("user", "thread", "post"):
-                pending.append({"kind": kind, **record})
-            else:
-                raise ValueError(f"{path}:{lineno}: unknown record kind {kind!r}")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        kind = record.pop("kind", None)
+        if kind == "meta":
+            dataset = ForumDataset(record["name"])
+        elif kind in ("user", "thread", "post"):
+            pending.append({"kind": kind, **record})
+        else:
+            raise ValueError(f"{source}:{lineno}: unknown record kind {kind!r}")
     if dataset is None:
-        raise ValueError(f"{path}: missing meta record")
+        raise ValueError(f"{source}: missing meta record")
     # Users and threads must exist before posts referencing them.
     for record in pending:
         if record["kind"] == "user":
@@ -119,3 +127,14 @@ def load_dataset(path: "str | Path") -> ForumDataset:
                 )
             )
     return dataset
+
+
+def save_dataset(dataset: ForumDataset, path: "str | Path") -> None:
+    """Write ``dataset`` to ``path`` as JSONL."""
+    Path(path).write_text(dumps_dataset(dataset), encoding="utf-8")
+
+
+def load_dataset(path: "str | Path") -> ForumDataset:
+    """Read a dataset previously written by :func:`save_dataset`."""
+    path = Path(path)
+    return loads_dataset(path.read_text(encoding="utf-8"), source=str(path))

@@ -16,6 +16,7 @@ sockets for tests and examples.
 
 from repro.service.app import (
     DeHealthApp,
+    MAX_LIST_LIMIT,
     MAX_SERVICE_WORKERS,
     MAX_SWEEP_REQUESTS,
     create_app,
@@ -26,6 +27,7 @@ from repro.service.testing import ServiceResponse, call_app
 
 __all__ = [
     "DeHealthApp",
+    "MAX_LIST_LIMIT",
     "MAX_SERVICE_WORKERS",
     "MAX_SWEEP_REQUESTS",
     "ServiceResponse",

@@ -2,18 +2,39 @@
 
 Routes (all request/response bodies are JSON):
 
-=======  ============  ====================================================
-method   path          behaviour
-=======  ============  ====================================================
-GET      /healthz      liveness + version
-GET      /stats        engine stats: corpora, sessions, cache counters
-                       (per-session similarity builds/hits/entries/bytes)
-POST     /generate     generate + register a synthetic corpus
-POST     /attack       run one :class:`~repro.api.AttackRequest`
-POST     /sweep        run a matrix (explicit list or base × grid expansion);
-                       optional ``"workers": N`` shards it across threads
-POST     /linkage      run the NameLink/AvatarLink campaign
-=======  ============  ====================================================
+=======  =============  ===================================================
+method   path           behaviour
+=======  =============  ===================================================
+GET      /healthz       liveness + version
+GET      /stats         engine + service stats: corpora, sessions, caches,
+                        ``uptime_s``, job-queue depth/throughput, per-tenant
+                        blocks, and the state-store summary
+POST     /generate      generate + register a synthetic corpus
+POST     /attack        run one :class:`~repro.api.AttackRequest`; with
+                        ``"async": true`` returns ``202 {"job_id": ...}``
+POST     /sweep         run a matrix (explicit list or base × grid
+                        expansion); ``"workers": N`` shards it across
+                        threads, ``"async": true`` runs it as a background
+                        job instead (shard-serial, per-shard progress)
+POST     /linkage       run the NameLink/AvatarLink campaign
+GET      /reports       stored attack reports, newest first (``?limit=``,
+                        ``?fingerprint=`` filters)
+GET      /reports/<id>  one stored report with its canonical JSON payload
+GET      /jobs          background jobs, newest first (``?limit=``)
+GET      /jobs/<id>     job state/progress/result (queued → running →
+                        done | failed, shard counters, partial results)
+=======  =============  ===================================================
+
+Every route is tenant-scoped through the optional ``X-Tenant`` header
+(default tenant otherwise): reports and jobs are partitioned per tenant,
+quotas apply per tenant, and ``GET /stats`` breaks usage out per tenant.
+
+The app always runs over a :class:`repro.store.StateStore` — in-memory by
+default (strictly ephemeral, wire format unchanged), file-backed when the
+server was started with ``--state-dir`` (or the engine was given a
+persistent store).  Only a *persistent* store changes behaviour beyond
+durability: attacks whose report is already stored are answered from the
+store without re-fitting, which is how interrupted sweeps resume.
 
 ``/attack`` and ``/sweep`` accept the full request schema, including the
 candidate-blocking knobs (``"blocking"``: ``none`` | ``degree_band`` |
@@ -21,44 +42,46 @@ candidate-blocking knobs (``"blocking"``: ``none`` | ``degree_band`` |
 composite like ``"lsh+degree_band"``, plus ``blocking_band_width`` /
 ``blocking_min_shared`` / ``blocking_keep`` and the ANN knobs
 ``blocking_lsh_bands`` / ``blocking_lsh_rows`` / ``blocking_ann_m`` /
-``blocking_ann_ef`` / ``blocking_seed``); blocked variants score only
-candidate pairs instead of the dense ``n1 × n2`` matrix, and the ANN
-policies generate those candidates sub-quadratically (SimHash band
-buckets / NSW greedy search).  They also accept ``"extract_workers"``
-(process-pool width of phase-0 feature extraction; byte-identical output
-at any width — the extractor switches to the fork-safe spawn start method
-under this threaded server).  ``GET /stats`` reports the engine's shared
-extraction-cache counters (hits/misses/builds/entries/bytes) alongside
-the per-session similarity cache accounting, the refined phase's
-post-matrix cache bytes (``post_matrix_bytes``, budget-accounted), the
-``cache_budget_bytes`` eviction counters, and per-policy blocking stats
-(``blocking``: masks built, candidates generated, generation wall time
-per policy — per session and aggregated engine-wide).
+``blocking_ann_ef`` / ``blocking_seed``) and ``"extract_workers"``.
 
 Errors come back as ``{"error": {"type": ..., "message": ...}}`` built on
 the :mod:`repro.errors` hierarchy: :class:`~repro.errors.ConfigError` (and
 malformed JSON) map to 400, :class:`~repro.errors.NotFittedError` to 409,
-any other :class:`~repro.errors.ReproError` to 422, unknown routes to 404,
-wrong methods to 405, and unexpected failures to 500.
+:class:`~repro.errors.QuotaExceededError` to 429, any other
+:class:`~repro.errors.ReproError` to 422, unknown routes to 404, wrong
+methods to 405, a draining server to 503, and unexpected failures to 500 —
+always as the JSON envelope, never as an HTML error page.
 """
 
 from __future__ import annotations
 
 import json
+import re
+import time
+from urllib.parse import parse_qs
 
 from repro.api.engine import Engine
 from repro.api.executor import MAX_WORKERS, expand_grid as _expand_grid, expand_matrix
-from repro.api.protocol import AttackRequest
-from repro.errors import ConfigError, NotFittedError, ReproError
+from repro.api.protocol import DEFAULT_TENANT, AttackRequest
+from repro.errors import (
+    ConfigError,
+    NotFittedError,
+    QuotaExceededError,
+    ReproError,
+)
+from repro.store import JobRunner, StateStore
 
 _STATUS_LINES = {
     200: "200 OK",
+    202: "202 Accepted",
     400: "400 Bad Request",
     404: "404 Not Found",
     405: "405 Method Not Allowed",
     409: "409 Conflict",
     422: "422 Unprocessable Entity",
+    429: "429 Too Many Requests",
     500: "500 Internal Server Error",
+    503: "503 Service Unavailable",
 }
 
 #: Hard cap on expanded sweep size, so one request cannot wedge the worker.
@@ -68,12 +91,20 @@ MAX_SWEEP_REQUESTS = 256
 #: clamps again at :data:`repro.api.MAX_WORKERS`.
 MAX_SERVICE_WORKERS = min(8, MAX_WORKERS)
 
+#: Cap on ``?limit=`` of the ``/reports`` and ``/jobs`` listings.
+MAX_LIST_LIMIT = 500
+
+#: Tenant names accepted in the ``X-Tenant`` header.
+_TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
 
 def _error_status(exc: Exception) -> int:
     if isinstance(exc, ConfigError):
         return 400
     if isinstance(exc, NotFittedError):
         return 409
+    if isinstance(exc, QuotaExceededError):
+        return 429
     if isinstance(exc, ReproError):
         return 422
     return 500
@@ -91,10 +122,37 @@ def expand_grid(base: dict, grid: dict) -> list:
 
 
 class DeHealthApp:
-    """WSGI application exposing an :class:`~repro.api.Engine` as JSON routes."""
+    """WSGI application exposing an :class:`~repro.api.Engine` as JSON routes.
 
-    def __init__(self, engine: "Engine | None" = None) -> None:
+    ``state`` is the durable tier (defaults to the engine's attached store,
+    else a fresh in-memory :class:`~repro.store.StateStore`); ``job_workers``
+    sizes the background-job pool.  Call :meth:`close` — or let the signal
+    handlers in :mod:`repro.service.server` do it — to drain jobs and
+    checkpoint the store on the way out.
+    """
+
+    def __init__(
+        self,
+        engine: "Engine | None" = None,
+        state: "StateStore | None" = None,
+        job_workers: int = 2,
+    ) -> None:
         self.engine = engine or Engine()
+        engine_store = getattr(self.engine, "store", None)
+        if (
+            state is not None
+            and engine_store is not None
+            and state is not engine_store
+        ):
+            raise ConfigError(
+                "engine already has a state store; pass either, not both"
+            )
+        self.state = state or engine_store or StateStore(None)
+        if engine_store is None:
+            self.engine.attach_store(self.state)
+        self.runner = JobRunner(self.engine, self.state, workers=job_workers)
+        self.started = time.monotonic()
+        self._closed = False
         self._routes = {
             ("GET", "/healthz"): self._healthz,
             ("GET", "/stats"): self._stats,
@@ -102,8 +160,30 @@ class DeHealthApp:
             ("POST", "/attack"): self._attack,
             ("POST", "/sweep"): self._sweep,
             ("POST", "/linkage"): self._linkage,
+            ("GET", "/reports"): self._reports_list,
+            ("GET", "/jobs"): self._jobs_list,
         }
         self._paths = {path for _, path in self._routes}
+        # prefix routes carry a trailing id segment: ("/reports/5", "GET")
+        self._prefix_routes = {
+            "/reports/": {"GET": self._report_get},
+            "/jobs/": {"GET": self._job_get},
+        }
+
+    # --- lifecycle ------------------------------------------------------
+
+    def close(self, drain_s: float = 5.0) -> "dict | None":
+        """Drain the job pool and close the state store (idempotent).
+
+        Returns the runner's drain summary, or ``None`` when already
+        closed.  After closing, requests are answered with 503.
+        """
+        if self._closed:
+            return None
+        self._closed = True
+        summary = self.runner.shutdown(drain_s=drain_s)
+        self.state.close()
+        return summary
 
     # --- WSGI entry -----------------------------------------------------
 
@@ -111,18 +191,25 @@ class DeHealthApp:
         method = environ.get("REQUEST_METHOD", "GET").upper()
         path = environ.get("PATH_INFO", "/") or "/"
         try:
-            handler = self._routes.get((method, path))
-            if handler is None:
-                if path in self._paths:
-                    status, payload = 405, self._error_payload(
-                        "MethodNotAllowed", f"{method} not allowed on {path}"
+            if self._closed:
+                status, payload = 503, self._error_payload(
+                    "ServiceUnavailable", "server is shutting down"
+                )
+            else:
+                tenant = self._tenant(environ)
+                self.state.bump_tenant(tenant, "requests")
+                handler, args, status_hint = self._dispatch(method, path)
+                if handler is None:
+                    status, payload = status_hint, self._error_payload(
+                        "MethodNotAllowed"
+                        if status_hint == 405
+                        else "NotFound",
+                        f"{method} not allowed on {path}"
+                        if status_hint == 405
+                        else f"no route for {path}",
                     )
                 else:
-                    status, payload = 404, self._error_payload(
-                        "NotFound", f"no route for {path}"
-                    )
-            else:
-                status, payload = handler(environ)
+                    status, payload = handler(environ, tenant, *args)
         except Exception as exc:  # noqa: BLE001 — mapped to structured errors
             status = _error_status(exc)
             payload = self._error_payload(type(exc).__name__, str(exc))
@@ -135,6 +222,34 @@ class DeHealthApp:
             ],
         )
         return [body]
+
+    def _dispatch(self, method: str, path: str):
+        """Resolve (handler, extra args, error-status hint) for a request."""
+        handler = self._routes.get((method, path))
+        if handler is not None:
+            return handler, (), 200
+        if path in self._paths:
+            return None, (), 405
+        for prefix, methods in self._prefix_routes.items():
+            if path.startswith(prefix):
+                rest = path[len(prefix):]
+                if not rest or "/" in rest:
+                    return None, (), 404
+                prefix_handler = methods.get(method)
+                if prefix_handler is None:
+                    return None, (), 405
+                return prefix_handler, (rest,), 200
+        return None, (), 404
+
+    @staticmethod
+    def _tenant(environ) -> str:
+        tenant = environ.get("HTTP_X_TENANT", DEFAULT_TENANT)
+        if not isinstance(tenant, str) or not _TENANT_RE.match(tenant):
+            raise ConfigError(
+                "X-Tenant must be 1-64 characters of [A-Za-z0-9._-] "
+                "starting alphanumeric"
+            )
+        return tenant
 
     @staticmethod
     def _error_payload(kind: str, message: str) -> dict:
@@ -167,9 +282,34 @@ class DeHealthApp:
                 f"unknown fields: {sorted(unknown)}; allowed: {sorted(allowed)}"
             )
 
+    @staticmethod
+    def _pop_async(body: dict) -> bool:
+        """Validate and remove the ``"async"`` flag from a request body."""
+        flag = body.pop("async", False)
+        if not isinstance(flag, bool):
+            raise ConfigError(f"async must be a boolean, got {flag!r}")
+        return flag
+
+    @staticmethod
+    def _query(environ) -> dict:
+        return parse_qs(environ.get("QUERY_STRING", "") or "")
+
+    @classmethod
+    def _limit(cls, query: dict) -> int:
+        raw = query.get("limit", ["50"])[-1]
+        try:
+            limit = int(raw)
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(f"limit must be an integer, got {raw!r}") from exc
+        if not 1 <= limit <= MAX_LIST_LIMIT:
+            raise ConfigError(
+                f"limit must be in [1, {MAX_LIST_LIMIT}], got {limit}"
+            )
+        return limit
+
     # --- handlers -------------------------------------------------------
 
-    def _healthz(self, environ) -> tuple:
+    def _healthz(self, environ, tenant) -> tuple:
         from repro import __version__
 
         return 200, {
@@ -178,10 +318,38 @@ class DeHealthApp:
             "corpora": self.engine.corpus_names,
         }
 
-    def _stats(self, environ) -> tuple:
-        return 200, self.engine.stats()
+    def _stats(self, environ, tenant) -> tuple:
+        stats = self.engine.stats()
+        stats["uptime_s"] = round(time.monotonic() - self.started, 3)
+        stats["jobs"] = self.runner.counters()
+        # merge the durable per-tenant counters (requests, submitted jobs,
+        # stored rows) into the engine's in-memory usage/attribution blocks
+        tenants = stats.get("tenants") or {}
+        durable = self.state.tenant_counters()
+        reports_by_tenant = self.state.reports.count_by_tenant()
+        jobs_by_tenant = self.state.jobs.count_by_tenant()
+        for name in set(tenants) | set(durable) | set(reports_by_tenant) | set(
+            jobs_by_tenant
+        ):
+            block = tenants.setdefault(
+                name,
+                {
+                    "attacks": 0,
+                    "report_reuses": 0,
+                    "sessions": 0,
+                    "cache_bytes": 0,
+                },
+            )
+            counters = durable.get(name, {})
+            block["requests"] = counters.get("requests", 0)
+            block["jobs_submitted"] = counters.get("jobs_submitted", 0)
+            block["attacks_total"] = counters.get("attacks", 0)
+            block["reports"] = reports_by_tenant.get(name, 0)
+            block["jobs"] = jobs_by_tenant.get(name, 0)
+        stats["tenants"] = tenants
+        return 200, stats
 
-    def _generate(self, environ) -> tuple:
+    def _generate(self, environ, tenant) -> tuple:
         body = self._read_json(environ)
         self._only_keys(body, ("preset", "users", "seed", "name"))
         try:
@@ -197,12 +365,24 @@ class DeHealthApp:
         )
         return 200, summary
 
-    def _attack(self, environ) -> tuple:
-        request = AttackRequest.from_dict(self._read_json(environ))
-        return 200, self.engine.attack(request).to_dict()
+    def _require_corpora(self, requests) -> None:
+        """Fail fast (400) when an async payload names unknown corpora."""
+        for request in requests:
+            self.engine.fingerprint(request.corpus)
 
-    def _sweep(self, environ) -> tuple:
+    def _attack(self, environ, tenant) -> tuple:
         body = self._read_json(environ)
+        if self._pop_async(body):
+            request = AttackRequest.from_dict(body).validate()
+            self._require_corpora([request])
+            job_id = self.runner.submit("attack", body, tenant=tenant)
+            return 202, {"job_id": job_id, "state": "queued", "kind": "attack"}
+        request = AttackRequest.from_dict(body)
+        return 200, self.engine.attack(request, tenant=tenant).to_dict()
+
+    def _sweep(self, environ, tenant) -> tuple:
+        body = self._read_json(environ)
+        run_async = self._pop_async(body)
         self._only_keys(body, ("requests", "base", "grid", "workers"))
         workers = body.pop("workers", 1)
         if workers is None or isinstance(workers, bool) or not isinstance(workers, int):
@@ -212,18 +392,31 @@ class DeHealthApp:
                 f"workers must be in [1, {MAX_SERVICE_WORKERS}], got {workers}"
             )
         requests = expand_matrix(body, max_requests=MAX_SWEEP_REQUESTS)
+        if run_async:
+            # background job: shard-serial execution (per-shard progress,
+            # canonical reports byte-identical to this synchronous path)
+            self._require_corpora(requests)
+            job_id = self.runner.submit("sweep", body, tenant=tenant)
+            return 202, {
+                "job_id": job_id,
+                "state": "queued",
+                "kind": "sweep",
+                "shards_total": len(requests),
+            }
         # thread backend, deliberately: the server is multi-threaded, and
         # forking a multi-threaded process (the process backend's fork
         # start method) can deadlock the children; threads also land the
         # fitted sessions in this engine's cache for later requests.
-        reports = self.engine.sweep(requests, parallel=workers, backend="thread")
+        reports = self.engine.sweep(
+            requests, parallel=workers, backend="thread", tenant=tenant
+        )
         return 200, {
             "count": len(reports),
             "workers": workers,
             "reports": [report.to_dict() for report in reports],
         }
 
-    def _linkage(self, environ) -> tuple:
+    def _linkage(self, environ, tenant) -> tuple:
         body = self._read_json(environ)
         self._only_keys(body, ("users", "seed"))
         try:
@@ -233,7 +426,49 @@ class DeHealthApp:
             raise ConfigError(f"users and seed must be integers: {exc}") from exc
         return 200, self.engine.linkage(users=users, seed=seed)
 
+    # --- durable-tier handlers ------------------------------------------
 
-def create_app(engine: "Engine | None" = None) -> DeHealthApp:
+    def _reports_list(self, environ, tenant) -> tuple:
+        query = self._query(environ)
+        fingerprint = query.get("fingerprint", [None])[-1]
+        reports = self.state.reports.list(
+            tenant=tenant, fingerprint=fingerprint, limit=self._limit(query)
+        )
+        return 200, {"count": len(reports), "reports": reports}
+
+    def _report_get(self, environ, tenant, report_id: str) -> tuple:
+        try:
+            numeric_id = int(report_id)
+        except ValueError:
+            return 404, self._error_payload(
+                "NotFound", f"no report {report_id!r}"
+            )
+        payload = self.state.reports.fetch(numeric_id, tenant=tenant)
+        if payload is None:
+            return 404, self._error_payload(
+                "NotFound", f"no report {report_id!r} for tenant {tenant!r}"
+            )
+        return 200, payload
+
+    def _jobs_list(self, environ, tenant) -> tuple:
+        jobs = self.state.jobs.list(
+            tenant=tenant, limit=self._limit(self._query(environ))
+        )
+        return 200, {"count": len(jobs), "jobs": jobs}
+
+    def _job_get(self, environ, tenant, job_id: str) -> tuple:
+        payload = self.state.jobs.get(job_id, tenant=tenant)
+        if payload is None:
+            return 404, self._error_payload(
+                "NotFound", f"no job {job_id!r} for tenant {tenant!r}"
+            )
+        return 200, payload
+
+
+def create_app(
+    engine: "Engine | None" = None,
+    state: "StateStore | None" = None,
+    job_workers: int = 2,
+) -> DeHealthApp:
     """Build the WSGI application (optionally over a pre-loaded engine)."""
-    return DeHealthApp(engine)
+    return DeHealthApp(engine, state=state, job_workers=job_workers)

@@ -8,11 +8,19 @@ app object behind any WSGI server (gunicorn, uwsgi, mod_wsgi) instead::
 
     from repro.service import create_app
     application = create_app()
+
+:func:`serve` installs SIGTERM/SIGINT handlers for a graceful exit: the
+listener stops accepting, in-flight background jobs get a drain window
+(stragglers are checkpointed as ``failed``), and the state store is
+closed with a WAL checkpoint — ``kill <pid>`` never leaves a hot
+``-wal`` file behind.
 """
 
 from __future__ import annotations
 
+import signal
 import sys
+import threading
 from socketserver import ThreadingMixIn
 from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
 
@@ -60,18 +68,52 @@ def serve(
     port: int = 8321,
     app: "DeHealthApp | None" = None,
     threaded: bool = True,
+    drain_s: float = 5.0,
 ) -> None:
-    """Serve the JSON API until interrupted (blocking)."""
+    """Serve the JSON API until interrupted or signalled (blocking).
+
+    SIGTERM and SIGINT both trigger the same graceful sequence: stop
+    accepting connections, drain background jobs for up to ``drain_s``
+    seconds, and close the state store cleanly (WAL checkpoint).
+    """
     app = app or create_app(engine)
     httpd = make_service_server(host=host, port=port, app=app, threaded=threaded)
+
+    signalled = []
+
+    def _request_stop(signum, frame):  # noqa: ARG001 — signal handler shape
+        signalled.append(signal.Signals(signum).name)
+        # shutdown() joins the serve_forever loop, which runs on *this*
+        # (main) thread — calling it inline would deadlock, so hand it off
+        threading.Thread(target=httpd.shutdown, daemon=True).start()
+
+    previous = {
+        sig: signal.signal(sig, _request_stop)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    store_kind = "ephemeral"
+    if app.state.persistent:
+        store_kind = f"state: {app.state.path}"
     with httpd:
+        bound_host, bound_port = httpd.server_address[:2]
         print(
-            f"repro-dehealth service on http://{host}:{port} "
-            f"({'threaded' if threaded else 'single-threaded'}; "
+            f"repro-dehealth service on http://{bound_host}:{bound_port} "
+            f"({'threaded' if threaded else 'single-threaded'}; {store_kind}; "
             f"corpora: {app.engine.corpus_names or 'none'})",
             file=sys.stderr,
         )
         try:
             httpd.serve_forever()
         except KeyboardInterrupt:
-            print("shutting down", file=sys.stderr)
+            signalled.append("KeyboardInterrupt")
+        finally:
+            for sig, handler in previous.items():
+                signal.signal(sig, handler)
+            summary = app.close(drain_s=drain_s) or {}
+            print(
+                f"shutting down ({signalled[0] if signalled else 'stopped'}; "
+                f"jobs drained: {summary.get('drained', 0)}, "
+                f"canceled: {summary.get('canceled', 0)}, "
+                f"interrupted: {summary.get('interrupted', 0)})",
+                file=sys.stderr,
+            )

@@ -25,13 +25,24 @@ class ServiceResponse:
         return 200 <= self.status < 300
 
 
-def call_app(app, method: str, path: str, body=None) -> ServiceResponse:
-    """Invoke ``app`` once; ``body`` (if given) is JSON-encoded."""
+def call_app(
+    app,
+    method: str,
+    path: str,
+    body=None,
+    tenant: "str | None" = None,
+    query: str = "",
+) -> ServiceResponse:
+    """Invoke ``app`` once; ``body`` (if given) is JSON-encoded.
+
+    ``tenant`` sets the ``X-Tenant`` header; ``query`` is a raw query
+    string (``"limit=5"``).
+    """
     raw = b"" if body is None else json.dumps(body).encode("utf-8")
     environ = {
         "REQUEST_METHOD": method.upper(),
         "PATH_INFO": path,
-        "QUERY_STRING": "",
+        "QUERY_STRING": query,
         "SERVER_NAME": "testserver",
         "SERVER_PORT": "80",
         "SERVER_PROTOCOL": "HTTP/1.1",
@@ -45,6 +56,8 @@ def call_app(app, method: str, path: str, body=None) -> ServiceResponse:
         "wsgi.multiprocess": False,
         "wsgi.run_once": False,
     }
+    if tenant is not None:
+        environ["HTTP_X_TENANT"] = tenant
     captured: dict = {}
 
     def start_response(status_line, headers, exc_info=None):

@@ -1,0 +1,62 @@
+"""Durable service tier: sqlite-backed corpus/report/job state.
+
+The persistent layer beneath :mod:`repro.service` (stdlib :mod:`sqlite3`,
+WAL mode — no new dependencies):
+
+* :class:`StateStore` — one connection + schema; ``StateStore(None)`` is
+  the in-memory variant the service uses when no ``--state-dir`` is given,
+  :meth:`StateStore.at_dir` the file-backed one that survives restarts;
+* :class:`CorpusStore` — registered corpora as canonical JSONL keyed by
+  dataset fingerprint, so a restarted engine rehydrates without re-upload;
+* :class:`AttackReportStore` — every finished report as canonical JSON,
+  deduplicated on (tenant, fingerprint, request hash), which is what lets
+  resumed sweeps skip already-completed shards;
+* :class:`JobStore` / :class:`JobRunner` — background ``/attack`` and
+  ``/sweep`` jobs on a bounded thread pool, with per-shard progress and
+  terminal states that survive restarts.
+
+Quickstart::
+
+    from repro.api import Engine
+    from repro.store import StateStore
+
+    state = StateStore.at_dir("/var/lib/dehealth")
+    engine = Engine(store=state)        # rehydrates stored corpora
+    ...
+    state.close()                       # checkpoints the WAL
+"""
+
+from repro.store.corpus import CorpusStore
+from repro.store.db import (
+    DEFAULT_TENANT,
+    STATE_DB_FILENAME,
+    SCHEMA_VERSION,
+    StateStore,
+)
+from repro.store.jobs import (
+    JOB_KINDS,
+    JOB_STATES,
+    MAX_ACTIVE_JOBS,
+    MAX_ACTIVE_JOBS_PER_TENANT,
+    MAX_JOB_WORKERS,
+    JobRunner,
+    JobStore,
+)
+from repro.store.reports import AttackReportStore, canonical_report_text
+
+__all__ = [
+    "AttackReportStore",
+    "CorpusStore",
+    "DEFAULT_TENANT",
+    "JOB_KINDS",
+    "JOB_STATES",
+    "JobRunner",
+    "JobStore",
+    "MAX_ACTIVE_JOBS",
+    "MAX_ACTIVE_JOBS_PER_TENANT",
+    "MAX_JOB_WORKERS",
+    "SCHEMA_VERSION",
+    "STATE_DB_FILENAME",
+    "StateStore",
+    "canonical_report_text",
+]

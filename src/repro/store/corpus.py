@@ -1,0 +1,96 @@
+"""Persistent corpus registry keyed by dataset fingerprint.
+
+Stores each registered corpus as its canonical JSONL text (the exact
+bytes :func:`repro.forum.dumps_dataset` produces), so a restarted engine
+rehydrates its registry — names, fingerprints, and full datasets —
+without the client re-uploading or re-registering anything.  Fitting is
+still on demand: only the corpus bytes and registration metadata are
+persisted, never the fitted sessions.
+"""
+
+from __future__ import annotations
+
+from repro.forum.models import ForumDataset
+from repro.forum.store import dumps_dataset, loads_dataset
+from repro.store.db import StateStore, now
+
+
+class CorpusStore:
+    """Corpus rows in the service state database (see :mod:`repro.store.db`)."""
+
+    def __init__(self, state: StateStore) -> None:
+        self._state = state
+
+    def put(self, name: str, dataset: ForumDataset, fingerprint: str) -> bool:
+        """Persist ``dataset`` under ``name``; returns whether a row changed.
+
+        Re-registering the same (name, fingerprint) pair is a no-op — the
+        JSONL is not re-serialized or re-written — so engine restarts and
+        repeated ``--corpus`` loads cost one SELECT.  A changed fingerprint
+        under an existing name (edited corpus) or a renamed fingerprint
+        replaces the old row.
+        """
+        existing = self._state.query_one(
+            "SELECT name FROM corpora WHERE fingerprint = ?", (fingerprint,)
+        )
+        if existing is not None and existing["name"] == name:
+            return False
+        with self._state.transaction() as state:
+            # clear both unique slots (name and fingerprint) before insert
+            state._conn.execute("DELETE FROM corpora WHERE name = ?", (name,))
+            state._conn.execute(
+                "DELETE FROM corpora WHERE fingerprint = ?", (fingerprint,)
+            )
+            state._conn.execute(
+                "INSERT INTO corpora "
+                "(fingerprint, name, users, posts, threads, jsonl, created_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    fingerprint,
+                    name,
+                    dataset.n_users,
+                    dataset.n_posts,
+                    dataset.n_threads,
+                    dumps_dataset(dataset),
+                    now(),
+                ),
+            )
+        return True
+
+    def get(self, name: str) -> "tuple[str, ForumDataset] | None":
+        """``(fingerprint, dataset)`` for ``name``, or ``None``."""
+        row = self._state.query_one(
+            "SELECT fingerprint, jsonl FROM corpora WHERE name = ?", (name,)
+        )
+        if row is None:
+            return None
+        return row["fingerprint"], loads_dataset(
+            row["jsonl"], source=f"corpus:{name}"
+        )
+
+    def load_all(self) -> list:
+        """Every stored corpus as ``(name, fingerprint, dataset)`` tuples."""
+        rows = self._state.query_all(
+            "SELECT name, fingerprint, jsonl FROM corpora ORDER BY name"
+        )
+        return [
+            (
+                row["name"],
+                row["fingerprint"],
+                loads_dataset(row["jsonl"], source=f"corpus:{row['name']}"),
+            )
+            for row in rows
+        ]
+
+    def list(self) -> list:
+        """Registration metadata only (no JSONL decode), JSON-safe."""
+        return [
+            dict(row)
+            for row in self._state.query_all(
+                "SELECT fingerprint, name, users, posts, threads, created_at "
+                "FROM corpora ORDER BY name"
+            )
+        ]
+
+    def __len__(self) -> int:
+        return self._state.query_one("SELECT COUNT(*) AS n FROM corpora")["n"]

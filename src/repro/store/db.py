@@ -1,0 +1,270 @@
+"""Sqlite-backed durable state for the De-Health service tier.
+
+:class:`StateStore` owns one :mod:`sqlite3` connection (WAL mode when
+file-backed, so a serving process and read-only CLI inspectors coexist)
+and the schema shared by the three sub-stores layered on top of it:
+
+* :class:`~repro.store.CorpusStore` — registered corpora as canonical
+  JSONL, keyed by the engine's dataset fingerprint;
+* :class:`~repro.store.AttackReportStore` — every finished
+  :class:`~repro.api.AttackReport` as canonical JSON, deduplicated on
+  ``(tenant, corpus fingerprint, request hash)``;
+* :class:`~repro.store.JobStore` — background attack/sweep jobs with
+  progress counters and terminal states that survive restarts.
+
+``StateStore(None)`` opens an in-memory database with the identical
+schema: the service always runs against a store, and persistence is
+purely a question of whether a ``--state-dir`` was given.  Only the
+standard library is used.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+import time
+from pathlib import Path
+
+from repro.api.protocol import DEFAULT_TENANT
+from repro.errors import StoreError
+
+#: Database filename created inside a ``--state-dir``.
+STATE_DB_FILENAME = "dehealth.sqlite3"
+
+__all__ = ["DEFAULT_TENANT", "STATE_DB_FILENAME", "SCHEMA_VERSION", "StateStore"]
+
+#: Schema version recorded in ``meta``; bump on incompatible changes.
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS corpora (
+    fingerprint TEXT PRIMARY KEY,
+    name        TEXT NOT NULL UNIQUE,
+    users       INTEGER NOT NULL,
+    posts       INTEGER NOT NULL,
+    threads     INTEGER NOT NULL,
+    jsonl       TEXT NOT NULL,
+    created_at  REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS reports (
+    id           INTEGER PRIMARY KEY AUTOINCREMENT,
+    tenant       TEXT NOT NULL,
+    fingerprint  TEXT NOT NULL,
+    request_hash TEXT NOT NULL,
+    corpus       TEXT NOT NULL,
+    created_at   REAL NOT NULL,
+    canonical    TEXT NOT NULL,
+    UNIQUE (tenant, fingerprint, request_hash)
+);
+CREATE INDEX IF NOT EXISTS reports_tenant_time
+    ON reports (tenant, created_at);
+CREATE INDEX IF NOT EXISTS reports_fingerprint
+    ON reports (fingerprint);
+CREATE TABLE IF NOT EXISTS jobs (
+    id          TEXT PRIMARY KEY,
+    tenant      TEXT NOT NULL,
+    kind        TEXT NOT NULL,
+    payload     TEXT NOT NULL,
+    state       TEXT NOT NULL,
+    shards_total INTEGER NOT NULL DEFAULT 0,
+    shards_done  INTEGER NOT NULL DEFAULT 0,
+    result      TEXT,
+    error       TEXT,
+    created_at  REAL NOT NULL,
+    started_at  REAL,
+    finished_at REAL
+);
+CREATE INDEX IF NOT EXISTS jobs_tenant_state
+    ON jobs (tenant, state);
+CREATE TABLE IF NOT EXISTS tenants (
+    tenant        TEXT PRIMARY KEY,
+    requests      INTEGER NOT NULL DEFAULT 0,
+    attacks       INTEGER NOT NULL DEFAULT 0,
+    jobs_submitted INTEGER NOT NULL DEFAULT 0
+);
+"""
+
+
+class StateStore:
+    """One sqlite connection + schema behind the service's durable state.
+
+    The connection is shared across threads (the threading WSGI server and
+    the job runner's worker pool all write) under one re-entrant lock;
+    sqlite serializes writers anyway, so a finer scheme would buy nothing.
+    ``path=None`` opens an in-memory database — same schema, same code
+    paths, no files, dies with the process.
+    """
+
+    def __init__(self, path: "str | Path | None" = None) -> None:
+        self.path = None if path is None else Path(path)
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._closed = False
+        self._conn = sqlite3.connect(
+            ":memory:" if self.path is None else str(self.path),
+            check_same_thread=False,
+            isolation_level=None,  # autocommit; multi-step ops use BEGIN
+        )
+        self._conn.row_factory = sqlite3.Row
+        with self._lock:
+            if self.path is not None:
+                # WAL lets the serving process write while CLI inspectors
+                # read; NORMAL sync is durable enough for derived state
+                # (reports are recomputable) and much faster.
+                self._conn.execute("PRAGMA journal_mode=WAL")
+                self._conn.execute("PRAGMA synchronous=NORMAL")
+                self._conn.execute("PRAGMA busy_timeout=5000")
+            self._conn.executescript(_SCHEMA)
+            self._conn.execute(
+                "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+                ("schema_version", str(SCHEMA_VERSION)),
+            )
+        # import here: repro.store.* modules import repro.api.protocol,
+        # which must not re-enter this module during package init
+        from repro.store.corpus import CorpusStore
+        from repro.store.jobs import JobStore
+        from repro.store.reports import AttackReportStore
+
+        self.corpora = CorpusStore(self)
+        self.reports = AttackReportStore(self)
+        self.jobs = JobStore(self)
+
+    @classmethod
+    def at_dir(cls, state_dir: "str | Path") -> "StateStore":
+        """Open (creating if needed) the store inside a ``--state-dir``."""
+        return cls(Path(state_dir) / STATE_DB_FILENAME)
+
+    # --- properties -----------------------------------------------------
+
+    @property
+    def persistent(self) -> bool:
+        """Whether this store outlives the process (file-backed)."""
+        return self.path is not None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # --- low-level access ----------------------------------------------
+
+    def execute(self, sql: str, params: tuple = ()) -> sqlite3.Cursor:
+        """Run one statement under the store lock (autocommitted)."""
+        with self._lock:
+            if self._closed:
+                raise StoreError("state store is closed")
+            return self._conn.execute(sql, params)
+
+    def query_one(self, sql: str, params: tuple = ()) -> "sqlite3.Row | None":
+        return self.execute(sql, params).fetchone()
+
+    def query_all(self, sql: str, params: tuple = ()) -> list:
+        return self.execute(sql, params).fetchall()
+
+    def transaction(self):
+        """Context manager: the store lock + an IMMEDIATE transaction."""
+        return _Transaction(self)
+
+    # --- tenant accounting ----------------------------------------------
+
+    def bump_tenant(self, tenant: str, column: str, by: int = 1) -> None:
+        """Increment one per-tenant counter (requests/attacks/jobs)."""
+        if column not in ("requests", "attacks", "jobs_submitted"):
+            raise StoreError(f"unknown tenant counter {column!r}")
+        self.execute(
+            f"INSERT INTO tenants (tenant, {column}) VALUES (?, ?) "
+            f"ON CONFLICT (tenant) DO UPDATE SET {column} = {column} + ?",
+            (tenant, by, by),
+        )
+
+    def tenant_counters(self) -> dict:
+        """Per-tenant request/attack/job counters, JSON-safe."""
+        return {
+            row["tenant"]: {
+                "requests": row["requests"],
+                "attacks": row["attacks"],
+                "jobs_submitted": row["jobs_submitted"],
+            }
+            for row in self.query_all("SELECT * FROM tenants ORDER BY tenant")
+        }
+
+    # --- lifecycle ------------------------------------------------------
+
+    def describe(self) -> dict:
+        """JSON-safe summary for ``GET /stats`` and CLI inspectors."""
+        counts = {
+            table: self.query_one(f"SELECT COUNT(*) AS n FROM {table}")["n"]
+            for table in ("corpora", "reports", "jobs")
+        }
+        return {
+            "path": None if self.path is None else str(self.path),
+            "persistent": self.persistent,
+            "corpora": counts["corpora"],
+            "reports": counts["reports"],
+            "jobs": counts["jobs"],
+        }
+
+    def checkpoint(self) -> None:
+        """Fold the WAL back into the main database file (file-backed only)."""
+        if self.path is not None and not self._closed:
+            with self._lock:
+                self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+
+    def close(self) -> None:
+        """Checkpoint the WAL and close the connection (idempotent).
+
+        After a clean close no hot ``-wal``/``-shm`` sidecar is left
+        behind: sqlite removes them when the last connection detaches from
+        a checkpointed database.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            try:
+                self.checkpoint()
+            finally:
+                self._closed = True
+                self._conn.close()
+
+    def __enter__(self) -> "StateStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        where = "memory" if self.path is None else str(self.path)
+        return f"StateStore({where}, closed={self._closed})"
+
+
+class _Transaction:
+    """``with store.transaction():`` — lock + BEGIN IMMEDIATE/COMMIT."""
+
+    def __init__(self, store: StateStore) -> None:
+        self._store = store
+
+    def __enter__(self) -> StateStore:
+        self._store._lock.acquire()
+        if self._store.closed:
+            self._store._lock.release()
+            raise StoreError("state store is closed")
+        self._store._conn.execute("BEGIN IMMEDIATE")
+        return self._store
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        try:
+            if exc_type is None:
+                self._store._conn.execute("COMMIT")
+            else:
+                self._store._conn.execute("ROLLBACK")
+        finally:
+            self._store._lock.release()
+
+
+def now() -> float:
+    """Wall-clock timestamp used for every row the store writes."""
+    return time.time()

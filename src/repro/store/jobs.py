@@ -1,0 +1,351 @@
+"""Background attack jobs: persistent rows + a bounded worker pool.
+
+:class:`JobStore` is the durable side — one row per job with state
+(``queued`` → ``running`` → ``done``/``failed``), shard progress, and the
+result payload, so ``GET /jobs/<id>`` answers from the database and a
+restarted server still reports every job it ever accepted (in-flight ones
+come back as ``failed: interrupted by restart`` rather than vanishing).
+
+:class:`JobRunner` is the execution side — a bounded
+:class:`~concurrent.futures.ThreadPoolExecutor` draining jobs through the
+shared :class:`~repro.api.Engine`.  Sweep jobs run shard-at-a-time in
+input order (the serial path of the executor's determinism guarantee), so
+progress is per-shard, partial results are always a prefix of the final
+report list, and the finished reports are byte-identical to the
+synchronous ``POST /sweep`` path's canonical JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import uuid
+from concurrent.futures import ThreadPoolExecutor, wait
+
+from repro.errors import ConfigError, QuotaExceededError
+from repro.store.db import DEFAULT_TENANT, StateStore, now
+
+#: Job kinds the runner executes.
+JOB_KINDS: tuple = ("attack", "sweep")
+
+#: States a job row can be in; the last three are terminal.
+JOB_STATES: tuple = ("queued", "running", "done", "failed")
+
+#: Ceiling on the runner's worker-thread count.
+MAX_JOB_WORKERS = 8
+
+#: Service-wide cap on jobs that are queued or running at once.
+MAX_ACTIVE_JOBS = 64
+
+#: Per-tenant cap on jobs that are queued or running at once (the quota).
+MAX_ACTIVE_JOBS_PER_TENANT = 16
+
+
+class JobStore:
+    """Job rows in the service state database (see :mod:`repro.store.db`)."""
+
+    def __init__(self, state: StateStore) -> None:
+        self._state = state
+
+    # --- lifecycle writes ----------------------------------------------
+
+    def create(
+        self,
+        tenant: str,
+        kind: str,
+        payload: dict,
+        shards_total: int = 0,
+    ) -> str:
+        """Insert a ``queued`` job row; returns the new job id."""
+        if kind not in JOB_KINDS:
+            raise ConfigError(f"job kind must be one of {JOB_KINDS}, got {kind!r}")
+        job_id = uuid.uuid4().hex[:12]
+        self._state.execute(
+            "INSERT INTO jobs "
+            "(id, tenant, kind, payload, state, shards_total, shards_done, "
+            " created_at) VALUES (?, ?, ?, ?, 'queued', ?, 0, ?)",
+            (job_id, tenant, kind, json.dumps(payload), shards_total, now()),
+        )
+        return job_id
+
+    def mark_running(self, job_id: str) -> None:
+        self._state.execute(
+            "UPDATE jobs SET state = 'running', started_at = ? WHERE id = ?",
+            (now(), job_id),
+        )
+
+    def progress(
+        self, job_id: str, shards_done: int, partial: "dict | None" = None
+    ) -> None:
+        """Advance the shard counter (and optionally the partial result)."""
+        if partial is None:
+            self._state.execute(
+                "UPDATE jobs SET shards_done = ? WHERE id = ?",
+                (shards_done, job_id),
+            )
+        else:
+            self._state.execute(
+                "UPDATE jobs SET shards_done = ?, result = ? WHERE id = ?",
+                (shards_done, json.dumps(partial), job_id),
+            )
+
+    def finish(self, job_id: str, result: dict) -> None:
+        self._state.execute(
+            "UPDATE jobs SET state = 'done', result = ?, finished_at = ?, "
+            "shards_done = shards_total WHERE id = ?",
+            (json.dumps(result), now(), job_id),
+        )
+
+    def fail(self, job_id: str, error: str) -> None:
+        self._state.execute(
+            "UPDATE jobs SET state = 'failed', error = ?, finished_at = ? "
+            "WHERE id = ?",
+            (error, now(), job_id),
+        )
+
+    def recover_interrupted(self) -> int:
+        """Terminal-ize jobs a dead process left behind; returns the count.
+
+        Called by the :class:`JobRunner` when a server starts: any row
+        still ``queued``/``running`` belonged to the previous process and
+        can never complete, so it is marked ``failed`` with an explicit
+        reason instead of being silently lost.
+        """
+        cursor = self._state.execute(
+            "UPDATE jobs SET state = 'failed', "
+            "error = 'interrupted by restart', finished_at = ? "
+            "WHERE state IN ('queued', 'running')",
+            (now(),),
+        )
+        return cursor.rowcount
+
+    # --- reads ----------------------------------------------------------
+
+    def get(self, job_id: str, tenant: "str | None" = None) -> "dict | None":
+        """Full job row (payload/result decoded), scoped to ``tenant``."""
+        clause = "" if tenant is None else "AND tenant = ?"
+        params = (job_id,) if tenant is None else (job_id, tenant)
+        row = self._state.query_one(
+            f"SELECT * FROM jobs WHERE id = ? {clause}", params
+        )
+        if row is None:
+            return None
+        payload = dict(row)
+        payload["job_id"] = payload.pop("id")
+        payload["payload"] = json.loads(payload["payload"])
+        if payload["result"] is not None:
+            payload["result"] = json.loads(payload["result"])
+        return payload
+
+    def list(self, tenant: "str | None" = None, limit: int = 50) -> list:
+        """Newest-first job summaries (no payload/result), JSON-safe."""
+        clause = "" if tenant is None else "WHERE tenant = ?"
+        params: tuple = () if tenant is None else (tenant,)
+        rows = self._state.query_all(
+            "SELECT id, tenant, kind, state, shards_total, shards_done, "
+            "created_at, started_at, finished_at, error "
+            f"FROM jobs {clause} ORDER BY created_at DESC, id LIMIT ?",
+            (*params, max(1, int(limit))),
+        )
+        summaries = []
+        for row in rows:
+            summary = dict(row)
+            summary["job_id"] = summary.pop("id")
+            summaries.append(summary)
+        return summaries
+
+    def active_count(self, tenant: "str | None" = None) -> int:
+        clause = "" if tenant is None else "AND tenant = ?"
+        params: tuple = () if tenant is None else (tenant,)
+        return self._state.query_one(
+            "SELECT COUNT(*) AS n FROM jobs "
+            f"WHERE state IN ('queued', 'running') {clause}",
+            params,
+        )["n"]
+
+    def counters(self) -> dict:
+        """Queue depth / throughput counters for ``GET /stats``."""
+        by_state = {state: 0 for state in JOB_STATES}
+        for row in self._state.query_all(
+            "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"
+        ):
+            by_state[row["state"]] = row["n"]
+        shards = self._state.query_one(
+            "SELECT COALESCE(SUM(shards_done), 0) AS done, "
+            "COALESCE(SUM(shards_total), 0) AS total FROM jobs"
+        )
+        return {
+            **by_state,
+            "depth": by_state["queued"] + by_state["running"],
+            "total": sum(by_state.values()),
+            "shards_completed": shards["done"],
+            "shards_planned": shards["total"],
+        }
+
+    def count_by_tenant(self) -> dict:
+        return {
+            row["tenant"]: row["n"]
+            for row in self._state.query_all(
+                "SELECT tenant, COUNT(*) AS n FROM jobs GROUP BY tenant"
+            )
+        }
+
+
+class JobRunner:
+    """Bounded thread pool executing persisted jobs against an engine.
+
+    ``workers`` caps concurrent jobs (each job runs its shards serially;
+    parallelism comes from running jobs side by side).  Quotas bound the
+    active backlog service-wide and per tenant — beyond them
+    :meth:`submit` raises :class:`~repro.errors.QuotaExceededError`
+    (HTTP 429 at the service layer) instead of queueing unboundedly.
+    """
+
+    def __init__(
+        self,
+        engine,
+        state: StateStore,
+        workers: int = 2,
+        max_active: int = MAX_ACTIVE_JOBS,
+        max_active_per_tenant: int = MAX_ACTIVE_JOBS_PER_TENANT,
+    ) -> None:
+        if not 1 <= int(workers) <= MAX_JOB_WORKERS:
+            raise ConfigError(
+                f"job workers must be in [1, {MAX_JOB_WORKERS}], got {workers}"
+            )
+        self.engine = engine
+        self.state = state
+        self.jobs = state.jobs
+        self.workers = int(workers)
+        self.max_active = max_active
+        self.max_active_per_tenant = max_active_per_tenant
+        self.submitted = 0
+        # a server taking over this state database owns every undrained
+        # job row: terminal-ize the previous process's leftovers up front
+        self.recovered = self.jobs.recover_interrupted()
+        self._lock = threading.Lock()
+        self._futures: dict = {}
+        self._draining = False
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="dehealth-job"
+        )
+
+    # --- submission -----------------------------------------------------
+
+    def submit(
+        self, kind: str, payload: dict, tenant: str = DEFAULT_TENANT
+    ) -> str:
+        """Persist + enqueue one job; returns its id (raises on quota)."""
+        requests = self._plan(kind, payload)
+        with self._lock:
+            if self._draining:
+                raise QuotaExceededError("server is shutting down")
+            if self.jobs.active_count() >= self.max_active:
+                raise QuotaExceededError(
+                    f"job queue is full ({self.max_active} active jobs)"
+                )
+            if self.jobs.active_count(tenant) >= self.max_active_per_tenant:
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} already has "
+                    f"{self.max_active_per_tenant} active jobs"
+                )
+            job_id = self.jobs.create(
+                tenant, kind, payload, shards_total=len(requests)
+            )
+            self.submitted += 1
+            self.state.bump_tenant(tenant, "jobs_submitted")
+            future = self._pool.submit(self._execute, job_id, kind, tenant)
+            self._futures[job_id] = future
+        future.add_done_callback(lambda _f, j=job_id: self._forget(j))
+        return job_id
+
+    def _forget(self, job_id: str) -> None:
+        with self._lock:
+            self._futures.pop(job_id, None)
+
+    def _plan(self, kind: str, payload: dict) -> list:
+        """Validate a job payload into attack requests (raises ConfigError).
+
+        Validation happens at submit time, before any row is written, so a
+        malformed body is a synchronous 400 — not a job that is born dead.
+        """
+        from repro.api.executor import expand_matrix
+        from repro.api.protocol import AttackRequest
+
+        if kind == "attack":
+            return [AttackRequest.from_dict(payload).validate()]
+        if kind == "sweep":
+            from repro.service.app import MAX_SWEEP_REQUESTS
+
+            requests = expand_matrix(payload, max_requests=MAX_SWEEP_REQUESTS)
+            for request in requests:
+                request.validate()
+            return requests
+        raise ConfigError(f"job kind must be one of {JOB_KINDS}, got {kind!r}")
+
+    # --- execution ------------------------------------------------------
+
+    def _execute(self, job_id: str, kind: str, tenant: str) -> None:
+        try:
+            requests = self._plan(kind, self.jobs.get(job_id)["payload"])
+            self.jobs.mark_running(job_id)
+            reports = []
+            for index, request in enumerate(requests):
+                reports.append(self.engine.attack(request, tenant=tenant))
+                self.jobs.progress(
+                    job_id,
+                    index + 1,
+                    partial={
+                        "count": index + 1,
+                        "reports": [r.to_dict() for r in reports],
+                    },
+                )
+            if kind == "attack":
+                result = reports[0].to_dict()
+            else:
+                result = {
+                    "count": len(reports),
+                    "workers": 1,
+                    "reports": [r.to_dict() for r in reports],
+                }
+            self.jobs.finish(job_id, result)
+        except Exception as exc:  # noqa: BLE001 — job errors become rows
+            self.jobs.fail(job_id, f"{type(exc).__name__}: {exc}")
+
+    # --- lifecycle ------------------------------------------------------
+
+    def counters(self) -> dict:
+        """Runner + store counters for ``GET /stats``."""
+        return {
+            **self.jobs.counters(),
+            "workers": self.workers,
+            "submitted": self.submitted,
+            "recovered": self.recovered,
+        }
+
+    def shutdown(self, drain_s: float = 5.0) -> dict:
+        """Stop accepting jobs, drain briefly, terminal-ize the rest.
+
+        Queued jobs that never started are marked failed (``canceled by
+        shutdown``); running jobs get ``drain_s`` seconds to finish, after
+        which they are recorded as interrupted — the process is about to
+        exit, so the rows must reach a terminal state now.
+        """
+        with self._lock:
+            self._draining = True
+            pending = dict(self._futures)
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        canceled = interrupted = 0
+        done, not_done = wait(pending.values(), timeout=max(0.0, drain_s))
+        for job_id, future in pending.items():
+            if future.cancelled():
+                self.jobs.fail(job_id, "canceled by shutdown")
+                canceled += 1
+            elif future in not_done:
+                self.jobs.fail(job_id, "interrupted by shutdown")
+                interrupted += 1
+        return {
+            "drained": len(done) - canceled,
+            "canceled": canceled,
+            "interrupted": interrupted,
+        }

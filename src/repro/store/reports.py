@@ -1,0 +1,132 @@
+"""Durable attack-report store with (fingerprint, request-hash) dedup.
+
+Every finished :class:`~repro.api.AttackReport` is persisted as its
+canonical JSON (volatile timing/scheduling fields dropped — the same
+serialization the golden suite compares), keyed by the serving corpus
+fingerprint and the request's content hash, partitioned by tenant.  The
+unique index on ``(tenant, fingerprint, request_hash)`` makes recording
+idempotent, and :meth:`lookup` is what lets a resumed sweep skip every
+shard whose report already exists.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.api.protocol import AttackReport, AttackRequest, request_hash
+from repro.store.db import DEFAULT_TENANT, StateStore, now
+
+
+def canonical_report_text(report: AttackReport) -> str:
+    """The canonical JSON text stored for (and compared across) restarts."""
+    return json.dumps(report.canonical_dict(), indent=None, sort_keys=True)
+
+
+class AttackReportStore:
+    """Report rows in the service state database (see :mod:`repro.store.db`)."""
+
+    def __init__(self, state: StateStore) -> None:
+        self._state = state
+
+    # --- writes ---------------------------------------------------------
+
+    def record(
+        self,
+        report: AttackReport,
+        fingerprint: str,
+        tenant: str = DEFAULT_TENANT,
+    ) -> bool:
+        """Persist ``report``; returns False when the row already existed."""
+        cursor = self._state.execute(
+            "INSERT OR IGNORE INTO reports "
+            "(tenant, fingerprint, request_hash, corpus, created_at, canonical) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            (
+                tenant,
+                fingerprint,
+                request_hash(report.request),
+                report.request.corpus,
+                now(),
+                canonical_report_text(report),
+            ),
+        )
+        return cursor.rowcount > 0
+
+    # --- reads ----------------------------------------------------------
+
+    def lookup(
+        self,
+        fingerprint: str,
+        request: "AttackRequest | str",
+        tenant: str = DEFAULT_TENANT,
+    ) -> "AttackReport | None":
+        """The stored report for this (fingerprint, request) pair, if any.
+
+        ``request`` may be the request object or an already-computed hash.
+        The report is rehydrated from its canonical JSON, so the volatile
+        fields come back at their defaults (``elapsed_ms=0``,
+        ``reused_fit=False``) — exactly what the canonical comparison
+        ignores.
+        """
+        digest = request if isinstance(request, str) else request_hash(request)
+        row = self._state.query_one(
+            "SELECT canonical FROM reports "
+            "WHERE tenant = ? AND fingerprint = ? AND request_hash = ?",
+            (tenant, fingerprint, digest),
+        )
+        if row is None:
+            return None
+        return AttackReport.from_dict(json.loads(row["canonical"]))
+
+    def list(
+        self,
+        tenant: "str | None" = DEFAULT_TENANT,
+        fingerprint: "str | None" = None,
+        limit: int = 50,
+    ) -> list:
+        """Newest-first report summaries (no canonical payload), JSON-safe.
+
+        ``tenant=None`` lists across tenants (CLI inspectors); the service
+        always scopes to the request's tenant.
+        """
+        clauses, params = [], []
+        if tenant is not None:
+            clauses.append("tenant = ?")
+            params.append(tenant)
+        if fingerprint is not None:
+            clauses.append("fingerprint = ?")
+            params.append(fingerprint)
+        where = f"WHERE {' AND '.join(clauses)}" if clauses else ""
+        rows = self._state.query_all(
+            "SELECT id, tenant, fingerprint, request_hash, corpus, created_at "
+            f"FROM reports {where} ORDER BY id DESC LIMIT ?",
+            (*params, max(1, int(limit))),
+        )
+        return [dict(row) for row in rows]
+
+    def fetch(
+        self, report_id: int, tenant: "str | None" = DEFAULT_TENANT
+    ) -> "dict | None":
+        """Full stored report by id (scoped to ``tenant`` unless ``None``)."""
+        clause = "" if tenant is None else "AND tenant = ?"
+        params = (report_id,) if tenant is None else (report_id, tenant)
+        row = self._state.query_one(
+            f"SELECT * FROM reports WHERE id = ? {clause}", params
+        )
+        if row is None:
+            return None
+        payload = dict(row)
+        payload["report"] = json.loads(payload.pop("canonical"))
+        return payload
+
+    def count_by_tenant(self) -> dict:
+        """``{tenant: stored report count}`` for the stats endpoint."""
+        return {
+            row["tenant"]: row["n"]
+            for row in self._state.query_all(
+                "SELECT tenant, COUNT(*) AS n FROM reports GROUP BY tenant"
+            )
+        }
+
+    def __len__(self) -> int:
+        return self._state.query_one("SELECT COUNT(*) AS n FROM reports")["n"]

@@ -254,3 +254,91 @@ class TestCommands:
         dup.write_bytes(out.read_bytes())
         with pytest.raises(SystemExit, match="duplicate corpus name"):
             build_engine_for_serve([str(out), str(dup)])
+
+
+class TestStateCommands:
+    """`serve --state-dir` persistence plus the reports/jobs inspectors."""
+
+    @pytest.fixture()
+    def populated_state(self, tmp_path):
+        """A state dir holding one report and one finished job."""
+        import time
+
+        from repro.cli import build_engine_for_serve
+        from repro.service import call_app, create_app
+        from repro.store import StateStore
+
+        corpus = tmp_path / "demo.jsonl"
+        main(["generate", "--users", "30", "--seed", "2", "--out", str(corpus)])
+        engine = build_engine_for_serve([str(corpus)])
+        engine.attach_store(StateStore.at_dir(tmp_path / "state"))
+        app = create_app(engine, job_workers=1)
+        body = {
+            "corpus": "demo", "split_seed": 4, "top_k": 5, "n_landmarks": 5,
+            "classifier": "knn", "ks": [1, 5], "refined": False,
+        }
+        assert call_app(app, "POST", "/attack", body).status == 200
+        accepted = call_app(
+            app, "POST", "/attack", {**body, "top_k": 3, "async": True},
+            tenant="acme",
+        )
+        assert accepted.status == 202
+        job_id = accepted.json["job_id"]
+        for _ in range(600):
+            job = call_app(app, "GET", f"/jobs/{job_id}", tenant="acme").json
+            if job["state"] in ("done", "failed"):
+                break
+            time.sleep(0.05)
+        assert job["state"] == "done", job.get("error")
+        app.close()
+        return tmp_path / "state", job_id
+
+    def test_parser_state_args(self):
+        args = build_parser().parse_args(
+            ["serve", "--state-dir", "st", "--job-workers", "4"]
+        )
+        assert args.state_dir == "st" and args.job_workers == 4
+        args = build_parser().parse_args(["serve"])
+        assert args.state_dir is None and args.job_workers == 2
+
+    def test_reports_listing_and_fetch(self, populated_state, capsys):
+        state_dir, _ = populated_state
+        assert main(["reports", str(state_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "2 report(s)" in out
+        assert "tenant=acme" in out and "tenant=default" in out
+
+        assert main(["reports", str(state_dir), "--tenant", "acme"]) == 0
+        assert "1 report(s)" in capsys.readouterr().out
+
+        assert main(["reports", str(state_dir), "--id", "1"]) == 0
+        import json as json_mod
+
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload["report"]["request"]["corpus"] == "demo"
+
+    def test_jobs_listing_and_fetch(self, populated_state, capsys):
+        state_dir, job_id = populated_state
+        assert main(["jobs", str(state_dir)]) == 0
+        out = capsys.readouterr().out
+        assert job_id in out and "state=done" in out
+
+        assert main(["jobs", str(state_dir), "--id", job_id]) == 0
+        import json as json_mod
+
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload["state"] == "done"
+        assert payload["result"]["request"]["top_k"] == 3
+
+    def test_missing_state_dir_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="no state database"):
+            main(["reports", str(tmp_path)])
+        with pytest.raises(SystemExit, match="no state database"):
+            main(["jobs", str(tmp_path)])
+
+    def test_missing_ids_error(self, populated_state):
+        state_dir, _ = populated_state
+        with pytest.raises(SystemExit, match="no stored report"):
+            main(["reports", str(state_dir), "--id", "999"])
+        with pytest.raises(SystemExit, match="no job"):
+            main(["jobs", str(state_dir), "--id", "nope"])

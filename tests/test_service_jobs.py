@@ -1,0 +1,327 @@
+"""Async jobs, tenancy, quotas, and the JSON error envelope on the service."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.api import Engine
+from repro.errors import ConfigError
+from repro.service import DeHealthApp, call_app, create_app
+from repro.store import StateStore
+
+ATTACK_BODY = {
+    "corpus": "tiny",
+    "split_seed": 102,
+    "top_k": 5,
+    "n_landmarks": 5,
+    "classifier": "knn",
+    "ks": [1, 5],
+    "refined": False,
+}
+
+
+def make_app(tiny_corpus, **kwargs) -> DeHealthApp:
+    engine = Engine()
+    engine.register("tiny", tiny_corpus)
+    return create_app(engine, **kwargs)
+
+
+def wait_terminal(app, job_id, timeout_s=60.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        res = call_app(app, "GET", f"/jobs/{job_id}")
+        assert res.status == 200, res.json
+        if res.json["state"] in ("done", "failed"):
+            return res.json
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} did not reach a terminal state")
+
+
+def canonical(report_dict) -> str:
+    from repro.api import VOLATILE_REPORT_FIELDS
+
+    payload = {
+        k: v for k, v in report_dict.items() if k not in VOLATILE_REPORT_FIELDS
+    }
+    return json.dumps(payload, sort_keys=True)
+
+
+class TestAsyncAttack:
+    def test_async_attack_matches_sync(self, tiny_corpus):
+        sync_app = make_app(tiny_corpus)
+        sync = call_app(sync_app, "POST", "/attack", ATTACK_BODY)
+        assert sync.status == 200
+
+        async_app = make_app(tiny_corpus)
+        accepted = call_app(
+            async_app, "POST", "/attack", {**ATTACK_BODY, "async": True}
+        )
+        assert accepted.status == 202
+        assert accepted.json["kind"] == "attack"
+        job = wait_terminal(async_app, accepted.json["job_id"])
+        assert job["state"] == "done", job["error"]
+        assert job["shards_done"] == job["shards_total"] == 1
+        assert job["started_at"] is not None
+        assert job["finished_at"] is not None
+        # the async result is byte-identical to the sync path, volatile
+        # timing/scheduling fields aside
+        assert canonical(job["result"]) == canonical(sync.json)
+        async_app.close()
+        sync_app.close()
+
+    def test_async_sweep_matches_sync(self, tiny_corpus):
+        body = {
+            "base": ATTACK_BODY,
+            "grid": {"top_k": [3, 5]},
+        }
+        sync_app = make_app(tiny_corpus)
+        sync = call_app(sync_app, "POST", "/sweep", body)
+        assert sync.status == 200 and sync.json["count"] == 2
+
+        async_app = make_app(tiny_corpus)
+        accepted = call_app(
+            async_app, "POST", "/sweep", {**body, "async": True}
+        )
+        assert accepted.status == 202
+        assert accepted.json["shards_total"] == 2
+        job = wait_terminal(async_app, accepted.json["job_id"])
+        assert job["state"] == "done", job["error"]
+        assert job["result"]["count"] == 2
+        for got, want in zip(job["result"]["reports"], sync.json["reports"]):
+            assert canonical(got) == canonical(want)
+        async_app.close()
+        sync_app.close()
+
+    def test_async_flag_must_be_boolean(self, tiny_corpus):
+        app = make_app(tiny_corpus)
+        res = call_app(app, "POST", "/attack", {**ATTACK_BODY, "async": "yes"})
+        assert res.status == 400
+        assert "async" in res.json["error"]["message"]
+        app.close()
+
+    def test_async_bad_body_is_sync_400(self, tiny_corpus):
+        """Malformed payloads fail at submit time, not as dead jobs."""
+        app = make_app(tiny_corpus)
+        res = call_app(
+            app, "POST", "/attack",
+            {**ATTACK_BODY, "async": True, "corpus": "ghost"},
+        )
+        assert res.status == 400
+        assert call_app(app, "GET", "/jobs").json["count"] == 0
+        app.close()
+
+    def test_queued_then_running_then_done(self, tiny_corpus):
+        """With one worker, a second job is observably ``queued`` first."""
+        app = make_app(tiny_corpus, job_workers=1)
+        release = threading.Event()
+        # occupy the single worker so the API-submitted job must wait
+        blocker = app.runner._pool.submit(release.wait, 30)
+        accepted = call_app(
+            app, "POST", "/attack", {**ATTACK_BODY, "async": True}
+        )
+        assert accepted.status == 202
+        job_id = accepted.json["job_id"]
+        seen = call_app(app, "GET", f"/jobs/{job_id}").json
+        assert seen["state"] == "queued"
+        assert seen["started_at"] is None
+        release.set()
+        blocker.result(timeout=30)
+        job = wait_terminal(app, job_id)
+        assert job["state"] == "done", job["error"]
+        app.close()
+
+    def test_sweep_job_reports_shard_progress(self, tiny_corpus):
+        """Partial results are a prefix of the final report list."""
+        app = make_app(tiny_corpus, job_workers=1)
+        accepted = call_app(
+            app,
+            "POST",
+            "/sweep",
+            {
+                "base": ATTACK_BODY,
+                "grid": {"split_seed": [102, 103, 104]},
+                "async": True,
+            },
+        )
+        assert accepted.status == 202 and accepted.json["shards_total"] == 3
+        job = wait_terminal(app, accepted.json["job_id"])
+        assert job["state"] == "done", job["error"]
+        assert job["shards_done"] == 3
+        seeds = [r["request"]["split_seed"] for r in job["result"]["reports"]]
+        assert seeds == [102, 103, 104]
+        app.close()
+
+
+class TestJobRoutes:
+    def test_unknown_job_404(self, tiny_corpus):
+        app = make_app(tiny_corpus)
+        res = call_app(app, "GET", "/jobs/doesnotexist")
+        assert res.status == 404
+        assert res.json["error"]["type"] == "NotFound"
+        app.close()
+
+    def test_jobs_list_scoped_to_tenant(self, tiny_corpus):
+        app = make_app(tiny_corpus)
+        accepted = call_app(
+            app, "POST", "/attack", {**ATTACK_BODY, "async": True},
+            tenant="acme",
+        )
+        assert accepted.status == 202
+        job_id = accepted.json["job_id"]
+        assert call_app(app, "GET", "/jobs", tenant="acme").json["count"] == 1
+        assert call_app(app, "GET", "/jobs").json["count"] == 0
+        # the job itself is invisible to other tenants
+        foreign = call_app(app, "GET", f"/jobs/{job_id}")
+        assert foreign.status == 404
+        wait_terminal_tenant = call_app(
+            app, "GET", f"/jobs/{job_id}", tenant="acme"
+        )
+        assert wait_terminal_tenant.status == 200
+        app.close()
+
+    def test_quota_429(self, tiny_corpus):
+        app = make_app(tiny_corpus, job_workers=1)
+        app.runner.max_active_per_tenant = 1
+        release = threading.Event()
+        blocker = app.runner._pool.submit(release.wait, 30)
+        try:
+            first = call_app(
+                app, "POST", "/attack", {**ATTACK_BODY, "async": True}
+            )
+            assert first.status == 202
+            second = call_app(
+                app, "POST", "/attack",
+                {**ATTACK_BODY, "async": True, "top_k": 3},
+            )
+            assert second.status == 429
+            assert second.json["error"]["type"] == "QuotaExceededError"
+            # another tenant still has room
+            other = call_app(
+                app, "POST", "/attack", {**ATTACK_BODY, "async": True},
+                tenant="acme",
+            )
+            assert other.status == 202
+        finally:
+            release.set()
+            blocker.result(timeout=30)
+        app.close()
+
+
+class TestReportsRoutes:
+    @pytest.fixture()
+    def app(self, tiny_corpus):
+        app = make_app(tiny_corpus)
+        assert call_app(app, "POST", "/attack", ATTACK_BODY).status == 200
+        yield app
+        app.close()
+
+    def test_list_and_fetch(self, app):
+        listing = call_app(app, "GET", "/reports")
+        assert listing.status == 200 and listing.json["count"] == 1
+        summary = listing.json["reports"][0]
+        assert "canonical" not in summary
+        full = call_app(app, "GET", f"/reports/{summary['id']}")
+        assert full.status == 200
+        assert full.json["report"]["request"]["top_k"] == 5
+        assert "elapsed_ms" not in full.json["report"]
+
+    def test_fetch_scoping_and_bad_ids(self, app):
+        listing = call_app(app, "GET", "/reports")
+        rid = listing.json["reports"][0]["id"]
+        assert call_app(app, "GET", f"/reports/{rid}", tenant="acme").status == 404
+        assert call_app(app, "GET", "/reports/99999").status == 404
+        assert call_app(app, "GET", "/reports/notanumber").status == 404
+        assert call_app(app, "GET", "/reports/1/extra").status == 404
+
+    def test_list_filters(self, app):
+        fp = app.engine.fingerprint("tiny")
+        hit = call_app(app, "GET", "/reports", query=f"fingerprint={fp}")
+        assert hit.json["count"] == 1
+        miss = call_app(app, "GET", "/reports", query="fingerprint=nope")
+        assert miss.json["count"] == 0
+        limited = call_app(app, "GET", "/reports", query="limit=1")
+        assert limited.json["count"] == 1
+        bad = call_app(app, "GET", "/reports", query="limit=0")
+        assert bad.status == 400
+
+    def test_dedup_skip_only_when_persistent(self, app):
+        """In-memory stores record reports but never replace execution."""
+        again = call_app(app, "POST", "/attack", ATTACK_BODY)
+        assert again.status == 200
+        assert call_app(app, "GET", "/reports").json["count"] == 1
+        stats = call_app(app, "GET", "/stats").json
+        assert stats["tenants"]["default"]["report_reuses"] == 0
+
+
+class TestTenancy:
+    def test_invalid_tenant_400(self, tiny_corpus):
+        app = make_app(tiny_corpus)
+        for bad in ("-leading", "has space", "x" * 65, ""):
+            res = call_app(app, "GET", "/healthz", tenant=bad)
+            assert res.status == 400, bad
+        app.close()
+
+    def test_stats_has_per_tenant_blocks(self, tiny_corpus):
+        app = make_app(tiny_corpus)
+        call_app(app, "POST", "/attack", ATTACK_BODY, tenant="acme")
+        call_app(app, "GET", "/healthz", tenant="acme")
+        call_app(app, "POST", "/attack", {**ATTACK_BODY, "top_k": 3})
+        stats = call_app(app, "GET", "/stats").json
+        assert stats["uptime_s"] >= 0
+        jobs = stats["jobs"]
+        assert jobs["depth"] == 0 and jobs["workers"] == 2
+        acme = stats["tenants"]["acme"]
+        assert acme["attacks"] == 1
+        assert acme["requests"] >= 2  # the attack + the healthz
+        assert acme["reports"] == 1
+        default = stats["tenants"]["default"]
+        assert default["attacks"] == 1
+        assert default["cache_bytes"] >= 0
+        json.dumps(stats)  # fully JSON-safe
+        app.close()
+
+
+class TestErrorEnvelope:
+    """Every route × method answers with JSON — success or the error
+    envelope — never wsgiref's HTML error pages."""
+
+    PATHS = (
+        "/healthz", "/stats", "/generate", "/attack", "/sweep", "/linkage",
+        "/reports", "/reports/1", "/jobs", "/jobs/x", "/nope", "/reports/",
+    )
+    METHODS = ("GET", "POST", "PUT", "DELETE", "PATCH")
+
+    def test_sweep(self, tiny_corpus):
+        app = make_app(tiny_corpus)
+        for path in self.PATHS:
+            for method in self.METHODS:
+                res = call_app(app, method, path)
+                assert res.headers["Content-Type"].startswith(
+                    "application/json"
+                ), (method, path)
+                assert isinstance(res.json, dict), (method, path)
+                if res.status >= 400:
+                    assert set(res.json) == {"error"}, (method, path)
+                    assert {"type", "message"} <= set(res.json["error"])
+        app.close()
+
+    def test_known_path_wrong_method_is_405(self, tiny_corpus):
+        app = make_app(tiny_corpus)
+        assert call_app(app, "PUT", "/reports").status == 405
+        assert call_app(app, "POST", "/jobs/abc").status == 405
+        assert call_app(app, "DELETE", "/stats").status == 405
+        app.close()
+
+    def test_closed_app_is_503(self, tiny_corpus):
+        app = make_app(tiny_corpus)
+        app.close()
+        res = call_app(app, "GET", "/healthz")
+        assert res.status == 503
+        assert res.json["error"]["type"] == "ServiceUnavailable"
+
+    def test_engine_and_state_must_agree(self, tiny_corpus):
+        engine = Engine(store=StateStore(None))
+        with pytest.raises(ConfigError, match="state store"):
+            DeHealthApp(engine, state=StateStore(None))

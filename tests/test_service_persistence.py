@@ -1,0 +1,167 @@
+"""Restart durability of `serve --state-dir`, proven across real processes.
+
+The acceptance scenario of the durable tier: fit + sweep against a state
+directory, kill the server (SIGKILL — the WAL must survive a crash),
+restart it *without* ``--corpus``, and observe that the corpus rehydrates,
+the same sweep fits zero new sessions, and every stored report is
+byte-identical.  A final SIGTERM exercises the graceful path: exit code 0
+and no hot ``-wal`` sidecar left behind.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+SWEEP_BODY = {
+    "base": {
+        "corpus": "demo",
+        "split_seed": 11,
+        "top_k": 5,
+        "n_landmarks": 5,
+        "classifier": "knn",
+        "ks": [1, 5],
+        "refined": False,
+    },
+    "grid": {"top_k": [3, 5]},
+}
+
+
+def start_server(state_dir, corpus=None, timeout_s=90.0):
+    """Launch `serve --port 0`; returns (process, base_url)."""
+    cmd = [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--port", "0", "--state-dir", str(state_dir), "--job-workers", "1",
+    ]
+    if corpus is not None:
+        cmd += ["--corpus", str(corpus)]
+    env = {**os.environ, "PYTHONPATH": SRC, "PYTHONUNBUFFERED": "1"}
+    proc = subprocess.Popen(
+        cmd, env=env, stderr=subprocess.PIPE, text=True, bufsize=1
+    )
+    deadline = time.monotonic() + timeout_s
+    banner = ""
+    while time.monotonic() < deadline:
+        line = proc.stderr.readline()
+        if not line:
+            if proc.poll() is not None:
+                raise AssertionError(
+                    f"server died at startup (rc={proc.returncode}): {banner}"
+                )
+            time.sleep(0.05)
+            continue
+        banner += line
+        match = re.search(r"http://[\d.]+:(\d+)", line)
+        if match:
+            return proc, f"http://127.0.0.1:{match.group(1)}"
+    proc.kill()
+    raise AssertionError(f"no startup banner within {timeout_s}s: {banner}")
+
+
+def request_json(url, body=None, timeout_s=120.0):
+    data = None if body is None else json.dumps(body).encode("utf-8")
+    req = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(req, timeout=timeout_s) as res:
+        return json.loads(res.read())
+
+
+def wait_reachable(base_url, timeout_s=30.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            return request_json(f"{base_url}/healthz", timeout_s=5.0)
+        except (urllib.error.URLError, ConnectionError, OSError):
+            time.sleep(0.1)
+    raise AssertionError(f"{base_url} never became reachable")
+
+
+def test_restart_round_trip(tmp_path):
+    state_dir = tmp_path / "state"
+    corpus = tmp_path / "demo.jsonl"
+    generate = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "generate",
+         "--users", "40", "--seed", "3", "--out", str(corpus)],
+        env={**os.environ, "PYTHONPATH": SRC},
+        capture_output=True, text=True, timeout=300,
+    )
+    assert generate.returncode == 0, generate.stderr
+
+    # --- first life: fit + sweep, then die hard -------------------------
+    proc, base = start_server(state_dir, corpus=corpus)
+    try:
+        health = wait_reachable(base)
+        assert health["corpora"] == ["demo"]
+        first = request_json(f"{base}/sweep", SWEEP_BODY)
+        assert first["count"] == 2
+        listing = request_json(f"{base}/reports?limit=10")
+        assert listing["count"] == 2
+        stored_before = {
+            row["id"]: request_json(f"{base}/reports/{row['id']}")["report"]
+            for row in listing["reports"]
+        }
+        stats = request_json(f"{base}/stats")
+        assert len(stats["sessions"]) == 1  # one split shard was fitted
+    finally:
+        proc.kill()  # SIGKILL: simulate a crash, the WAL must survive
+        proc.wait(timeout=30)
+
+    assert (state_dir / "dehealth.sqlite3").exists()
+
+    # --- second life: no --corpus, everything comes from the store ------
+    proc, base = start_server(state_dir)
+    try:
+        health = wait_reachable(base)
+        assert health["corpora"] == ["demo"]  # rehydrated, not re-uploaded
+        again = request_json(f"{base}/sweep", SWEEP_BODY)
+        assert again["count"] == 2
+        stats = request_json(f"{base}/stats")
+        # the resumed sweep fit zero shards: answered from stored reports
+        assert stats["sessions"] == []
+        assert stats["report_reuses"] == 2
+        listing = request_json(f"{base}/reports?limit=10")
+        assert listing["count"] == 2  # deduplicated, not re-recorded
+        for row in listing["reports"]:
+            replayed = request_json(f"{base}/reports/{row['id']}")["report"]
+            assert json.dumps(replayed, sort_keys=True) == json.dumps(
+                stored_before[row["id"]], sort_keys=True
+            )
+    finally:
+        # --- graceful exit: SIGTERM drains and checkpoints --------------
+        proc.send_signal(signal.SIGTERM)
+        rc = proc.wait(timeout=60)
+
+    assert rc == 0, proc.stderr.read()
+    leftovers = sorted(p.name for p in state_dir.iterdir())
+    assert leftovers == ["dehealth.sqlite3"]  # no hot -wal/-shm
+
+
+def test_interrupted_jobs_fail_terminally_after_restart(tmp_path):
+    """Jobs a dead process left behind come back as explicit failures."""
+    from repro.store import StateStore
+
+    state_dir = tmp_path / "state"
+    store = StateStore.at_dir(state_dir)
+    zombie = store.jobs.create("default", "attack", {"corpus": "demo"})
+    store.jobs.mark_running(zombie)
+    store.close()
+
+    proc, base = start_server(state_dir)
+    try:
+        wait_reachable(base)
+        job = request_json(f"{base}/jobs/{zombie}")
+        assert job["state"] == "failed"
+        assert job["error"] == "interrupted by restart"
+        assert request_json(f"{base}/stats")["jobs"]["recovered"] == 1
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=60) == 0

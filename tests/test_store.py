@@ -1,0 +1,324 @@
+"""Unit tests for the durable state store (repro.store)."""
+
+import json
+import sqlite3
+import threading
+
+import pytest
+
+from repro.api import AttackRequest, Engine, dataset_fingerprint, request_hash
+from repro.errors import ConfigError, QuotaExceededError, StoreError
+from repro.store import (
+    JOB_STATES,
+    JobRunner,
+    MAX_ACTIVE_JOBS_PER_TENANT,
+    STATE_DB_FILENAME,
+    StateStore,
+    canonical_report_text,
+)
+
+REQUEST = dict(
+    corpus="tiny", split_seed=102, top_k=5, n_landmarks=5,
+    classifier="knn", ks=(1, 5), refined=False,
+)
+
+
+@pytest.fixture()
+def mem_store():
+    store = StateStore(None)
+    yield store
+    store.close()
+
+
+class TestStateStore:
+    def test_in_memory_is_not_persistent(self, mem_store):
+        assert not mem_store.persistent
+        assert mem_store.path is None
+
+    def test_file_backed_wal_mode(self, tmp_path):
+        store = StateStore.at_dir(tmp_path)
+        assert store.persistent
+        mode = store.query_one("PRAGMA journal_mode")
+        assert list(mode)[0] == "wal"
+        store.close()
+        files = sorted(p.name for p in tmp_path.iterdir())
+        # a clean close checkpoints: no hot -wal/-shm files remain
+        assert files == [STATE_DB_FILENAME]
+
+    def test_schema_version_stamped(self, tmp_path):
+        store = StateStore.at_dir(tmp_path)
+        row = store.query_one(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        )
+        assert row["value"] == "1"
+        store.close()
+
+    def test_reopen_sees_previous_rows(self, tmp_path):
+        store = StateStore.at_dir(tmp_path)
+        store.bump_tenant("acme", "requests")
+        store.close()
+        reopened = StateStore.at_dir(tmp_path)
+        assert reopened.tenant_counters()["acme"]["requests"] == 1
+        reopened.close()
+
+    def test_closed_store_raises(self, mem_store):
+        mem_store.close()
+        with pytest.raises(StoreError):
+            mem_store.query_one("SELECT 1 AS one")
+        mem_store.close()  # idempotent
+
+    def test_bump_tenant_rejects_unknown_column(self, mem_store):
+        with pytest.raises(StoreError):
+            mem_store.bump_tenant("t", "requests; DROP TABLE tenants")
+
+    def test_transaction_rolls_back(self, mem_store):
+        with pytest.raises(RuntimeError, match="boom"):
+            with mem_store.transaction():
+                mem_store.execute(
+                    "INSERT INTO tenants (tenant, requests) VALUES ('x', 1)"
+                )
+                raise RuntimeError("boom")
+        assert mem_store.tenant_counters() == {}
+
+    def test_describe_is_json_safe(self, mem_store):
+        payload = mem_store.describe()
+        json.dumps(payload)
+        assert payload["persistent"] is False
+        assert payload["reports"] == 0
+
+    def test_thread_safety_under_contention(self, mem_store):
+        def bump():
+            for _ in range(50):
+                mem_store.bump_tenant("shared", "requests")
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert mem_store.tenant_counters()["shared"]["requests"] == 200
+
+
+class TestRequestHash:
+    def test_stable_across_equivalent_requests(self):
+        a = AttackRequest.from_dict(dict(REQUEST))
+        b = AttackRequest.from_dict(dict(REQUEST))
+        assert request_hash(a) == request_hash(b)
+        assert len(request_hash(a)) == 24
+
+    def test_any_knob_changes_the_hash(self):
+        base = AttackRequest.from_dict(dict(REQUEST))
+        for change in (
+            {"top_k": 7},
+            {"classifier": "centroid"},
+            {"split_seed": 103},
+            {"blocking": "union"},
+        ):
+            other = AttackRequest.from_dict({**REQUEST, **change})
+            assert request_hash(other) != request_hash(base), change
+
+
+class TestCorpusStore:
+    def test_round_trip(self, mem_store, tiny_corpus):
+        fp = dataset_fingerprint(tiny_corpus)
+        assert mem_store.corpora.put("tiny", tiny_corpus, fp)
+        stored_fp, dataset = mem_store.corpora.get("tiny")
+        assert stored_fp == fp
+        assert dataset_fingerprint(dataset) == fp
+        assert len(mem_store.corpora) == 1
+
+    def test_put_same_content_is_noop(self, mem_store, tiny_corpus):
+        fp = dataset_fingerprint(tiny_corpus)
+        assert mem_store.corpora.put("tiny", tiny_corpus, fp)
+        assert not mem_store.corpora.put("tiny", tiny_corpus, fp)
+
+    def test_rename_moves_the_row(self, mem_store, tiny_corpus):
+        fp = dataset_fingerprint(tiny_corpus)
+        mem_store.corpora.put("old", tiny_corpus, fp)
+        mem_store.corpora.put("new", tiny_corpus, fp)
+        assert mem_store.corpora.get("old") is None
+        assert mem_store.corpora.get("new")[0] == fp
+        assert len(mem_store.corpora) == 1
+
+    def test_list_has_no_payload(self, mem_store, tiny_corpus):
+        mem_store.corpora.put("tiny", tiny_corpus, dataset_fingerprint(tiny_corpus))
+        (entry,) = mem_store.corpora.list()
+        assert entry["name"] == "tiny"
+        assert entry["users"] == tiny_corpus.n_users
+        assert "jsonl" not in entry
+
+
+class TestReportStore:
+    @pytest.fixture()
+    def fitted(self, mem_store, tiny_corpus):
+        engine = Engine(store=mem_store)
+        engine.register("tiny", tiny_corpus)
+        report = engine.attack(AttackRequest.from_dict(dict(REQUEST)))
+        return engine, report
+
+    def test_record_is_idempotent(self, mem_store, fitted):
+        engine, report = fitted
+        fp = engine.fingerprint("tiny")
+        assert len(mem_store.reports) == 1
+        assert not mem_store.reports.record(report, fp)
+        assert len(mem_store.reports) == 1
+
+    def test_lookup_rehydrates_canonical(self, mem_store, fitted):
+        engine, report = fitted
+        stored = mem_store.reports.lookup("x", report.request)
+        assert stored is None  # wrong fingerprint
+        stored = mem_store.reports.lookup(
+            engine.fingerprint("tiny"), report.request
+        )
+        assert canonical_report_text(stored) == canonical_report_text(report)
+
+    def test_tenant_partitioning(self, mem_store, fitted):
+        engine, report = fitted
+        fp = engine.fingerprint("tiny")
+        mem_store.reports.record(report, fp, tenant="acme")
+        assert len(mem_store.reports.list(tenant="acme")) == 1
+        assert len(mem_store.reports.list(tenant="other")) == 0
+        assert len(mem_store.reports.list(tenant=None)) == 2
+        assert mem_store.reports.count_by_tenant() == {"default": 1, "acme": 1}
+
+    def test_fetch_scoping(self, mem_store, fitted):
+        engine, report = fitted
+        (summary,) = mem_store.reports.list()
+        assert mem_store.reports.fetch(summary["id"]) is not None
+        assert mem_store.reports.fetch(summary["id"], tenant="ghost") is None
+        assert mem_store.reports.fetch(999999) is None
+
+
+class TestJobStore:
+    def test_lifecycle(self, mem_store):
+        job_id = mem_store.jobs.create("default", "attack", {"x": 1}, shards_total=3)
+        job = mem_store.jobs.get(job_id)
+        assert job["state"] == "queued"
+        assert job["payload"] == {"x": 1}
+        mem_store.jobs.mark_running(job_id)
+        mem_store.jobs.progress(job_id, 2, partial={"count": 2})
+        job = mem_store.jobs.get(job_id)
+        assert (job["state"], job["shards_done"]) == ("running", 2)
+        assert job["result"] == {"count": 2}
+        mem_store.jobs.finish(job_id, {"count": 3})
+        job = mem_store.jobs.get(job_id)
+        assert (job["state"], job["shards_done"]) == ("done", 3)
+
+    def test_bad_kind_rejected(self, mem_store):
+        with pytest.raises(ConfigError, match="kind"):
+            mem_store.jobs.create("default", "explode", {})
+
+    def test_recover_interrupted(self, tmp_path):
+        store = StateStore.at_dir(tmp_path)
+        queued = store.jobs.create("default", "attack", {})
+        running = store.jobs.create("default", "sweep", {})
+        store.jobs.mark_running(running)
+        done = store.jobs.create("default", "attack", {})
+        store.jobs.finish(done, {})
+        store.close()
+
+        reopened = StateStore.at_dir(tmp_path)
+        assert reopened.jobs.recover_interrupted() == 2
+        for job_id in (queued, running):
+            job = reopened.jobs.get(job_id)
+            assert job["state"] == "failed"
+            assert job["error"] == "interrupted by restart"
+        assert reopened.jobs.get(done)["state"] == "done"
+        reopened.close()
+
+    def test_counters_shape(self, mem_store):
+        counters = mem_store.jobs.counters()
+        assert set(JOB_STATES) <= set(counters)
+        assert counters["depth"] == counters["total"] == 0
+
+
+class TestJobRunner:
+    def test_executes_attack_job(self, tiny_corpus):
+        store = StateStore(None)
+        engine = Engine(store=store)
+        engine.register("tiny", tiny_corpus)
+        runner = JobRunner(engine, store, workers=1)
+        job_id = runner.submit("attack", dict(REQUEST, ks=[1, 5]))
+        runner.shutdown(drain_s=60.0)
+        job = store.jobs.get(job_id)
+        assert job["state"] == "done", job["error"]
+        assert job["result"]["request"]["top_k"] == 5
+        store.close()
+
+    def test_bad_payload_fails_synchronously(self, mem_store):
+        runner = JobRunner(Engine(store=mem_store), mem_store, workers=1)
+        with pytest.raises(ConfigError):
+            runner.submit("attack", {"corpus": "tiny", "topk_typo": 1})
+        assert mem_store.jobs.counters()["total"] == 0
+        runner.shutdown(drain_s=0.0)
+
+    def test_per_tenant_quota(self, mem_store):
+        runner = JobRunner(
+            Engine(store=mem_store), mem_store, workers=1,
+            max_active_per_tenant=1, max_active=10,
+        )
+        # fill the single per-tenant slot with a pre-inserted active row so
+        # no engine work is needed
+        mem_store.jobs.create("acme", "attack", {}, shards_total=1)
+        with pytest.raises(QuotaExceededError, match="acme"):
+            runner.submit("attack", dict(REQUEST, corpus="missing"), tenant="acme")
+        runner.shutdown(drain_s=0.0)
+
+    def test_quota_default_sane(self):
+        assert 1 <= MAX_ACTIVE_JOBS_PER_TENANT <= 64
+
+
+class TestEnginePersistence:
+    def test_restart_rehydrates_and_reuses(self, tmp_path, tiny_corpus):
+        request = AttackRequest.from_dict(dict(REQUEST))
+        store = StateStore.at_dir(tmp_path)
+        engine = Engine(store=store)
+        engine.register("tiny", tiny_corpus)
+        first = engine.attack(request)
+        fp = engine.fingerprint("tiny")
+        store.close()
+
+        fresh = Engine(store=StateStore.at_dir(tmp_path))
+        # corpus came back from the store, not from a caller
+        assert fresh.corpus_names == ["tiny"]
+        assert fresh.fingerprint("tiny") == fp
+        again = fresh.attack(request)
+        # answered from the report store: no session was ever fitted
+        assert fresh.stats()["sessions"] == []
+        assert fresh.report_reuses == 1
+        assert canonical_report_text(again) == canonical_report_text(first)
+        fresh.store.close()
+
+    def test_in_memory_store_never_reuses(self, tiny_corpus):
+        store = StateStore(None)
+        engine = Engine(store=store)
+        engine.register("tiny", tiny_corpus)
+        request = AttackRequest.from_dict(dict(REQUEST))
+        engine.attack(request)
+        engine.attack(request)
+        # both ran (second via the cached session) — dedup-skip is
+        # reserved for persistent stores so default behaviour is unchanged
+        assert engine.report_reuses == 0
+        assert len(store.reports) == 1
+        store.close()
+
+    def test_attach_second_store_rejected(self, tiny_corpus):
+        engine = Engine(store=StateStore(None))
+        with pytest.raises(ConfigError, match="store"):
+            engine.attach_store(StateStore(None))
+
+    def test_concurrent_connections_share_file(self, tmp_path):
+        # CLI inspector reads while the server connection holds the file
+        a = StateStore.at_dir(tmp_path)
+        a.bump_tenant("t", "requests")
+        b = StateStore.at_dir(tmp_path)
+        assert b.tenant_counters()["t"]["requests"] == 1
+        b.close()
+        a.bump_tenant("t", "requests")
+        a.close()
+
+    def test_corrupt_db_is_a_clear_error(self, tmp_path):
+        (tmp_path / STATE_DB_FILENAME).write_text("not a database")
+        with pytest.raises(sqlite3.DatabaseError):
+            store = StateStore.at_dir(tmp_path)
+            store.query_one("SELECT COUNT(*) AS n FROM reports")
