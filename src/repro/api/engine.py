@@ -462,6 +462,12 @@ class Engine:
                     agg["masks_built"] += entry["masks_built"]
                     agg["candidates"] += entry["candidates"]
                     agg["generation_s"] += entry["generation_s"]
+            # engine-wide refined pre-rank accounting (runs with
+            # refined_keep_fraction < 1.0 across every live session)
+            refined_prerank = {"users": 0, "candidates_in": 0, "candidates_kept": 0}
+            for stats in sessions:
+                for key in refined_prerank:
+                    refined_prerank[key] += stats["refined_prerank"][key]
             # per-tenant view: attack/reuse counters plus cache-byte
             # attribution — every still-live session a tenant has touched
             # contributes its bytes to that tenant (overlapping tenants
@@ -500,6 +506,7 @@ class Engine:
                 "cache_budget_bytes": self.cache_budget_bytes,
                 "cache_budget_evictions": self.cache_budget_evictions,
                 "blocking": blocking,
+                "refined_prerank": refined_prerank,
                 "extraction": (
                     extraction.counters() if extraction is not None else None
                 ),

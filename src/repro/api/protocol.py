@@ -79,6 +79,13 @@ class AttackRequest:
     their historical wire format — and the golden canonical report JSON —
     byte-identical.
 
+    ``refined_keep_fraction`` pre-ranks the refined phase: each
+    candidate set is cut to its top ``ceil(fraction × |Cu|)`` entries by
+    phase-1 similarity before any classifier is trained (``1.0`` = no
+    cut, the historical behaviour).  It serializes only when active —
+    and is normalized back to ``1.0`` when ``refined=False``, where it
+    has nothing to act on — so default requests keep their wire format.
+
     ``extract_workers`` is the process-pool width of the phase-0 feature
     extraction (``1`` = serial, ``0`` = one per core).  A pure
     performance knob — extraction is byte-identical at any width — so it
@@ -104,6 +111,7 @@ class AttackRequest:
     false_addition_count: "int | None" = None
     use_structural_features: bool = True
     refined: bool = True
+    refined_keep_fraction: float = 1.0
     ks: tuple = ()
     blocking: str = "none"
     blocking_band_width: float = 1.0
@@ -150,6 +158,9 @@ class AttackRequest:
             object.__setattr__(self, "blocking_ann_ef", 48)
         if not atoms & {"lsh", "ann_graph"}:
             object.__setattr__(self, "blocking_seed", 0)
+        # the refined pre-rank knob is meaningless without a refined phase
+        if not self.refined:
+            object.__setattr__(self, "refined_keep_fraction", 1.0)
 
     # --- validation / conversion ---------------------------------------
 
@@ -178,6 +189,7 @@ class AttackRequest:
             blocking_ann_m=self.blocking_ann_m,
             blocking_ann_ef=self.blocking_ann_ef,
             blocking_seed=self.blocking_seed,
+            refined_keep_fraction=self.refined_keep_fraction,
             extract_workers=self.extract_workers,
             seed=self.seed,
         )
@@ -266,6 +278,10 @@ class AttackRequest:
                 payload["blocking_ann_ef"] = self.blocking_ann_ef
             if atoms & {"lsh", "ann_graph"}:
                 payload["blocking_seed"] = self.blocking_seed
+        # Serialized only when the pre-rank cut is active: default
+        # requests keep the historical wire format (and hashes).
+        if self.refined_keep_fraction != 1.0:
+            payload["refined_keep_fraction"] = self.refined_keep_fraction
         # Performance knob, not science: serialized only when non-default,
         # so default requests keep the historical wire format.
         if self.extract_workers != 1:

@@ -110,6 +110,14 @@ class AttackSession:
         self.graph_builds = 0
         self.graph_hits = 0
         self.runs = 0
+        # Cumulative refined pre-rank accounting across runs: how many
+        # candidates phase 2 would have classified vs how many it did
+        # (only runs with refined_keep_fraction < 1.0 contribute).
+        self.refined_prerank = {
+            "users": 0,
+            "candidates_in": 0,
+            "candidates_kept": 0,
+        }
 
     @classmethod
     def from_dataset(
@@ -215,6 +223,8 @@ class AttackSession:
             false_positive_rate = result.false_positive_rate(truth)
             rejection_rate = result.rejection_rate()
             n_correct = result.n_correct(truth)
+            for key, value in attack._refined.prerank_stats.items():
+                self.refined_prerank[key] += value
         self.runs += 1
         return AttackReport(
             request=request,
@@ -314,6 +324,7 @@ class AttackSession:
             "post_matrix_entries": self.post_matrix_entries(),
             "post_matrix_bytes": self.post_matrix_nbytes(),
             "blocking": self._similarity_cache.blocking_stats(),
+            "refined_prerank": dict(self.refined_prerank),
             "n_anonymized": self.split.anonymized.n_users,
             "n_auxiliary": self.split.auxiliary.n_users,
         }

@@ -112,6 +112,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         weights=args.weights,
         n_landmarks=args.landmarks,
         refined=not args.skip_refined,
+        refined_keep_fraction=args.refined_keep,
         ks=tuple(sorted({1, 5, args.top_k})),
         blocking=args.blocking,
         blocking_keep=args.blocking_keep,
@@ -172,6 +173,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         # CLI override: force one candidate-blocking policy onto every
         # variant of the matrix (matrix-spec fields win when unset).
         requests = [r.variant(blocking=args.blocking) for r in requests]
+    if args.refined_keep is not None:
+        requests = [
+            r.variant(refined_keep_fraction=args.refined_keep) for r in requests
+        ]
     if args.extract_workers is not None:
         requests = [
             r.variant(extract_workers=args.extract_workers) for r in requests
@@ -346,6 +351,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="only run the Top-K phase",
     )
     attack.add_argument(
+        "--refined-keep", type=float, default=1.0, metavar="F",
+        help="pre-rank the refined phase: classify only the top "
+             "ceil(F × |Cu|) of each candidate set by phase-1 similarity "
+             "(1.0 = classify everything, the historical behaviour)",
+    )
+    attack.add_argument(
         "--blocking", type=_parse_blocking_arg, default="none",
         metavar="POLICY",
         help="candidate-blocking policy for the Top-K phase: one of "
@@ -408,6 +419,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="POLICY",
         help="force a candidate-blocking policy onto every matrix variant "
              f"({'|'.join(BLOCKING_CHOICES)} or a '+'-composite; "
+             "default: whatever the matrix spec says)",
+    )
+    sweep.add_argument(
+        "--refined-keep", type=float, default=None, metavar="F",
+        help="force a refined pre-rank fraction onto every matrix variant "
+             "(classify the top ceil(F × |Cu|) of each candidate set; "
              "default: whatever the matrix spec says)",
     )
     sweep.add_argument(

@@ -41,8 +41,6 @@ scoring path in :mod:`repro.core.similarity` evaluates pair-by-pair
 
 from __future__ import annotations
 
-import heapq
-
 import numpy as np
 from scipy import sparse
 
@@ -627,17 +625,108 @@ def lsh_candidates(
     )
 
 
+#: Width of the float32 projection the NSW build and beam exploration
+#: rank pairs in.  Exact cosines are recomputed for every similarity the
+#: index *returns*; the projection only decides which pairs are worth
+#: exact scoring, so its width trades graph quality against scoring
+#: bandwidth, never correctness of the reported similarities.
+NSW_EXPLORE_DIMS = 128
+
+#: Banded bucketing over the projection's sign bits — the LSH collision
+#: stream that seeds build edges and query beams.
+NSW_SEED_BANDS = 16
+NSW_SEED_ROWS = 8
+
+#: Within every band bucket each node links to the next ``window``
+#: bucket-mates (a sliding window, so a giant bucket can never produce a
+#: quadratic edge blow-up).
+NSW_SEED_WINDOW = 4
+
+#: Neighbour-of-neighbour refinement sweeps after seeding (NN-descent
+#: style: every node proposes its neighbours' neighbours as edges).
+NSW_REFINE_ROUNDS = 2
+
+#: Beam entries expanded per query per search round.  Small values mimic
+#: sequential best-first order (fewer wasted expansions); large values
+#: cut round count.
+_NSW_EXPAND_PER_ROUND = 8
+
+#: LSH seeds kept per query (plus the fixed entry point).
+_NSW_SEED_CAP = 16
+
+#: Pair chunk of the projected-similarity gathers and query chunk of the
+#: exact rescore — bound peak memory of build and batched search.
+_NSW_PAIR_CHUNK = 65536
+_NSW_QUERY_CHUNK = 256
+
+
+def _concat_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenated ``[starts[i], starts[i] + counts[i])`` index ranges."""
+    counts = counts.astype(np.int64, copy=False)
+    total = int(counts.sum())
+    if not total:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    offsets = np.repeat(ends - counts, counts)
+    return (
+        np.arange(total, dtype=np.int64)
+        - offsets
+        + np.repeat(starts.astype(np.int64, copy=False), counts)
+    )
+
+
+def _pair_sims(
+    A: np.ndarray, B: np.ndarray, left: np.ndarray, right: np.ndarray
+) -> np.ndarray:
+    """Dot products of the row pairs ``(A[left[i]], B[right[i]])``."""
+    out = np.empty(len(left), dtype=np.float32)
+    for start in range(0, len(left), _NSW_PAIR_CHUNK):
+        stop = start + _NSW_PAIR_CHUNK
+        out[start:stop] = np.einsum(
+            "ij,ij->i", A[left[start:stop]], B[right[start:stop]]
+        )
+    return out
+
+
+def _top_per_group(
+    groups: np.ndarray, items: np.ndarray, scores: np.ndarray, k: int
+) -> tuple:
+    """Per-group top-``k`` triples by ``(-score, item)``.
+
+    Output is sorted by ``(group, -score, item)``; the item id is the
+    deterministic tie-break for equal scores.
+    """
+    order = np.lexsort((items, -scores, groups))
+    g, it, sc = groups[order], items[order], scores[order]
+    if not len(g):
+        return g, it, sc
+    new = np.empty(len(g), dtype=bool)
+    new[0] = True
+    np.not_equal(g[1:], g[:-1], out=new[1:])
+    starts = np.flatnonzero(new)
+    rank = np.arange(len(g), dtype=np.int64) - starts[np.cumsum(new) - 1]
+    keep = rank < k
+    return g[keep], it[keep], sc[keep]
+
+
 class NSWIndex:
     """A navigable-small-world greedy-search index over profile vectors.
 
-    NumPy-only approximation of HNSW's layer 0: nodes are inserted in a
-    seeded random order, each connecting bidirectionally to its ``m``
-    nearest already-inserted nodes (found by the same greedy search that
-    serves queries); neighbour lists are pruned to ``2 m`` best edges.
-    Queries run a best-first beam of width ``ef`` from a fixed entry
-    point.  Similarity is cosine (rows are L2-normalized once at build).
-    Everything — insertion order, heap tie-breaks (by node id), float
-    kernels — is deterministic across runs and processes.
+    NumPy-only approximation of HNSW's layer 0, built and queried in
+    vectorized batches.  Construction seeds candidate edges from an LSH
+    collision stream over the rows' own SimHash buckets plus a ring over
+    the seeded insertion order (the connectivity backbone), then runs
+    NN-descent-style refinement sweeps; per-node edge selection keeps the
+    ``m`` best by similarity in a low-dimensional float32 projection
+    space, symmetrized under a ``2 m`` degree cap (the ring is exempt —
+    it guarantees a beam of width ``>= n`` reaches every node).  Queries
+    run a round-based batched beam of width ``ef`` seeded from the entry
+    point and the query's own LSH bucket-mates; the surviving beam is
+    rescored with exact float64 cosines, so returned similarities are
+    exact even though exploration is approximate.  Streaming growth is
+    supported by :meth:`insert` (classic sequential NSW insertion).
+    Everything — insertion order, tie-breaks (by node id), float kernels
+    — is deterministic across runs and processes.
     """
 
     def __init__(
@@ -659,27 +748,168 @@ class NSWIndex:
             1.0, norms, out=np.zeros_like(norms), where=norms > 0
         )
         self.X = sparse.csr_matrix(X.multiply(scale[:, None]))
+        self.X.sort_indices()
         self.n = X.shape[0]
-        self.neighbors: list = [[] for _ in range(self.n)]
         rng = np.random.default_rng(np.random.PCG64(seed))
         self._order = rng.permutation(self.n)
         self._entry = int(self._order[0]) if self.n else 0
+        seed_bits = NSW_SEED_BANDS * NSW_SEED_ROWS
+        self._planes = _hyperplanes(
+            X.shape[1], max(NSW_EXPLORE_DIMS, seed_bits), seed
+        )
+        self._P = self._project(self.X)
+        self._PE = self._explore(self._P)
+        # the bucket-bit threshold is the index-side mean projection
+        # (mean-centering, as in lsh_signature_bits) and stays frozen so
+        # queries and later inserts hash consistently
+        self._center = (
+            self._P[:, :seed_bits].mean(axis=0)
+            if self.n
+            else np.zeros(seed_bits, dtype=np.float32)
+        )
+        self._seed_keys = _band_keys(
+            self._P[:, :seed_bits] >= self._center,
+            NSW_SEED_BANDS,
+            NSW_SEED_ROWS,
+        )
+        self.neighbors: list = [[] for _ in range(self.n)]
         self._build()
+        self._sync()
+
+    # --- shared kernels -------------------------------------------------
+
+    def _project(self, M: sparse.spmatrix) -> np.ndarray:
+        """Rows of ``M`` in the float32 projection space."""
+        return np.asarray(sparse.csr_matrix(M, dtype=np.float32) @ self._planes)
+
+    def _explore(self, P: np.ndarray) -> np.ndarray:
+        """The contiguous exploration slice of a projection block."""
+        return np.ascontiguousarray(P[:, :NSW_EXPLORE_DIMS])
+
+    def _exact_sims(
+        self, Q: sparse.csr_matrix, pair_q: np.ndarray, pair_v: np.ndarray
+    ) -> np.ndarray:
+        """Exact float64 cosines of the ``(query, node)`` pairs.
+
+        ``pair_q`` must be sorted (pairs grouped by query) so the dense
+        query buffer materializes one bounded chunk at a time.  Per-pair
+        sums run over the node row's nonzeros via ``np.bincount`` —
+        ``np.add.reduceat`` is unusable here, it mishandles empty
+        segments — accumulating in the same index order as a CSR matvec.
+        """
+        out = np.empty(len(pair_q), dtype=np.float64)
+        indptr, cols, data = self.X.indptr, self.X.indices, self.X.data
+        for q0 in range(0, Q.shape[0], _NSW_QUERY_CHUNK):
+            lo = int(np.searchsorted(pair_q, q0))
+            hi = int(np.searchsorted(pair_q, q0 + _NSW_QUERY_CHUNK))
+            if lo == hi:
+                continue
+            Qd = Q[q0 : q0 + _NSW_QUERY_CHUNK].toarray()
+            v = pair_v[lo:hi]
+            cnt = (indptr[v + 1] - indptr[v]).astype(np.int64)
+            take = _concat_ranges(indptr[v], cnt)
+            pid = np.repeat(np.arange(hi - lo, dtype=np.int64), cnt)
+            contrib = data[take] * Qd[pair_q[lo:hi][pid] - q0, cols[take]]
+            out[lo:hi] = np.bincount(
+                pid, weights=contrib, minlength=hi - lo
+            )
+        return out
 
     # --- construction ---------------------------------------------------
 
+    def _bucket_pairs(self) -> tuple:
+        """The index's own LSH collision stream as directed seed pairs."""
+        us: list = []
+        vs: list = []
+        for band in range(NSW_SEED_BANDS):
+            order = np.argsort(self._seed_keys[:, band], kind="stable")
+            sk = self._seed_keys[order, band]
+            for w in range(1, NSW_SEED_WINDOW + 1):
+                same = sk[w:] == sk[:-w]
+                us.append(order[:-w][same])
+                vs.append(order[w:][same])
+        u = np.concatenate(us).astype(np.int64, copy=False)
+        v = np.concatenate(vs).astype(np.int64, copy=False)
+        return u, v
+
+    def _select_edges(self, u: np.ndarray, v: np.ndarray) -> tuple:
+        """Dedupe directed pairs, keep each node's top-``m`` by projected
+        similarity (grouped by source node, ties on the neighbour id)."""
+        enc = u * np.int64(self.n) + v
+        enc = np.unique(enc[u != v])
+        du, dv = enc // self.n, enc % self.n
+        PE = self._PE
+        return _top_per_group(du, dv, _pair_sims(PE, PE, du, dv), self.m)[:2]
+
+    def _two_hop(self, out_u: np.ndarray, out_v: np.ndarray) -> tuple:
+        """NN-descent proposals: each node meets its neighbours' neighbours."""
+        counts = np.bincount(out_u, minlength=self.n).astype(np.int64)
+        indptr = np.concatenate(([0], np.cumsum(counts)))
+        c2 = counts[out_v]
+        pu = np.repeat(out_u, c2)
+        pv = out_v[_concat_ranges(indptr[out_v], c2)]
+        return pu, pv
+
     def _build(self) -> None:
-        max_degree = 2 * self.m
-        for rank in range(1, self.n):
-            node = int(self._order[rank])
-            q = self.X[node].toarray().ravel()
-            found = self.search(q, ef=max(self.ef, self.m))
-            links = [j for _, j in found[: self.m]]
-            self.neighbors[node] = links
-            for j in links:
-                self.neighbors[j].append(node)
-                if len(self.neighbors[j]) > max_degree:
-                    self.neighbors[j] = self._prune(j, max_degree)
+        if self.n < 2:
+            return
+        order = self._order.astype(np.int64)
+        ring_u = np.concatenate([order[:-1], order[1:]])
+        ring_v = np.concatenate([order[1:], order[:-1]])
+        su, sv = self._bucket_pairs()
+        out_u, out_v = self._select_edges(
+            np.concatenate([ring_u, su]), np.concatenate([ring_v, sv])
+        )
+        for _ in range(NSW_REFINE_ROUNDS):
+            pu, pv = self._two_hop(out_u, out_v)
+            out_u, out_v = self._select_edges(
+                np.concatenate([out_u, pu, ring_u]),
+                np.concatenate([out_v, pv, ring_v]),
+            )
+        # symmetrize under the 2m degree cap, then OR the ring back in
+        # uncapped: it is the connectivity backbone that makes a beam of
+        # width >= n exhaustive, so it is exempt from degree pruning
+        cu = np.concatenate([out_u, out_v])
+        cv = np.concatenate([out_v, out_u])
+        enc = np.unique(cu * np.int64(self.n) + cv)
+        du, dv = enc // self.n, enc % self.n
+        au, av, _ = _top_per_group(
+            du, dv, _pair_sims(self._PE, self._PE, du, dv), 2 * self.m
+        )
+        enc = np.unique(
+            np.concatenate([au, ring_u]) * np.int64(self.n)
+            + np.concatenate([av, ring_v])
+        )
+        fu, fv = enc // self.n, enc % self.n
+        splits = np.cumsum(np.bincount(fu, minlength=self.n))[:-1]
+        self.neighbors = [arr.tolist() for arr in np.split(fv, splits)]
+
+    def _sync(self) -> None:
+        """Rebuild the CSR adjacency the batched search walks.
+
+        ``self.neighbors`` stays a list of per-node id lists so
+        :meth:`insert` can mutate it cheaply; search needs the flat
+        arrays.
+        """
+        rows = [
+            np.unique(np.asarray(links, dtype=np.int64))
+            for links in self.neighbors
+        ]
+        counts = np.array([len(r) for r in rows], dtype=np.int64)
+        self._adj_indptr = np.concatenate(([0], np.cumsum(counts)))
+        self._adj_indices = (
+            np.concatenate(rows) if counts.sum() else np.empty(0, np.int64)
+        )
+        self.neighbors = [r.tolist() for r in rows]
+        # pad to a rectangle for the batched expansion gather: one 2-D
+        # take beats per-node variable-length range arithmetic, and the
+        # width is bounded by the degree cap (+ ring exemptions)
+        width = max(int(counts.max()) if self.n else 0, 1)
+        self._nbr_pad = np.full((self.n, width), -1, dtype=np.int64)
+        flat = _concat_ranges(
+            np.arange(self.n, dtype=np.int64) * width, counts
+        )
+        self._nbr_pad.ravel()[flat] = self._adj_indices
 
     def _prune(self, node: int, max_degree: int) -> list:
         """Keep the ``max_degree`` highest-similarity edges of ``node``."""
@@ -687,43 +917,221 @@ class NSWIndex:
         sims = np.asarray(
             self.X[cand] @ self.X[node].toarray().ravel()
         ).ravel()
-        ranked = sorted(zip(-sims, cand))  # ties break on node id
+        # Python floats: numpy scalars inside the sort tuples would reach
+        # the id tie-break through dtype-dependent comparisons
+        ranked = sorted(zip((float(-s) for s in sims), cand))
         return [j for _, j in ranked[:max_degree]]
+
+    # --- streaming ------------------------------------------------------
+
+    def insert(self, profile) -> int:
+        """Append one profile vector and link it into the graph.
+
+        Classic sequential NSW insertion: greedy-search the current
+        graph for the row's ``m`` nearest nodes, add bidirectional edges,
+        prune any neighbour that exceeds the ``2 m`` degree cap.  Returns
+        the new node id.
+        """
+        row = sparse.csr_matrix(profile, dtype=np.float64)
+        row = row.reshape(1, -1) if row.shape[0] != 1 else row
+        norm = np.sqrt(row.multiply(row).sum())
+        if norm > 0:
+            row = row / norm
+        found = self.search(row.toarray().ravel()) if self.n else []
+        node = self.n
+        seed_bits = NSW_SEED_BANDS * NSW_SEED_ROWS
+        proj = np.asarray(
+            sparse.csr_matrix(row, dtype=np.float32) @ self._planes
+        )
+        self.X = sparse.vstack([self.X, row]).tocsr() if self.n else row
+        self.X.sort_indices()
+        self._P = np.vstack([self._P, proj]) if self.n else proj
+        self._PE = self._explore(self._P)
+        self._seed_keys = np.vstack(
+            [
+                self._seed_keys,
+                _band_keys(
+                    proj[:, :seed_bits] >= self._center,
+                    NSW_SEED_BANDS,
+                    NSW_SEED_ROWS,
+                ),
+            ]
+        )
+        self.n += 1
+        self._order = np.concatenate(
+            [self._order, np.array([node], dtype=self._order.dtype)]
+        )
+        links = [j for _, j in found[: self.m]]
+        self.neighbors.append(links)
+        max_degree = 2 * self.m
+        for j in links:
+            self.neighbors[j].append(node)
+            if len(self.neighbors[j]) > max_degree:
+                self.neighbors[j] = self._prune(j, max_degree)
+        self._sync()
+        return node
 
     # --- search ---------------------------------------------------------
 
-    def search(self, q: np.ndarray, ef: "int | None" = None) -> list:
-        """Greedy best-first beam: ``[(similarity, node), ...]`` desc.
+    def _query_seeds(self, Qp: np.ndarray, Qe: np.ndarray) -> np.ndarray:
+        """Encoded ``(query, node)`` beam seeds: the fixed entry point
+        plus the top LSH bucket-mates of each query."""
+        nq = Qp.shape[0]
+        eq = np.arange(nq, dtype=np.int64)
+        enc = eq * np.int64(self.n) + self._entry
+        if self.n <= 1:
+            return enc
+        seed_bits = NSW_SEED_BANDS * NSW_SEED_ROWS
+        keys_q = _band_keys(
+            Qp[:, :seed_bits] >= self._center,
+            NSW_SEED_BANDS,
+            NSW_SEED_ROWS,
+        )
+        band_offsets = (
+            np.arange(NSW_SEED_BANDS, dtype=np.uint64)
+            << np.uint64(NSW_SEED_ROWS)
+        )[:, None]
+        comp_q = (keys_q.T + band_offsets).ravel()
+        comp_x = (self._seed_keys.T + band_offsets).ravel()
+        x_order = np.argsort(comp_x, kind="stable")
+        x_sorted = comp_x[x_order]
+        lo = np.searchsorted(x_sorted, comp_q, side="left")
+        hi = np.searchsorted(x_sorted, comp_q, side="right")
+        counts = hi - lo
+        touches = int(counts.sum())
+        if not touches:
+            return enc
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        within = np.arange(touches, dtype=np.int64) - np.repeat(
+            offsets[:-1], counts
+        )
+        sv = x_order[np.repeat(lo, counts) + within] % self.n
+        sq = np.repeat(np.tile(eq, NSW_SEED_BANDS), counts)
+        senc = np.unique(sq * np.int64(self.n) + sv)
+        cq, cv = senc // self.n, senc % self.n
+        ku, kv, _ = _top_per_group(
+            cq, cv, _pair_sims(Qe, self._PE, cq, cv), _NSW_SEED_CAP
+        )
+        return np.unique(
+            np.concatenate([enc, ku * np.int64(self.n) + kv])
+        )
 
-        Returns at most ``ef`` results.  ``q`` must be an L2-normalized
-        dense vector (or the zero vector, which matches nothing and simply
-        walks the graph deterministically).
+    def search_batch(
+        self,
+        queries: sparse.spmatrix,
+        ef: "int | None" = None,
+        rescore: bool = True,
+    ) -> list:
+        """Beam-search every query row at once: round-based batched NSW.
+
+        ``queries`` rows must be L2-normalized (zero rows are allowed and
+        simply walk the graph deterministically).  Each round keeps the
+        per-query top-``ef`` beam by projected similarity, expands the
+        best few unexpanded beam nodes of every query through the padded
+        adjacency, and scores only never-visited ``(query, node)`` pairs.
+        The surviving beams are rescored with exact float64 cosines
+        unless ``rescore=False`` — callers that consume the beam as a
+        *set* (every entry, order ignored) can skip that pass and take
+        the float32 projection estimates instead.  Returns one
+        ``(nodes, sims)`` pair per query, ordered by ``(-sim, node)``,
+        at most ``ef`` entries each.
+        """
+        Q = sparse.csr_matrix(queries, dtype=np.float64)
+        nq = Q.shape[0]
+        ef = int(ef or self.ef)
+        if not self.n or not nq:
+            empty = (np.empty(0, np.int64), np.empty(0, np.float64))
+            return [empty] * nq
+        n = np.int64(self.n)
+        Qp = self._project(Q)
+        Qe = self._explore(Qp)
+        visited = self._query_seeds(Qp, Qe)  # unique-encoded, sorted
+        bq, bv = visited // n, visited % n
+        bs = _pair_sims(Qe, self._PE, bq, bv)
+        expanded = np.zeros(len(bq), dtype=bool)
+        while True:
+            # per-query top-ef beam by (projected sim, node id)
+            order = np.lexsort((bv, -bs, bq))
+            bq, bv, bs = bq[order], bv[order], bs[order]
+            expanded = expanded[order]
+            new = np.empty(len(bq), dtype=bool)
+            new[0] = True
+            np.not_equal(bq[1:], bq[:-1], out=new[1:])
+            starts = np.flatnonzero(new)
+            rank = (
+                np.arange(len(bq), dtype=np.int64)
+                - starts[np.cumsum(new) - 1]
+            )
+            keep = rank < ef
+            bq, bv, bs = bq[keep], bv[keep], bs[keep]
+            expanded = expanded[keep]
+            open_idx = np.flatnonzero(~expanded)
+            if not len(open_idx):
+                break
+            # expand the best few unexpanded beam entries of each query
+            # (beam order is already (query, -sim, id))
+            oq = bq[open_idx]
+            onew = np.empty(len(oq), dtype=bool)
+            onew[0] = True
+            np.not_equal(oq[1:], oq[:-1], out=onew[1:])
+            ostart = np.flatnonzero(onew)
+            orank = (
+                np.arange(len(oq), dtype=np.int64)
+                - ostart[np.cumsum(onew) - 1]
+            )
+            sel = open_idx[orank < _NSW_EXPAND_PER_ROUND]
+            expanded[sel] = True
+            fq, fv = bq[sel], bv[sel]
+            cand = self._nbr_pad[fv]  # (frontier, width), -1 padded
+            enc = (fq[:, None] * n + cand)[cand >= 0]
+            enc.sort(kind="quicksort")
+            if len(enc):
+                first = np.empty(len(enc), dtype=bool)
+                first[0] = True
+                np.not_equal(enc[1:], enc[:-1], out=first[1:])
+                enc = enc[first]
+            pos = np.minimum(
+                np.searchsorted(visited, enc), len(visited) - 1
+            )
+            enc = enc[visited[pos] != enc]
+            if len(enc):
+                visited = np.sort(np.concatenate([visited, enc]))
+                aq, av = enc // n, enc % n
+                bq = np.concatenate([bq, aq])
+                bv = np.concatenate([bv, av])
+                bs = np.concatenate([bs, _pair_sims(Qe, self._PE, aq, av)])
+                expanded = np.concatenate(
+                    [expanded, np.zeros(len(enc), dtype=bool)]
+                )
+        # exact rescore of the surviving beams (grouped by query already)
+        sims = (
+            self._exact_sims(Q, bq, bv)
+            if rescore
+            else bs.astype(np.float64)
+        )
+        order = np.lexsort((bv, -sims, bq))
+        bq, bv, sims = bq[order], bv[order], sims[order]
+        bounds = np.searchsorted(bq, np.arange(nq + 1, dtype=np.int64))
+        return [
+            (bv[bounds[i] : bounds[i + 1]], sims[bounds[i] : bounds[i + 1]])
+            for i in range(nq)
+        ]
+
+    def search(self, q: np.ndarray, ef: "int | None" = None) -> list:
+        """Greedy beam search: ``[(similarity, node), ...]`` descending.
+
+        Returns at most ``ef`` results with exact cosine similarities.
+        ``q`` must be an L2-normalized dense vector (or the zero vector,
+        which matches nothing and simply walks the graph
+        deterministically).
         """
         if not self.n:
             return []
-        ef = ef or self.ef
-        entry = self._entry
-        sim_entry = float((self.X[entry] @ q)[0])
-        visited = {entry}
-        candidates = [(-sim_entry, entry)]  # max-heap via negation
-        results = [(sim_entry, entry)]  # min-heap, bounded at ef
-        while candidates:
-            neg_sim, node = heapq.heappop(candidates)
-            if -neg_sim < results[0][0] and len(results) >= ef:
-                break
-            fresh = [j for j in self.neighbors[node] if j not in visited]
-            if not fresh:
-                continue
-            visited.update(fresh)
-            sims = np.asarray(self.X[fresh] @ q).ravel()
-            for j, sim in zip(fresh, sims):
-                sim = float(sim)
-                if len(results) < ef or sim > results[0][0]:
-                    heapq.heappush(candidates, (-sim, j))
-                    heapq.heappush(results, (sim, j))
-                    if len(results) > ef:
-                        heapq.heappop(results)
-        return sorted(results, key=lambda pair: (-pair[0], pair[1]))
+        row = sparse.csr_matrix(
+            np.asarray(q, dtype=np.float64).reshape(1, -1)
+        )
+        (nodes, sims), = self.search_batch(row, ef=ef)
+        return [(float(s), int(j)) for s, j in zip(sims, nodes)]
 
 
 def ann_graph_candidates(
@@ -737,7 +1145,8 @@ def ann_graph_candidates(
     """NSW greedy-search blocking: per-row nearest profiles as candidates.
 
     An :class:`NSWIndex` is built over the auxiliary profile vectors and
-    queried once per anonymized row; each row keeps its ``min(ef,
+    every anonymized row is beam-searched in one vectorized batch
+    (:meth:`NSWIndex.search_batch`); each row keeps its ``min(ef,
     ceil(keep_fraction × n2))`` best-found neighbours.  Build and query
     cost scale with ``(n1 + n2) · ef``-ish graph walks — never ``n1 × n2``
     — making this the high-recall sub-quadratic alternative when LSH
@@ -749,19 +1158,18 @@ def ann_graph_candidates(
             f"keep_fraction must be in (0, 1], got {keep_fraction}"
         )
     index = NSWIndex(_profile_matrix(auxiliary), m=m, ef=ef, seed=seed)
-    X1 = _profile_matrix(anonymized)
+    X1 = sparse.csr_matrix(_profile_matrix(anonymized), dtype=np.float64)
     norms = np.sqrt(np.asarray(X1.multiply(X1).sum(axis=1)).ravel())
+    scale = np.divide(1.0, norms, out=np.zeros_like(norms), where=norms > 0)
+    X1 = sparse.csr_matrix(X1.multiply(scale[:, None]), shape=X1.shape)
     n1, n2 = X1.shape[0], index.n
     keep = min(ef, max(1, int(np.ceil(keep_fraction * n2))))
 
-    row_cols: list = []
-    for i in range(n1):
-        q = X1[i].toarray().ravel()
-        if norms[i] > 0:
-            q = q / norms[i]
-        found = index.search(q, ef=ef)
-        cols = np.array(sorted(j for _, j in found[:keep]), dtype=np.int64)
-        row_cols.append(cols)
+    # when the keep cap cannot truncate the beam, the mask is the beam
+    # *set* and the exact rescore pass would order entries only to have
+    # that order erased by the sort below — skip it
+    beams = index.search_batch(X1, ef=ef, rescore=keep < ef)
+    row_cols = [np.sort(cols[:keep]) for cols, _ in beams]
     counts_per_row = np.array([len(c) for c in row_cols], dtype=np.int64)
     indptr = np.zeros(n1 + 1, dtype=np.int64)
     np.cumsum(counts_per_row, out=indptr[1:])

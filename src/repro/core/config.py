@@ -116,6 +116,14 @@ class DeHealthConfig:
     (``"lsh+degree_band"``): the masks are OR-ed, the recall-safe
     combination.
 
+    ``refined_keep_fraction`` pre-ranks the refined phase: each
+    anonymized user's candidate set is cut to its top
+    ``ceil(refined_keep_fraction × |Cu|)`` entries by phase-1 similarity
+    before any classifier is trained, so phase 2 pays for only the
+    plausible fraction of every candidate set.  ``1.0`` (the default)
+    disables pre-ranking entirely — the classifier sees exactly the
+    candidate sets phase 1 produced, byte-identical to historical runs.
+
     ``extract_workers`` is the process-pool width of the phase-0 feature
     extraction (``1`` = in-process serial, ``0`` = one worker per
     available core).  A pure performance knob: extraction output is
@@ -144,6 +152,7 @@ class DeHealthConfig:
     blocking_ann_m: int = 12
     blocking_ann_ef: int = 48
     blocking_seed: int = 0
+    refined_keep_fraction: float = 1.0
     extract_workers: int = 1
     seed: int = 0
 
@@ -215,6 +224,11 @@ class DeHealthConfig:
         if self.blocking_ann_ef < 1:
             raise ConfigError(
                 f"blocking_ann_ef must be >= 1, got {self.blocking_ann_ef}"
+            )
+        if not 0.0 < self.refined_keep_fraction <= 1.0:
+            raise ConfigError(
+                f"refined_keep_fraction must be in (0, 1], "
+                f"got {self.refined_keep_fraction}"
             )
         if self.extract_workers < 0:
             raise ConfigError(

@@ -106,6 +106,7 @@ class DeHealth:
             ),
             seed=self.config.seed,
             post_matrix_caches=post_matrix_caches,
+            keep_fraction=self.config.refined_keep_fraction,
         )
         return self
 
@@ -203,6 +204,9 @@ class DeHealth:
         S = self.similarity_scores()
         sparse_scores = isinstance(S, SparseSimilarity)
         aux_index = {u: j for j, u in enumerate(self.auxiliary.users)}
+        # phase-1 scores feed the refined pre-rank only when the cut is
+        # active: the default path stays byte-identical to historical runs
+        prerank = self.config.refined_keep_fraction < 1.0
 
         predictions: dict = {}
         details: dict = {}
@@ -222,7 +226,17 @@ class DeHealth:
                     )
                 }
                 continue
-            winner, info = self._refined.deanonymize_user(anon, cand)
+            cand_scores = None
+            if prerank:
+                cand_cols = [aux_index[c] for c in cand]
+                cand_scores = (
+                    S.scores_at(i, cand_cols)
+                    if sparse_scores
+                    else S[i][cand_cols]
+                )
+            winner, info = self._refined.deanonymize_user(
+                anon, cand, candidate_scores=cand_scores
+            )
             if winner is not None and self.config.verification == "mean":
                 row = S.dense_row(i) if sparse_scores else S[i]
                 accepted = mean_verification(

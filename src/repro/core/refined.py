@@ -53,13 +53,27 @@ class RefinedDeanonymizer:
         false_addition_count: "int | None" = None,
         seed: int = 0,
         post_matrix_caches: "tuple[dict, dict] | None" = None,
+        keep_fraction: float = 1.0,
     ) -> None:
+        if not 0.0 < keep_fraction <= 1.0:
+            raise ConfigError(
+                f"keep_fraction must be in (0, 1], got {keep_fraction}"
+            )
         self.anonymized = anonymized
         self.auxiliary = auxiliary
         self.classifier_name = classifier
         self.use_structural_features = use_structural_features
         self.false_addition_count = false_addition_count
         self.seed = seed
+        #: Pre-ranking knob: each candidate set is cut to its top
+        #: ``ceil(keep_fraction × |Cu|)`` entries by phase-1 similarity
+        #: before any classifier training.  ``1.0`` disables the cut —
+        #: the classifier sees exactly the phase-1 candidate sets.
+        self.keep_fraction = float(keep_fraction)
+        #: Pre-ranking counters (cumulative over deanonymize_user calls
+        #: while the cut is active): users pre-ranked, candidates seen,
+        #: candidates actually classified.
+        self.prerank_stats = {"users": 0, "candidates_in": 0, "candidates_kept": 0}
         self._rng = derive_rng(seed)
         # ``post_matrix_caches`` lets a parameter sweep share the extracted
         # per-user post matrices across deanonymizer instances; the cached
@@ -101,19 +115,47 @@ class RefinedDeanonymizer:
 
     # --- per-user DA --------------------------------------------------------
 
+    def _prerank(self, candidates: list, candidate_scores) -> list:
+        """Cut a candidate set to its top ``keep_fraction`` by phase-1 score.
+
+        ``candidate_scores`` aligns with ``candidates`` (the blocking
+        layer's sparse similarity values, threaded down by the pipeline);
+        when absent, the phase-1 ordering of the list itself is trusted —
+        both selection paths emit candidates best-first.  Ties and the
+        no-scores path preserve list order, so the cut is deterministic.
+        """
+        kept_n = max(1, int(np.ceil(self.keep_fraction * len(candidates))))
+        if kept_n < len(candidates):
+            if candidate_scores is not None:
+                scores = np.asarray(candidate_scores, dtype=np.float64)
+                order = np.lexsort((np.arange(len(candidates)), -scores))
+                candidates = [candidates[int(i)] for i in order[:kept_n]]
+            else:
+                candidates = list(candidates)[:kept_n]
+        self.prerank_stats["users"] += 1
+        self.prerank_stats["candidates_kept"] += len(candidates)
+        return candidates
+
     def deanonymize_user(
         self,
         anon_user: str,
         candidates: list,
+        candidate_scores=None,
     ) -> "tuple[str | None, dict]":
         """Classify one anonymized user into ``candidates``.
 
+        ``candidate_scores`` (optional, aligned with ``candidates``) are
+        the phase-1 similarity scores used for pre-ranking when
+        ``keep_fraction < 1.0``; they never affect the classifier itself.
         Returns ``(winner, details)`` where winner is an auxiliary user id
         or ``None`` (⊥, only under false addition), and details carries the
         per-candidate aggregate scores.
         """
         if not candidates:
             return None, {"reason": "empty candidate set"}
+        if self.keep_fraction < 1.0:
+            self.prerank_stats["candidates_in"] += len(candidates)
+            candidates = self._prerank(candidates, candidate_scores)
         test_X = self._post_matrix(self.anonymized, self._anon_cache, anon_user)
         if test_X.size == 0:
             return None, {"reason": "anonymized user has no posts"}

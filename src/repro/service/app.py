@@ -42,7 +42,9 @@ candidate-blocking knobs (``"blocking"``: ``none`` | ``degree_band`` |
 composite like ``"lsh+degree_band"``, plus ``blocking_band_width`` /
 ``blocking_min_shared`` / ``blocking_keep`` and the ANN knobs
 ``blocking_lsh_bands`` / ``blocking_lsh_rows`` / ``blocking_ann_m`` /
-``blocking_ann_ef`` / ``blocking_seed``) and ``"extract_workers"``.
+``blocking_ann_ef`` / ``blocking_seed``), the refined pre-rank knob
+``"refined_keep_fraction"`` (classify only the top fraction of each
+candidate set by phase-1 similarity), and ``"extract_workers"``.
 
 Errors come back as ``{"error": {"type": ..., "message": ...}}`` built on
 the :mod:`repro.errors` hierarchy: :class:`~repro.errors.ConfigError` (and

@@ -206,6 +206,30 @@ class TestAttackRequest:
         with_seed = AttackRequest(blocking="lsh", blocking_seed=3)
         assert with_seed != AttackRequest(blocking="lsh")
 
+    def test_refined_keep_fraction_omitted_at_default(self):
+        wire = AttackRequest().to_dict()
+        assert "refined_keep_fraction" not in wire
+
+    def test_refined_keep_fraction_roundtrip_when_active(self):
+        request = AttackRequest(refined_keep_fraction=0.4)
+        wire = json.loads(json.dumps(request.to_dict()))
+        assert wire["refined_keep_fraction"] == 0.4
+        assert AttackRequest.from_dict(wire) == request
+        assert request.to_config().refined_keep_fraction == 0.4
+
+    def test_refined_keep_fraction_inert_without_refined_phase(self):
+        # the knob has nothing to act on when refined=False: normalized
+        # back to 1.0 so equal-behaviour requests compare (and hash) equal
+        request = AttackRequest(refined=False, refined_keep_fraction=0.4)
+        assert request == AttackRequest(refined=False)
+        assert "refined_keep_fraction" not in request.to_dict()
+
+    def test_refined_keep_fraction_validates(self):
+        with pytest.raises(ConfigError, match="refined_keep_fraction"):
+            AttackRequest(refined_keep_fraction=0.0).validate()
+        with pytest.raises(ConfigError, match="refined_keep_fraction"):
+            AttackRequest(refined_keep_fraction=1.5).validate()
+
 
 class TestAttackReport:
     def _report(self) -> AttackReport:

@@ -459,3 +459,79 @@ class TestANNPolicies:
         lsh_candidates(g1, g2)
         ann_graph_candidates(g1, g2, ef=8)
         assert offenders == []
+
+
+class TestNSWDegenerate:
+    """Empty / single-node / zero-norm corpora must not crash the index
+    (regressions: empty-corpus entry point, single-node search, NaN
+    similarities from un-normalizable profiles)."""
+
+    def test_empty_index_searches_empty(self):
+        index = NSWIndex(sparse.csr_matrix((0, 5)), m=4, ef=8, seed=0)
+        assert index.n == 0
+        assert index.search(np.ones(5)) == []
+
+    def test_empty_index_accepts_inserts(self):
+        index = NSWIndex(sparse.csr_matrix((0, 3)), m=2, ef=4, seed=0)
+        first = index.insert(np.array([1.0, 0.0, 0.0]))
+        assert first == 0
+        assert index.search(np.array([1.0, 0.0, 0.0]))[0][1] == 0
+        second = index.insert(np.array([0.0, 1.0, 0.0]))
+        assert second == 1
+        found = index.search(np.array([0.0, 1.0, 0.0]), ef=8)
+        assert found[0][1] == 1
+        assert found[0][0] == pytest.approx(1.0)
+
+    def test_single_node_index(self):
+        X = sparse.csr_matrix(np.array([[3.0, 4.0]]))
+        index = NSWIndex(X, m=4, ef=8, seed=0)
+        found = index.search(np.array([0.6, 0.8]))
+        assert [j for _, j in found] == [0]
+        assert found[0][0] == pytest.approx(1.0)
+
+    def test_zero_norm_profiles_stay_finite(self):
+        rows = np.array(
+            [[1.0, 0.0], [0.0, 0.0], [0.0, 1.0], [0.0, 0.0], [1.0, 1.0]]
+        )
+        index = NSWIndex(sparse.csr_matrix(rows), m=2, ef=8, seed=0)
+        found = index.search(np.array([1.0, 0.0]), ef=4 * len(rows))
+        sims = [s for s, _ in found]
+        assert np.isfinite(sims).all()
+        assert found[0][1] == 0  # the identical row wins
+        # zero rows score 0.0, never NaN
+        by_node = dict((j, s) for s, j in found)
+        assert by_node[1] == 0.0 and by_node[3] == 0.0
+
+    def test_zero_norm_insert(self):
+        index = NSWIndex(sparse.csr_matrix(np.eye(3)), m=2, ef=4, seed=0)
+        node = index.insert(np.zeros(3))
+        assert node == 3
+        found = index.search(np.ones(3) / np.sqrt(3), ef=12)
+        assert {j for _, j in found} == {0, 1, 2, 3}
+
+
+class TestPruneDeterminism:
+    def test_prune_ties_break_by_node_id(self):
+        # four identical rows: every similarity ties at 1.0, so _prune
+        # must fall through to the node-id tie-break — numpy float64
+        # scalars in the sort key used to make that comparison
+        # dtype-dependent
+        rows = np.tile(np.array([[0.6, 0.8]]), (4, 1))
+        index = NSWIndex(sparse.csr_matrix(rows), m=2, ef=8, seed=0)
+        index.neighbors[0] = [3, 1, 2]
+        kept = index._prune(0, max_degree=2)
+        assert kept == [1, 2]
+        assert all(isinstance(j, int) for j in kept)
+
+    def test_prune_deterministic_across_runs(self):
+        rng = np.random.default_rng(11)
+        base = rng.normal(size=(1, 6))
+        rows = np.vstack([base] * 5 + [rng.normal(size=(2, 6))])
+        kept_runs = []
+        for _ in range(2):
+            index = NSWIndex(sparse.csr_matrix(rows), m=2, ef=8, seed=3)
+            index.neighbors[0] = list(range(1, 7))
+            kept_runs.append(index._prune(0, max_degree=3))
+        assert kept_runs[0] == kept_runs[1]
+        # duplicate rows (nodes 1-4) tie at sim 1.0; lowest ids win
+        assert kept_runs[0][:2] == [1, 2]

@@ -127,3 +127,65 @@ class TestRefinedPhase:
         attack.fit(split.anonymized, split.auxiliary, extractor=extractor)
         result = attack.deanonymize()
         assert set(result.predictions) == set(split.anonymized.user_ids())
+
+
+class TestRefinedPrerank:
+    def _config(self, **overrides) -> DeHealthConfig:
+        defaults = dict(top_k=3, n_landmarks=5, classifier="knn")
+        defaults.update(overrides)
+        return DeHealthConfig(**defaults)
+
+    @pytest.mark.parametrize("blocking", ["none", "attr_index"])
+    def test_full_fraction_identical_to_default(
+        self, small_split, extractor, blocking
+    ):
+        """Property: ``refined_keep_fraction=1.0`` (the default) must be
+        indistinguishable from the pre-knob pipeline — identical
+        predictions AND identical per-user details, on both the dense and
+        sparse scoring paths."""
+        baseline = DeHealth(self._config(blocking=blocking))
+        baseline.fit(
+            small_split.anonymized, small_split.auxiliary, extractor=extractor
+        )
+        explicit = DeHealth(
+            self._config(blocking=blocking, refined_keep_fraction=1.0)
+        )
+        explicit.fit(
+            small_split.anonymized, small_split.auxiliary, extractor=extractor
+        )
+        a = baseline.deanonymize()
+        b = explicit.deanonymize()
+        assert a.predictions == b.predictions
+        assert a.details == b.details
+        assert explicit._refined.prerank_stats["users"] == 0
+
+    def test_half_fraction_accuracy_floor(self, small_split, extractor):
+        """At ``keep_fraction=0.5`` phase 2 classifies at most half of
+        every multi-candidate set, and accuracy stays near the full run:
+        phase-1 similarity puts true matches near the front, so the cut
+        rarely drops them."""
+        full = DeHealth(self._config())
+        full.fit(
+            small_split.anonymized, small_split.auxiliary, extractor=extractor
+        )
+        half = DeHealth(self._config(refined_keep_fraction=0.5))
+        half.fit(
+            small_split.anonymized, small_split.auxiliary, extractor=extractor
+        )
+        acc_full = full.deanonymize().accuracy(small_split.truth)
+        acc_half = half.deanonymize().accuracy(small_split.truth)
+        stats = half._refined.prerank_stats
+        assert stats["users"] > 0
+        # ceil(0.5 × |Cu|) per user: never more than half + one rounding
+        assert stats["candidates_kept"] <= (
+            stats["candidates_in"] / 2 + stats["users"] / 2
+        )
+        # the cut may cost a little accuracy, never a collapse
+        assert acc_half >= acc_full - 0.2
+
+    def test_fraction_reaches_refined_engine(self, small_split, extractor):
+        attack = DeHealth(self._config(refined_keep_fraction=0.5))
+        attack.fit(
+            small_split.anonymized, small_split.auxiliary, extractor=extractor
+        )
+        assert attack._refined.keep_fraction == 0.5

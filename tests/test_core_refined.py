@@ -97,3 +97,79 @@ class TestRefinedDeanonymizer:
         _, anon, aux = refined_setup
         with pytest.raises(ConfigError):
             RefinedDeanonymizer(anon, aux, classifier="nope")
+
+
+class TestPrerank:
+    def test_bad_fraction_rejected(self, refined_setup):
+        _, anon, aux = refined_setup
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ConfigError):
+                RefinedDeanonymizer(anon, aux, keep_fraction=bad)
+
+    def test_full_fraction_is_inert(self, refined_setup):
+        _, anon, aux = refined_setup
+        plain = RefinedDeanonymizer(anon, aux, classifier="knn")
+        keep_all = RefinedDeanonymizer(
+            anon, aux, classifier="knn", keep_fraction=1.0
+        )
+        cand = list(aux.users[:4])
+        assert plain.deanonymize_user(anon.users[0], cand) == (
+            keep_all.deanonymize_user(anon.users[0], cand)
+        )
+        # counters never move while the cut is disabled
+        assert keep_all.prerank_stats == {
+            "users": 0,
+            "candidates_in": 0,
+            "candidates_kept": 0,
+        }
+
+    def test_cut_by_scores(self, refined_setup):
+        _, anon, aux = refined_setup
+        engine = RefinedDeanonymizer(
+            anon, aux, classifier="knn", keep_fraction=0.5
+        )
+        cand = list(aux.users[:4])
+        # scores rank the last two candidates highest
+        scores = [0.1, 0.2, 0.9, 0.8]
+        winner, details = engine.deanonymize_user(
+            anon.users[0], cand, candidate_scores=scores
+        )
+        assert set(details["scores"]) == {cand[2], cand[3]}
+        assert engine.prerank_stats == {
+            "users": 1,
+            "candidates_in": 4,
+            "candidates_kept": 2,
+        }
+
+    def test_cut_without_scores_trusts_list_order(self, refined_setup):
+        _, anon, aux = refined_setup
+        engine = RefinedDeanonymizer(
+            anon, aux, classifier="knn", keep_fraction=0.5
+        )
+        cand = list(aux.users[:4])
+        winner, details = engine.deanonymize_user(anon.users[0], cand)
+        assert set(details["scores"]) == set(cand[:2])
+
+    def test_score_ties_keep_list_order(self, refined_setup):
+        _, anon, aux = refined_setup
+        engine = RefinedDeanonymizer(
+            anon, aux, classifier="knn", keep_fraction=0.5
+        )
+        cand = list(aux.users[:4])
+        winner, details = engine.deanonymize_user(
+            anon.users[0], cand, candidate_scores=[0.5, 0.5, 0.5, 0.5]
+        )
+        assert set(details["scores"]) == set(cand[:2])
+
+    def test_always_keeps_at_least_one(self, refined_setup):
+        _, anon, aux = refined_setup
+        engine = RefinedDeanonymizer(
+            anon, aux, classifier="knn", keep_fraction=0.01
+        )
+        cand = list(aux.users[:4])
+        winner, details = engine.deanonymize_user(
+            anon.users[0], cand, candidate_scores=[0.0, 0.0, 1.0, 0.0]
+        )
+        # ceil(0.01 × 4) = 1: the single best-scored candidate survives
+        assert winner == cand[2]
+        assert details["reason"] == "single-candidate set"
