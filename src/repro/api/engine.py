@@ -145,6 +145,37 @@ class Engine:
                     rehydrated += 1
             return rehydrated
 
+    def refresh_corpora(self) -> int:
+        """Pull corpora other processes registered into the attached store.
+
+        With several server processes sharing one ``--state-dir``, a corpus
+        uploaded through process A exists only in the database until
+        process B refreshes.  Loads every stored corpus whose fingerprint
+        is not already registered in memory; returns how many were added.
+        No-op (0) without a store.
+        """
+        with self._lock:
+            if self.store is None:
+                return 0
+            stale = [
+                name
+                for name, fingerprint in (
+                    (entry["name"], entry["fingerprint"])
+                    for entry in self.store.corpora.list()
+                )
+                if self._fingerprints.get(name) != fingerprint
+            ]
+            added = 0
+            for name in stale:
+                loaded = self.store.corpora.get(name)
+                if loaded is None:
+                    continue
+                fingerprint, dataset = loaded
+                self._corpora[name] = dataset
+                self._fingerprints[name] = fingerprint
+                added += 1
+            return added
+
     def _note_tenant_use(self, tenant: str, key, reused: bool) -> None:
         """Per-tenant accounting (caller holds the engine lock)."""
         usage = self._tenant_usage.setdefault(

@@ -9,9 +9,10 @@ Subcommands::
     repro-dehealth sweep corpus.jsonl --matrix matrix.json --workers 4
     repro-dehealth linkage --users 500 --seed 7
     repro-dehealth serve --port 8321 --corpus corpus.jsonl \
-        --state-dir ./state --job-workers 2
+        --state-dir ./state --job-workers 2 --job-lease-s 30
     repro-dehealth reports ./state --limit 20
     repro-dehealth jobs ./state --id 1f0c2a9b
+    repro-dehealth compact ./state --max-age-s 604800 --vacuum
 
 Every subcommand is deterministic under ``--seed``.  ``generate``,
 ``attack``, ``sweep``, ``linkage``, and ``serve`` all route through the
@@ -21,7 +22,10 @@ matrix across worker processes via :class:`repro.api.SweepExecutor`;
 :mod:`repro.service` — with ``--state-dir`` it persists corpora, attack
 reports, and background jobs to sqlite and resumes them across restarts.
 ``reports`` and ``jobs`` inspect such a state directory offline (they
-only read; a live server's rows are left untouched).
+only read; a live server's rows are left untouched); ``compact`` prunes
+old reports and terminal jobs from one (optionally ``VACUUM``-ing the
+file down) — safe to run against a live server, since queued and running
+jobs are never touched.
 """
 
 from __future__ import annotations
@@ -236,7 +240,11 @@ def build_engine_for_serve(
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import create_app, serve
+    from repro.testing import faults
 
+    # chaos harness hook: a REPRO_FAULTS env var (serialized FaultPlan)
+    # arms the fault seams in this process; unset = no-op
+    faults.install_from_env()
     engine = build_engine_for_serve(
         args.corpus, cache_budget_mb=args.cache_budget_mb
     )
@@ -246,7 +254,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # attach before create_app so registered --corpus files are written
         # through and previously persisted corpora rehydrate
         engine.attach_store(StateStore.at_dir(args.state_dir))
-    app = create_app(engine, job_workers=args.job_workers)
+    app = create_app(
+        engine,
+        job_workers=args.job_workers,
+        job_lease_s=args.job_lease_s,
+        job_deadline_s=args.job_deadline_s,
+        job_retries=args.job_retries,
+    )
     serve(app=app, host=args.host, port=args.port)
     return 0
 
@@ -279,7 +293,11 @@ def _cmd_reports(args: argparse.Namespace) -> int:
                 f"fingerprint={row['fingerprint'][:12]} "
                 f"request={row['request_hash']}"
             )
-        print(f"{len(rows)} report(s) in {args.state_dir}")
+        counters = state.resilience_counters()
+        print(
+            f"{len(rows)} report(s) in {args.state_dir} "
+            f"(pruned so far: {counters['pruned_reports']})"
+        )
         return 0
     finally:
         state.close()
@@ -299,12 +317,40 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
             line = (
                 f"{row['job_id']} tenant={row['tenant']} kind={row['kind']} "
                 f"state={row['state']} "
-                f"shards={row['shards_done']}/{row['shards_total']}"
+                f"shards={row['shards_done']}/{row['shards_total']} "
+                f"attempts={row['attempts']}"
             )
+            if row["owner"]:
+                line += f" owner={row['owner']}"
             if row["error"]:
                 line += f" error={row['error']!r}"
             print(line)
-        print(f"{len(rows)} job(s) in {args.state_dir}")
+        counters = state.resilience_counters()
+        print(
+            f"{len(rows)} job(s) in {args.state_dir} "
+            f"(retries: {counters['retries']}, "
+            f"reclaimed: {counters['reclaimed_jobs']}, "
+            f"cancelled: {counters['cancelled_jobs']})"
+        )
+        return 0
+    finally:
+        state.close()
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    state = _open_state(args.state_dir)
+    try:
+        summary = state.prune(
+            max_age_s=args.max_age_s,
+            keep_reports=args.keep_reports,
+            keep_jobs=args.keep_jobs,
+            vacuum=args.vacuum,
+        )
+        print(
+            f"pruned {summary['pruned_reports']} report(s), "
+            f"{summary['pruned_jobs']} terminal job(s)"
+            + (" and compacted the database file" if summary["vacuumed"] else "")
+        )
         return 0
     finally:
         state.close()
@@ -462,6 +508,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker threads of the background job pool "
              "(async /attack and /sweep requests)",
     )
+    srv.add_argument(
+        "--job-lease-s", type=float, default=None, metavar="S",
+        help="background-job lease duration: a crashed worker's jobs are "
+             "requeued once their lease lapses — several server processes "
+             "may share one --state-dir (default: 30)",
+    )
+    srv.add_argument(
+        "--job-deadline-s", type=float, default=None, metavar="S",
+        help="per-job wall-clock deadline; past it a job terminalizes as "
+             "failed instead of starting another shard (default: none)",
+    )
+    srv.add_argument(
+        "--job-retries", type=int, default=None, metavar="N",
+        help="per-shard attempt budget for transient failures (sqlite "
+             "lock contention, crashed workers); fatal errors never "
+             "retry (default: 3)",
+    )
     srv.set_defaults(func=_cmd_serve)
 
     reports = sub.add_parser(
@@ -492,6 +555,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     jobs.add_argument("--limit", type=int, default=50)
     jobs.set_defaults(func=_cmd_jobs)
+
+    compact = sub.add_parser(
+        "compact",
+        help="prune old reports and terminal jobs from a --state-dir database",
+    )
+    compact.add_argument("state_dir", help="the server's --state-dir")
+    compact.add_argument(
+        "--max-age-s", type=float, default=None, metavar="S",
+        help="drop reports and terminal jobs older than this many seconds",
+    )
+    compact.add_argument(
+        "--keep-reports", type=int, default=None, metavar="N",
+        help="keep only the N newest reports",
+    )
+    compact.add_argument(
+        "--keep-jobs", type=int, default=None, metavar="N",
+        help="keep only the N newest terminal jobs (queued/running never pruned)",
+    )
+    compact.add_argument(
+        "--vacuum", action="store_true",
+        help="VACUUM the database file after pruning to reclaim disk space",
+    )
+    compact.set_defaults(func=_cmd_compact)
 
     return parser
 

@@ -22,7 +22,11 @@ GET      /reports       stored attack reports, newest first (``?limit=``,
 GET      /reports/<id>  one stored report with its canonical JSON payload
 GET      /jobs          background jobs, newest first (``?limit=``)
 GET      /jobs/<id>     job state/progress/result (queued → running →
-                        done | failed, shard counters, partial results)
+                        done | failed | cancelled, shard counters, attempts,
+                        partial results)
+DELETE   /jobs/<id>     cooperative cancel: a queued job terminalizes
+                        immediately, a running one stops at the next shard
+                        boundary (409 when already terminal)
 =======  =============  ===================================================
 
 Every route is tenant-scoped through the optional ``X-Tenant`` header
@@ -52,7 +56,10 @@ malformed JSON) map to 400, :class:`~repro.errors.NotFittedError` to 409,
 :class:`~repro.errors.QuotaExceededError` to 429, any other
 :class:`~repro.errors.ReproError` to 422, unknown routes to 404, wrong
 methods to 405, a draining server to 503, and unexpected failures to 500 —
-always as the JSON envelope, never as an HTML error page.
+always as the JSON envelope, never as an HTML error page.  Overload
+responses (429/503) additionally carry a ``Retry-After`` header and mark
+the error envelope ``"retriable": true``, so clients can back off
+mechanically instead of parsing messages.
 """
 
 from __future__ import annotations
@@ -71,7 +78,7 @@ from repro.errors import (
     QuotaExceededError,
     ReproError,
 )
-from repro.store import JobRunner, StateStore
+from repro.store import JobRunner, RetryPolicy, StateStore
 
 _STATUS_LINES = {
     200: "200 OK",
@@ -138,6 +145,9 @@ class DeHealthApp:
         engine: "Engine | None" = None,
         state: "StateStore | None" = None,
         job_workers: int = 2,
+        job_lease_s: "float | None" = None,
+        job_deadline_s: "float | None" = None,
+        job_retries: "int | None" = None,
     ) -> None:
         self.engine = engine or Engine()
         engine_store = getattr(self.engine, "store", None)
@@ -152,7 +162,16 @@ class DeHealthApp:
         self.state = state or engine_store or StateStore(None)
         if engine_store is None:
             self.engine.attach_store(self.state)
-        self.runner = JobRunner(self.engine, self.state, workers=job_workers)
+        runner_kwargs = {}
+        if job_lease_s is not None:
+            runner_kwargs["lease_s"] = job_lease_s
+        if job_deadline_s is not None:
+            runner_kwargs["deadline_s"] = job_deadline_s
+        if job_retries is not None:
+            runner_kwargs["retry"] = RetryPolicy(max_attempts=job_retries)
+        self.runner = JobRunner(
+            self.engine, self.state, workers=job_workers, **runner_kwargs
+        )
         self.started = time.monotonic()
         self._closed = False
         self._routes = {
@@ -169,7 +188,7 @@ class DeHealthApp:
         # prefix routes carry a trailing id segment: ("/reports/5", "GET")
         self._prefix_routes = {
             "/reports/": {"GET": self._report_get},
-            "/jobs/": {"GET": self._job_get},
+            "/jobs/": {"GET": self._job_get, "DELETE": self._job_cancel},
         }
 
     # --- lifecycle ------------------------------------------------------
@@ -215,15 +234,29 @@ class DeHealthApp:
         except Exception as exc:  # noqa: BLE001 — mapped to structured errors
             status = _error_status(exc)
             payload = self._error_payload(type(exc).__name__, str(exc))
+        headers = [("Content-Type", "application/json; charset=utf-8")]
+        if status in (429, 503):
+            # machine-readable backpressure: clients retry on a schedule
+            # instead of parsing error prose
+            if isinstance(payload, dict) and isinstance(
+                payload.get("error"), dict
+            ):
+                payload["error"]["retriable"] = True
+            headers.append(("Retry-After", str(self._retry_after(status))))
         body = json.dumps(payload, indent=None, sort_keys=True).encode("utf-8")
-        start_response(
-            _STATUS_LINES[status],
-            [
-                ("Content-Type", "application/json; charset=utf-8"),
-                ("Content-Length", str(len(body))),
-            ],
-        )
+        headers.append(("Content-Length", str(len(body))))
+        start_response(_STATUS_LINES[status], headers)
         return [body]
+
+    def _retry_after(self, status: int) -> int:
+        """Seconds a 429/503 client should wait before retrying."""
+        if status == 503:
+            return 5
+        try:
+            depth = self.state.jobs.active_count()
+            return max(1, min(30, depth // max(1, self.runner.workers)))
+        except Exception:  # noqa: BLE001 — a hint, never a failure source
+            return 1
 
     def _dispatch(self, method: str, path: str):
         """Resolve (handler, extra args, error-status hint) for a request."""
@@ -324,6 +357,9 @@ class DeHealthApp:
         stats = self.engine.stats()
         stats["uptime_s"] = round(time.monotonic() - self.started, 3)
         stats["jobs"] = self.runner.counters()
+        # durable fault-tolerance counters, surfaced on their own so
+        # operators can watch reclaim/retry/prune rates across restarts
+        stats["resilience"] = self.state.resilience_counters()
         # merge the durable per-tenant counters (requests, submitted jobs,
         # stored rows) into the engine's in-memory usage/attribution blocks
         tenants = stats.get("tenants") or {}
@@ -368,9 +404,21 @@ class DeHealthApp:
         return 200, summary
 
     def _require_corpora(self, requests) -> None:
-        """Fail fast (400) when an async payload names unknown corpora."""
+        """Fail fast (400) when an async payload names unknown corpora.
+
+        Before rejecting, refresh the registry from the shared store once:
+        with several processes on one ``--state-dir``, the corpus may have
+        been registered through a sibling after this engine attached.
+        """
+        refreshed = False
         for request in requests:
-            self.engine.fingerprint(request.corpus)
+            try:
+                self.engine.fingerprint(request.corpus)
+            except ConfigError:
+                if refreshed or not self.engine.refresh_corpora():
+                    raise
+                refreshed = True
+                self.engine.fingerprint(request.corpus)
 
     def _attack(self, environ, tenant) -> tuple:
         body = self._read_json(environ)
@@ -466,11 +514,33 @@ class DeHealthApp:
             )
         return 200, payload
 
+    def _job_cancel(self, environ, tenant, job_id: str) -> tuple:
+        outcome = self.state.jobs.request_cancel(job_id, tenant=tenant)
+        if outcome is None:
+            return 404, self._error_payload(
+                "NotFound", f"no job {job_id!r} for tenant {tenant!r}"
+            )
+        if not outcome["changed"]:
+            return 409, self._error_payload(
+                "Conflict", f"job {job_id} is already {outcome['state']}"
+            )
+        return 200, {"job_id": job_id, "state": outcome["state"]}
+
 
 def create_app(
     engine: "Engine | None" = None,
     state: "StateStore | None" = None,
     job_workers: int = 2,
+    job_lease_s: "float | None" = None,
+    job_deadline_s: "float | None" = None,
+    job_retries: "int | None" = None,
 ) -> DeHealthApp:
     """Build the WSGI application (optionally over a pre-loaded engine)."""
-    return DeHealthApp(engine, state=state, job_workers=job_workers)
+    return DeHealthApp(
+        engine,
+        state=state,
+        job_workers=job_workers,
+        job_lease_s=job_lease_s,
+        job_deadline_s=job_deadline_s,
+        job_retries=job_retries,
+    )

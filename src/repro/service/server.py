@@ -10,10 +10,12 @@ app object behind any WSGI server (gunicorn, uwsgi, mod_wsgi) instead::
     application = create_app()
 
 :func:`serve` installs SIGTERM/SIGINT handlers for a graceful exit: the
-listener stops accepting, in-flight background jobs get a drain window
-(stragglers are checkpointed as ``failed``), and the state store is
-closed with a WAL checkpoint — ``kill <pid>`` never leaves a hot
-``-wal`` file behind.
+listener stops accepting, in-flight background jobs get a drain window,
+and the state store is closed with a WAL checkpoint — ``kill <pid>``
+never leaves a hot ``-wal`` file behind.  With a persistent store,
+queued jobs stay ``queued`` and undrained running jobs keep their lease,
+so the next process (or a sibling sharing the ``--state-dir``) picks
+them up where they stood.
 """
 
 from __future__ import annotations
@@ -113,7 +115,7 @@ def serve(
             print(
                 f"shutting down ({signalled[0] if signalled else 'stopped'}; "
                 f"jobs drained: {summary.get('drained', 0)}, "
-                f"canceled: {summary.get('canceled', 0)}, "
-                f"interrupted: {summary.get('interrupted', 0)})",
+                f"left running: {summary.get('left_running', 0)}, "
+                f"left queued: {summary.get('left_queued', 0)})",
                 file=sys.stderr,
             )

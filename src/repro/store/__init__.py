@@ -12,8 +12,10 @@ WAL mode — no new dependencies):
   deduplicated on (tenant, fingerprint, request hash), which is what lets
   resumed sweeps skip already-completed shards;
 * :class:`JobStore` / :class:`JobRunner` — background ``/attack`` and
-  ``/sweep`` jobs on a bounded thread pool, with per-shard progress and
-  terminal states that survive restarts.
+  ``/sweep`` jobs on a bounded thread pool, with lease-based ownership
+  (several processes can share one state directory), per-shard retries
+  with failure classification (:mod:`repro.store.resilience`),
+  cooperative cancellation, and terminal states that survive restarts.
 
 Quickstart::
 
@@ -29,11 +31,16 @@ Quickstart::
 from repro.store.corpus import CorpusStore
 from repro.store.db import (
     DEFAULT_TENANT,
+    RESILIENCE_COUNTERS,
     STATE_DB_FILENAME,
     SCHEMA_VERSION,
+    TERMINAL_JOB_STATES,
     StateStore,
 )
 from repro.store.jobs import (
+    DEFAULT_LEASE_S,
+    DEFAULT_MAX_CLAIMS,
+    DEFAULT_POLL_S,
     JOB_KINDS,
     JOB_STATES,
     MAX_ACTIVE_JOBS,
@@ -43,11 +50,22 @@ from repro.store.jobs import (
     JobStore,
 )
 from repro.store.reports import AttackReportStore, canonical_report_text
+from repro.store.resilience import (
+    FATAL,
+    TRANSIENT,
+    RetryPolicy,
+    classify_failure,
+    structured_error,
+)
 
 __all__ = [
     "AttackReportStore",
     "CorpusStore",
+    "DEFAULT_LEASE_S",
+    "DEFAULT_MAX_CLAIMS",
+    "DEFAULT_POLL_S",
     "DEFAULT_TENANT",
+    "FATAL",
     "JOB_KINDS",
     "JOB_STATES",
     "JobRunner",
@@ -55,8 +73,14 @@ __all__ = [
     "MAX_ACTIVE_JOBS",
     "MAX_ACTIVE_JOBS_PER_TENANT",
     "MAX_JOB_WORKERS",
+    "RESILIENCE_COUNTERS",
+    "RetryPolicy",
     "SCHEMA_VERSION",
     "STATE_DB_FILENAME",
     "StateStore",
+    "TERMINAL_JOB_STATES",
+    "TRANSIENT",
     "canonical_report_text",
+    "classify_failure",
+    "structured_error",
 ]

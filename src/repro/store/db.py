@@ -27,14 +27,46 @@ from pathlib import Path
 
 from repro.api.protocol import DEFAULT_TENANT
 from repro.errors import StoreError
+from repro.testing import faults
 
 #: Database filename created inside a ``--state-dir``.
 STATE_DB_FILENAME = "dehealth.sqlite3"
 
-__all__ = ["DEFAULT_TENANT", "STATE_DB_FILENAME", "SCHEMA_VERSION", "StateStore"]
+__all__ = [
+    "DEFAULT_TENANT",
+    "RESILIENCE_COUNTERS",
+    "STATE_DB_FILENAME",
+    "SCHEMA_VERSION",
+    "TERMINAL_JOB_STATES",
+    "StateStore",
+]
 
 #: Schema version recorded in ``meta``; bump on incompatible changes.
-SCHEMA_VERSION = 1
+#: v2 added the job lease/retry/cancellation columns and the ``counters``
+#: table (v1 databases are migrated in place on open).
+SCHEMA_VERSION = 2
+
+#: Job states that can never change again (see :mod:`repro.store.jobs`).
+TERMINAL_JOB_STATES: tuple = ("done", "failed", "cancelled")
+
+#: Durable resilience counters kept in the ``counters`` table and surfaced
+#: on ``GET /stats`` and the CLI inspectors.
+RESILIENCE_COUNTERS: tuple = (
+    "retries",
+    "reclaimed_jobs",
+    "cancelled_jobs",
+    "pruned_reports",
+    "pruned_jobs",
+)
+
+#: Columns v2 added to ``jobs`` — used by the in-place v1 migration.
+_JOBS_V2_COLUMNS: tuple = (
+    ("owner", "TEXT"),
+    ("lease_expires", "REAL"),
+    ("attempts", "INTEGER NOT NULL DEFAULT 0"),
+    ("cancel_requested", "INTEGER NOT NULL DEFAULT 0"),
+    ("deadline", "REAL"),
+)
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -76,15 +108,26 @@ CREATE TABLE IF NOT EXISTS jobs (
     error       TEXT,
     created_at  REAL NOT NULL,
     started_at  REAL,
-    finished_at REAL
+    finished_at REAL,
+    owner       TEXT,
+    lease_expires REAL,
+    attempts    INTEGER NOT NULL DEFAULT 0,
+    cancel_requested INTEGER NOT NULL DEFAULT 0,
+    deadline    REAL
 );
 CREATE INDEX IF NOT EXISTS jobs_tenant_state
     ON jobs (tenant, state);
+CREATE INDEX IF NOT EXISTS jobs_state_created
+    ON jobs (state, created_at);
 CREATE TABLE IF NOT EXISTS tenants (
     tenant        TEXT PRIMARY KEY,
     requests      INTEGER NOT NULL DEFAULT 0,
     attacks       INTEGER NOT NULL DEFAULT 0,
     jobs_submitted INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS counters (
+    key   TEXT PRIMARY KEY,
+    value INTEGER NOT NULL DEFAULT 0
 );
 """
 
@@ -124,6 +167,7 @@ class StateStore:
                 "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
                 ("schema_version", str(SCHEMA_VERSION)),
             )
+            self._migrate()
         # import here: repro.store.* modules import repro.api.protocol,
         # which must not re-enter this module during package init
         from repro.store.corpus import CorpusStore
@@ -138,6 +182,35 @@ class StateStore:
     def at_dir(cls, state_dir: "str | Path") -> "StateStore":
         """Open (creating if needed) the store inside a ``--state-dir``."""
         return cls(Path(state_dir) / STATE_DB_FILENAME)
+
+    def _migrate(self) -> None:
+        """Upgrade a v1 database in place (caller holds the lock).
+
+        ``CREATE TABLE IF NOT EXISTS`` only creates *missing* tables, so a
+        v1 ``jobs`` table lacks the lease/retry/cancellation columns; they
+        are added here with constant defaults (NULL owner/lease — exactly
+        the shape the lease sweeper treats as "reclaim me" for any row a
+        v1 process left ``running``).
+        """
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        version = int(row["value"]) if row is not None else SCHEMA_VERSION
+        if version >= SCHEMA_VERSION:
+            return
+        present = {
+            info[1]
+            for info in self._conn.execute("PRAGMA table_info(jobs)")
+        }
+        for column, declaration in _JOBS_V2_COLUMNS:
+            if column not in present:
+                self._conn.execute(
+                    f"ALTER TABLE jobs ADD COLUMN {column} {declaration}"
+                )
+        self._conn.execute(
+            "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+            (str(SCHEMA_VERSION),),
+        )
 
     # --- properties -----------------------------------------------------
 
@@ -190,6 +263,97 @@ class StateStore:
                 "jobs_submitted": row["jobs_submitted"],
             }
             for row in self.query_all("SELECT * FROM tenants ORDER BY tenant")
+        }
+
+    # --- resilience counters --------------------------------------------
+
+    def bump_counter(self, key: str, by: int = 1) -> None:
+        """Increment a durable service counter (created on first bump)."""
+        if by == 0:
+            return
+        self.execute(
+            "INSERT INTO counters (key, value) VALUES (?, ?) "
+            "ON CONFLICT (key) DO UPDATE SET value = value + ?",
+            (key, by, by),
+        )
+
+    def counter(self, key: str) -> int:
+        row = self.query_one(
+            "SELECT value FROM counters WHERE key = ?", (key,)
+        )
+        return 0 if row is None else row["value"]
+
+    def resilience_counters(self) -> dict:
+        """Every :data:`RESILIENCE_COUNTERS` key (0 when never bumped)."""
+        counters = {key: 0 for key in RESILIENCE_COUNTERS}
+        for row in self.query_all("SELECT key, value FROM counters"):
+            counters[row["key"]] = row["value"]
+        return counters
+
+    # --- retention / compaction -----------------------------------------
+
+    def prune(
+        self,
+        max_age_s: "float | None" = None,
+        keep_reports: "int | None" = None,
+        keep_jobs: "int | None" = None,
+        vacuum: bool = False,
+    ) -> dict:
+        """Age/count-prune stored reports and *terminal* jobs.
+
+        ``max_age_s`` drops reports created — and terminal jobs finished —
+        more than that many seconds ago; ``keep_reports``/``keep_jobs``
+        keep only the newest N rows of each kind.  Queued and running jobs
+        are never touched: retention must not eat live work.  Deletions
+        land in the durable ``pruned_reports``/``pruned_jobs`` counters.
+        ``vacuum=True`` runs ``VACUUM`` afterwards so the database file
+        actually shrinks.  Returns the deletion counts.
+        """
+        for name, value in (("keep_reports", keep_reports), ("keep_jobs", keep_jobs)):
+            if value is not None and value < 0:
+                raise StoreError(f"{name} must be >= 0, got {value}")
+        if max_age_s is not None and max_age_s < 0:
+            raise StoreError(f"max_age_s must be >= 0, got {max_age_s}")
+        terminal = ", ".join(f"'{state}'" for state in TERMINAL_JOB_STATES)
+        pruned_reports = pruned_jobs = 0
+        with self.transaction() as state:
+            if max_age_s is not None:
+                cutoff = now() - max_age_s
+                pruned_reports += state._conn.execute(
+                    "DELETE FROM reports WHERE created_at < ?", (cutoff,)
+                ).rowcount
+                pruned_jobs += state._conn.execute(
+                    f"DELETE FROM jobs WHERE state IN ({terminal}) "
+                    "AND COALESCE(finished_at, created_at) < ?",
+                    (cutoff,),
+                ).rowcount
+            if keep_reports is not None:
+                pruned_reports += state._conn.execute(
+                    "DELETE FROM reports WHERE id NOT IN "
+                    "(SELECT id FROM reports ORDER BY id DESC LIMIT ?)",
+                    (keep_reports,),
+                ).rowcount
+            if keep_jobs is not None:
+                pruned_jobs += state._conn.execute(
+                    f"DELETE FROM jobs WHERE state IN ({terminal}) "
+                    "AND id NOT IN (SELECT id FROM jobs "
+                    f"WHERE state IN ({terminal}) "
+                    "ORDER BY created_at DESC, id DESC LIMIT ?)",
+                    (keep_jobs,),
+                ).rowcount
+            if pruned_reports:
+                self.bump_counter("pruned_reports", pruned_reports)
+            if pruned_jobs:
+                self.bump_counter("pruned_jobs", pruned_jobs)
+        if vacuum:
+            with self._lock:
+                if self._closed:
+                    raise StoreError("state store is closed")
+                self._conn.execute("VACUUM")
+        return {
+            "pruned_reports": pruned_reports,
+            "pruned_jobs": pruned_jobs,
+            "vacuumed": bool(vacuum),
         }
 
     # --- lifecycle ------------------------------------------------------
@@ -252,7 +416,14 @@ class _Transaction:
         if self._store.closed:
             self._store._lock.release()
             raise StoreError("state store is closed")
-        self._store._conn.execute("BEGIN IMMEDIATE")
+        try:
+            # chaos seam: injected sqlite lock errors surface exactly where
+            # real BEGIN IMMEDIATE contention would
+            faults.fire(faults.SEAM_COMMIT)
+            self._store._conn.execute("BEGIN IMMEDIATE")
+        except BaseException:
+            self._store._lock.release()
+            raise
         return self._store
 
     def __exit__(self, exc_type, exc, tb) -> None:

@@ -1,35 +1,64 @@
-"""Background attack jobs: persistent rows + a bounded worker pool.
+"""Background attack jobs: leased persistent rows + a fault-tolerant pool.
 
 :class:`JobStore` is the durable side — one row per job with state
-(``queued`` → ``running`` → ``done``/``failed``), shard progress, and the
-result payload, so ``GET /jobs/<id>`` answers from the database and a
-restarted server still reports every job it ever accepted (in-flight ones
-come back as ``failed: interrupted by restart`` rather than vanishing).
+(``queued`` → ``running`` → ``done``/``failed``/``cancelled``), shard
+progress, and the result payload, so ``GET /jobs/<id>`` answers from the
+database and a restarted server still reports every job it ever accepted.
+
+Ownership is **lease-based**: a worker claims the oldest queued job inside
+a ``BEGIN IMMEDIATE`` transaction (:meth:`JobStore.claim_next`), stamping
+its ``owner`` identity and a ``lease_expires`` deadline that heartbeats
+extend while the job executes.  Any number of server processes can share
+one ``--state-dir``: claims are mutually exclusive by construction, and a
+crashed worker's in-flight jobs are *requeued* — not failed — as soon as
+their lease expires (:meth:`JobStore.reclaim_expired`), bounded by a
+per-job claim budget so a poison job cannot crash the fleet forever.
 
 :class:`JobRunner` is the execution side — a bounded
-:class:`~concurrent.futures.ThreadPoolExecutor` draining jobs through the
-shared :class:`~repro.api.Engine`.  Sweep jobs run shard-at-a-time in
-input order (the serial path of the executor's determinism guarantee), so
-progress is per-shard, partial results are always a prefix of the final
-report list, and the finished reports are byte-identical to the
-synchronous ``POST /sweep`` path's canonical JSON.
+:class:`~concurrent.futures.ThreadPoolExecutor` fed by a poller thread
+that claims work, reclaims expired leases, and heartbeats its own jobs.
+Each shard runs under a bounded, seeded exponential-backoff retry with
+failure classification (:mod:`repro.store.resilience`): transient errors
+(sqlite lock contention, injected faults, crashed workers) retry; fatal
+ones (:class:`~repro.errors.ConfigError` and friends) terminalize the job
+immediately with a structured error.  Cooperative cancellation
+(:meth:`JobStore.request_cancel`) is checked between shards.  Sweep jobs
+run shard-at-a-time in input order, so progress is per-shard, partial
+results are always a prefix of the final report list, and the finished
+reports are byte-identical to the synchronous ``POST /sweep`` path.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import socket
 import threading
+import time
 import uuid
-from concurrent.futures import ThreadPoolExecutor, wait
+from concurrent.futures import ThreadPoolExecutor
 
-from repro.errors import ConfigError, QuotaExceededError
-from repro.store.db import DEFAULT_TENANT, StateStore, now
+from repro.errors import ConfigError, QuotaExceededError, StoreError
+from repro.store.db import (
+    DEFAULT_TENANT,
+    TERMINAL_JOB_STATES,
+    StateStore,
+    now,
+)
+from repro.store.resilience import (
+    FATAL,
+    TRANSIENT,
+    RetryPolicy,
+    classify_failure,
+    structured_error,
+)
+from repro.testing import faults
 
 #: Job kinds the runner executes.
 JOB_KINDS: tuple = ("attack", "sweep")
 
 #: States a job row can be in; the last three are terminal.
-JOB_STATES: tuple = ("queued", "running", "done", "failed")
+JOB_STATES: tuple = ("queued", "running") + TERMINAL_JOB_STATES
 
 #: Ceiling on the runner's worker-thread count.
 MAX_JOB_WORKERS = 8
@@ -39,6 +68,43 @@ MAX_ACTIVE_JOBS = 64
 
 #: Per-tenant cap on jobs that are queued or running at once (the quota).
 MAX_ACTIVE_JOBS_PER_TENANT = 16
+
+#: Seconds a claim stays valid without a heartbeat.
+DEFAULT_LEASE_S = 30.0
+
+#: Poller cadence: claim sweep, lease reclaim, and heartbeat interval.
+DEFAULT_POLL_S = 0.25
+
+#: Times a job may be claimed (first claim + reclaims) before it
+#: terminalizes as failed — the poison-job backstop.
+DEFAULT_MAX_CLAIMS = 5
+
+
+def _encode_error(error) -> str:
+    """Error column text: structured dicts as canonical JSON, strings as-is."""
+    if isinstance(error, dict):
+        return json.dumps(error, indent=None, sort_keys=True)
+    return str(error)
+
+
+def _decode_error(error):
+    """Best-effort decode of a structured error column back to a dict."""
+    if isinstance(error, str) and error.startswith("{"):
+        try:
+            decoded = json.loads(error)
+        except json.JSONDecodeError:
+            return error
+        if isinstance(decoded, dict):
+            return decoded
+    return error
+
+
+class _ShardFailed(Exception):
+    """Internal: a shard exhausted its retry budget (payload = error dict)."""
+
+    def __init__(self, payload: dict) -> None:
+        super().__init__(payload.get("message", "shard failed"))
+        self.payload = payload
 
 
 class JobStore:
@@ -55,74 +121,309 @@ class JobStore:
         kind: str,
         payload: dict,
         shards_total: int = 0,
+        deadline_s: "float | None" = None,
     ) -> str:
-        """Insert a ``queued`` job row; returns the new job id."""
+        """Insert a ``queued`` job row; returns the new job id.
+
+        ``deadline_s`` (seconds from now) sets an absolute deadline past
+        which the job terminalizes as failed instead of being (re)claimed
+        or starting another shard.
+        """
         if kind not in JOB_KINDS:
             raise ConfigError(f"job kind must be one of {JOB_KINDS}, got {kind!r}")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ConfigError(f"deadline_s must be > 0, got {deadline_s}")
         job_id = uuid.uuid4().hex[:12]
+        t = now()
         self._state.execute(
             "INSERT INTO jobs "
             "(id, tenant, kind, payload, state, shards_total, shards_done, "
-            " created_at) VALUES (?, ?, ?, ?, 'queued', ?, 0, ?)",
-            (job_id, tenant, kind, json.dumps(payload), shards_total, now()),
+            " created_at, deadline) VALUES (?, ?, ?, ?, 'queued', ?, 0, ?, ?)",
+            (
+                job_id,
+                tenant,
+                kind,
+                json.dumps(payload),
+                shards_total,
+                t,
+                None if deadline_s is None else t + deadline_s,
+            ),
         )
         return job_id
 
     def mark_running(self, job_id: str) -> None:
+        """Legacy ownerless transition; the row is leaseless and therefore
+        immediately reclaimable — runners use :meth:`claim_next` instead."""
         self._state.execute(
             "UPDATE jobs SET state = 'running', started_at = ? WHERE id = ?",
             (now(), job_id),
         )
 
-    def progress(
-        self, job_id: str, shards_done: int, partial: "dict | None" = None
-    ) -> None:
-        """Advance the shard counter (and optionally the partial result)."""
-        if partial is None:
-            self._state.execute(
-                "UPDATE jobs SET shards_done = ? WHERE id = ?",
-                (shards_done, job_id),
-            )
-        else:
-            self._state.execute(
-                "UPDATE jobs SET shards_done = ?, result = ? WHERE id = ?",
-                (shards_done, json.dumps(partial), job_id),
-            )
+    # --- lease-based ownership ------------------------------------------
 
-    def finish(self, job_id: str, result: dict) -> None:
-        self._state.execute(
-            "UPDATE jobs SET state = 'done', result = ?, finished_at = ?, "
-            "shards_done = shards_total WHERE id = ?",
-            (json.dumps(result), now(), job_id),
-        )
+    def claim_next(
+        self,
+        owner: str,
+        lease_s: float = DEFAULT_LEASE_S,
+        max_claims: int = DEFAULT_MAX_CLAIMS,
+    ) -> "dict | None":
+        """Atomically claim the oldest runnable queued job for ``owner``.
 
-    def fail(self, job_id: str, error: str) -> None:
-        self._state.execute(
-            "UPDATE jobs SET state = 'failed', error = ?, finished_at = ? "
-            "WHERE id = ?",
-            (error, now(), job_id),
-        )
-
-    def recover_interrupted(self) -> int:
-        """Terminal-ize jobs a dead process left behind; returns the count.
-
-        Called by the :class:`JobRunner` when a server starts: any row
-        still ``queued``/``running`` belonged to the previous process and
-        can never complete, so it is marked ``failed`` with an explicit
-        reason instead of being silently lost.
+        The claim happens inside ``BEGIN IMMEDIATE``, so concurrent
+        runners — in this process or another one sharing the database —
+        can never claim the same row.  Queued rows that are already
+        doomed (cancel requested, deadline passed, claim budget spent)
+        are terminalized on the way and skipped.  Returns the claimed job
+        dict, or ``None`` when the queue is empty.
         """
+        while True:
+            t = now()
+            with self._state.transaction() as state:
+                row = state._conn.execute(
+                    "SELECT id, attempts, cancel_requested, deadline "
+                    "FROM jobs WHERE state = 'queued' "
+                    "ORDER BY created_at, id LIMIT 1"
+                ).fetchone()
+                if row is None:
+                    return None
+                job_id = row["id"]
+                if row["cancel_requested"]:
+                    state._conn.execute(
+                        "UPDATE jobs SET state = 'cancelled', finished_at = ?, "
+                        "owner = NULL, lease_expires = NULL WHERE id = ?",
+                        (t, job_id),
+                    )
+                    self._state.bump_counter("cancelled_jobs")
+                    continue
+                if row["deadline"] is not None and t > row["deadline"]:
+                    state._conn.execute(
+                        "UPDATE jobs SET state = 'failed', error = ?, "
+                        "finished_at = ? WHERE id = ?",
+                        (
+                            _encode_error({
+                                "type": "DeadlineExceeded",
+                                "message": "job deadline passed before execution",
+                                "classification": FATAL,
+                                "attempts": row["attempts"],
+                            }),
+                            t,
+                            job_id,
+                        ),
+                    )
+                    continue
+                if row["attempts"] >= max_claims:
+                    state._conn.execute(
+                        "UPDATE jobs SET state = 'failed', error = ?, "
+                        "finished_at = ? WHERE id = ?",
+                        (
+                            _encode_error({
+                                "type": "ClaimBudgetExhausted",
+                                "message": (
+                                    f"claimed {row['attempts']} times without "
+                                    "completing (worker crashes?)"
+                                ),
+                                "classification": TRANSIENT,
+                                "attempts": row["attempts"],
+                            }),
+                            t,
+                            job_id,
+                        ),
+                    )
+                    continue
+                state._conn.execute(
+                    "UPDATE jobs SET state = 'running', owner = ?, "
+                    "lease_expires = ?, attempts = attempts + 1, "
+                    "started_at = COALESCE(started_at, ?) WHERE id = ?",
+                    (owner, t + lease_s, t, job_id),
+                )
+            return self.get(job_id)
+
+    def reclaim_expired(self, max_claims: int = DEFAULT_MAX_CLAIMS) -> int:
+        """Requeue running jobs whose lease lapsed; returns the requeue count.
+
+        A ``running`` row with an expired — or missing, for rows a v1
+        process or :meth:`mark_running` left behind — lease belongs to a
+        dead or frozen worker.  It is put back in the queue (progress and
+        partial results intact; with a persistent store the completed
+        shards replay for free from the report store).  Rows that already
+        spent their claim budget terminalize as failed instead.
+        """
+        t = now()
+        requeued = 0
+        with self._state.transaction() as state:
+            rows = state._conn.execute(
+                "SELECT id, attempts FROM jobs WHERE state = 'running' "
+                "AND (lease_expires IS NULL OR lease_expires < ?)",
+                (t,),
+            ).fetchall()
+            for row in rows:
+                if row["attempts"] >= max_claims:
+                    state._conn.execute(
+                        "UPDATE jobs SET state = 'failed', error = ?, "
+                        "finished_at = ?, owner = NULL, lease_expires = NULL "
+                        "WHERE id = ?",
+                        (
+                            _encode_error({
+                                "type": "ClaimBudgetExhausted",
+                                "message": (
+                                    f"lease expired after {row['attempts']} "
+                                    "claims (worker crashes?)"
+                                ),
+                                "classification": TRANSIENT,
+                                "attempts": row["attempts"],
+                            }),
+                            t,
+                            row["id"],
+                        ),
+                    )
+                else:
+                    state._conn.execute(
+                        "UPDATE jobs SET state = 'queued', owner = NULL, "
+                        "lease_expires = NULL WHERE id = ?",
+                        (row["id"],),
+                    )
+                    requeued += 1
+            if requeued:
+                self._state.bump_counter("reclaimed_jobs", requeued)
+        return requeued
+
+    def heartbeat(
+        self, owner: str, job_ids, lease_s: float = DEFAULT_LEASE_S
+    ) -> int:
+        """Extend the lease on ``owner``'s still-running jobs."""
+        ids = tuple(job_ids)
+        if not ids:
+            return 0
+        marks = ", ".join("?" for _ in ids)
         cursor = self._state.execute(
-            "UPDATE jobs SET state = 'failed', "
-            "error = 'interrupted by restart', finished_at = ? "
-            "WHERE state IN ('queued', 'running')",
-            (now(),),
+            f"UPDATE jobs SET lease_expires = ? WHERE id IN ({marks}) "
+            "AND owner = ? AND state = 'running'",
+            (now() + lease_s, *ids, owner),
         )
         return cursor.rowcount
+
+    # --- progress / terminal transitions --------------------------------
+
+    def progress(
+        self,
+        job_id: str,
+        shards_done: int,
+        partial: "dict | None" = None,
+        owner: "str | None" = None,
+        lease_s: "float | None" = None,
+    ) -> bool:
+        """Advance the shard counter (and optionally the partial result).
+
+        With ``owner`` the update only applies while the caller still
+        holds the job — a row reclaimed by another process is left alone
+        (returns ``False``, telling the caller to stop).  ``lease_s``
+        extends the lease in the same write (the shard-boundary
+        heartbeat).
+        """
+        sets = ["shards_done = ?"]
+        set_params: list = [shards_done]
+        if partial is not None:
+            sets.append("result = ?")
+            set_params.append(json.dumps(partial))
+        if lease_s is not None:
+            sets.append("lease_expires = ?")
+            set_params.append(now() + lease_s)
+        clause = ""
+        guard_params: tuple = ()
+        if owner is not None:
+            clause = "AND owner = ? AND state = 'running'"
+            guard_params = (owner,)
+        cursor = self._state.execute(
+            f"UPDATE jobs SET {', '.join(sets)} WHERE id = ? {clause}",
+            (*set_params, job_id, *guard_params),
+        )
+        return cursor.rowcount > 0
+
+    def finish(self, job_id: str, result: dict, owner: "str | None" = None) -> bool:
+        clause = "" if owner is None else "AND owner = ? AND state = 'running'"
+        params: tuple = () if owner is None else (owner,)
+        cursor = self._state.execute(
+            "UPDATE jobs SET state = 'done', result = ?, finished_at = ?, "
+            "shards_done = shards_total, owner = NULL, lease_expires = NULL "
+            f"WHERE id = ? {clause}",
+            (json.dumps(result), now(), job_id, *params),
+        )
+        return cursor.rowcount > 0
+
+    def fail(self, job_id: str, error, owner: "str | None" = None) -> bool:
+        """Terminalize as ``failed``; ``error`` may be a structured dict."""
+        clause = "" if owner is None else "AND owner = ? AND state = 'running'"
+        params: tuple = () if owner is None else (owner,)
+        cursor = self._state.execute(
+            "UPDATE jobs SET state = 'failed', error = ?, finished_at = ?, "
+            f"owner = NULL, lease_expires = NULL WHERE id = ? {clause}",
+            (_encode_error(error), now(), job_id, *params),
+        )
+        return cursor.rowcount > 0
+
+    # --- cancellation ----------------------------------------------------
+
+    def request_cancel(
+        self, job_id: str, tenant: "str | None" = None
+    ) -> "dict | None":
+        """Cooperatively cancel a job; returns ``{"state", "changed"}``.
+
+        A still-``queued`` job terminalizes as ``cancelled`` immediately
+        (atomically with respect to concurrent claims); a ``running`` job
+        gets its stop flag set — the shard loop honours it at the next
+        shard boundary (``state`` comes back ``"cancelling"``).  Terminal
+        jobs are reported unchanged; unknown ids return ``None``.
+        """
+        t = now()
+        with self._state.transaction() as state:
+            clause = "" if tenant is None else "AND tenant = ?"
+            params = (job_id,) if tenant is None else (job_id, tenant)
+            row = state._conn.execute(
+                f"SELECT state FROM jobs WHERE id = ? {clause}", params
+            ).fetchone()
+            if row is None:
+                return None
+            if row["state"] == "queued":
+                state._conn.execute(
+                    "UPDATE jobs SET state = 'cancelled', cancel_requested = 1, "
+                    "finished_at = ? WHERE id = ?",
+                    (t, job_id),
+                )
+                self._state.bump_counter("cancelled_jobs")
+                return {"state": "cancelled", "changed": True}
+            if row["state"] == "running":
+                state._conn.execute(
+                    "UPDATE jobs SET cancel_requested = 1 WHERE id = ?",
+                    (job_id,),
+                )
+                return {"state": "cancelling", "changed": True}
+            return {"state": row["state"], "changed": False}
+
+    def cancel_requested(self, job_id: str) -> bool:
+        row = self._state.query_one(
+            "SELECT cancel_requested FROM jobs WHERE id = ?", (job_id,)
+        )
+        return bool(row is not None and row["cancel_requested"])
+
+    def mark_cancelled(self, job_id: str, owner: "str | None" = None) -> bool:
+        """Terminalize a running job as ``cancelled`` (owner-guarded)."""
+        clause = "" if owner is None else "AND owner = ?"
+        params: tuple = () if owner is None else (owner,)
+        cursor = self._state.execute(
+            "UPDATE jobs SET state = 'cancelled', finished_at = ?, "
+            "owner = NULL, lease_expires = NULL "
+            f"WHERE id = ? AND state = 'running' {clause}",
+            (now(), job_id, *params),
+        )
+        if cursor.rowcount > 0:
+            self._state.bump_counter("cancelled_jobs")
+            return True
+        return False
 
     # --- reads ----------------------------------------------------------
 
     def get(self, job_id: str, tenant: "str | None" = None) -> "dict | None":
-        """Full job row (payload/result decoded), scoped to ``tenant``."""
+        """Full job row (payload/result/error decoded), scoped to ``tenant``."""
         clause = "" if tenant is None else "AND tenant = ?"
         params = (job_id,) if tenant is None else (job_id, tenant)
         row = self._state.query_one(
@@ -135,6 +436,8 @@ class JobStore:
         payload["payload"] = json.loads(payload["payload"])
         if payload["result"] is not None:
             payload["result"] = json.loads(payload["result"])
+        payload["error"] = _decode_error(payload["error"])
+        payload["cancel_requested"] = bool(payload["cancel_requested"])
         return payload
 
     def list(self, tenant: "str | None" = None, limit: int = 50) -> list:
@@ -143,7 +446,8 @@ class JobStore:
         params: tuple = () if tenant is None else (tenant,)
         rows = self._state.query_all(
             "SELECT id, tenant, kind, state, shards_total, shards_done, "
-            "created_at, started_at, finished_at, error "
+            "attempts, owner, cancel_requested, created_at, started_at, "
+            "finished_at, error "
             f"FROM jobs {clause} ORDER BY created_at DESC, id LIMIT ?",
             (*params, max(1, int(limit))),
         )
@@ -151,6 +455,8 @@ class JobStore:
         for row in rows:
             summary = dict(row)
             summary["job_id"] = summary.pop("id")
+            summary["error"] = _decode_error(summary["error"])
+            summary["cancel_requested"] = bool(summary["cancel_requested"])
             summaries.append(summary)
         return summaries
 
@@ -163,8 +469,13 @@ class JobStore:
             params,
         )["n"]
 
+    def queued_count(self) -> int:
+        return self._state.query_one(
+            "SELECT COUNT(*) AS n FROM jobs WHERE state = 'queued'"
+        )["n"]
+
     def counters(self) -> dict:
-        """Queue depth / throughput counters for ``GET /stats``."""
+        """Queue depth / throughput / resilience counters for ``GET /stats``."""
         by_state = {state: 0 for state in JOB_STATES}
         for row in self._state.query_all(
             "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"
@@ -180,6 +491,7 @@ class JobStore:
             "total": sum(by_state.values()),
             "shards_completed": shards["done"],
             "shards_planned": shards["total"],
+            **self._state.resilience_counters(),
         }
 
     def count_by_tenant(self) -> dict:
@@ -192,13 +504,19 @@ class JobStore:
 
 
 class JobRunner:
-    """Bounded thread pool executing persisted jobs against an engine.
+    """Bounded thread pool executing leased jobs against an engine.
 
     ``workers`` caps concurrent jobs (each job runs its shards serially;
     parallelism comes from running jobs side by side).  Quotas bound the
     active backlog service-wide and per tenant — beyond them
     :meth:`submit` raises :class:`~repro.errors.QuotaExceededError`
-    (HTTP 429 at the service layer) instead of queueing unboundedly.
+    (HTTP 429 + ``Retry-After`` at the service layer).
+
+    The runner's poller thread (every ``poll_s`` seconds) claims queued
+    jobs when worker slots allow, requeues other owners' expired leases,
+    and heartbeats this owner's in-flight jobs, so several runners — in
+    one process or many — can drain one shared state database with no job
+    executed twice and no job stranded by a crash.
     """
 
     def __init__(
@@ -208,27 +526,59 @@ class JobRunner:
         workers: int = 2,
         max_active: int = MAX_ACTIVE_JOBS,
         max_active_per_tenant: int = MAX_ACTIVE_JOBS_PER_TENANT,
+        lease_s: float = DEFAULT_LEASE_S,
+        poll_s: float = DEFAULT_POLL_S,
+        retry: "RetryPolicy | None" = None,
+        deadline_s: "float | None" = None,
+        max_claims: int = DEFAULT_MAX_CLAIMS,
+        owner: "str | None" = None,
     ) -> None:
         if not 1 <= int(workers) <= MAX_JOB_WORKERS:
             raise ConfigError(
                 f"job workers must be in [1, {MAX_JOB_WORKERS}], got {workers}"
             )
+        if lease_s <= 0:
+            raise ConfigError(f"lease_s must be > 0, got {lease_s}")
+        if poll_s <= 0:
+            raise ConfigError(f"poll_s must be > 0, got {poll_s}")
+        if max_claims < 1:
+            raise ConfigError(f"max_claims must be >= 1, got {max_claims}")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ConfigError(f"deadline_s must be > 0, got {deadline_s}")
         self.engine = engine
         self.state = state
         self.jobs = state.jobs
         self.workers = int(workers)
         self.max_active = max_active
         self.max_active_per_tenant = max_active_per_tenant
+        self.lease_s = float(lease_s)
+        self.poll_s = float(poll_s)
+        self.retry = retry or RetryPolicy()
+        self.deadline_s = deadline_s
+        self.max_claims = int(max_claims)
+        #: Claim identity recorded in the ``owner`` column — unique per
+        #: runner so two processes (or two runners in one test) sharing a
+        #: database are distinguishable.
+        self.owner = owner or (
+            f"{socket.gethostname()}:{os.getpid()}:{uuid.uuid4().hex[:6]}"
+        )
         self.submitted = 0
-        # a server taking over this state database owns every undrained
-        # job row: terminal-ize the previous process's leftovers up front
-        self.recovered = self.jobs.recover_interrupted()
+        self.retries = 0
+        # startup sweep: requeue whatever a dead predecessor left leased
+        # (v1 rows and mark_running rows have no lease and requeue too)
+        self.reclaimed = self.jobs.reclaim_expired(self.max_claims)
         self._lock = threading.Lock()
-        self._futures: dict = {}
+        self._running: set = set()
+        self._tickets = 0
         self._draining = False
+        self._wake = threading.Event()
         self._pool = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="dehealth-job"
         )
+        self._poller = threading.Thread(
+            target=self._poll_loop, name="dehealth-job-poller", daemon=True
+        )
+        self._poller.start()
 
     # --- submission -----------------------------------------------------
 
@@ -250,18 +600,16 @@ class JobRunner:
                     f"{self.max_active_per_tenant} active jobs"
                 )
             job_id = self.jobs.create(
-                tenant, kind, payload, shards_total=len(requests)
+                tenant,
+                kind,
+                payload,
+                shards_total=len(requests),
+                deadline_s=self.deadline_s,
             )
             self.submitted += 1
             self.state.bump_tenant(tenant, "jobs_submitted")
-            future = self._pool.submit(self._execute, job_id, kind, tenant)
-            self._futures[job_id] = future
-        future.add_done_callback(lambda _f, j=job_id: self._forget(j))
+        self._wake.set()
         return job_id
-
-    def _forget(self, job_id: str) -> None:
-        with self._lock:
-            self._futures.pop(job_id, None)
 
     def _plan(self, kind: str, payload: dict) -> list:
         """Validate a job payload into attack requests (raises ConfigError).
@@ -283,36 +631,185 @@ class JobRunner:
             return requests
         raise ConfigError(f"job kind must be one of {JOB_KINDS}, got {kind!r}")
 
+    # --- the poller -----------------------------------------------------
+
+    def _poll_loop(self) -> None:
+        while not self._draining:
+            try:
+                self._sweep()
+            except StoreError:
+                return  # store closed under us: the runner is done
+            except Exception:  # noqa: BLE001 — the poller must survive
+                pass
+            self._wake.wait(self.poll_s)
+            self._wake.clear()
+
+    def _sweep(self) -> None:
+        """One poller pass: reclaim, heartbeat, and hand out claim tickets."""
+        if self._draining or self.state.closed:
+            return
+        reclaimed = self.jobs.reclaim_expired(self.max_claims)
+        if reclaimed:
+            with self._lock:
+                self.reclaimed += reclaimed
+        with self._lock:
+            running = set(self._running)
+        if running:
+            self.jobs.heartbeat(self.owner, running, self.lease_s)
+        queued = self.jobs.queued_count()
+        with self._lock:
+            if self._draining:
+                return
+            want = min(queued, self.workers) - self._tickets
+            for _ in range(max(0, want)):
+                self._tickets += 1
+                self._pool.submit(self._drain)
+
+    def _drain(self) -> None:
+        """Worker entry: claim jobs one at a time until the queue is dry.
+
+        The claim happens *here*, on the worker thread, so a job only
+        turns ``running`` when a thread is actually about to execute it —
+        a claim never sits in the pool's backlog burning its lease.
+        """
+        try:
+            while not self._draining:
+                try:
+                    job = self.jobs.claim_next(
+                        self.owner, self.lease_s, self.max_claims
+                    )
+                except Exception:  # noqa: BLE001 — claim contention/faults
+                    return  # next poller pass retries
+                if job is None:
+                    return
+                self._execute(job)
+        finally:
+            with self._lock:
+                self._tickets -= 1
+
     # --- execution ------------------------------------------------------
 
-    def _execute(self, job_id: str, kind: str, tenant: str) -> None:
+    def _execute(self, job: dict) -> None:
+        job_id = job["job_id"]
+        with self._lock:
+            self._running.add(job_id)
         try:
-            requests = self._plan(kind, self.jobs.get(job_id)["payload"])
-            self.jobs.mark_running(job_id)
-            reports = []
-            for index, request in enumerate(requests):
-                reports.append(self.engine.attack(request, tenant=tenant))
-                self.jobs.progress(
-                    job_id,
-                    index + 1,
-                    partial={
-                        "count": index + 1,
-                        "reports": [r.to_dict() for r in reports],
-                    },
-                )
-            if kind == "attack":
-                result = reports[0].to_dict()
-            else:
-                result = {
-                    "count": len(reports),
-                    "workers": 1,
-                    "reports": [r.to_dict() for r in reports],
-                }
-            self.jobs.finish(job_id, result)
+            self._run_job(job)
+        except StoreError:
+            pass  # store closed mid-job: the row stays leased for a successor
         except Exception as exc:  # noqa: BLE001 — job errors become rows
-            self.jobs.fail(job_id, f"{type(exc).__name__}: {exc}")
+            try:
+                self.jobs.fail(job_id, structured_error(exc), owner=self.owner)
+            except StoreError:
+                pass
+        finally:
+            with self._lock:
+                self._running.discard(job_id)
+
+    def _run_job(self, job: dict) -> None:
+        job_id, kind, tenant = job["job_id"], job["kind"], job["tenant"]
+        try:
+            if getattr(self.engine, "store", None) is not None:
+                # another process may have registered the corpus after this
+                # engine attached (shared --state-dir): pull it in first
+                self.engine.refresh_corpora()
+            requests = self._plan(kind, job["payload"])
+        except Exception as exc:  # noqa: BLE001 — plan errors are fatal
+            self.jobs.fail(
+                job_id,
+                structured_error(exc, classification=FATAL, stage="plan"),
+                owner=self.owner,
+            )
+            return
+        reports = []
+        for index, request in enumerate(requests):
+            if self.jobs.cancel_requested(job_id):
+                self.jobs.mark_cancelled(job_id, owner=self.owner)
+                return
+            if job["deadline"] is not None and now() > job["deadline"]:
+                self.jobs.fail(
+                    job_id,
+                    {
+                        "type": "DeadlineExceeded",
+                        "message": f"deadline passed before shard {index}",
+                        "classification": FATAL,
+                        "shard": index,
+                    },
+                    owner=self.owner,
+                )
+                return
+            try:
+                report = self._run_shard(job_id, index, request, tenant, job)
+            except _ShardFailed as exc:
+                self.jobs.fail(job_id, exc.payload, owner=self.owner)
+                return
+            reports.append(report)
+            alive = self.jobs.progress(
+                job_id,
+                index + 1,
+                partial={
+                    "count": index + 1,
+                    "reports": [r.to_dict() for r in reports],
+                },
+                owner=self.owner,
+                lease_s=self.lease_s,
+            )
+            if not alive:
+                return  # lease lost: another owner took (or ended) the job
+        if kind == "attack":
+            result = reports[0].to_dict()
+        else:
+            result = {
+                "count": len(reports),
+                "workers": 1,
+                "reports": [r.to_dict() for r in reports],
+            }
+        self.jobs.finish(job_id, result, owner=self.owner)
+
+    def _run_shard(self, job_id, index, request, tenant, job):
+        """One shard under the bounded, classified retry policy."""
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                faults.fire(faults.SEAM_SHARD)
+                return self.engine.attack(request, tenant=tenant)
+            except Exception as exc:  # noqa: BLE001 — classified below
+                classification = classify_failure(exc)
+                exhausted = attempt >= self.retry.max_attempts
+                overdue = (
+                    job["deadline"] is not None and now() >= job["deadline"]
+                )
+                if classification == FATAL or exhausted or overdue:
+                    raise _ShardFailed(
+                        structured_error(
+                            exc,
+                            classification=classification,
+                            shard=index,
+                            attempts=attempt,
+                        )
+                    ) from exc
+                with self._lock:
+                    self.retries += 1
+                self.state.bump_counter("retries")
+                time.sleep(
+                    self.retry.backoff_s(f"{job_id}:{index}", attempt + 1)
+                )
 
     # --- lifecycle ------------------------------------------------------
+
+    def join(self, timeout_s: float = 60.0) -> bool:
+        """Block until no job is queued or running (True) or timeout (False)."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            try:
+                if self.jobs.active_count() == 0:
+                    return True
+            except StoreError:
+                return False
+            self._wake.set()
+            time.sleep(0.02)
+        return False
 
     def counters(self) -> dict:
         """Runner + store counters for ``GET /stats``."""
@@ -320,32 +817,54 @@ class JobRunner:
             **self.jobs.counters(),
             "workers": self.workers,
             "submitted": self.submitted,
-            "recovered": self.recovered,
+            "reclaimed": self.reclaimed,
+            "runner_retries": self.retries,
+            "lease_s": self.lease_s,
+            "owner": self.owner,
         }
 
     def shutdown(self, drain_s: float = 5.0) -> dict:
-        """Stop accepting jobs, drain briefly, terminal-ize the rest.
+        """Stop claiming, drain briefly, and leave durable work durable.
 
-        Queued jobs that never started are marked failed (``canceled by
-        shutdown``); running jobs get ``drain_s`` seconds to finish, after
-        which they are recorded as interrupted — the process is about to
-        exit, so the rows must reach a terminal state now.
+        Queued jobs are *not* touched: with a persistent store they
+        survive as ``queued`` for the next process; with an in-memory
+        store they die with it either way.  Running jobs get ``drain_s``
+        seconds to finish; stragglers keep their lease (a successor
+        process reclaims them) unless the store is in-memory, in which
+        case they are terminalized as interrupted for the record.
         """
         with self._lock:
             self._draining = True
-            pending = dict(self._futures)
+            inflight_at_start = set(self._running)
+        self._wake.set()
         self._pool.shutdown(wait=False, cancel_futures=True)
-        canceled = interrupted = 0
-        done, not_done = wait(pending.values(), timeout=max(0.0, drain_s))
-        for job_id, future in pending.items():
-            if future.cancelled():
-                self.jobs.fail(job_id, "canceled by shutdown")
-                canceled += 1
-            elif future in not_done:
-                self.jobs.fail(job_id, "interrupted by shutdown")
-                interrupted += 1
+        self._poller.join(timeout=self.poll_s + 1.0)
+        deadline = time.monotonic() + max(0.0, drain_s)
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not self._running:
+                    break
+            time.sleep(0.02)
+        with self._lock:
+            left_running = sorted(self._running)
+        left_queued = 0
+        try:
+            left_queued = self.jobs.queued_count()
+            if not self.state.persistent:
+                for job_id in left_running:
+                    self.jobs.fail(
+                        job_id,
+                        {
+                            "type": "Interrupted",
+                            "message": "interrupted by shutdown",
+                            "classification": TRANSIENT,
+                        },
+                        owner=self.owner,
+                    )
+        except StoreError:
+            pass
         return {
-            "drained": len(done) - canceled,
-            "canceled": canceled,
-            "interrupted": interrupted,
+            "drained": len(inflight_at_start) - len(left_running),
+            "left_running": len(left_running),
+            "left_queued": left_queued,
         }

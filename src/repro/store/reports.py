@@ -15,6 +15,7 @@ import json
 
 from repro.api.protocol import AttackReport, AttackRequest, request_hash
 from repro.store.db import DEFAULT_TENANT, StateStore, now
+from repro.testing import faults
 
 
 def canonical_report_text(report: AttackReport) -> str:
@@ -37,6 +38,9 @@ class AttackReportStore:
         tenant: str = DEFAULT_TENANT,
     ) -> bool:
         """Persist ``report``; returns False when the row already existed."""
+        # chaos seam: a fault here simulates dying between computing a
+        # report and making it durable — the retry must reproduce it
+        faults.fire(faults.SEAM_RECORD)
         cursor = self._state.execute(
             "INSERT OR IGNORE INTO reports "
             "(tenant, fingerprint, request_hash, corpus, created_at, canonical) "

@@ -1,0 +1,121 @@
+"""Failure classification and bounded, seeded retry backoff for jobs.
+
+The job runner distinguishes two failure families when a shard raises:
+
+* **fatal** — the request itself can never succeed (bad configuration,
+  empty dataset, an unusable graph).  Retrying burns compute to reach the
+  same error, so the job terminalizes immediately with the structured
+  error.
+* **transient** — the *environment* failed (sqlite lock contention, an
+  injected fault, a timeout, an OS hiccup, a crashed worker).  The same
+  shard retried after a short backoff usually succeeds, so the runner
+  retries up to :attr:`RetryPolicy.max_attempts` times per shard.
+
+Backoff is exponential with deterministic jitter: the delay for
+``(job, shard, attempt)`` is a pure function of the policy seed, so chaos
+tests replay the exact same schedule and two runners sharing a state
+directory never thunder in lockstep.
+"""
+
+from __future__ import annotations
+
+import random
+import sqlite3
+from dataclasses import dataclass
+
+from repro.errors import (
+    ConfigError,
+    EmptyDatasetError,
+    GraphError,
+    LinkageError,
+    NotFittedError,
+    QuotaExceededError,
+    StoreError,
+)
+
+#: Classification labels.
+FATAL = "fatal"
+TRANSIENT = "transient"
+
+#: Exception types that make a shard unrecoverable: the request (or the
+#: process's own lifecycle — a closed store, an exhausted quota) is wrong,
+#: not the environment.
+_FATAL_TYPES: tuple = (
+    ConfigError,
+    EmptyDatasetError,
+    GraphError,
+    LinkageError,
+    NotFittedError,
+    QuotaExceededError,
+    StoreError,
+)
+
+#: Exception types that are always worth a retry, listed for documentation
+#: value — the classifier also treats *unknown* exceptions as transient,
+#: because a crashed worker surfaces as whatever it died holding and a
+#: bounded retry is the safe default.
+_TRANSIENT_TYPES: tuple = (
+    sqlite3.OperationalError,
+    TimeoutError,
+    ConnectionError,
+    InterruptedError,
+    OSError,
+    MemoryError,
+)
+
+
+def classify_failure(exc: BaseException) -> str:
+    """``"fatal"`` or ``"transient"`` for a shard failure ``exc``."""
+    if isinstance(exc, _FATAL_TYPES):
+        return FATAL
+    return TRANSIENT
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-shard retry budget with seeded exponential backoff.
+
+    ``max_attempts`` counts *executions*, not retries: 3 means one initial
+    try plus up to two retries.  The delay before attempt ``n`` (n >= 2) is
+    ``min(cap_s, base_s * 2**(n-2))`` scaled by a deterministic jitter in
+    ``[0.5, 1.5)`` drawn from ``seed`` and the shard key.
+    """
+
+    max_attempts: int = 3
+    base_s: float = 0.05
+    cap_s: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_s < 0 or self.cap_s < 0:
+            raise ConfigError(
+                f"backoff bounds must be >= 0, got base_s={self.base_s}, "
+                f"cap_s={self.cap_s}"
+            )
+
+    def backoff_s(self, key: str, attempt: int) -> float:
+        """Delay before retry ``attempt`` (2-based) of shard ``key``."""
+        if attempt <= 1:
+            return 0.0
+        raw = min(self.cap_s, self.base_s * (2 ** (attempt - 2)))
+        rng = random.Random(f"retry:{self.seed}:{key}:{attempt}")
+        return raw * (0.5 + rng.random())
+
+
+def structured_error(
+    exc: BaseException,
+    classification: "str | None" = None,
+    **context,
+) -> dict:
+    """The JSON error payload a terminal ``failed`` job row records."""
+    payload = {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "classification": classification or classify_failure(exc),
+    }
+    payload.update(context)
+    return payload

@@ -47,6 +47,7 @@ import numpy as np
 from scipy import sparse
 
 from repro.stylometry.cache import ExtractionCache
+from repro.testing import faults
 from repro.stylometry.features import (
     FeatureSpace,
     MAX_WORD_LENGTH_BIN,
@@ -362,6 +363,9 @@ class FeatureExtractor:
         be shared cache entries and must be treated as read-only (the
         internal aggregation paths use this to skip defensive copies).
         """
+        # chaos seam: batched extraction is where job shards spend their
+        # time, so this is where a crashing worker is simulated
+        faults.fire(faults.SEAM_EXTRACT)
         texts = list(texts)
         rows: list = [None] * len(texts)
         cache = self.cache

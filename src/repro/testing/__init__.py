@@ -1,0 +1,39 @@
+"""Test harnesses shipped with the library.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection harness
+the chaos suite drives: seeded :class:`~repro.testing.faults.FaultPlan`
+objects inject exceptions, delays, or process kills at named seams inside
+the job runner, the sqlite store, and the extraction pipeline.  With no
+plan installed every seam is a no-op attribute read, so the harness costs
+nothing in production.
+"""
+
+from repro.testing.faults import (
+    SEAM_COMMIT,
+    SEAM_EXTRACT,
+    SEAM_RECORD,
+    SEAM_SHARD,
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    active,
+    clear,
+    fire,
+    install,
+    install_from_env,
+)
+
+__all__ = [
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "SEAM_COMMIT",
+    "SEAM_EXTRACT",
+    "SEAM_RECORD",
+    "SEAM_SHARD",
+    "active",
+    "clear",
+    "fire",
+    "install",
+    "install_from_env",
+]

@@ -1,0 +1,265 @@
+"""Deterministic fault injection at named seams.
+
+A :class:`FaultPlan` is a declarative, *seeded* schedule of faults: each
+:class:`FaultSpec` names a seam (a string like ``"job.shard"``), an action
+(raise an exception, sleep, or kill the process), and the exact occurrence
+indices at which the fault fires.  Seams call :func:`fire` with their name;
+with no plan installed that is a single global read, so production code
+pays nothing.
+
+Determinism is the point: :meth:`FaultPlan.seeded` derives the hit indices
+from a seed via :mod:`random`, so a chaos test can assert byte-identical
+reports under the *same* injected failures run after run, and a failing
+seed reproduces exactly.  Plans serialize to JSON (:meth:`FaultPlan.to_json`)
+so subprocess tests install them through the ``REPRO_FAULTS`` environment
+variable (see :func:`install_from_env`; the ``serve`` CLI calls it).
+
+Seams wired into the library:
+
+==================  =====================================================
+seam                fires
+==================  =====================================================
+``job.shard``       before each shard of a background job executes
+``store.commit``    on ``BEGIN IMMEDIATE`` of every store transaction
+                    (job claims, corpus writes, cancellation handoff)
+``store.record``    before an attack report row is persisted
+``extract.batch``   before each batched feature-extraction pass
+==================  =====================================================
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: Seam names used by the library (any string is a legal seam).
+SEAM_SHARD = "job.shard"
+SEAM_COMMIT = "store.commit"
+SEAM_RECORD = "store.record"
+SEAM_EXTRACT = "extract.batch"
+
+#: Actions a spec may take when it fires.
+FAULT_ACTIONS: tuple = ("error", "delay", "kill")
+
+#: Exit code of the ``kill`` action — the conventional SIGKILL code, so a
+#: killed worker is indistinguishable from ``kill -9`` to its parent.
+KILL_EXIT_CODE = 137
+
+#: Environment variable :func:`install_from_env` reads a JSON plan from.
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+
+class FaultInjected(RuntimeError):
+    """The exception an ``error`` fault raises by default (transient)."""
+
+
+#: Exception classes a spec may raise by name.  ``OperationalError`` is the
+#: sqlite lock/busy error class, so injected database contention is
+#: indistinguishable from the real thing to the retry classifier.
+EXCEPTIONS: dict = {
+    "FaultInjected": FaultInjected,
+    "RuntimeError": RuntimeError,
+    "OSError": OSError,
+    "TimeoutError": TimeoutError,
+    "ConnectionError": ConnectionError,
+    "OperationalError": sqlite3.OperationalError,
+    "ConfigError": ConfigError,
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: fire ``action`` at occurrence indices ``at`` of ``seam``."""
+
+    seam: str
+    action: str
+    at: tuple
+    exception: str = "FaultInjected"
+    message: str = "injected fault"
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.action not in FAULT_ACTIONS:
+            raise ConfigError(
+                f"fault action must be one of {FAULT_ACTIONS}, got {self.action!r}"
+            )
+        if self.action == "error" and self.exception not in EXCEPTIONS:
+            raise ConfigError(
+                f"fault exception must be one of {sorted(EXCEPTIONS)}, "
+                f"got {self.exception!r}"
+            )
+        if self.delay_s < 0:
+            raise ConfigError(f"delay_s must be >= 0, got {self.delay_s}")
+        object.__setattr__(self, "at", tuple(sorted(int(i) for i in self.at)))
+
+    def to_dict(self) -> dict:
+        return {
+            "seam": self.seam,
+            "action": self.action,
+            "at": list(self.at),
+            "exception": self.exception,
+            "message": self.message,
+            "delay_s": self.delay_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultSpec":
+        known = {"seam", "action", "at", "exception", "message", "delay_s"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigError(f"unknown FaultSpec fields: {sorted(unknown)}")
+        return cls(**payload)
+
+
+class FaultPlan:
+    """A thread-safe schedule of :class:`FaultSpec` faults.
+
+    The plan counts every :meth:`fire` per seam; when the count matches a
+    spec's ``at`` index, the fault happens.  ``fired()`` reports what was
+    actually injected — chaos tests assert on it so a plan that silently
+    never fired cannot masquerade as a passing run.
+    """
+
+    def __init__(self, specs=()) -> None:
+        self.specs = tuple(
+            spec if isinstance(spec, FaultSpec) else FaultSpec.from_dict(spec)
+            for spec in specs
+        )
+        self._lock = threading.Lock()
+        self._counts: dict = {}
+        self._fired: list = []
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        seam: str,
+        action: str = "error",
+        faults: int = 1,
+        horizon: int = 10,
+        **kwargs,
+    ) -> "FaultPlan":
+        """A plan whose hit indices are drawn deterministically from ``seed``.
+
+        ``faults`` indices are sampled (without replacement) from
+        ``range(horizon)``; the same ``(seed, seam, action)`` triple always
+        yields the same schedule, on every platform and Python version.
+        """
+        if not 0 <= faults <= horizon:
+            raise ConfigError(
+                f"faults must be in [0, horizon={horizon}], got {faults}"
+            )
+        rng = random.Random(f"faultplan:{seed}:{seam}:{action}")
+        at = tuple(sorted(rng.sample(range(horizon), faults)))
+        return cls((FaultSpec(seam=seam, action=action, at=at, **kwargs),))
+
+    def merged(self, other: "FaultPlan") -> "FaultPlan":
+        """A fresh plan combining both spec lists (counts reset)."""
+        return FaultPlan(self.specs + other.specs)
+
+    # --- firing ---------------------------------------------------------
+
+    def fire(self, seam: str) -> None:
+        """Record one occurrence of ``seam`` and run any matching fault."""
+        with self._lock:
+            index = self._counts.get(seam, 0)
+            self._counts[seam] = index + 1
+            due = [
+                spec
+                for spec in self.specs
+                if spec.seam == seam and index in spec.at
+            ]
+            for spec in due:
+                self._fired.append((seam, index, spec.action))
+        for spec in due:
+            if spec.action == "delay":
+                time.sleep(spec.delay_s)
+            elif spec.action == "kill":
+                os._exit(KILL_EXIT_CODE)
+            else:
+                raise EXCEPTIONS[spec.exception](
+                    f"{spec.message} [seam={seam} hit={index}]"
+                )
+
+    # --- introspection --------------------------------------------------
+
+    def counts(self) -> dict:
+        """``{seam: occurrences seen}`` so far."""
+        with self._lock:
+            return dict(self._counts)
+
+    def fired(self) -> list:
+        """``(seam, index, action)`` tuples of faults actually injected."""
+        with self._lock:
+            return list(self._fired)
+
+    # --- serialization --------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            [spec.to_dict() for spec in self.specs], sort_keys=True
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"malformed fault plan JSON: {exc}") from exc
+        if not isinstance(payload, list):
+            raise ConfigError(
+                f"fault plan must be a JSON list, got {type(payload).__name__}"
+            )
+        return cls(tuple(payload))
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({len(self.specs)} specs, counts={self.counts()})"
+
+
+# --- module-level installation point ------------------------------------
+
+_active: "FaultPlan | None" = None
+
+
+def install(plan: FaultPlan) -> FaultPlan:
+    """Make ``plan`` the process-wide active plan (returned for chaining)."""
+    global _active
+    _active = plan
+    return plan
+
+
+def clear() -> None:
+    """Deactivate fault injection (idempotent)."""
+    global _active
+    _active = None
+
+
+def active() -> "FaultPlan | None":
+    """The installed plan, if any."""
+    return _active
+
+
+def fire(seam: str) -> None:
+    """Seam entry point: no-op unless a plan is installed."""
+    plan = _active
+    if plan is not None:
+        plan.fire(seam)
+
+
+def install_from_env(var: str = FAULTS_ENV_VAR) -> "FaultPlan | None":
+    """Install the plan serialized in environment variable ``var``, if set.
+
+    Subprocess chaos tests export ``REPRO_FAULTS`` before launching a
+    server; the ``serve`` CLI calls this so the child's seams go live.
+    """
+    raw = os.environ.get(var)
+    if not raw:
+        return None
+    return install(FaultPlan.from_json(raw))

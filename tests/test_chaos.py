@@ -1,0 +1,333 @@
+"""Chaos suite: deterministic fault injection against the job tier.
+
+Every test follows the same discipline: compute the fault-free golden
+first, install a :class:`~repro.testing.faults.FaultPlan`, run the same
+work under injected failures, and assert that (a) every job reaches a
+terminal state, (b) no job is lost or executed twice, and (c) the final
+reports are **byte-identical** (canonical JSON) to the fault-free run.
+Each test also asserts the plan actually fired — a schedule that never
+triggers cannot masquerade as a passing chaos run.
+"""
+
+import os
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.api import AttackReport, Engine
+from repro.store import JobRunner, RetryPolicy, StateStore, canonical_report_text
+from repro.testing import faults
+from repro.testing.faults import KILL_EXIT_CODE, FaultPlan, FaultSpec
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+REQUEST = dict(
+    corpus="tiny", split_seed=102, top_k=5, n_landmarks=5,
+    classifier="knn", ks=(1, 5), refined=False,
+)
+
+SWEEP = {"base": dict(REQUEST), "grid": {"top_k": [3, 5, 7]}}
+
+#: Negligible-sleep retry policy so chaos runs stay fast.
+FAST_RETRY = RetryPolicy(max_attempts=3, base_s=0.001, cap_s=0.002)
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+@pytest.fixture(scope="module")
+def golden(small_corpus):
+    """Fault-free canonical report texts for REQUEST and each SWEEP shard."""
+    engine = Engine()
+    engine.register("tiny", small_corpus)
+    attack = canonical_report_text(engine.attack(dict(REQUEST)))
+    sweep = [
+        canonical_report_text(engine.attack(dict(REQUEST, top_k=k)))
+        for k in SWEEP["grid"]["top_k"]
+    ]
+    return {"attack": attack, "sweep": sweep}
+
+
+def canon(report_dict: dict) -> str:
+    return canonical_report_text(AttackReport.from_dict(report_dict))
+
+
+def make_runner(small_corpus, **kwargs):
+    store = StateStore(None)
+    engine = Engine(store=store)
+    engine.register("tiny", small_corpus)
+    kwargs.setdefault("workers", 1)
+    kwargs.setdefault("poll_s", 0.02)
+    kwargs.setdefault("retry", FAST_RETRY)
+    return store, engine, JobRunner(engine, store, **kwargs)
+
+
+class TestShardFaults:
+    def test_seeded_shard_errors_retry_to_golden(self, small_corpus, golden):
+        store, engine, runner = make_runner(small_corpus)
+        try:
+            # 2 transient faults over the first 4 shard executions: with a
+            # 3-attempt budget every shard must still complete
+            plan = faults.install(
+                FaultPlan.seeded(11, faults.SEAM_SHARD, faults=2, horizon=4)
+            )
+            job_id = runner.submit("sweep", SWEEP)
+            assert runner.join(timeout_s=120.0)
+            job = store.jobs.get(job_id)
+            assert job["state"] == "done", job["error"]
+            assert [canon(r) for r in job["result"]["reports"]] == golden["sweep"]
+            fired = plan.fired()
+            assert len(fired) == 2, fired
+            assert store.resilience_counters()["retries"] == 2
+            assert runner.retries == 2
+        finally:
+            faults.clear()
+            runner.shutdown(drain_s=1.0)
+            store.close()
+
+    def test_fatal_error_fails_without_retry(self, small_corpus):
+        store, engine, runner = make_runner(small_corpus)
+        try:
+            faults.install(
+                FaultPlan([
+                    FaultSpec(seam=faults.SEAM_SHARD, action="error", at=(0,),
+                              exception="ConfigError", message="injected bad config"),
+                ])
+            )
+            job_id = runner.submit("attack", dict(REQUEST))
+            assert runner.join(timeout_s=60.0)
+            job = store.jobs.get(job_id)
+            assert job["state"] == "failed"
+            assert job["error"]["classification"] == "fatal"
+            assert job["error"]["type"] == "ConfigError"
+            assert job["error"]["attempts"] == 1  # fatal = no retry burned
+            assert store.resilience_counters()["retries"] == 0
+        finally:
+            faults.clear()
+            runner.shutdown(drain_s=1.0)
+            store.close()
+
+    def test_retry_budget_exhaustion_is_structured(self, small_corpus):
+        store, engine, runner = make_runner(
+            small_corpus, retry=RetryPolicy(max_attempts=2, base_s=0.001)
+        )
+        try:
+            # shard 0 fails on every attempt it is allowed
+            faults.install(
+                FaultPlan([
+                    FaultSpec(seam=faults.SEAM_SHARD, action="error", at=(0, 1, 2)),
+                ])
+            )
+            job_id = runner.submit("attack", dict(REQUEST))
+            assert runner.join(timeout_s=60.0)
+            job = store.jobs.get(job_id)
+            assert job["state"] == "failed"
+            assert job["error"]["classification"] == "transient"
+            assert job["error"]["attempts"] == 2
+            assert job["error"]["shard"] == 0
+            assert store.resilience_counters()["retries"] == 1
+        finally:
+            faults.clear()
+            runner.shutdown(drain_s=1.0)
+            store.close()
+
+
+class TestStoreFaults:
+    def test_injected_sqlite_lock_errors_are_survived(self, small_corpus, golden):
+        store, engine, runner = make_runner(small_corpus)
+        try:
+            # locks at BEGIN IMMEDIATE: hits job claims and poller sweeps
+            # (early fixed indices so every fault provably fires before the
+            # job completes and transactions stop flowing)
+            plan = faults.install(
+                FaultPlan([
+                    FaultSpec(
+                        seam=faults.SEAM_COMMIT, action="error", at=(1, 2, 4),
+                        exception="OperationalError", message="database is locked",
+                    ),
+                ])
+            )
+            job_id = runner.submit("attack", dict(REQUEST))
+            assert runner.join(timeout_s=120.0)
+            job = store.jobs.get(job_id)
+            assert job["state"] == "done", job["error"]
+            assert canon(job["result"]) == golden["attack"]
+            assert len(plan.fired()) == 3
+        finally:
+            faults.clear()
+            runner.shutdown(drain_s=1.0)
+            store.close()
+
+    def test_record_fault_reruns_to_identical_report(self, small_corpus, golden):
+        store, engine, runner = make_runner(small_corpus)
+        try:
+            # die between computing the report and making it durable
+            plan = faults.install(
+                FaultPlan([
+                    FaultSpec(seam=faults.SEAM_RECORD, action="error", at=(0,)),
+                ])
+            )
+            job_id = runner.submit("attack", dict(REQUEST))
+            assert runner.join(timeout_s=120.0)
+            job = store.jobs.get(job_id)
+            assert job["state"] == "done", job["error"]
+            assert canon(job["result"]) == golden["attack"]
+            assert plan.fired() == [(faults.SEAM_RECORD, 0, "error")]
+            # the retried record landed exactly one row
+            assert len(store.reports) == 1
+        finally:
+            faults.clear()
+            runner.shutdown(drain_s=1.0)
+            store.close()
+
+    def test_extraction_fault_rebuilds_to_identical_report(
+        self, small_corpus, golden
+    ):
+        store, engine, runner = make_runner(small_corpus)
+        try:
+            plan = faults.install(
+                FaultPlan([
+                    FaultSpec(seam=faults.SEAM_EXTRACT, action="error", at=(0,)),
+                ])
+            )
+            job_id = runner.submit("attack", dict(REQUEST))
+            assert runner.join(timeout_s=120.0)
+            job = store.jobs.get(job_id)
+            assert job["state"] == "done", job["error"]
+            assert canon(job["result"]) == golden["attack"]
+            assert len(plan.fired()) == 1
+        finally:
+            faults.clear()
+            runner.shutdown(drain_s=1.0)
+            store.close()
+
+
+class TestMixedChaos:
+    def test_no_job_lost_or_duplicated_under_mixed_faults(
+        self, small_corpus, golden
+    ):
+        store, engine, runner = make_runner(small_corpus, workers=2)
+        try:
+            plan = faults.install(
+                FaultPlan.seeded(5, faults.SEAM_SHARD, faults=2, horizon=6).merged(
+                    FaultPlan.seeded(
+                        5, faults.SEAM_COMMIT, faults=2, horizon=10,
+                        exception="OperationalError", message="database is locked",
+                    )
+                )
+            )
+            job_ids = [runner.submit("attack", dict(REQUEST)) for _ in range(3)]
+            job_ids.append(runner.submit("sweep", SWEEP))
+            assert runner.join(timeout_s=180.0)
+            for job_id in job_ids[:3]:
+                job = store.jobs.get(job_id)
+                assert job["state"] == "done", job["error"]
+                assert canon(job["result"]) == golden["attack"]
+            sweep_job = store.jobs.get(job_ids[3])
+            assert sweep_job["state"] == "done", sweep_job["error"]
+            assert [
+                canon(r) for r in sweep_job["result"]["reports"]
+            ] == golden["sweep"]
+            counters = store.jobs.counters()
+            assert counters["total"] == 4 and counters["done"] == 4
+            assert counters["depth"] == 0  # nothing lost in the queue
+            assert len(plan.fired()) > 0
+        finally:
+            faults.clear()
+            runner.shutdown(drain_s=1.0)
+            store.close()
+
+
+class TestCancellationChaos:
+    def test_cancel_lands_between_shards(self, small_corpus):
+        store, engine, runner = make_runner(small_corpus)
+        try:
+            started = threading.Event()
+            release = threading.Event()
+            real_attack = engine.attack
+
+            def gated_attack(request, tenant="default"):
+                started.set()
+                assert release.wait(30.0)
+                return real_attack(request, tenant=tenant)
+
+            engine.attack = gated_attack
+            job_id = runner.submit("sweep", SWEEP)
+            assert started.wait(30.0)
+            outcome = store.jobs.request_cancel(job_id)
+            assert outcome == {"state": "cancelling", "changed": True}
+            release.set()
+            assert runner.join(timeout_s=60.0)
+            job = store.jobs.get(job_id)
+            # shard 0 finished (cancellation is cooperative), 1 and 2 never ran
+            assert job["state"] == "cancelled"
+            assert job["shards_done"] == 1
+            assert store.resilience_counters()["cancelled_jobs"] == 1
+        finally:
+            runner.shutdown(drain_s=1.0)
+            store.close()
+
+
+_WORKER = """
+import sys
+from repro.api import Engine
+from repro.store import JobRunner, StateStore
+from repro.testing import faults
+
+faults.install_from_env()
+state = StateStore.at_dir(sys.argv[1])
+engine = Engine(store=state)
+runner = JobRunner(engine, state, workers=1, poll_s=0.02, lease_s=float(sys.argv[2]))
+runner.join(timeout_s=60.0)
+runner.shutdown(drain_s=1.0)
+state.close()
+"""
+
+
+class TestKillNine:
+    def test_killed_worker_is_reclaimed_and_job_completes(
+        self, tmp_path, small_corpus, golden
+    ):
+        state = StateStore.at_dir(tmp_path)
+        engine = Engine(store=state)
+        engine.register("tiny", small_corpus)
+        job_id = state.jobs.create(
+            "default", "attack", dict(REQUEST, ks=[1, 5]), shards_total=1
+        )
+        plan = FaultPlan([
+            FaultSpec(seam=faults.SEAM_SHARD, action="kill", at=(0,)),
+        ])
+        env = {
+            **os.environ,
+            "PYTHONPATH": os.path.join(REPO_ROOT, "src"),
+            faults.FAULTS_ENV_VAR: plan.to_json(),
+        }
+        proc = subprocess.run(
+            [sys.executable, "-c", _WORKER, str(tmp_path), "0.5"],
+            env=env, cwd=REPO_ROOT, timeout=180,
+            capture_output=True, text=True,
+        )
+        # the worker died exactly like kill -9 mid-shard...
+        assert proc.returncode == KILL_EXIT_CODE, proc.stderr
+        job = state.jobs.get(job_id)
+        assert job["state"] == "running" and job["attempts"] == 1
+        time.sleep(0.6)  # let the dead worker's lease lapse
+        # ...and a healthy successor reclaims and finishes its job
+        runner = JobRunner(engine, state, workers=1, poll_s=0.02)
+        try:
+            assert runner.join(timeout_s=120.0)
+        finally:
+            runner.shutdown(drain_s=1.0)
+        job = state.jobs.get(job_id)
+        assert job["state"] == "done", job["error"]
+        assert job["attempts"] == 2
+        assert canon(job["result"]) == golden["attack"]
+        assert state.resilience_counters()["reclaimed_jobs"] == 1
+        state.close()

@@ -33,7 +33,7 @@ def wait_terminal(app, job_id, timeout_s=60.0):
     while time.monotonic() < deadline:
         res = call_app(app, "GET", f"/jobs/{job_id}")
         assert res.status == 200, res.json
-        if res.json["state"] in ("done", "failed"):
+        if res.json["state"] in ("done", "failed", "cancelled"):
             return res.json
         time.sleep(0.05)
     raise AssertionError(f"job {job_id} did not reach a terminal state")
@@ -197,6 +197,9 @@ class TestJobRoutes:
             )
             assert second.status == 429
             assert second.json["error"]["type"] == "QuotaExceededError"
+            # machine-readable backpressure rides along
+            assert second.json["error"]["retriable"] is True
+            assert int(second.headers["Retry-After"]) >= 1
             # another tenant still has room
             other = call_app(
                 app, "POST", "/attack", {**ATTACK_BODY, "async": True},
@@ -206,6 +209,109 @@ class TestJobRoutes:
         finally:
             release.set()
             blocker.result(timeout=30)
+        app.close()
+
+    def test_cancel_queued_job(self, tiny_corpus):
+        app = make_app(tiny_corpus, job_workers=1)
+        release = threading.Event()
+        blocker = app.runner._pool.submit(release.wait, 30)
+        try:
+            accepted = call_app(
+                app, "POST", "/attack", {**ATTACK_BODY, "async": True}
+            )
+            job_id = accepted.json["job_id"]
+            assert call_app(app, "GET", f"/jobs/{job_id}").json["state"] == "queued"
+            cancelled = call_app(app, "DELETE", f"/jobs/{job_id}")
+            assert cancelled.status == 200
+            assert cancelled.json == {"job_id": job_id, "state": "cancelled"}
+            job = call_app(app, "GET", f"/jobs/{job_id}").json
+            assert job["state"] == "cancelled"
+            assert job["finished_at"] is not None
+            # cancelling again is a 409, not a second transition
+            again = call_app(app, "DELETE", f"/jobs/{job_id}")
+            assert again.status == 409
+            assert again.json["error"]["type"] == "Conflict"
+        finally:
+            release.set()
+            blocker.result(timeout=30)
+        app.close()
+
+    def test_cancel_running_sweep_between_shards(self, tiny_corpus):
+        app = make_app(tiny_corpus, job_workers=1)
+        started = threading.Event()
+        gate = threading.Event()
+        real_attack = app.engine.attack
+
+        def gated_attack(request, tenant="default"):
+            started.set()
+            assert gate.wait(30.0)
+            return real_attack(request, tenant=tenant)
+
+        app.engine.attack = gated_attack
+        accepted = call_app(
+            app, "POST", "/sweep",
+            {"base": ATTACK_BODY, "grid": {"split_seed": [102, 103, 104]},
+             "async": True},
+        )
+        job_id = accepted.json["job_id"]
+        assert started.wait(30.0)
+        cancelled = call_app(app, "DELETE", f"/jobs/{job_id}")
+        assert cancelled.status == 200
+        assert cancelled.json["state"] == "cancelling"
+        gate.set()
+        job = wait_terminal(app, job_id)
+        # shard 0 completed; the stop flag landed before shard 1
+        assert job["state"] == "cancelled"
+        assert job["shards_done"] == 1
+        stats = call_app(app, "GET", "/stats").json
+        assert stats["resilience"]["cancelled_jobs"] == 1
+        app.close()
+
+    def test_cancel_scoped_to_tenant(self, tiny_corpus):
+        app = make_app(tiny_corpus, job_workers=1)
+        release = threading.Event()
+        blocker = app.runner._pool.submit(release.wait, 30)
+        try:
+            accepted = call_app(
+                app, "POST", "/attack", {**ATTACK_BODY, "async": True},
+                tenant="acme",
+            )
+            job_id = accepted.json["job_id"]
+            foreign = call_app(app, "DELETE", f"/jobs/{job_id}")
+            assert foreign.status == 404
+            owned = call_app(app, "DELETE", f"/jobs/{job_id}", tenant="acme")
+            assert owned.status == 200
+        finally:
+            release.set()
+            blocker.result(timeout=30)
+        app.close()
+
+
+class TestBackpressure:
+    def test_503_has_retry_after_and_retriable(self, tiny_corpus):
+        app = make_app(tiny_corpus)
+        app.close()
+        res = call_app(app, "GET", "/healthz")
+        assert res.status == 503
+        assert res.json["error"]["retriable"] is True
+        assert res.headers["Retry-After"] == "5"
+
+    def test_success_has_no_retry_after(self, tiny_corpus):
+        app = make_app(tiny_corpus)
+        res = call_app(app, "GET", "/healthz")
+        assert res.status == 200
+        assert "Retry-After" not in res.headers
+        app.close()
+
+    def test_stats_exposes_resilience_counters(self, tiny_corpus):
+        app = make_app(tiny_corpus)
+        stats = call_app(app, "GET", "/stats").json
+        assert set(stats["resilience"]) == {
+            "retries", "reclaimed_jobs", "cancelled_jobs",
+            "pruned_reports", "pruned_jobs",
+        }
+        jobs = stats["jobs"]
+        assert "retries" in jobs and "owner" in jobs and "lease_s" in jobs
         app.close()
 
 
