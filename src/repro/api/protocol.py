@@ -90,6 +90,13 @@ class AttackRequest:
     extraction (``1`` = serial, ``0`` = one per core).  A pure
     performance knob — extraction is byte-identical at any width — so it
     too serializes only when non-default.
+
+    ``request_deadline_s`` is the per-request wall-clock watchdog
+    (:mod:`repro.core.deadline`): past it the pipeline raises a
+    structured :class:`~repro.errors.DeadlineExceeded` at the next stage
+    boundary.  An ops knob, not science — a run that finishes in time is
+    byte-identical either way — so it serializes only when set and
+    default requests keep their historical wire format and hashes.
     """
 
     corpus: str = "default"
@@ -123,6 +130,7 @@ class AttackRequest:
     blocking_ann_ef: int = 48
     blocking_seed: int = 0
     extract_workers: int = 1
+    request_deadline_s: "float | None" = None
     seed: int = 0
 
     def _blocking_atoms(self) -> set:
@@ -191,6 +199,7 @@ class AttackRequest:
             blocking_seed=self.blocking_seed,
             refined_keep_fraction=self.refined_keep_fraction,
             extract_workers=self.extract_workers,
+            request_deadline_s=self.request_deadline_s,
             seed=self.seed,
         )
         config.validate()
@@ -286,6 +295,10 @@ class AttackRequest:
         # so default requests keep the historical wire format.
         if self.extract_workers != 1:
             payload["extract_workers"] = self.extract_workers
+        # Watchdog knob, not science: serialized only when armed, so
+        # default requests keep the historical wire format (and hashes).
+        if self.request_deadline_s is not None:
+            payload["request_deadline_s"] = self.request_deadline_s
         return payload
 
     @classmethod

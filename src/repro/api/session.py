@@ -13,6 +13,7 @@ import threading
 import time
 
 from repro.api.protocol import AttackReport, AttackRequest
+from repro.core.deadline import deadline_scope
 from repro.core.pipeline import DeHealth
 from repro.core.similarity import SimilarityCache
 from repro.errors import ConfigError
@@ -194,7 +195,11 @@ class AttackSession:
         """Execute one attack variant, reusing every cached artifact."""
         self._check_request(request)
         with self._lock:
-            return self._run_checked(request)
+            # the scope covers lock acquisition's successor stages only —
+            # a request that waited out its whole deadline behind another
+            # fit still gets caught at the first pipeline boundary
+            with deadline_scope(request.request_deadline_s):
+                return self._run_checked(request)
 
     def _run_checked(self, request: AttackRequest) -> AttackReport:
         started = time.perf_counter()
@@ -253,7 +258,13 @@ class AttackSession:
         for request in requests:
             self._check_request(request)
         with self._lock:
-            return [self._run_checked(request) for request in requests]
+            reports = []
+            for request in requests:
+                # per-request scope: each variant gets its own budget, so
+                # one slow variant cannot eat the whole sweep's deadline
+                with deadline_scope(request.request_deadline_s):
+                    reports.append(self._run_checked(request))
+            return reports
 
     # --- introspection --------------------------------------------------
 

@@ -9,9 +9,12 @@ Subcommands::
     repro-dehealth sweep corpus.jsonl --matrix matrix.json --workers 4
     repro-dehealth linkage --users 500 --seed 7
     repro-dehealth serve --port 8321 --corpus corpus.jsonl \
-        --state-dir ./state --job-workers 2 --job-lease-s 30
+        --state-dir ./state --job-workers 2 --job-lease-s 30 \
+        --rate-limit-per-s 2 --rate-burst 10 --request-deadline-s 30
     repro-dehealth reports ./state --limit 20
     repro-dehealth jobs ./state --id 1f0c2a9b
+    repro-dehealth tenants ./state
+    repro-dehealth tenants ./state --set acme --refill-per-s 5 --burst 20
     repro-dehealth compact ./state --max-age-s 604800 --vacuum
 
 Every subcommand is deterministic under ``--seed``.  ``generate``,
@@ -22,10 +25,13 @@ matrix across worker processes via :class:`repro.api.SweepExecutor`;
 :mod:`repro.service` — with ``--state-dir`` it persists corpora, attack
 reports, and background jobs to sqlite and resumes them across restarts.
 ``reports`` and ``jobs`` inspect such a state directory offline (they
-only read; a live server's rows are left untouched); ``compact`` prunes
-old reports and terminal jobs from one (optionally ``VACUUM``-ing the
-file down) — safe to run against a live server, since queued and running
-jobs are never touched.
+only read; a live server's rows are left untouched); ``tenants`` lists
+per-tenant usage and durable rate-limit state, and sets or clears
+per-tenant token-bucket overrides (enforced by every server sharing the
+state directory); ``compact`` prunes old reports and terminal jobs from
+one (optionally ``VACUUM``-ing the file down) — safe to run against a
+live server, since queued and running jobs are never touched and the
+``tenants`` table (counters, overrides, live buckets) is never pruned.
 """
 
 from __future__ import annotations
@@ -254,12 +260,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # attach before create_app so registered --corpus files are written
         # through and previously persisted corpora rehydrate
         engine.attach_store(StateStore.at_dir(args.state_dir))
+    overload_kwargs = {
+        name: value
+        for name, value in (
+            ("max_body_bytes", args.max_body_bytes),
+            ("breaker_threshold", args.breaker_threshold),
+            ("breaker_cooldown_s", args.breaker_cooldown_s),
+        )
+        if value is not None
+    }
     app = create_app(
         engine,
         job_workers=args.job_workers,
         job_lease_s=args.job_lease_s,
         job_deadline_s=args.job_deadline_s,
         job_retries=args.job_retries,
+        rate_limit_per_s=args.rate_limit_per_s,
+        rate_burst=args.rate_burst,
+        request_deadline_s=args.request_deadline_s,
+        max_sync_attacks=args.max_sync_attacks,
+        admission_wait_s=args.admission_wait_s,
+        **overload_kwargs,
     )
     serve(app=app, host=args.host, port=args.port)
     return 0
@@ -337,6 +358,60 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
         state.close()
 
 
+def _cmd_tenants(args: argparse.Namespace) -> int:
+    from repro.store import TenantRateLimiter
+
+    if args.set and args.clear:
+        raise SystemExit("error: --set and --clear are mutually exclusive")
+    if (args.refill_per_s is not None or args.burst is not None) and not args.set:
+        raise SystemExit("error: --refill-per-s/--burst require --set TENANT")
+    state = _open_state(args.state_dir)
+    try:
+        limiter = TenantRateLimiter(state)
+        if args.set:
+            if args.refill_per_s is None:
+                raise SystemExit("error: --set requires --refill-per-s")
+            try:
+                limiter.set_limits(args.set, args.refill_per_s, args.burst)
+            except ConfigError as exc:
+                raise SystemExit(f"error: {exc}") from exc
+            line = f"set {args.set}: refill_per_s={args.refill_per_s:g}"
+            if args.burst is not None:
+                line += f" burst={args.burst:g}"
+            print(line + " (bucket reset; enforced by all servers on this state dir)")
+            return 0
+        if args.clear:
+            limiter.set_limits(args.clear, None)
+            print(f"cleared override for {args.clear} (server defaults apply)")
+            return 0
+        counters = state.tenant_counters()
+        for name in sorted(counters):
+            info = limiter.snapshot(name)
+            block = counters[name]
+            line = (
+                f"{name} requests={block['requests']} "
+                f"attacks={block['attacks']} "
+                f"jobs={block['jobs_submitted']}"
+            )
+            if info["limited"]:
+                line += (
+                    f" refill_per_s={info['refill_per_s']:g} "
+                    f"burst={info['burst']:g} tokens={info['tokens']:.2f}"
+                )
+                if info["override"]:
+                    line += " (override)"
+            else:
+                # the offline inspector cannot see a live server's
+                # process-level --rate-limit-per-s defaults, only the
+                # durable overrides stored in this table
+                line += " no-override (server defaults apply)"
+            print(line)
+        print(f"{len(counters)} tenant(s) in {args.state_dir}")
+        return 0
+    finally:
+        state.close()
+
+
 def _cmd_compact(args: argparse.Namespace) -> int:
     state = _open_state(args.state_dir)
     try:
@@ -350,6 +425,10 @@ def _cmd_compact(args: argparse.Namespace) -> int:
             f"pruned {summary['pruned_reports']} report(s), "
             f"{summary['pruned_jobs']} terminal job(s)"
             + (" and compacted the database file" if summary["vacuumed"] else "")
+        )
+        print(
+            f"kept {summary['tenants_kept']} tenant row(s) "
+            "(counters, rate limits, and token buckets are never pruned)"
         )
         return 0
     finally:
@@ -525,6 +604,54 @@ def build_parser() -> argparse.ArgumentParser:
              "lock contention, crashed workers); fatal errors never "
              "retry (default: 3)",
     )
+    srv.add_argument(
+        "--rate-limit-per-s", type=float, default=None, metavar="R",
+        help="default per-tenant token refill rate (tokens/second; one "
+             "sync or async attack costs one token, a sweep one per "
+             "variant).  Buckets persist in the state database, so every "
+             "server sharing a --state-dir enforces one combined budget "
+             "per tenant; per-tenant overrides (see the tenants "
+             "subcommand) win (default: unlimited)",
+    )
+    srv.add_argument(
+        "--rate-burst", type=float, default=None, metavar="B",
+        help="default per-tenant bucket capacity "
+             "(default: max(1, rate-limit-per-s))",
+    )
+    srv.add_argument(
+        "--request-deadline-s", type=float, default=None, metavar="S",
+        help="default wall-clock deadline for synchronous attack "
+             "requests, checked at pipeline stage boundaries; past it the "
+             "request fails with a structured 504 instead of wedging a "
+             "worker (default: none; requests may set their own)",
+    )
+    srv.add_argument(
+        "--max-sync-attacks", type=int, default=4, metavar="N",
+        help="synchronous attack/sweep requests executing at once; "
+             "arrivals beyond it wait briefly, then shed with a "
+             "retriable 503 (default: 4)",
+    )
+    srv.add_argument(
+        "--admission-wait-s", type=float, default=0.5, metavar="S",
+        help="how long an arriving sync attack waits for a slot before "
+             "being shed (default: 0.5)",
+    )
+    srv.add_argument(
+        "--max-body-bytes", type=int, default=None, metavar="N",
+        help="reject request bodies over N bytes with 413 before reading "
+             "them (default: 8 MiB)",
+    )
+    srv.add_argument(
+        "--breaker-threshold", type=int, default=None, metavar="N",
+        help="consecutive deterministic failures before a corpus's "
+             "circuit opens and its sync attacks fail fast with 503 "
+             "(default: 3)",
+    )
+    srv.add_argument(
+        "--breaker-cooldown-s", type=float, default=None, metavar="S",
+        help="seconds an open circuit waits before admitting one "
+             "half-open probe request (default: 30)",
+    )
     srv.set_defaults(func=_cmd_serve)
 
     reports = sub.add_parser(
@@ -555,6 +682,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     jobs.add_argument("--limit", type=int, default=50)
     jobs.set_defaults(func=_cmd_jobs)
+
+    tenants = sub.add_parser(
+        "tenants",
+        help="list tenant usage and durable rate limits; set/clear "
+             "per-tenant token-bucket overrides",
+    )
+    tenants.add_argument("state_dir", help="the server's --state-dir")
+    tenants.add_argument(
+        "--set", default=None, metavar="TENANT",
+        help="set TENANT's token-bucket override (requires --refill-per-s; "
+             "resets the live bucket)",
+    )
+    tenants.add_argument(
+        "--clear", default=None, metavar="TENANT",
+        help="clear TENANT's override so server defaults apply again",
+    )
+    tenants.add_argument(
+        "--refill-per-s", type=float, default=None, metavar="R",
+        help="override refill rate, tokens/second (with --set)",
+    )
+    tenants.add_argument(
+        "--burst", type=float, default=None, metavar="B",
+        help="override bucket capacity (with --set; default: "
+             "max(1, refill rate))",
+    )
+    tenants.set_defaults(func=_cmd_tenants)
 
     compact = sub.add_parser(
         "compact",

@@ -25,6 +25,11 @@ from repro.core.config import (
     SimilarityWeights,
     parse_blocking,
 )
+from repro.core.deadline import (
+    Deadline,
+    check_deadline,
+    deadline_scope,
+)
 from repro.core.filtering import FilterOutcome, filter_candidates
 from repro.core.pipeline import DeHealth
 from repro.core.refined import RefinedDeanonymizer
@@ -39,6 +44,7 @@ __all__ = [
     "DAResult",
     "DeHealth",
     "DeHealthConfig",
+    "Deadline",
     "FilterOutcome",
     "NSWIndex",
     "RefinedDeanonymizer",
@@ -51,6 +57,8 @@ __all__ = [
     "ann_graph_candidates",
     "attr_index_candidates",
     "build_candidates",
+    "check_deadline",
+    "deadline_scope",
     "degree_band_candidates",
     "direct_top_k",
     "filter_candidates",

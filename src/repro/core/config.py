@@ -128,6 +128,15 @@ class DeHealthConfig:
     extraction (``1`` = in-process serial, ``0`` = one worker per
     available core).  A pure performance knob: extraction output is
     byte-identical at any width.
+
+    ``request_deadline_s`` is a wall-clock budget for one attack run,
+    checked cooperatively at stage boundaries (graph build, similarity,
+    the refined per-user loop) via :mod:`repro.core.deadline`.  Past it
+    the next boundary raises :class:`~repro.errors.DeadlineExceeded`
+    (the service maps that to a structured 504) instead of leaving the
+    worker wedged.  ``None`` (the default) disables the watchdog —
+    behaviour and output are otherwise unchanged: a run that finishes in
+    time is byte-identical with or without a deadline.
     """
 
     weights: SimilarityWeights = field(default_factory=SimilarityWeights)
@@ -154,6 +163,7 @@ class DeHealthConfig:
     blocking_seed: int = 0
     refined_keep_fraction: float = 1.0
     extract_workers: int = 1
+    request_deadline_s: "float | None" = None
     seed: int = 0
 
     def validate(self) -> None:
@@ -233,4 +243,9 @@ class DeHealthConfig:
         if self.extract_workers < 0:
             raise ConfigError(
                 f"extract_workers must be >= 0, got {self.extract_workers}"
+            )
+        if self.request_deadline_s is not None and self.request_deadline_s <= 0:
+            raise ConfigError(
+                f"request_deadline_s must be > 0 or None, "
+                f"got {self.request_deadline_s}"
             )

@@ -1,0 +1,91 @@
+"""Cooperative wall-clock deadlines for attack execution.
+
+A deadline is armed per thread with :func:`deadline_scope` and observed by
+:func:`check_deadline` calls at the pipeline's stage boundaries (graph
+build, similarity, refined per-user loop) — the same cooperative pattern
+the job tier uses between shards.  Past the deadline the next check raises
+:class:`~repro.errors.DeadlineExceeded`, which the service maps to a
+structured 504 instead of leaving a worker thread wedged inside a long
+fit.
+
+With no scope armed every check is a single thread-local read, so library
+callers that never set ``request_deadline_s`` pay nothing.  Scopes nest:
+an inner scope can only *tighten* the deadline — the sooner expiry always
+wins — so a session-level request deadline survives any per-stage scope
+the pipeline arms on its own.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+from repro.errors import ConfigError, DeadlineExceeded
+
+_local = threading.local()
+
+
+class Deadline:
+    """An absolute expiry on the monotonic clock."""
+
+    __slots__ = ("expires_at",)
+
+    def __init__(self, seconds: float) -> None:
+        if seconds <= 0:
+            raise ConfigError(f"deadline seconds must be > 0, got {seconds}")
+        self.expires_at = time.monotonic() + float(seconds)
+
+    def remaining_s(self) -> float:
+        """Seconds until expiry (negative once past it)."""
+        return self.expires_at - time.monotonic()
+
+    def expired(self) -> bool:
+        return self.remaining_s() <= 0
+
+    def __repr__(self) -> str:
+        return f"Deadline(remaining={self.remaining_s():.3f}s)"
+
+
+def current() -> "Deadline | None":
+    """The calling thread's armed deadline, if any."""
+    return getattr(_local, "deadline", None)
+
+
+@contextmanager
+def deadline_scope(seconds: "float | None"):
+    """Arm a deadline for the calling thread for the duration of the block.
+
+    ``None`` is a no-op (yields the outer deadline, if any).  When an
+    outer scope expires sooner than ``seconds`` from now, the outer
+    deadline stays in force — nesting can only tighten.
+    """
+    outer = current()
+    if seconds is None:
+        yield outer
+        return
+    deadline = Deadline(seconds)
+    if outer is not None and outer.expires_at <= deadline.expires_at:
+        yield outer
+        return
+    _local.deadline = deadline
+    try:
+        yield deadline
+    finally:
+        _local.deadline = outer
+
+
+def check_deadline(stage: str = "") -> None:
+    """Raise :class:`DeadlineExceeded` if the thread's deadline has passed.
+
+    ``stage`` names the boundary in the error message so operators can see
+    *where* requests run out of time.  No-op when no deadline is armed.
+    """
+    deadline = current()
+    if deadline is None or not deadline.expired():
+        return
+    where = f" at {stage}" if stage else ""
+    raise DeadlineExceeded(
+        f"request deadline exceeded{where} "
+        f"({-deadline.remaining_s():.3f}s past the deadline)"
+    )

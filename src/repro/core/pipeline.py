@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.blocking import SparseSimilarity
 from repro.core.config import DeHealthConfig
+from repro.core.deadline import check_deadline, deadline_scope
 from repro.core.filtering import filter_candidates
 from repro.core.refined import RefinedDeanonymizer
 from repro.core.results import DAResult, TopKResult
@@ -67,16 +68,27 @@ class DeHealth:
         """
         extractor = extractor or FeatureExtractor()
         workers = self.config.extract_workers
-        self.anonymized = (
-            anonymized
-            if isinstance(anonymized, UDAGraph)
-            else UDAGraph(anonymized, extractor=extractor, extract_workers=workers)
-        )
-        self.auxiliary = (
-            auxiliary
-            if isinstance(auxiliary, UDAGraph)
-            else UDAGraph(auxiliary, extractor=extractor, extract_workers=workers)
-        )
+        # stage-boundary watchdog: a request_deadline_s armed here (or by
+        # the serving session) turns a wedged fit into a structured
+        # DeadlineExceeded at the next boundary
+        with deadline_scope(self.config.request_deadline_s):
+            check_deadline("fit:anonymized-graph")
+            self.anonymized = (
+                anonymized
+                if isinstance(anonymized, UDAGraph)
+                else UDAGraph(
+                    anonymized, extractor=extractor, extract_workers=workers
+                )
+            )
+            check_deadline("fit:auxiliary-graph")
+            self.auxiliary = (
+                auxiliary
+                if isinstance(auxiliary, UDAGraph)
+                else UDAGraph(
+                    auxiliary, extractor=extractor, extract_workers=workers
+                )
+            )
+            check_deadline("fit:similarity")
         self.similarity = SimilarityComputer(
             self.anonymized,
             self.auxiliary,
@@ -157,6 +169,7 @@ class DeHealth:
         distinct provenance in the result details).
         """
         self._require_fit()
+        check_deadline("topk:candidates")
         k = k or self.config.top_k
         S = self.similarity_scores()
         if self.config.selection == "matching":
@@ -187,6 +200,7 @@ class DeHealth:
     def top_k_result(self, truth: GroundTruth) -> TopKResult:
         """Rank of every anonymized user's true mapping (Fig 3 / Fig 5 data)."""
         self._require_fit()
+        check_deadline("topk:rank")
         ranks = true_match_ranks(
             self.similarity_scores(),
             self.anonymized.users,
@@ -200,6 +214,10 @@ class DeHealth:
     def deanonymize(self, k: "int | None" = None) -> DAResult:
         """Run both phases and return user-level DA decisions."""
         self._require_fit()
+        with deadline_scope(self.config.request_deadline_s):
+            return self._deanonymize_checked(k)
+
+    def _deanonymize_checked(self, k: "int | None" = None) -> DAResult:
         candidates = self.top_k_candidates(k)
         S = self.similarity_scores()
         sparse_scores = isinstance(S, SparseSimilarity)
@@ -211,6 +229,7 @@ class DeHealth:
         predictions: dict = {}
         details: dict = {}
         for i, anon in enumerate(self.anonymized.users):
+            check_deadline("refined:user-loop")
             cand = candidates[anon]
             if not cand:
                 # None = Algorithm-2 ⊥; [] = blocking (or matching-column

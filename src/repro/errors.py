@@ -40,5 +40,55 @@ class QuotaExceededError(ReproError, RuntimeError):
     """
 
 
+class RateLimitedError(QuotaExceededError):
+    """A tenant's durable token bucket ran dry (HTTP 429).
+
+    ``retry_after_s`` is derived from the actual token deficit — how long
+    the bucket needs to refill enough tokens for the rejected request —
+    so the ``Retry-After`` header is honest rather than heuristic.
+    """
+
+    def __init__(self, message: str, retry_after_s: "float | None" = None) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ServiceBusyError(ReproError, RuntimeError):
+    """The service shed a request it could not admit right now (HTTP 503).
+
+    Raised by the sync-attack admission gate when every slot stays busy
+    past the brief admission wait, and by the request path when the
+    durable rate limiter itself is unavailable.  Always retriable:
+    ``retry_after_s`` hints when capacity is likely back.
+    """
+
+    def __init__(self, message: str, retry_after_s: "float | None" = None) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class CircuitOpenError(ServiceBusyError):
+    """A per-corpus circuit breaker is open after repeated fatal failures.
+
+    The service fails fast (HTTP 503) instead of re-running a corpus that
+    deterministically crashes the pipeline; ``retry_after_s`` is the
+    remaining cooldown before a half-open probe is allowed.
+    """
+
+
+class DeadlineExceeded(ReproError, RuntimeError):
+    """A request's wall-clock deadline passed at a stage/shard boundary.
+
+    The service layer maps this to HTTP 504: the worker thread is
+    released at the next cooperative check instead of staying wedged.
+    The class name doubles as the structured-error ``type`` the job tier
+    already uses for lapsed job deadlines.
+    """
+
+
+class PayloadTooLargeError(ReproError, ValueError):
+    """A request body exceeded the service's ``CONTENT_LENGTH`` cap (HTTP 413)."""
+
+
 class StoreError(ReproError, RuntimeError):
     """The durable state store was used incorrectly (closed handle, ...)."""

@@ -20,6 +20,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.errors import ConfigError
 from repro.forum.models import ForumDataset, Post, Thread, User
 
 
@@ -72,27 +73,82 @@ def dumps_dataset(dataset: ForumDataset) -> str:
     return "\n".join(lines) + "\n"
 
 
-def loads_dataset(text: str, source: str = "<string>") -> ForumDataset:
+#: Required fields per JSONL record kind (beyond the discriminator).
+_REQUIRED_FIELDS: dict = {
+    "meta": ("name",),
+    "user": ("user_id", "username"),
+    "thread": ("thread_id", "board", "topic", "starter_id"),
+    "post": ("post_id", "user_id", "thread_id", "board", "text"),
+}
+
+
+def loads_dataset(
+    text: str,
+    source: str = "<string>",
+    max_users: "int | None" = None,
+    max_posts: "int | None" = None,
+) -> ForumDataset:
     """Parse JSONL text previously produced by :func:`dumps_dataset`.
 
-    ``source`` names the origin in error messages (a path, a store key).
+    ``source`` names the origin in error messages (a path, a store key, a
+    request body).  Malformed input — unparseable lines, non-object
+    records, unknown kinds, missing required fields, a missing meta
+    record — raises :class:`~repro.errors.ConfigError` (a ``ValueError``)
+    with the offending line number, never a bare ``KeyError``.
+    ``max_users``/``max_posts`` reject oversized corpora *while counting
+    lines*, before any dataset object is built, so a hostile upload
+    cannot balloon memory first and fail later.
     """
     dataset: ForumDataset | None = None
     pending: list[dict] = []
+    n_users = n_posts = 0
     for lineno, line in enumerate(text.splitlines(), start=1):
         line = line.strip()
         if not line:
             continue
-        record = json.loads(line)
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(
+                f"{source}:{lineno}: malformed JSONL record: {exc}"
+            ) from exc
+        if not isinstance(record, dict):
+            raise ConfigError(
+                f"{source}:{lineno}: record must be a JSON object, "
+                f"got {type(record).__name__}"
+            )
         kind = record.pop("kind", None)
+        if kind not in _REQUIRED_FIELDS:
+            raise ConfigError(
+                f"{source}:{lineno}: unknown record kind {kind!r}"
+            )
+        missing = [
+            field for field in _REQUIRED_FIELDS[kind] if field not in record
+        ]
+        if missing:
+            raise ConfigError(
+                f"{source}:{lineno}: {kind} record missing fields {missing}"
+            )
         if kind == "meta":
             dataset = ForumDataset(record["name"])
-        elif kind in ("user", "thread", "post"):
-            pending.append({"kind": kind, **record})
-        else:
-            raise ValueError(f"{source}:{lineno}: unknown record kind {kind!r}")
+            continue
+        if kind == "user":
+            n_users += 1
+            if max_users is not None and n_users > max_users:
+                raise ConfigError(
+                    f"{source}:{lineno}: corpus exceeds the "
+                    f"{max_users}-user cap"
+                )
+        elif kind == "post":
+            n_posts += 1
+            if max_posts is not None and n_posts > max_posts:
+                raise ConfigError(
+                    f"{source}:{lineno}: corpus exceeds the "
+                    f"{max_posts}-post cap"
+                )
+        pending.append({"kind": kind, **record})
     if dataset is None:
-        raise ValueError(f"{source}: missing meta record")
+        raise ConfigError(f"{source}: missing meta record")
     # Users and threads must exist before posts referencing them.
     for record in pending:
         if record["kind"] == "user":

@@ -8,8 +8,13 @@ method   path           behaviour
 GET      /healthz       liveness + version
 GET      /stats         engine + service stats: corpora, sessions, caches,
                         ``uptime_s``, job-queue depth/throughput, per-tenant
-                        blocks, and the state-store summary
+                        blocks, overload/limiter/breaker state, and the
+                        state-store summary
 POST     /generate      generate + register a synthetic corpus
+POST     /corpora       register a corpus from canonical JSONL
+                        (``{"name": ..., "jsonl": ...}``), with hard caps
+                        on users/posts and structured 400s for malformed
+                        records
 POST     /attack        run one :class:`~repro.api.AttackRequest`; with
                         ``"async": true`` returns ``202 {"job_id": ...}``
 POST     /sweep         run a matrix (explicit list or base × grid
@@ -53,19 +58,40 @@ candidate set by phase-1 similarity), and ``"extract_workers"``.
 Errors come back as ``{"error": {"type": ..., "message": ...}}`` built on
 the :mod:`repro.errors` hierarchy: :class:`~repro.errors.ConfigError` (and
 malformed JSON) map to 400, :class:`~repro.errors.NotFittedError` to 409,
-:class:`~repro.errors.QuotaExceededError` to 429, any other
+:class:`~repro.errors.PayloadTooLargeError` to 413,
+:class:`~repro.errors.QuotaExceededError` (including the durable token
+bucket's :class:`~repro.errors.RateLimitedError`) to 429,
+:class:`~repro.errors.DeadlineExceeded` to 504,
+:class:`~repro.errors.ServiceBusyError` (admission gate, open circuit
+breakers, a draining server) to 503, any other
 :class:`~repro.errors.ReproError` to 422, unknown routes to 404, wrong
-methods to 405, a draining server to 503, and unexpected failures to 500 —
-always as the JSON envelope, never as an HTML error page.  Overload
-responses (429/503) additionally carry a ``Retry-After`` header and mark
-the error envelope ``"retriable": true``, so clients can back off
-mechanically instead of parsing messages.
+methods to 405, and unexpected failures to 500 — always as the JSON
+envelope, never as an HTML error page.
+
+Every shed response (413/429/503/504) carries a ``Retry-After`` header;
+for 429 it is derived from the rejected tenant's actual token deficit —
+how long the durable bucket needs to refill — and for an open circuit
+from the remaining cooldown, so clients back off on an honest schedule
+instead of a guess.  Retriable sheds (429/503/504) additionally mark the
+error envelope ``"retriable": true``; a 413 is not retriable as-is.
+
+The overload posture is configurable per process: ``rate_limit_per_s`` /
+``rate_burst`` default the durable per-tenant token buckets (per-tenant
+overrides live in the ``tenants`` table and win; buckets are shared by
+every server on one ``--state-dir``), ``max_sync_attacks`` /
+``admission_wait_s`` bound synchronous attack concurrency,
+``request_deadline_s`` defaults a wall-clock watchdog onto sync attack
+requests, ``max_body_bytes`` caps request bodies, and
+``breaker_threshold`` / ``breaker_cooldown_s`` shape the per-corpus
+circuit breakers.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import re
+import threading
 import time
 from urllib.parse import parse_qs
 
@@ -74,11 +100,28 @@ from repro.api.executor import MAX_WORKERS, expand_grid as _expand_grid, expand_
 from repro.api.protocol import DEFAULT_TENANT, AttackRequest
 from repro.errors import (
     ConfigError,
+    DeadlineExceeded,
     NotFittedError,
+    PayloadTooLargeError,
     QuotaExceededError,
+    RateLimitedError,
     ReproError,
+    ServiceBusyError,
 )
-from repro.store import JobRunner, RetryPolicy, StateStore
+from repro.service.breaker import (
+    DEFAULT_BREAKER_COOLDOWN_S,
+    DEFAULT_BREAKER_THRESHOLD,
+    CircuitBreaker,
+)
+from repro.store import (
+    FATAL,
+    JobRunner,
+    RetryPolicy,
+    StateStore,
+    TenantRateLimiter,
+    classify_failure,
+)
+from repro.testing import faults
 
 _STATUS_LINES = {
     200: "200 OK",
@@ -87,11 +130,20 @@ _STATUS_LINES = {
     404: "404 Not Found",
     405: "405 Method Not Allowed",
     409: "409 Conflict",
+    413: "413 Content Too Large",
     422: "422 Unprocessable Entity",
     429: "429 Too Many Requests",
     500: "500 Internal Server Error",
     503: "503 Service Unavailable",
+    504: "504 Gateway Timeout",
 }
+
+#: Statuses that shed load; every one carries a ``Retry-After`` header.
+SHED_STATUSES: tuple = (413, 429, 503, 504)
+
+#: Sheds a client should retry verbatim after backing off (413 is not:
+#: the same oversized body will be rejected again).
+RETRIABLE_STATUSES: tuple = (429, 503, 504)
 
 #: Hard cap on expanded sweep size, so one request cannot wedge the worker.
 MAX_SWEEP_REQUESTS = 256
@@ -103,6 +155,21 @@ MAX_SERVICE_WORKERS = min(8, MAX_WORKERS)
 #: Cap on ``?limit=`` of the ``/reports`` and ``/jobs`` listings.
 MAX_LIST_LIMIT = 500
 
+#: Default cap on request bodies (``CONTENT_LENGTH``), bytes.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Cap on the ``users`` knob of ``POST /generate``.
+MAX_GENERATE_USERS = 5000
+
+#: Caps on corpora ingested through ``POST /corpora``.
+MAX_INGEST_USERS = 20000
+MAX_INGEST_POSTS = 200000
+
+#: Default width of the synchronous-attack admission gate and how long an
+#: arriving request briefly waits for a slot before being shed with 503.
+DEFAULT_MAX_SYNC_ATTACKS = 4
+DEFAULT_ADMISSION_WAIT_S = 0.5
+
 #: Tenant names accepted in the ``X-Tenant`` header.
 _TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 
@@ -112,8 +179,14 @@ def _error_status(exc: Exception) -> int:
         return 400
     if isinstance(exc, NotFittedError):
         return 409
+    if isinstance(exc, PayloadTooLargeError):
+        return 413
     if isinstance(exc, QuotaExceededError):
         return 429
+    if isinstance(exc, DeadlineExceeded):
+        return 504
+    if isinstance(exc, ServiceBusyError):
+        return 503
     if isinstance(exc, ReproError):
         return 422
     return 500
@@ -148,7 +221,32 @@ class DeHealthApp:
         job_lease_s: "float | None" = None,
         job_deadline_s: "float | None" = None,
         job_retries: "int | None" = None,
+        rate_limit_per_s: "float | None" = None,
+        rate_burst: "float | None" = None,
+        request_deadline_s: "float | None" = None,
+        max_sync_attacks: int = DEFAULT_MAX_SYNC_ATTACKS,
+        admission_wait_s: float = DEFAULT_ADMISSION_WAIT_S,
+        max_body_bytes: int = MAX_BODY_BYTES,
+        breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+        breaker_cooldown_s: float = DEFAULT_BREAKER_COOLDOWN_S,
     ) -> None:
+        if max_sync_attacks < 1:
+            raise ConfigError(
+                f"max_sync_attacks must be >= 1, got {max_sync_attacks}"
+            )
+        if admission_wait_s < 0:
+            raise ConfigError(
+                f"admission_wait_s must be >= 0, got {admission_wait_s}"
+            )
+        if max_body_bytes < 1:
+            raise ConfigError(
+                f"max_body_bytes must be >= 1, got {max_body_bytes}"
+            )
+        if request_deadline_s is not None and request_deadline_s <= 0:
+            raise ConfigError(
+                f"request_deadline_s must be > 0 or None, "
+                f"got {request_deadline_s}"
+            )
         self.engine = engine or Engine()
         engine_store = getattr(self.engine, "store", None)
         if (
@@ -172,12 +270,31 @@ class DeHealthApp:
         self.runner = JobRunner(
             self.engine, self.state, workers=job_workers, **runner_kwargs
         )
+        # overload posture: durable per-tenant token buckets (shared by
+        # every server on this state database), a bounded admission gate
+        # for synchronous attacks, per-corpus circuit breakers, and a
+        # default wall-clock watchdog for sync attack requests
+        self.limiter = TenantRateLimiter(
+            self.state, refill_per_s=rate_limit_per_s, burst=rate_burst
+        )
+        self.breaker = CircuitBreaker(
+            threshold=breaker_threshold, cooldown_s=breaker_cooldown_s
+        )
+        self.request_deadline_s = request_deadline_s
+        self.max_sync_attacks = max_sync_attacks
+        self.admission_wait_s = admission_wait_s
+        self.max_body_bytes = max_body_bytes
+        self._gate = threading.BoundedSemaphore(max_sync_attacks)
+        self._overload_lock = threading.Lock()
+        self._sync_active = 0
+        self._shed_counts = {status: 0 for status in SHED_STATUSES}
         self.started = time.monotonic()
         self._closed = False
         self._routes = {
             ("GET", "/healthz"): self._healthz,
             ("GET", "/stats"): self._stats,
             ("POST", "/generate"): self._generate,
+            ("POST", "/corpora"): self._corpora_upload,
             ("POST", "/attack"): self._attack,
             ("POST", "/sweep"): self._sweep,
             ("POST", "/linkage"): self._linkage,
@@ -231,32 +348,50 @@ class DeHealthApp:
                     )
                 else:
                     status, payload = handler(environ, tenant, *args)
-        except Exception as exc:  # noqa: BLE001 — mapped to structured errors
+            exc = None
+        except Exception as caught:  # noqa: BLE001 — mapped to structured errors
+            exc = caught
             status = _error_status(exc)
             payload = self._error_payload(type(exc).__name__, str(exc))
         headers = [("Content-Type", "application/json; charset=utf-8")]
-        if status in (429, 503):
-            # machine-readable backpressure: clients retry on a schedule
-            # instead of parsing error prose
-            if isinstance(payload, dict) and isinstance(
-                payload.get("error"), dict
+        if status in SHED_STATUSES:
+            # machine-readable backpressure: every shed carries an honest
+            # Retry-After (token deficit, breaker cooldown, ...) so clients
+            # retry on a schedule instead of parsing error prose
+            if (
+                status in RETRIABLE_STATUSES
+                and isinstance(payload, dict)
+                and isinstance(payload.get("error"), dict)
             ):
                 payload["error"]["retriable"] = True
-            headers.append(("Retry-After", str(self._retry_after(status))))
+            headers.append(("Retry-After", str(self._retry_after(status, exc))))
+            with self._overload_lock:
+                self._shed_counts[status] += 1
         body = json.dumps(payload, indent=None, sort_keys=True).encode("utf-8")
         headers.append(("Content-Length", str(len(body))))
         start_response(_STATUS_LINES[status], headers)
         return [body]
 
-    def _retry_after(self, status: int) -> int:
-        """Seconds a 429/503 client should wait before retrying."""
+    def _retry_after(self, status: int, exc: "Exception | None" = None) -> int:
+        """Seconds a shed (413/429/503/504) client should wait to retry.
+
+        Exceptions that know their own wait — the token bucket's deficit,
+        an open breaker's remaining cooldown, the admission gate — win;
+        the fallbacks are static per status except 429, which scales with
+        queue depth.
+        """
+        hinted = getattr(exc, "retry_after_s", None)
+        if hinted is not None:
+            return max(1, min(3600, math.ceil(hinted)))
         if status == 503:
             return 5
-        try:
-            depth = self.state.jobs.active_count()
-            return max(1, min(30, depth // max(1, self.runner.workers)))
-        except Exception:  # noqa: BLE001 — a hint, never a failure source
-            return 1
+        if status == 429:
+            try:
+                depth = self.state.jobs.active_count()
+                return max(1, min(60, math.ceil(depth / max(1, self.runner.workers))))
+            except Exception:  # noqa: BLE001 — a hint, never a failure source
+                return 1
+        return 1
 
     def _dispatch(self, method: str, path: str):
         """Resolve (handler, extra args, error-status hint) for a request."""
@@ -290,12 +425,32 @@ class DeHealthApp:
     def _error_payload(kind: str, message: str) -> dict:
         return {"error": {"type": kind, "message": message}}
 
-    @staticmethod
-    def _read_json(environ) -> dict:
+    def _read_json(self, environ) -> dict:
+        """Parse the request body, enforcing the ``CONTENT_LENGTH`` cap.
+
+        A missing or empty length means no body (``{}``); a garbage or
+        negative length is a structured 400; a length over
+        ``max_body_bytes`` is a 413 *before a single body byte is read*,
+        so an oversized upload cannot occupy the worker.
+        """
+        declared = environ.get("CONTENT_LENGTH")
+        if declared is None or declared == "":
+            return {}
         try:
-            length = int(environ.get("CONTENT_LENGTH") or 0)
-        except (TypeError, ValueError):
-            length = 0
+            length = int(declared)
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(
+                f"CONTENT_LENGTH must be an integer, got {declared!r}"
+            ) from exc
+        if length < 0:
+            raise ConfigError(
+                f"CONTENT_LENGTH must be >= 0, got {length}"
+            )
+        if length > self.max_body_bytes:
+            raise PayloadTooLargeError(
+                f"request body of {length} bytes exceeds the "
+                f"{self.max_body_bytes}-byte cap"
+            )
         raw = environ["wsgi.input"].read(length) if length > 0 else b""
         if not raw:
             return {}
@@ -308,6 +463,91 @@ class DeHealthApp:
                 f"JSON body must be an object, got {type(payload).__name__}"
             )
         return payload
+
+    # --- overload controls ----------------------------------------------
+
+    def _charge(self, tenant: str, cost: float = 1.0) -> None:
+        """Debit ``cost`` tokens from the tenant's durable bucket.
+
+        Raises :class:`RateLimitedError` (429, deficit-derived
+        ``Retry-After``) when the bucket cannot cover the cost.  If the
+        limiter's database is itself unavailable the request is shed with
+        a retriable 503 rather than a 500: honest overload beats a
+        success-rate lie in either direction.
+        """
+        try:
+            decision = self.limiter.acquire(tenant, cost=cost)
+        except ReproError:
+            raise
+        except Exception as exc:  # noqa: BLE001 — limiter outage != bug
+            raise ServiceBusyError(
+                f"rate limiter unavailable: {exc}", retry_after_s=1.0
+            ) from exc
+        if not decision.allowed:
+            raise RateLimitedError(
+                f"tenant {tenant!r} is over its request budget "
+                f"({decision.tokens:.2f} tokens available, {cost:g} needed)",
+                retry_after_s=decision.retry_after_s,
+            )
+
+    def _admission(self):
+        """Context manager: one bounded slot for a synchronous attack.
+
+        Waits briefly (``admission_wait_s``) for a slot, then sheds with a
+        retriable 503 — the worker never queues unboundedly behind long
+        fits.  The chaos seam fires *after* admission so injected faults
+        hit admitted requests exactly where real execution stalls would.
+        """
+        return _Admission(self)
+
+    def _fingerprints(self, requests) -> list:
+        """Resolve each request's corpus fingerprint, failing fast (400).
+
+        Before rejecting, refresh the registry from the shared store once:
+        with several processes on one ``--state-dir``, the corpus may have
+        been registered through a sibling after this engine attached.
+        """
+        refreshed = False
+        fingerprints = []
+        for request in requests:
+            try:
+                fingerprints.append(self.engine.fingerprint(request.corpus))
+            except ConfigError:
+                if refreshed or not self.engine.refresh_corpora():
+                    raise
+                refreshed = True
+                fingerprints.append(self.engine.fingerprint(request.corpus))
+        return fingerprints
+
+    def _with_deadline(self, request: AttackRequest) -> AttackRequest:
+        """Apply the service's default watchdog unless the request set one."""
+        if self.request_deadline_s is None or request.request_deadline_s is not None:
+            return request
+        return request.variant(request_deadline_s=self.request_deadline_s)
+
+    def _record_outcome(self, fingerprints, exc: "Exception | None") -> None:
+        """Feed a sync run's outcome to the per-corpus circuit breakers.
+
+        Only deterministic (FATAL-classified) failures count against a
+        corpus, and only when the run involved exactly one corpus — a
+        multi-corpus sweep's failure cannot be attributed.  Deadline
+        expiry is load, not poison: it releases any half-open probe
+        without judgment, as do transient failures.
+        """
+        if exc is None:
+            for fingerprint in fingerprints:
+                self.breaker.record_success(fingerprint)
+            return
+        fatal = (
+            not isinstance(exc, DeadlineExceeded)
+            and isinstance(exc, ReproError)
+            and classify_failure(exc) == FATAL
+        )
+        if fatal and len(fingerprints) == 1:
+            self.breaker.record_failure(fingerprints[0])
+        else:
+            for fingerprint in fingerprints:
+                self.breaker.abandon(fingerprint)
 
     @staticmethod
     def _only_keys(payload: dict, allowed: tuple) -> None:
@@ -385,6 +625,19 @@ class DeHealthApp:
             block["reports"] = reports_by_tenant.get(name, 0)
             block["jobs"] = jobs_by_tenant.get(name, 0)
         stats["tenants"] = tenants
+        with self._overload_lock:
+            sync_active = self._sync_active
+            shed = {str(status): n for status, n in self._shed_counts.items()}
+        stats["overload"] = {
+            "limiter": self.limiter.describe(),
+            "breaker": self.breaker.describe(),
+            "max_sync_attacks": self.max_sync_attacks,
+            "admission_wait_s": self.admission_wait_s,
+            "sync_active": sync_active,
+            "request_deadline_s": self.request_deadline_s,
+            "max_body_bytes": self.max_body_bytes,
+            "shed": shed,
+        }
         return 200, stats
 
     def _generate(self, environ, tenant) -> tuple:
@@ -395,40 +648,76 @@ class DeHealthApp:
             seed = int(body.get("seed", 0))
         except (TypeError, ValueError) as exc:
             raise ConfigError(f"users and seed must be integers: {exc}") from exc
+        if users > MAX_GENERATE_USERS:
+            raise ConfigError(
+                f"users must be <= {MAX_GENERATE_USERS}, got {users}"
+            )
+        name = body.get("name")
+        if name is not None and (
+            not isinstance(name, str) or not 1 <= len(name) <= 128
+        ):
+            raise ConfigError(
+                f"name must be a string of 1-128 characters, got {name!r}"
+            )
+        self._charge(tenant)
         summary = self.engine.generate(
             preset=body.get("preset", "webmd"),
             users=users,
             seed=seed,
-            name=body.get("name"),
+            name=name,
         )
         return 200, summary
 
-    def _require_corpora(self, requests) -> None:
-        """Fail fast (400) when an async payload names unknown corpora.
+    def _corpora_upload(self, environ, tenant) -> tuple:
+        from repro.forum.store import loads_dataset
 
-        Before rejecting, refresh the registry from the shared store once:
-        with several processes on one ``--state-dir``, the corpus may have
-        been registered through a sibling after this engine attached.
-        """
-        refreshed = False
-        for request in requests:
-            try:
-                self.engine.fingerprint(request.corpus)
-            except ConfigError:
-                if refreshed or not self.engine.refresh_corpora():
-                    raise
-                refreshed = True
-                self.engine.fingerprint(request.corpus)
+        body = self._read_json(environ)
+        self._only_keys(body, ("name", "jsonl"))
+        jsonl = body.get("jsonl")
+        if not isinstance(jsonl, str) or not jsonl.strip():
+            raise ConfigError("jsonl must be a non-empty string of JSONL")
+        name = body.get("name")
+        if name is not None and (
+            not isinstance(name, str) or not 1 <= len(name) <= 128
+        ):
+            raise ConfigError(
+                f"name must be a string of 1-128 characters, got {name!r}"
+            )
+        self._charge(tenant)
+        dataset = loads_dataset(
+            jsonl,
+            source="request body",
+            max_users=MAX_INGEST_USERS,
+            max_posts=MAX_INGEST_POSTS,
+        )
+        return 200, self.engine.register(name or dataset.name, dataset)
 
     def _attack(self, environ, tenant) -> tuple:
         body = self._read_json(environ)
         if self._pop_async(body):
             request = AttackRequest.from_dict(body).validate()
-            self._require_corpora([request])
+            self._fingerprints([request])
+            self._charge(tenant)
             job_id = self.runner.submit("attack", body, tenant=tenant)
             return 202, {"job_id": job_id, "state": "queued", "kind": "attack"}
         request = AttackRequest.from_dict(body)
-        return 200, self.engine.attack(request, tenant=tenant).to_dict()
+        request.validate()
+        # validation and corpus resolution come *before* the charge and the
+        # breaker: a malformed request 400s without burning budget or
+        # counting against a corpus
+        fingerprints = self._fingerprints([request])
+        self._charge(tenant)
+        for fingerprint in fingerprints:
+            self.breaker.allow(fingerprint)
+        request = self._with_deadline(request)
+        try:
+            with self._admission():
+                report = self.engine.attack(request, tenant=tenant)
+        except Exception as exc:
+            self._record_outcome(fingerprints, exc)
+            raise
+        self._record_outcome(fingerprints, None)
+        return 200, report.to_dict()
 
     def _sweep(self, environ, tenant) -> tuple:
         body = self._read_json(environ)
@@ -442,10 +731,13 @@ class DeHealthApp:
                 f"workers must be in [1, {MAX_SERVICE_WORKERS}], got {workers}"
             )
         requests = expand_matrix(body, max_requests=MAX_SWEEP_REQUESTS)
+        # a sweep costs one token per expanded request — N attacks through
+        # /sweep and N attacks through /attack drain the bucket identically
         if run_async:
             # background job: shard-serial execution (per-shard progress,
             # canonical reports byte-identical to this synchronous path)
-            self._require_corpora(requests)
+            self._fingerprints(requests)
+            self._charge(tenant, cost=float(len(requests)))
             job_id = self.runner.submit("sweep", body, tenant=tenant)
             return 202, {
                 "job_id": job_id,
@@ -453,13 +745,24 @@ class DeHealthApp:
                 "kind": "sweep",
                 "shards_total": len(requests),
             }
+        fingerprints = sorted(set(self._fingerprints(requests)))
+        self._charge(tenant, cost=float(len(requests)))
+        for fingerprint in fingerprints:
+            self.breaker.allow(fingerprint)
+        requests = [self._with_deadline(request) for request in requests]
         # thread backend, deliberately: the server is multi-threaded, and
         # forking a multi-threaded process (the process backend's fork
         # start method) can deadlock the children; threads also land the
         # fitted sessions in this engine's cache for later requests.
-        reports = self.engine.sweep(
-            requests, parallel=workers, backend="thread", tenant=tenant
-        )
+        try:
+            with self._admission():
+                reports = self.engine.sweep(
+                    requests, parallel=workers, backend="thread", tenant=tenant
+                )
+        except Exception as exc:
+            self._record_outcome(fingerprints, exc)
+            raise
+        self._record_outcome(fingerprints, None)
         return 200, {
             "count": len(reports),
             "workers": workers,
@@ -474,6 +777,11 @@ class DeHealthApp:
             seed = int(body.get("seed", 0))
         except (TypeError, ValueError) as exc:
             raise ConfigError(f"users and seed must be integers: {exc}") from exc
+        if users > MAX_GENERATE_USERS:
+            raise ConfigError(
+                f"users must be <= {MAX_GENERATE_USERS}, got {users}"
+            )
+        self._charge(tenant)
         return 200, self.engine.linkage(users=users, seed=seed)
 
     # --- durable-tier handlers ------------------------------------------
@@ -527,6 +835,46 @@ class DeHealthApp:
         return 200, {"job_id": job_id, "state": outcome["state"]}
 
 
+class _Admission:
+    """``with app._admission():`` — one bounded synchronous-attack slot."""
+
+    def __init__(self, app: DeHealthApp) -> None:
+        self._app = app
+
+    def __enter__(self) -> None:
+        app = self._app
+        if not app._gate.acquire(timeout=app.admission_wait_s):
+            raise ServiceBusyError(
+                f"all {app.max_sync_attacks} synchronous attack slots are "
+                f"busy (waited {app.admission_wait_s:g}s)",
+                retry_after_s=2.0,
+            )
+        with app._overload_lock:
+            app._sync_active += 1
+        # chaos seam: fires after admission, before execution — injected
+        # delays occupy a real slot (driving admission sheds), and
+        # injected errors surface as a retriable 503, never a 500
+        try:
+            faults.fire(faults.SEAM_REQUEST)
+        except ReproError:
+            self._release()
+            raise
+        except BaseException as exc:
+            self._release()
+            raise ServiceBusyError(
+                f"request path interrupted: {exc}", retry_after_s=1.0
+            ) from exc
+
+    def _release(self) -> None:
+        app = self._app
+        with app._overload_lock:
+            app._sync_active -= 1
+        app._gate.release()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._release()
+
+
 def create_app(
     engine: "Engine | None" = None,
     state: "StateStore | None" = None,
@@ -534,6 +882,14 @@ def create_app(
     job_lease_s: "float | None" = None,
     job_deadline_s: "float | None" = None,
     job_retries: "int | None" = None,
+    rate_limit_per_s: "float | None" = None,
+    rate_burst: "float | None" = None,
+    request_deadline_s: "float | None" = None,
+    max_sync_attacks: int = DEFAULT_MAX_SYNC_ATTACKS,
+    admission_wait_s: float = DEFAULT_ADMISSION_WAIT_S,
+    max_body_bytes: int = MAX_BODY_BYTES,
+    breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+    breaker_cooldown_s: float = DEFAULT_BREAKER_COOLDOWN_S,
 ) -> DeHealthApp:
     """Build the WSGI application (optionally over a pre-loaded engine)."""
     return DeHealthApp(
@@ -543,4 +899,12 @@ def create_app(
         job_lease_s=job_lease_s,
         job_deadline_s=job_deadline_s,
         job_retries=job_retries,
+        rate_limit_per_s=rate_limit_per_s,
+        rate_burst=rate_burst,
+        request_deadline_s=request_deadline_s,
+        max_sync_attacks=max_sync_attacks,
+        admission_wait_s=admission_wait_s,
+        max_body_bytes=max_body_bytes,
+        breaker_threshold=breaker_threshold,
+        breaker_cooldown_s=breaker_cooldown_s,
     )

@@ -1,0 +1,146 @@
+"""Per-corpus circuit breakers for the synchronous attack path.
+
+A corpus whose attacks fail *fatally* (deterministic pipeline errors, as
+classified by :func:`repro.store.classify_failure`) will keep failing the
+same way on every retry — re-running it just burns a worker thread for
+the full fit each time.  :class:`CircuitBreaker` counts consecutive fatal
+failures per corpus fingerprint; at ``threshold`` the circuit opens and
+further sync requests for that corpus fail fast with
+:class:`~repro.errors.CircuitOpenError` (HTTP 503, ``Retry-After`` = the
+remaining cooldown).  After ``cooldown_s`` one *probe* request is let
+through half-open: success closes the circuit, another fatal failure
+re-opens it for a fresh cooldown.
+
+Only deterministic failures count.  Transient errors reset nothing and
+trip nothing (retries are expected to succeed), and
+:class:`~repro.errors.DeadlineExceeded` is explicitly load-dependent —
+a corpus that timed out under pressure is not poison — so callers route
+it to :meth:`abandon`, which releases a half-open probe without judging
+the corpus.
+
+The breaker is deliberately process-local (plain dict + mutex, not the
+database): it protects *this* process's worker threads, and a restarted
+server re-probing a previously poisoned corpus once is the desired
+behaviour anyway.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import CircuitOpenError, ConfigError
+
+#: Consecutive fatal failures before a corpus's circuit opens.
+DEFAULT_BREAKER_THRESHOLD = 3
+
+#: Seconds an open circuit waits before allowing a half-open probe.
+DEFAULT_BREAKER_COOLDOWN_S = 30.0
+
+
+class CircuitBreaker:
+    """Consecutive-fatal-failure breaker keyed by corpus fingerprint."""
+
+    def __init__(
+        self,
+        threshold: int = DEFAULT_BREAKER_THRESHOLD,
+        cooldown_s: float = DEFAULT_BREAKER_COOLDOWN_S,
+        clock=time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ConfigError(f"threshold must be >= 1, got {threshold}")
+        if cooldown_s <= 0:
+            raise ConfigError(f"cooldown_s must be > 0, got {cooldown_s}")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        # fingerprint -> {"failures": n, "opened_at": t|None, "probing": bool}
+        self._circuits: dict = {}
+        self.trips = 0
+
+    def _circuit(self, fingerprint: str) -> dict:
+        return self._circuits.setdefault(
+            fingerprint, {"failures": 0, "opened_at": None, "probing": False}
+        )
+
+    # --- admission -------------------------------------------------------
+
+    def allow(self, fingerprint: str) -> None:
+        """Raise :class:`CircuitOpenError` unless ``fingerprint`` may run.
+
+        On an open circuit past its cooldown, exactly one caller is
+        admitted as the half-open probe; competitors keep getting 503
+        until the probe reports back (or abandons).
+        """
+        with self._lock:
+            circuit = self._circuits.get(fingerprint)
+            if circuit is None or circuit["opened_at"] is None:
+                return
+            remaining = (
+                circuit["opened_at"] + self.cooldown_s - self._clock()
+            )
+            if remaining > 0:
+                raise CircuitOpenError(
+                    f"circuit open for corpus {fingerprint}: "
+                    f"{circuit['failures']} consecutive fatal failures "
+                    f"(probe in {remaining:.1f}s)",
+                    retry_after_s=remaining,
+                )
+            if circuit["probing"]:
+                raise CircuitOpenError(
+                    f"circuit half-open for corpus {fingerprint}: "
+                    f"a probe request is already in flight",
+                    retry_after_s=1.0,
+                )
+            circuit["probing"] = True
+
+    # --- outcome reporting ----------------------------------------------
+
+    def record_success(self, fingerprint: str) -> None:
+        """A run finished cleanly: close the circuit and reset the count."""
+        with self._lock:
+            self._circuits.pop(fingerprint, None)
+
+    def record_failure(self, fingerprint: str) -> None:
+        """A run failed *fatally*: count it, opening at the threshold."""
+        with self._lock:
+            circuit = self._circuit(fingerprint)
+            circuit["failures"] += 1
+            circuit["probing"] = False
+            if circuit["failures"] >= self.threshold:
+                if circuit["opened_at"] is None:
+                    self.trips += 1
+                # (re)start the cooldown — a failed half-open probe waits
+                # a full cooldown before the next probe
+                circuit["opened_at"] = self._clock()
+
+    def abandon(self, fingerprint: str) -> None:
+        """Release a half-open probe without judging the corpus.
+
+        For outcomes that say nothing about corpus poison — transient
+        failures, deadline expiry under load — so the next caller may
+        probe immediately.
+        """
+        with self._lock:
+            circuit = self._circuits.get(fingerprint)
+            if circuit is not None:
+                circuit["probing"] = False
+
+    # --- introspection ---------------------------------------------------
+
+    def describe(self) -> dict:
+        """JSON-safe snapshot for ``GET /stats``."""
+        with self._lock:
+            open_circuits = sorted(
+                fingerprint
+                for fingerprint, circuit in self._circuits.items()
+                if circuit["opened_at"] is not None
+            )
+            return {
+                "threshold": self.threshold,
+                "cooldown_s": self.cooldown_s,
+                "tracked": len(self._circuits),
+                "open": open_circuits,
+                "trips": self.trips,
+            }

@@ -32,11 +32,13 @@ def call_app(
     body=None,
     tenant: "str | None" = None,
     query: str = "",
+    environ_overrides: "dict | None" = None,
 ) -> ServiceResponse:
     """Invoke ``app`` once; ``body`` (if given) is JSON-encoded.
 
     ``tenant`` sets the ``X-Tenant`` header; ``query`` is a raw query
-    string (``"limit=5"``).
+    string (``"limit=5"``); ``environ_overrides`` patches the final WSGI
+    environ (e.g. a forged ``CONTENT_LENGTH`` for ingest-hardening tests).
     """
     raw = b"" if body is None else json.dumps(body).encode("utf-8")
     environ = {
@@ -58,6 +60,8 @@ def call_app(
     }
     if tenant is not None:
         environ["HTTP_X_TENANT"] = tenant
+    if environ_overrides:
+        environ.update(environ_overrides)
     captured: dict = {}
 
     def start_response(status_line, headers, exc_info=None):

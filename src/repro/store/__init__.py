@@ -15,7 +15,11 @@ WAL mode — no new dependencies):
   ``/sweep`` jobs on a bounded thread pool, with lease-based ownership
   (several processes can share one state directory), per-shard retries
   with failure classification (:mod:`repro.store.resilience`),
-  cooperative cancellation, and terminal states that survive restarts.
+  cooperative cancellation, and terminal states that survive restarts;
+* :class:`TenantRateLimiter` — durable per-tenant token buckets in the
+  ``tenants`` table, refilled and debited inside one ``BEGIN IMMEDIATE``
+  transaction so every server sharing a state directory enforces one
+  combined budget per tenant (:mod:`repro.store.limits`).
 
 Quickstart::
 
@@ -49,6 +53,7 @@ from repro.store.jobs import (
     JobRunner,
     JobStore,
 )
+from repro.store.limits import RateDecision, TenantRateLimiter
 from repro.store.reports import AttackReportStore, canonical_report_text
 from repro.store.resilience import (
     FATAL,
@@ -74,12 +79,14 @@ __all__ = [
     "MAX_ACTIVE_JOBS_PER_TENANT",
     "MAX_JOB_WORKERS",
     "RESILIENCE_COUNTERS",
+    "RateDecision",
     "RetryPolicy",
     "SCHEMA_VERSION",
     "STATE_DB_FILENAME",
     "StateStore",
     "TERMINAL_JOB_STATES",
     "TRANSIENT",
+    "TenantRateLimiter",
     "canonical_report_text",
     "classify_failure",
     "structured_error",

@@ -43,8 +43,9 @@ __all__ = [
 
 #: Schema version recorded in ``meta``; bump on incompatible changes.
 #: v2 added the job lease/retry/cancellation columns and the ``counters``
-#: table (v1 databases are migrated in place on open).
-SCHEMA_VERSION = 2
+#: table; v3 added the durable token-bucket columns to ``tenants``
+#: (older databases are migrated in place on open).
+SCHEMA_VERSION = 3
 
 #: Job states that can never change again (see :mod:`repro.store.jobs`).
 TERMINAL_JOB_STATES: tuple = ("done", "failed", "cancelled")
@@ -66,6 +67,17 @@ _JOBS_V2_COLUMNS: tuple = (
     ("attempts", "INTEGER NOT NULL DEFAULT 0"),
     ("cancel_requested", "INTEGER NOT NULL DEFAULT 0"),
     ("deadline", "REAL"),
+)
+
+#: Columns v3 added to ``tenants`` — the durable token bucket.  NULL
+#: ``refill_per_s``/``burst`` mean "no per-tenant override" (the serving
+#: process's defaults apply); NULL ``tokens``/``updated_at`` mean the
+#: bucket has never been touched and starts full on first use.
+_TENANTS_V3_COLUMNS: tuple = (
+    ("refill_per_s", "REAL"),
+    ("burst", "REAL"),
+    ("tokens", "REAL"),
+    ("updated_at", "REAL"),
 )
 
 _SCHEMA = """
@@ -123,7 +135,11 @@ CREATE TABLE IF NOT EXISTS tenants (
     tenant        TEXT PRIMARY KEY,
     requests      INTEGER NOT NULL DEFAULT 0,
     attacks       INTEGER NOT NULL DEFAULT 0,
-    jobs_submitted INTEGER NOT NULL DEFAULT 0
+    jobs_submitted INTEGER NOT NULL DEFAULT 0,
+    refill_per_s  REAL,
+    burst         REAL,
+    tokens        REAL,
+    updated_at    REAL
 );
 CREATE TABLE IF NOT EXISTS counters (
     key   TEXT PRIMARY KEY,
@@ -184,13 +200,14 @@ class StateStore:
         return cls(Path(state_dir) / STATE_DB_FILENAME)
 
     def _migrate(self) -> None:
-        """Upgrade a v1 database in place (caller holds the lock).
+        """Upgrade an older database in place (caller holds the lock).
 
         ``CREATE TABLE IF NOT EXISTS`` only creates *missing* tables, so a
-        v1 ``jobs`` table lacks the lease/retry/cancellation columns; they
-        are added here with constant defaults (NULL owner/lease — exactly
-        the shape the lease sweeper treats as "reclaim me" for any row a
-        v1 process left ``running``).
+        v1 ``jobs`` table lacks the lease/retry/cancellation columns and a
+        v2 ``tenants`` table lacks the token-bucket columns; both are
+        added here with constant defaults (NULL owner/lease — exactly the
+        shape the lease sweeper treats as "reclaim me"; NULL bucket
+        columns — no override, bucket starts full on first use).
         """
         row = self._conn.execute(
             "SELECT value FROM meta WHERE key = 'schema_version'"
@@ -198,15 +215,26 @@ class StateStore:
         version = int(row["value"]) if row is not None else SCHEMA_VERSION
         if version >= SCHEMA_VERSION:
             return
-        present = {
-            info[1]
-            for info in self._conn.execute("PRAGMA table_info(jobs)")
-        }
-        for column, declaration in _JOBS_V2_COLUMNS:
-            if column not in present:
-                self._conn.execute(
-                    f"ALTER TABLE jobs ADD COLUMN {column} {declaration}"
-                )
+        if version < 2:
+            present = {
+                info[1]
+                for info in self._conn.execute("PRAGMA table_info(jobs)")
+            }
+            for column, declaration in _JOBS_V2_COLUMNS:
+                if column not in present:
+                    self._conn.execute(
+                        f"ALTER TABLE jobs ADD COLUMN {column} {declaration}"
+                    )
+        if version < 3:
+            present = {
+                info[1]
+                for info in self._conn.execute("PRAGMA table_info(tenants)")
+            }
+            for column, declaration in _TENANTS_V3_COLUMNS:
+                if column not in present:
+                    self._conn.execute(
+                        f"ALTER TABLE tenants ADD COLUMN {column} {declaration}"
+                    )
         self._conn.execute(
             "UPDATE meta SET value = ? WHERE key = 'schema_version'",
             (str(SCHEMA_VERSION),),
@@ -308,6 +336,12 @@ class StateStore:
         land in the durable ``pruned_reports``/``pruned_jobs`` counters.
         ``vacuum=True`` runs ``VACUUM`` afterwards so the database file
         actually shrinks.  Returns the deletion counts.
+
+        The ``tenants`` table — counters, rate-limit overrides, and live
+        token-bucket state — is never pruned: a compaction run against a
+        database a server is actively enforcing budgets on must not reset
+        anyone's bucket.  ``tenants_kept`` in the result makes that
+        guarantee observable.
         """
         for name, value in (("keep_reports", keep_reports), ("keep_jobs", keep_jobs)):
             if value is not None and value < 0:
@@ -350,9 +384,11 @@ class StateStore:
                 if self._closed:
                     raise StoreError("state store is closed")
                 self._conn.execute("VACUUM")
+        tenants_kept = self.query_one("SELECT COUNT(*) AS n FROM tenants")["n"]
         return {
             "pruned_reports": pruned_reports,
             "pruned_jobs": pruned_jobs,
+            "tenants_kept": tenants_kept,
             "vacuumed": bool(vacuum),
         }
 
@@ -362,7 +398,7 @@ class StateStore:
         """JSON-safe summary for ``GET /stats`` and CLI inspectors."""
         counts = {
             table: self.query_one(f"SELECT COUNT(*) AS n FROM {table}")["n"]
-            for table in ("corpora", "reports", "jobs")
+            for table in ("corpora", "reports", "jobs", "tenants")
         }
         return {
             "path": None if self.path is None else str(self.path),
@@ -370,6 +406,7 @@ class StateStore:
             "corpora": counts["corpora"],
             "reports": counts["reports"],
             "jobs": counts["jobs"],
+            "tenants": counts["tenants"],
         }
 
     def checkpoint(self) -> None:

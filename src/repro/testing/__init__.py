@@ -12,6 +12,8 @@ from repro.testing.faults import (
     SEAM_COMMIT,
     SEAM_EXTRACT,
     SEAM_RECORD,
+    SEAM_REFILL,
+    SEAM_REQUEST,
     SEAM_SHARD,
     FaultInjected,
     FaultPlan,
@@ -30,6 +32,8 @@ __all__ = [
     "SEAM_COMMIT",
     "SEAM_EXTRACT",
     "SEAM_RECORD",
+    "SEAM_REFILL",
+    "SEAM_REQUEST",
     "SEAM_SHARD",
     "active",
     "clear",

@@ -24,6 +24,10 @@ seam                fires
                     (job claims, corpus writes, cancellation handoff)
 ``store.record``    before an attack report row is persisted
 ``extract.batch``   before each batched feature-extraction pass
+``service.request`` inside the service's admission path, after a sync
+                    attack is admitted but before the engine runs it
+``limiter.refill``  inside the durable token-bucket transaction, before
+                    the bucket row is refilled and debited
 ==================  =====================================================
 """
 
@@ -44,6 +48,8 @@ SEAM_SHARD = "job.shard"
 SEAM_COMMIT = "store.commit"
 SEAM_RECORD = "store.record"
 SEAM_EXTRACT = "extract.batch"
+SEAM_REQUEST = "service.request"
+SEAM_REFILL = "limiter.refill"
 
 #: Actions a spec may take when it fires.
 FAULT_ACTIONS: tuple = ("error", "delay", "kill")

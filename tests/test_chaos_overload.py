@@ -1,0 +1,179 @@
+"""Overload chaos suite: injected faults against the live request path.
+
+The contract under test: **whatever the service admits, it answers
+correctly** — reports produced under injected limiter outages, admission
+delays, and concurrency pressure are byte-identical (canonical JSON) to
+the fault-free goldens — and **whatever it sheds, it sheds honestly** —
+only 413/429/503/504, every one carrying an integer ``Retry-After`` of at
+least one second.  Every test also asserts its plan actually fired.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.api import AttackReport, Engine
+from repro.service import SHED_STATUSES, call_app, create_app
+from repro.store import canonical_report_text
+from repro.testing import faults
+from repro.testing.faults import FaultPlan, FaultSpec
+
+REQUEST = {
+    "corpus": "tiny",
+    "split_seed": 102,
+    "top_k": 5,
+    "n_landmarks": 5,
+    "classifier": "knn",
+    "ks": [1, 5],
+    "refined": False,
+}
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+@pytest.fixture(scope="module")
+def golden(small_corpus):
+    """Fault-free canonical report text for REQUEST."""
+    engine = Engine()
+    engine.register("tiny", small_corpus)
+    return canonical_report_text(engine.attack(dict(REQUEST)))
+
+
+def canon(report_dict: dict) -> str:
+    return canonical_report_text(AttackReport.from_dict(report_dict))
+
+
+def make_app(small_corpus, **kwargs):
+    engine = Engine()
+    engine.register("tiny", small_corpus)
+    kwargs.setdefault("job_workers", 1)
+    return create_app(engine, **kwargs)
+
+
+def assert_honest_shed(res) -> None:
+    assert res.status in SHED_STATUSES, (res.status, res.json)
+    retry_after = int(res.headers["Retry-After"])  # integral or raises
+    assert retry_after >= 1
+    assert res.json["error"]["retriable"] is True
+
+
+class TestLimiterOutage:
+    def test_refill_faults_shed_503_and_admitted_match_golden(
+        self, small_corpus, golden
+    ):
+        app = make_app(small_corpus, rate_limit_per_s=1000.0, rate_burst=1000.0)
+        try:
+            # the bucket transaction errors on the 2nd and 4th acquire: an
+            # injected sqlite failure indistinguishable from real outage
+            plan = faults.install(
+                FaultPlan([
+                    FaultSpec(
+                        seam=faults.SEAM_REFILL, action="error", at=(1, 3),
+                        exception="OperationalError", message="db gone",
+                    ),
+                    FaultSpec(
+                        seam=faults.SEAM_REQUEST, action="delay", at=(0,),
+                        delay_s=0.05,
+                    ),
+                ])
+            )
+            statuses = []
+            for _ in range(6):
+                res = call_app(app, "POST", "/attack", dict(REQUEST))
+                statuses.append(res.status)
+                if res.status == 200:
+                    assert canon(res.json) == golden
+                else:
+                    assert_honest_shed(res)
+                    assert res.status == 503
+                    assert res.json["error"]["type"] == "ServiceBusyError"
+            assert statuses == [200, 503, 200, 503, 200, 200]
+            fired = {(seam, index) for seam, index, _ in plan.fired()}
+            assert (faults.SEAM_REFILL, 1) in fired
+            assert (faults.SEAM_REFILL, 3) in fired
+            assert (faults.SEAM_REQUEST, 0) in fired
+        finally:
+            faults.clear()
+            app.close(drain_s=1.0)
+
+    def test_same_seeded_plan_reproduces_byte_identical_outcomes(
+        self, small_corpus, golden
+    ):
+        outcomes = []
+        for _ in range(2):
+            app = make_app(
+                small_corpus, rate_limit_per_s=1000.0, rate_burst=1000.0
+            )
+            try:
+                plan = faults.install(
+                    FaultPlan.seeded(
+                        7, faults.SEAM_REFILL, faults=2, horizon=5,
+                        exception="OperationalError",
+                    )
+                )
+                run = []
+                for _ in range(5):
+                    res = call_app(app, "POST", "/attack", dict(REQUEST))
+                    run.append(
+                        (res.status, canon(res.json))
+                        if res.status == 200
+                        else (res.status, None)
+                    )
+                assert len(plan.fired()) == 2
+                outcomes.append(run)
+            finally:
+                faults.clear()
+                app.close(drain_s=1.0)
+        assert outcomes[0] == outcomes[1]
+        assert [status for status, _ in outcomes[0]].count(200) == 3
+        for status, text in outcomes[0]:
+            if status == 200:
+                assert text == golden
+
+
+class TestAdmissionPressure:
+    def test_occupied_slot_sheds_latecomer_and_answers_winner(
+        self, small_corpus, golden
+    ):
+        app = make_app(small_corpus, max_sync_attacks=1, admission_wait_s=0.05)
+        try:
+            # the admitted request stalls 0.8s inside the slot (the seam
+            # fires after admission), so the latecomer finds the gate full
+            plan = faults.install(
+                FaultPlan([
+                    FaultSpec(
+                        seam=faults.SEAM_REQUEST, action="delay", at=(0,),
+                        delay_s=0.8,
+                    )
+                ])
+            )
+            first: dict = {}
+
+            def winner():
+                first["res"] = call_app(app, "POST", "/attack", dict(REQUEST))
+
+            thread = threading.Thread(target=winner)
+            thread.start()
+            # let the winner get admitted and stall, then arrive late
+            time.sleep(0.3)
+            shed = call_app(app, "POST", "/attack", dict(REQUEST))
+            assert_honest_shed(shed)
+            assert shed.status == 503
+            thread.join(timeout=120.0)
+            assert not thread.is_alive()
+            res = first["res"]
+            assert res.status == 200
+            assert canon(res.json) == golden
+            assert plan.fired(), "the stall never fired"
+            stats = call_app(app, "GET", "/stats").json
+            assert stats["overload"]["shed"]["503"] >= 1
+            assert stats["overload"]["sync_active"] == 0
+        finally:
+            faults.clear()
+            app.close(drain_s=1.0)

@@ -342,3 +342,74 @@ class TestStateCommands:
             main(["reports", str(state_dir), "--id", "999"])
         with pytest.raises(SystemExit, match="no job"):
             main(["jobs", str(state_dir), "--id", "nope"])
+
+
+class TestOverloadCommands:
+    """The serve overload flags, the tenants admin surface, and compact."""
+
+    def test_parser_overload_flags(self):
+        args = build_parser().parse_args([
+            "serve",
+            "--rate-limit-per-s", "2", "--rate-burst", "10",
+            "--request-deadline-s", "30",
+            "--max-sync-attacks", "8", "--admission-wait-s", "0.2",
+            "--max-body-bytes", "1024",
+            "--breaker-threshold", "5", "--breaker-cooldown-s", "60",
+        ])
+        assert args.rate_limit_per_s == 2.0 and args.rate_burst == 10.0
+        assert args.request_deadline_s == 30.0
+        assert args.max_sync_attacks == 8 and args.admission_wait_s == 0.2
+        assert args.max_body_bytes == 1024
+        assert args.breaker_threshold == 5 and args.breaker_cooldown_s == 60.0
+        defaults = build_parser().parse_args(["serve"])
+        assert defaults.rate_limit_per_s is None
+        assert defaults.request_deadline_s is None
+        assert defaults.max_sync_attacks == 4
+        assert defaults.admission_wait_s == 0.5
+
+    @pytest.fixture()
+    def state_dir(self, tmp_path):
+        """A state dir with one tenant's counters bumped."""
+        from repro.store import StateStore
+
+        state = StateStore.at_dir(tmp_path)
+        state.bump_tenant("acme", "requests")
+        state.close()
+        return str(tmp_path)
+
+    def test_tenants_set_list_clear(self, state_dir, capsys):
+        assert main([
+            "tenants", state_dir, "--set", "acme",
+            "--refill-per-s", "5", "--burst", "20",
+        ]) == 0
+        assert "set acme: refill_per_s=5 burst=20" in capsys.readouterr().out
+
+        assert main(["tenants", state_dir]) == 0
+        out = capsys.readouterr().out
+        assert "acme" in out and "refill_per_s=5" in out and "(override)" in out
+        assert "1 tenant(s)" in out
+
+        assert main(["tenants", state_dir, "--clear", "acme"]) == 0
+        assert "cleared override for acme" in capsys.readouterr().out
+        assert main(["tenants", state_dir]) == 0
+        assert "no-override (server defaults apply)" in capsys.readouterr().out
+
+    def test_tenants_flag_validation(self, state_dir):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main([
+                "tenants", state_dir,
+                "--set", "a", "--refill-per-s", "1", "--clear", "b",
+            ])
+        with pytest.raises(SystemExit, match="require --set"):
+            main(["tenants", state_dir, "--refill-per-s", "1"])
+        with pytest.raises(SystemExit, match="requires --refill-per-s"):
+            main(["tenants", state_dir, "--set", "a"])
+
+    def test_compact_reports_tenant_rows_kept(self, state_dir, capsys):
+        assert main(["compact", state_dir, "--vacuum"]) == 0
+        out = capsys.readouterr().out
+        assert "kept 1 tenant row(s)" in out
+        assert "never pruned" in out
+        # the bucket/counter row survived the prune
+        assert main(["tenants", state_dir]) == 0
+        assert "acme requests=1" in capsys.readouterr().out

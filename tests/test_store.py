@@ -14,8 +14,10 @@ from repro.store import (
     JobRunner,
     MAX_ACTIVE_JOBS_PER_TENANT,
     RESILIENCE_COUNTERS,
+    SCHEMA_VERSION,
     STATE_DB_FILENAME,
     StateStore,
+    TenantRateLimiter,
     canonical_report_text,
 )
 from repro.store.db import now
@@ -53,7 +55,7 @@ class TestStateStore:
         row = store.query_one(
             "SELECT value FROM meta WHERE key = 'schema_version'"
         )
-        assert row["value"] == "2"
+        assert row["value"] == str(SCHEMA_VERSION)
         store.close()
 
     def test_v1_database_migrates_in_place(self, tmp_path):
@@ -68,9 +70,36 @@ class TestStateStore:
         row = reopened.query_one(
             "SELECT value FROM meta WHERE key = 'schema_version'"
         )
-        assert row["value"] == "2"
+        assert row["value"] == str(SCHEMA_VERSION)
         job = reopened.jobs.get(job_id)
         assert job["attempts"] == 0 and job["owner"] is None
+        reopened.close()
+
+    def test_v2_database_migrates_tenant_columns(self, tmp_path):
+        # a v2-shaped tenants table (no bucket columns), reopened through
+        # the store, gains the v3 token-bucket columns with NULL defaults
+        store = StateStore.at_dir(tmp_path)
+        store.execute(
+            "UPDATE meta SET value = '2' WHERE key = 'schema_version'"
+        )
+        store.bump_tenant("acme", "requests")
+        for column, _ in (
+            ("refill_per_s", None), ("burst", None),
+            ("tokens", None), ("updated_at", None),
+        ):
+            store.execute(f"ALTER TABLE tenants DROP COLUMN {column}")
+        store.close()
+        reopened = StateStore.at_dir(tmp_path)
+        row = reopened.query_one(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        )
+        assert row["value"] == str(SCHEMA_VERSION)
+        bucket = reopened.query_one(
+            "SELECT refill_per_s, burst, tokens, updated_at "
+            "FROM tenants WHERE tenant = 'acme'"
+        )
+        assert all(bucket[k] is None for k in bucket.keys())
+        assert reopened.tenant_counters()["acme"]["requests"] == 1
         reopened.close()
 
     def test_reopen_sees_previous_rows(self, tmp_path):
@@ -404,6 +433,112 @@ class TestRetention:
             mem_store.prune(max_age_s=-1)
         with pytest.raises(StoreError):
             mem_store.prune(keep_jobs=-1)
+
+    def test_prune_never_touches_tenants(self, tmp_path):
+        # compaction against a database a live server is enforcing
+        # budgets on must not reset counters, overrides, or buckets
+        store = StateStore.at_dir(tmp_path)
+        live = StateStore.at_dir(tmp_path)  # a "live server" handle
+        limiter = TenantRateLimiter(live)
+        limiter.set_limits("acme", 0.5, 4)
+        assert limiter.acquire("acme").allowed  # bucket now has live state
+        live.bump_tenant("acme", "attacks")
+        summary = store.prune(max_age_s=0, keep_reports=0, keep_jobs=0,
+                              vacuum=True)
+        assert summary["tenants_kept"] == 1
+        after = limiter.snapshot("acme")
+        assert after["override"] is True
+        assert after["refill_per_s"] == 0.5 and after["burst"] == 4
+        assert after["tokens"] < 4  # debit survived the prune + VACUUM
+        assert live.tenant_counters()["acme"]["attacks"] == 1
+        live.close()
+        store.close()
+
+
+class TestTenantRateLimiter:
+    def test_unlimited_by_default(self, mem_store):
+        limiter = TenantRateLimiter(mem_store)
+        decision = limiter.acquire("acme")
+        assert decision.allowed and not decision.limited
+        assert decision.retry_after_s is None
+
+    def test_burst_then_deficit_derived_retry_after(self, mem_store):
+        clock = [1000.0]
+        limiter = TenantRateLimiter(
+            mem_store, refill_per_s=0.1, burst=3, clock=lambda: clock[0]
+        )
+        for _ in range(3):
+            assert limiter.acquire("acme").allowed
+        rejected = limiter.acquire("acme")
+        assert not rejected.allowed and rejected.limited
+        # empty bucket, cost 1, refill 0.1/s -> exactly 10s to cover it
+        assert rejected.retry_after_s == pytest.approx(10.0)
+
+    def test_lazy_refill_caps_at_burst(self, mem_store):
+        clock = [0.0]
+        limiter = TenantRateLimiter(
+            mem_store, refill_per_s=1.0, burst=2, clock=lambda: clock[0]
+        )
+        for _ in range(2):
+            assert limiter.acquire("acme").allowed
+        assert not limiter.acquire("acme").allowed
+        clock[0] += 100.0  # refills far past burst; must clamp to 2
+        assert limiter.acquire("acme").allowed
+        assert limiter.acquire("acme").allowed
+        assert not limiter.acquire("acme").allowed
+
+    def test_clock_step_backwards_mints_nothing(self, mem_store):
+        clock = [100.0]
+        limiter = TenantRateLimiter(
+            mem_store, refill_per_s=1.0, burst=1, clock=lambda: clock[0]
+        )
+        assert limiter.acquire("acme").allowed
+        clock[0] = 50.0  # wall clock stepped back
+        assert not limiter.acquire("acme").allowed
+
+    def test_override_beats_default_and_reset_on_change(self, mem_store):
+        limiter = TenantRateLimiter(mem_store, refill_per_s=0.001, burst=1)
+        assert limiter.acquire("acme").allowed
+        assert not limiter.acquire("acme").allowed
+        limiter.set_limits("acme", 10.0, 5.0)  # raise + reset the bucket
+        for _ in range(5):
+            assert limiter.acquire("acme").allowed
+        snapshot = limiter.snapshot("acme")
+        assert snapshot["override"] is True and snapshot["burst"] == 5.0
+        limiter.set_limits("acme", None)  # back to the harsh default
+        assert limiter.acquire("acme").allowed  # fresh default bucket
+        assert not limiter.acquire("acme").allowed
+
+    def test_two_stores_share_one_budget(self, tmp_path):
+        # two handles on one database = two servers on one --state-dir
+        a = StateStore.at_dir(tmp_path)
+        b = StateStore.at_dir(tmp_path)
+        clock = [0.0]
+        tick = lambda: clock[0]  # noqa: E731 — shared frozen clock
+        limiter_a = TenantRateLimiter(a, refill_per_s=0.001, burst=4,
+                                      clock=tick)
+        limiter_b = TenantRateLimiter(b, refill_per_s=0.001, burst=4,
+                                      clock=tick)
+        admitted = 0
+        for i in range(10):
+            limiter = limiter_a if i % 2 == 0 else limiter_b
+            if limiter.acquire("acme").allowed:
+                admitted += 1
+        assert admitted == 4  # combined budget, not 4 per server
+        a.close()
+        b.close()
+
+    def test_acquire_rejects_bad_cost(self, mem_store):
+        limiter = TenantRateLimiter(mem_store)
+        with pytest.raises(ConfigError):
+            limiter.acquire("acme", cost=0)
+
+    def test_set_limits_validates(self, mem_store):
+        limiter = TenantRateLimiter(mem_store)
+        with pytest.raises(ConfigError):
+            limiter.set_limits("acme", -1.0)
+        with pytest.raises(ConfigError):
+            limiter.set_limits("acme", None, 5.0)  # burst without refill
 
 
 class TestJobRunner:
